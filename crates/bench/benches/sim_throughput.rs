@@ -1,0 +1,46 @@
+//! Microbenchmark: trace-driven simulator throughput (accesses/second)
+//! for representative policies and a permutation-spec-driven cache.
+
+use cachekit_core::perm::{PermutationPolicy, PermutationSpec};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{Cache, CacheConfig};
+use cachekit_trace::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let config = CacheConfig::new(64 * 1024, 8, 64).expect("valid");
+    let trace = gen::zipf(8192, 1.1, 100_000, 64, 9);
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::TreePlru,
+        PolicyKind::Random { seed: 1 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("trace", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut cache = Cache::new(config, kind);
+                    black_box(cache.run_trace(trace.iter().copied()))
+                });
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::new("trace", "Perm(LRU spec)"), |b| {
+        let spec = PermutationSpec::lru(8);
+        b.iter(|| {
+            let mut cache = Cache::with_policy_factory(config, "perm", |_| {
+                Box::new(PermutationPolicy::new(spec.clone()))
+            });
+            black_box(cache.run_trace(trace.iter().copied()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **Ablation** — interference sources: what the geometry campaign reads
+//! when the adjacent-line prefetcher or cache-polluting TLB walks are
+//! left enabled. The paper's methodology writes the prefetcher-disable
+//! MSRs and sidesteps TLB pressure before measuring; this experiment
+//! shows the distortions that requirement prevents.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin ablation_interference`
+
+use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_core::infer::{infer_geometry, InferenceConfig};
+use cachekit_hw::{CacheLevel, LevelOracle, VirtualCpu};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::CacheConfig;
+
+fn cpu(prefetcher: bool, tlb_pollution: bool) -> VirtualCpu {
+    VirtualCpu::builder("ablation")
+        .l1(
+            CacheConfig::new(32 * 1024, 8, 64).expect("valid"),
+            PolicyKind::TreePlru,
+        )
+        .l2(
+            CacheConfig::new(512 * 1024, 8, 64).expect("valid"),
+            PolicyKind::TreePlru,
+        )
+        .adjacent_line_prefetcher(prefetcher)
+        .tlb_pollution(tlb_pollution)
+        .build()
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation: interference sources vs inferred L1 geometry (truth: 32 KiB, 8-way, 64 B)",
+        &[
+            "prefetcher",
+            "TLB pollution",
+            "capacity",
+            "assoc",
+            "line",
+            "verdict",
+        ],
+    );
+    let config = InferenceConfig {
+        max_capacity: 4 * 1024 * 1024,
+        ..InferenceConfig::default()
+    };
+    let mut series = Vec::new();
+
+    for (pf, tlb) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut machine = cpu(pf, tlb);
+        let mut oracle = LevelOracle::new(&mut machine, CacheLevel::L1);
+        let row = match infer_geometry(&mut oracle, &config) {
+            Ok(g) => {
+                let ok = g.capacity == 32 * 1024 && g.associativity == 8 && g.line_size == 64;
+                series.push(serde_json::json!({
+                    "prefetcher": pf, "tlb_pollution": tlb,
+                    "capacity": g.capacity, "assoc": g.associativity, "line": g.line_size,
+                }));
+                vec![
+                    pf.to_string(),
+                    tlb.to_string(),
+                    human_bytes(g.capacity),
+                    g.associativity.to_string(),
+                    g.line_size.to_string(),
+                    if ok {
+                        "exact".to_owned()
+                    } else {
+                        "DISTORTED".to_owned()
+                    },
+                ]
+            }
+            Err(e) => {
+                series.push(serde_json::json!({
+                    "prefetcher": pf, "tlb_pollution": tlb, "error": e.to_string(),
+                }));
+                vec![
+                    pf.to_string(),
+                    tlb.to_string(),
+                    format!("ERROR: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "failed".into(),
+                ]
+            }
+        };
+        table.row(row);
+    }
+    emit("ablation_interference", &table, &series);
+    println!(
+        "The adjacent-line prefetcher makes the line size read as 128 B\n\
+         (the buddy line is resident when probed); the paper's MSR writes\n\
+         are not optional."
+    );
+}

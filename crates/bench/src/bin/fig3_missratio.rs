@@ -1,0 +1,75 @@
+//! **Fig. 3** — miss ratio of the discovered policies vs textbook
+//! policies across the workload suite, at a fixed L2-like geometry.
+//! Reported both absolute and relative to LRU, the paper's reference.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin fig3_missratio`
+
+use cachekit_bench::{emit, pct, Table};
+use cachekit_policies::{DipFamily, DrripFamily, PolicyKind};
+use cachekit_sim::{sweep, Cache, CacheConfig};
+use cachekit_trace::workloads;
+
+/// Adaptive (set-dueling) policies need a fresh per-cache family; they
+/// cannot be a `PolicyKind`, so simulate them explicitly.
+fn adaptive_miss_ratio(config: CacheConfig, which: &str, trace: &[u64]) -> f64 {
+    let mut cache = match which {
+        "DIP" => {
+            let family = DipFamily::new(config.associativity(), 32, 0xD1B);
+            Cache::with_policy_factory(config, "DIP", move |set| family.policy_for_set(set))
+        }
+        _ => {
+            let family = DrripFamily::new(config.associativity(), 2, 32, 0xD2B);
+            Cache::with_policy_factory(config, "DRRIP", move |set| family.policy_for_set(set))
+        }
+    };
+    cache.run_trace(trace.iter().copied()).miss_ratio()
+}
+
+fn main() {
+    let capacity = 256 * 1024u64;
+    let config = CacheConfig::new(capacity, 8, 64).expect("valid geometry");
+    let suite = workloads::suite(capacity, 64, 7);
+    let kinds = PolicyKind::evaluation_kinds();
+
+    let mut headers: Vec<&str> = vec!["workload"];
+    let mut labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    labels.push("DIP".to_owned());
+    labels.push("DRRIP".to_owned());
+    labels.push("OPT".to_owned());
+    headers.extend(labels.iter().map(String::as_str));
+    let mut table = Table::new(
+        format!("Fig. 3: miss ratio per policy per workload ({config})"),
+        &headers,
+    );
+    let mut rel = Table::new(
+        "Fig. 3b: miss ratio relative to LRU (LRU = 1.00; <1 beats LRU)",
+        &headers,
+    );
+    let mut series = Vec::new();
+
+    for w in &suite {
+        let mut ratios: Vec<f64> = kinds
+            .iter()
+            .map(|&k| sweep::simulate(config, k, &w.trace).miss_ratio())
+            .collect();
+        ratios.push(adaptive_miss_ratio(config, "DIP", &w.trace));
+        ratios.push(adaptive_miss_ratio(config, "DRRIP", &w.trace));
+        ratios.push(cachekit_sim::opt::simulate_opt(config, &w.trace).miss_ratio());
+        let lru = ratios[0].max(1e-9); // LRU is the first evaluation kind
+        let mut abs_cells = vec![w.name.to_owned()];
+        let mut rel_cells = vec![w.name.to_owned()];
+        for &r in &ratios {
+            abs_cells.push(pct(r));
+            rel_cells.push(format!("{:.2}", r / lru));
+        }
+        table.row(abs_cells);
+        rel.row(rel_cells);
+        series.push(serde_json::json!({
+            "workload": w.name,
+            "policies": labels,
+            "miss_ratios": ratios,
+        }));
+    }
+    emit("fig3_missratio", &table, &series);
+    println!("{}", rel.to_markdown());
+}

@@ -1,0 +1,56 @@
+//! **Fig. 4** — miss ratio vs cache capacity per policy, on fixed
+//! workloads sized for the middle of the sweep; shows the capacity knees
+//! and the policy crossovers around them (LRU collapses past the knee
+//! where thrash-resistant insertion keeps part of the working set).
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin fig4_sweep`
+
+use cachekit_bench::{emit, pct, Table};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{sweep, CacheConfig};
+use cachekit_trace::workloads;
+
+fn main() {
+    let reference_capacity = 256 * 1024u64; // workloads sized for this
+    let suite = workloads::suite(reference_capacity, 64, 7);
+    let kinds = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::TreePlru,
+        PolicyKind::LazyLru,
+        PolicyKind::Lip,
+        PolicyKind::Srrip { bits: 2 },
+        PolicyKind::Random { seed: 0x5eed },
+    ];
+    let capacities: Vec<u64> = (0..7).map(|i| (32 * 1024) << i).collect(); // 32K..2M
+    let mut series = Vec::new();
+
+    for wname in ["thrash_loop", "zipf_hot", "stack_geo"] {
+        let w = suite.iter().find(|w| w.name == wname).expect("workload");
+        let mut headers: Vec<String> = vec!["capacity".into()];
+        headers.extend(kinds.iter().map(|k| k.label()));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            format!("Fig. 4: miss ratio vs capacity — workload `{wname}` (8-way, 64 B)"),
+            &headers_ref,
+        );
+        for &cap in &capacities {
+            let config = CacheConfig::new(cap, 8, 64).expect("valid geometry");
+            let mut cells = vec![cachekit_bench::human_bytes(cap)];
+            let mut ratios = Vec::new();
+            for &k in &kinds {
+                let m = sweep::simulate(config, k, &w.trace).miss_ratio();
+                cells.push(pct(m));
+                ratios.push(m);
+            }
+            series.push(serde_json::json!({
+                "workload": wname, "capacity": cap, "miss_ratios": ratios,
+            }));
+            table.row(cells);
+        }
+        println!("{}", table.to_markdown());
+        if wname == "stack_geo" {
+            emit("fig4_sweep", &table, &series);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **Fig. 5** — miss ratio vs associativity per policy at fixed capacity:
+//! where extra ways help, and where PLRU's approximation of LRU starts
+//! to cost (the LRU/PLRU gap grows with associativity).
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin fig5_assoc`
+
+use cachekit_bench::{emit, pct, Table};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{sweep, CacheConfig};
+use cachekit_trace::workloads;
+
+fn main() {
+    let capacity = 256 * 1024u64;
+    let suite = workloads::suite(capacity, 64, 7);
+    let kinds = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::TreePlru,
+        PolicyKind::LazyLru,
+        PolicyKind::Random { seed: 0x5eed },
+    ];
+    let assocs = [1usize, 2, 4, 8, 16, 32];
+    let mut series = Vec::new();
+
+    for wname in ["zipf_hot", "ptr_chase", "stack_geo"] {
+        let w = suite.iter().find(|w| w.name == wname).expect("workload");
+        let mut headers: Vec<String> = vec!["assoc".into()];
+        headers.extend(kinds.iter().map(|k| k.label()));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            format!("Fig. 5: miss ratio vs associativity — workload `{wname}` (256 KiB, 64 B)"),
+            &headers_ref,
+        );
+        for &assoc in &assocs {
+            let Ok(config) = CacheConfig::new(capacity, assoc, 64) else {
+                continue;
+            };
+            let mut cells = vec![assoc.to_string()];
+            let mut ratios = Vec::new();
+            for &k in &kinds {
+                let m = sweep::simulate(config, k, &w.trace).miss_ratio();
+                cells.push(pct(m));
+                ratios.push(m);
+            }
+            series.push(serde_json::json!({
+                "workload": wname, "assoc": assoc, "miss_ratios": ratios,
+            }));
+            table.row(cells);
+        }
+        println!("{}", table.to_markdown());
+        if wname == "stack_geo" {
+            emit("fig5_assoc", &table, &series);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerate every table and figure in one run (artifact-evaluation
+//! convenience): executes each experiment binary in sequence and reports
+//! pass/fail. Results land in `results/*.json` as usual.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin run_all`
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_geometry",
+    "table2_policies",
+    "table3_cost",
+    "table4_l3",
+    "fig1_vectors",
+    "fig2_noise",
+    "fig3_missratio",
+    "fig4_sweep",
+    "fig5_assoc",
+    "fig6_predictability",
+    "fig7_writebacks",
+    "fig8_amat",
+    "fig9_promotion",
+    "fig10_competitive",
+    "ablation_readout",
+    "ablation_interference",
+];
+
+fn main() {
+    // The experiment binaries live next to this one.
+    let mut self_path = std::env::current_exe().expect("own path");
+    self_path.pop();
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let bin = self_path.join(name);
+        let start = Instant::now();
+        print!("{name:<24} ");
+        match Command::new(&bin).output() {
+            Ok(out) if out.status.success() => {
+                println!("ok ({:.1}s)", start.elapsed().as_secs_f32());
+            }
+            Ok(out) => {
+                failures += 1;
+                println!("FAILED (exit {:?})", out.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to launch: {e}");
+                eprintln!(
+                    "(build all experiment binaries first: \
+                     `cargo build --release -p cachekit-bench --bins`)"
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall experiments regenerated; see results/*.json");
+}

@@ -1,0 +1,77 @@
+//! **Table 1** — cache geometries inferred per virtual processor, against
+//! the datasheet values, with the measurement cost of each campaign.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin table1_geometry`
+
+use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_core::infer::{infer_geometry, CountingOracle, InferenceConfig};
+use cachekit_hw::{fleet, CacheLevel, LevelOracle};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: inferred cache geometries (inferred / datasheet)",
+        &[
+            "processor",
+            "level",
+            "capacity",
+            "assoc",
+            "line",
+            "sets",
+            "datasheet",
+            "measurements",
+            "accesses",
+        ],
+    );
+    let config = InferenceConfig::default();
+
+    for mut cpu in fleet::all() {
+        let name = cpu.name().to_owned();
+        for level in [CacheLevel::L1, CacheLevel::L2] {
+            let truth = match level {
+                CacheLevel::L1 => *cpu.l1_config(),
+                CacheLevel::L2 => *cpu.l2_config(),
+                CacheLevel::L3 => unreachable!("two-level fleet"),
+            };
+            let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
+            let row = match infer_geometry(&mut oracle, &config) {
+                Ok(g) => {
+                    let ok = g.capacity == truth.capacity()
+                        && g.associativity == truth.associativity()
+                        && g.line_size == truth.line_size();
+                    vec![
+                        name.clone(),
+                        format!("{level:?}"),
+                        human_bytes(g.capacity),
+                        g.associativity.to_string(),
+                        g.line_size.to_string(),
+                        g.num_sets.to_string(),
+                        if ok {
+                            "match".into()
+                        } else {
+                            format!("MISMATCH ({truth})")
+                        },
+                        oracle.measurements().to_string(),
+                        oracle.accesses().to_string(),
+                    ]
+                }
+                Err(e) => vec![
+                    name.clone(),
+                    format!("{level:?}"),
+                    format!("ERROR: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    truth.to_string(),
+                    oracle.measurements().to_string(),
+                    oracle.accesses().to_string(),
+                ],
+            };
+            table.row(row);
+        }
+    }
+    emit(
+        "table1_geometry",
+        &table,
+        &"noise-free fleet, default config",
+    );
+}

@@ -1,0 +1,130 @@
+//! **Table 4 (extension)** — three-level machines: reverse engineering
+//! every level of a Nehalem-style hierarchy (the L3 campaign must defeat
+//! both the L1 and the L2), and the sliced-LLC negative control, where
+//! hashed indexing breaks the arithmetic campaign and the address-bit
+//! classification flags it.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin table4_l3`
+
+use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_core::infer::{infer_geometry, infer_policy, mapping, Geometry, InferenceConfig};
+use cachekit_hw::{fleet, CacheLevel, LevelOracle};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 4: three-level machines",
+        &[
+            "processor",
+            "level",
+            "geometry",
+            "policy",
+            "ground truth",
+            "verdict",
+        ],
+    );
+    let config = InferenceConfig::default();
+    let mut notes: Vec<String> = Vec::new();
+
+    // Full campaign on the honest three-level machine.
+    {
+        let mut cpu = fleet::nehalem_3level();
+        for level in [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3] {
+            let truth_geom = match level {
+                CacheLevel::L1 => *cpu.l1_config(),
+                CacheLevel::L2 => *cpu.l2_config(),
+                CacheLevel::L3 => *cpu.l3_config().expect("has L3"),
+            };
+            let truth_policy = match level {
+                CacheLevel::L1 => cpu.hidden_l1_policy().to_owned(),
+                CacheLevel::L2 => cpu.hidden_l2_policy().to_owned(),
+                CacheLevel::L3 => cpu.hidden_l3_policy().expect("has L3").to_owned(),
+            };
+            let mut oracle = LevelOracle::new(&mut cpu, level);
+            let (geom_cell, policy_cell, verdict) = match infer_geometry(&mut oracle, &config) {
+                Ok(g) => {
+                    let geom_ok = g.capacity == truth_geom.capacity()
+                        && g.associativity == truth_geom.associativity();
+                    match infer_policy(&mut oracle, &g, &config) {
+                        Ok(r) => {
+                            let name = r.matched.unwrap_or("UNDOCUMENTED");
+                            let ok = geom_ok && name == truth_policy;
+                            (
+                                format!("{} / {}-way", human_bytes(g.capacity), g.associativity),
+                                name.to_owned(),
+                                if ok { "correct" } else { "WRONG" },
+                            )
+                        }
+                        Err(e) => (
+                            format!("{} / {}-way", human_bytes(g.capacity), g.associativity),
+                            format!("rejected ({e})"),
+                            "WRONG",
+                        ),
+                    }
+                }
+                Err(e) => (format!("ERROR: {e}"), "-".into(), "WRONG"),
+            };
+            table.row(vec![
+                "nehalem_3level".into(),
+                format!("{level:?}"),
+                geom_cell,
+                policy_cell,
+                truth_policy,
+                verdict.into(),
+            ]);
+        }
+    }
+
+    // The sliced negative control.
+    {
+        let mut cpu = fleet::sliced_llc();
+        let truth = *cpu.l3_config().expect("has L3");
+        let sliced_config = InferenceConfig {
+            max_capacity: 16 * 1024 * 1024,
+            max_associativity: 32,
+            ..InferenceConfig::default()
+        };
+        let outcome = {
+            let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L3);
+            infer_geometry(&mut oracle, &sliced_config)
+        };
+        let geom_cell = match &outcome {
+            Ok(g) => format!(
+                "{} / {}-way (truth: {} / {}-way)",
+                human_bytes(g.capacity),
+                g.associativity,
+                human_bytes(truth.capacity()),
+                truth.associativity()
+            ),
+            Err(e) => format!("campaign failed: {e}"),
+        };
+        // The detection: classify bits against the datasheet geometry.
+        let datasheet = Geometry {
+            line_size: truth.line_size(),
+            capacity: truth.capacity(),
+            associativity: truth.associativity(),
+            num_sets: truth.num_sets(),
+        };
+        let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L3).without_flushers();
+        let roles = mapping::classify_bits(&mut oracle, &datasheet, &sliced_config, 24);
+        let flagged = !mapping::consistent_with(&roles, &datasheet);
+        table.row(vec![
+            "sliced_llc".into(),
+            "L3".into(),
+            geom_cell,
+            if flagged {
+                "hashed indexing flagged".into()
+            } else {
+                "NOT FLAGGED".into()
+            },
+            "LRU behind XOR-folded index".into(),
+            if flagged {
+                "correct (detected)".into()
+            } else {
+                "WRONG".into()
+            },
+        ]);
+        notes.push(format!("sliced_llc bit roles: {roles:?}"));
+    }
+
+    emit("table4_l3", &table, &notes);
+}

@@ -1,0 +1,155 @@
+//! # cachekit-bench
+//!
+//! The experiment harness: one binary per table/figure of the
+//! reproduction (see `DESIGN.md` for the index), plus Criterion
+//! microbenchmarks.
+//!
+//! Every binary prints a markdown table to stdout and drops a
+//! machine-readable JSON record under `results/` so that
+//! `EXPERIMENTS.md` can cite exact numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A rectangular result table with a title and column headers.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption (e.g. `"Table 1: inferred cache geometries"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                let _ = write!(line, " {}{} |", cell, " ".repeat(pad));
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in widths.iter().take(ncols) {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Directory where experiment records are written (`results/` at the
+/// workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Print the table and persist it (plus an optional extra JSON payload)
+/// under `results/<name>.json`.
+pub fn emit<T: Serialize>(name: &str, table: &Table, extra: &T) {
+    println!("{}", table.to_markdown());
+    let record = serde_json::json!({
+        "experiment": name,
+        "table": table,
+        "extra": extra,
+    });
+    let path = results_dir().join(format!("{name}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write results file");
+    println!("[written {}]", path.display());
+}
+
+/// Format a byte count the way datasheets do (KiB/MiB).
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 && bytes.is_multiple_of(1024 * 1024) {
+        format!("{} MiB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{} KiB", bytes / 1024)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | long_header |"));
+        assert!(md.contains("| 1 | 2           |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(24 * 1024), "24 KiB");
+        assert_eq!(human_bytes(6 * 1024 * 1024), "6 MiB");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

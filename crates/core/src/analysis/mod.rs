@@ -1,0 +1,27 @@
+//! Analysis metrics over replacement policies.
+//!
+//! The evaluation side of the reproduction compares policies not only by
+//! miss ratio but by *predictability* — how quickly an analyzer (or an
+//! attacker) can force a cache set into a known state. The two classic
+//! metrics, from the timing-analysis literature the authors come from:
+//!
+//! * [`evict_distance`] — the number of pairwise-distinct memory accesses
+//!   needed to *guarantee* that a set contains only blocks from those
+//!   accesses, regardless of its initial state (`evict(k)`);
+//! * [`minimal_lifespan`] — the smallest number of pairwise-distinct
+//!   accesses that can evict a just-inserted block (`mls(k)`).
+//!
+//! Both are computed *exactly*, by exhaustive game search over the
+//! policy's reachable state space, rather than from closed-form formulas —
+//! so they apply to any deterministic [`ReplacementPolicy`](cachekit_policies::ReplacementPolicy), including
+//! inferred ones.
+
+mod competitive;
+mod distance;
+mod perm_distance;
+mod reachability;
+
+pub use competitive::{adversarial_sequence, competitiveness, CompetitiveEstimate};
+pub use distance::{evict_distance, minimal_lifespan, DistanceError};
+pub use perm_distance::{evict_distance_spec, minimal_lifespan_spec};
+pub use reachability::{reachable_states, ReachabilityError};

@@ -1,0 +1,161 @@
+//! Inference configuration and errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// How the read-out resolves the eviction point of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadoutSearch {
+    /// Binary search over the monotone "evicted within k misses"
+    /// predicate: `O(log A)` experiments per block (the default).
+    #[default]
+    Binary,
+    /// Linear scan from `k = 1`: `O(A)` experiments per block. More
+    /// measurements, but each is cheaper and the scan gives the
+    /// monotonicity violation check for free — the trade-off the
+    /// `ablation_readout` experiment quantifies.
+    Linear,
+}
+
+/// Tuning knobs for the reverse-engineering pipeline.
+///
+/// The defaults work for the virtual CPUs of `cachekit-hw`; on a noisier
+/// channel raise [`repetitions`](Self::repetitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceConfig {
+    /// Votes per boolean measurement (median). 1 = trust every reading.
+    pub repetitions: usize,
+    /// Largest line size considered (bytes, power of two).
+    pub max_line_size: u64,
+    /// Smallest capacity considered (bytes).
+    pub min_capacity: u64,
+    /// Largest capacity considered (bytes).
+    pub max_capacity: u64,
+    /// Largest associativity considered.
+    pub max_associativity: usize,
+    /// Second-pass miss-ratio above which a working set is deemed not to
+    /// fit (capacity detection threshold).
+    pub capacity_miss_threshold: f64,
+    /// Number of random scripts in the validation phase.
+    pub validation_rounds: usize,
+    /// Seed for the validation script generator.
+    pub seed: u64,
+    /// Search strategy of the state read-out.
+    pub readout_search: ReadoutSearch,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            repetitions: 3,
+            max_line_size: 4096,
+            min_capacity: 1024,
+            max_capacity: 64 * 1024 * 1024,
+            max_associativity: 64,
+            capacity_miss_threshold: 0.08,
+            validation_rounds: 40,
+            seed: 0xCA11AB1E,
+            readout_search: ReadoutSearch::default(),
+        }
+    }
+}
+
+impl InferenceConfig {
+    /// A configuration with `repetitions` votes and defaults elsewhere.
+    pub fn with_repetitions(repetitions: usize) -> Self {
+        Self {
+            repetitions,
+            ..Self::default()
+        }
+    }
+}
+
+/// Failure modes of the pipeline. Several of these are *results*, not
+/// bugs: a processor with random replacement is supposed to surface as
+/// [`NotAPermutationPolicy`](Self::NotAPermutationPolicy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// No line-size knee was found up to the configured maximum.
+    LineSizeNotFound,
+    /// No capacity knee was found within the configured range.
+    CapacityNotFound,
+    /// No associativity knee was found up to the configured maximum.
+    AssociativityNotFound,
+    /// The inferred quantities contradict each other.
+    GeometryInconsistent(String),
+    /// New lines are inserted away from the most-protected position; the
+    /// read-out (like the paper's) requires front insertion.
+    NotFrontInsertion {
+        /// The detected insertion position.
+        position: usize,
+    },
+    /// A state read-out did not produce a consistent total order —
+    /// evidence against the permutation-policy hypothesis.
+    InconsistentReadout(String),
+    /// The inferred spec failed validation against the hardware — the
+    /// policy is outside the permutation class (or the channel is too
+    /// noisy for the configured repetitions).
+    NotAPermutationPolicy {
+        /// Diverging validation scripts.
+        mismatches: usize,
+        /// Total validation scripts.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::LineSizeNotFound => write!(f, "no line-size boundary detected"),
+            InferenceError::CapacityNotFound => write!(f, "no capacity knee detected"),
+            InferenceError::AssociativityNotFound => {
+                write!(f, "no associativity conflict point detected")
+            }
+            InferenceError::GeometryInconsistent(why) => {
+                write!(f, "inconsistent geometry: {why}")
+            }
+            InferenceError::NotFrontInsertion { position } => {
+                write!(f, "policy inserts at position {position}, not at the front")
+            }
+            InferenceError::InconsistentReadout(why) => {
+                write!(f, "inconsistent state read-out: {why}")
+            }
+            InferenceError::NotAPermutationPolicy { mismatches, rounds } => write!(
+                f,
+                "validation rejected the permutation-policy hypothesis \
+                 ({mismatches}/{rounds} scripts diverged)"
+            ),
+        }
+    }
+}
+
+impl Error for InferenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = InferenceConfig::default();
+        assert!(c.repetitions >= 1);
+        assert!(c.min_capacity <= c.max_capacity);
+        assert!(c.capacity_miss_threshold > 0.0 && c.capacity_miss_threshold < 1.0);
+    }
+
+    #[test]
+    fn with_repetitions_overrides_only_votes() {
+        let c = InferenceConfig::with_repetitions(9);
+        assert_eq!(c.repetitions, 9);
+        assert_eq!(c.max_line_size, InferenceConfig::default().max_line_size);
+    }
+
+    #[test]
+    fn errors_render_reasonably() {
+        let e = InferenceError::NotAPermutationPolicy {
+            mismatches: 3,
+            rounds: 40,
+        };
+        assert!(e.to_string().contains("3/40"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Cache geometry inference: line size, capacity, associativity, sets.
+
+use crate::infer::oracle::{estimate_counter_noise, measure_voted, CacheOracle};
+use crate::infer::{InferenceConfig, InferenceError};
+use std::fmt;
+
+/// An inferred cache geometry.
+///
+/// The same quantities as [`cachekit_sim::CacheConfig`], but produced by
+/// measurement instead of by declaration, so construction is not
+/// validated — compare against the datasheet values downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Line (block) size in bytes.
+    pub line_size: u64,
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Number of sets (`capacity / (associativity × line_size)`).
+    pub num_sets: u64,
+}
+
+impl Geometry {
+    /// Stride between addresses that map to the same set
+    /// (`line_size × num_sets`).
+    pub fn way_size(&self) -> u64 {
+        self.line_size * self.num_sets
+    }
+
+    /// The `i`-th distinct line address mapping to set 0.
+    pub fn nth_conflict_addr(&self, i: u64) -> u64 {
+        i * self.way_size()
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB, {}-way, {} B lines, {} sets",
+            self.capacity / 1024,
+            self.associativity,
+            self.line_size,
+            self.num_sets
+        )
+    }
+}
+
+/// Infer the full geometry of the cache behind `oracle`.
+///
+/// Three measurement campaigns, mirroring the paper's methodology:
+///
+/// 1. **Line size** — after touching address 0, probe address `Δ` for
+///    growing powers of two; the first `Δ` that misses is the line size.
+/// 2. **Capacity** — double a sequentially-scanned working set until a
+///    second pass over it stops hitting; then refine the knee at 1/8th
+///    granularity (capacities like 24 KiB or 6 MiB are not powers of two).
+/// 3. **Associativity** — access `k` addresses spaced `capacity` apart
+///    (which collide in one set regardless of the answer) and re-probe
+///    them; the first `k` where the re-probe misses exceeds the
+///    associativity by one.
+///
+/// # Errors
+///
+/// Returns an [`InferenceError`] if any knee cannot be found within the
+/// configured search ranges, or if the three results are inconsistent
+/// (capacity not divisible by `associativity × line_size`, or a set count
+/// that is not a power of two).
+pub fn infer_geometry<O: CacheOracle>(
+    oracle: &mut O,
+    config: &InferenceConfig,
+) -> Result<Geometry, InferenceError> {
+    let line_size = infer_line_size(oracle, config)?;
+    let capacity = infer_capacity(oracle, config, line_size)?;
+    let associativity = infer_associativity(oracle, config, capacity, line_size)?;
+
+    let way_bytes = associativity as u64 * line_size;
+    if capacity % way_bytes != 0 {
+        return Err(InferenceError::GeometryInconsistent(format!(
+            "capacity {capacity} not divisible by associativity x line = {way_bytes}"
+        )));
+    }
+    let num_sets = capacity / way_bytes;
+    if !num_sets.is_power_of_two() {
+        return Err(InferenceError::GeometryInconsistent(format!(
+            "implied set count {num_sets} is not a power of two"
+        )));
+    }
+    Ok(Geometry {
+        line_size,
+        capacity,
+        associativity,
+        num_sets,
+    })
+}
+
+/// Infer the line size alone (step 1 above).
+pub fn infer_line_size<O: CacheOracle>(
+    oracle: &mut O,
+    config: &InferenceConfig,
+) -> Result<u64, InferenceError> {
+    let mut delta = 1u64;
+    while delta <= config.max_line_size {
+        let misses = measure_voted(oracle, &[0], &[delta], config.repetitions);
+        if misses > 0 {
+            return Ok(delta);
+        }
+        delta *= 2;
+    }
+    Err(InferenceError::LineSizeNotFound)
+}
+
+/// Second-pass miss ratio of a sequential working set of `size` bytes.
+fn second_pass_ratio<O: CacheOracle>(
+    oracle: &mut O,
+    size: u64,
+    line: u64,
+    repetitions: usize,
+) -> f64 {
+    let addrs: Vec<u64> = (0..size / line).map(|i| i * line).collect();
+    if addrs.is_empty() {
+        return 0.0;
+    }
+    let misses = measure_voted(oracle, &addrs, &addrs, repetitions);
+    misses as f64 / addrs.len() as f64
+}
+
+/// Infer the capacity alone (step 2 above); `line` from step 1.
+pub fn infer_capacity<O: CacheOracle>(
+    oracle: &mut O,
+    config: &InferenceConfig,
+    line: u64,
+) -> Result<u64, InferenceError> {
+    // Calibrate the channel: a noisy counter reports a floor of spurious
+    // misses even for perfectly fitting working sets, so the knee must be
+    // detected *relative* to that floor.
+    let noise = estimate_counter_noise(oracle, 200);
+    let threshold = noise + config.capacity_miss_threshold * (1.0 - 2.0 * noise).max(0.1);
+
+    // Phase 1: find the doubling bracket [fits, 2*fits].
+    let mut fits: Option<u64> = None;
+    let mut size = config.min_capacity.max(line);
+    while size <= config.max_capacity {
+        let ratio = second_pass_ratio(oracle, size, line, config.repetitions);
+        if ratio < threshold {
+            fits = Some(size);
+        } else {
+            break;
+        }
+        size *= 2;
+    }
+    let lo = fits.ok_or(InferenceError::CapacityNotFound)?;
+    if size > config.max_capacity {
+        // Never saw a knee: the cache is bigger than the search range.
+        return Err(InferenceError::CapacityNotFound);
+    }
+    // Phase 2: refine within (lo, 2*lo) at lo/8 granularity, covering
+    // non-power-of-two capacities such as 24 KiB (1.5x) or 6 MiB (1.5x).
+    let step = (lo / 8).max(line);
+    let mut best = lo;
+    let mut probe = lo + step;
+    while probe < 2 * lo {
+        let ratio = second_pass_ratio(oracle, probe, line, config.repetitions);
+        if ratio < threshold {
+            best = probe;
+        } else {
+            break;
+        }
+        probe += step;
+    }
+    Ok(best)
+}
+
+/// Infer the associativity alone (step 3 above); `capacity` and `line`
+/// from the earlier steps.
+pub fn infer_associativity<O: CacheOracle>(
+    oracle: &mut O,
+    config: &InferenceConfig,
+    capacity: u64,
+    _line: u64,
+) -> Result<usize, InferenceError> {
+    // On a noisy channel, a re-probe of k fitting lines still reads
+    // ~k*noise spurious misses; require the count to exceed the floor by
+    // a statistical margin before declaring the conflict point. On a
+    // clean channel keep the exact criterion (a single real miss), which
+    // random replacement relies on.
+    let noise = estimate_counter_noise(oracle, 200);
+    for k in 1..=config.max_associativity + 1 {
+        let addrs: Vec<u64> = (0..k as u64).map(|i| i * capacity).collect();
+        let misses = measure_voted(oracle, &addrs, &addrs, config.repetitions);
+        let floor = k as f64 * noise;
+        let margin = if noise < 0.005 {
+            0.0
+        } else {
+            1.5 + 2.0 * (floor * (1.0 - noise)).sqrt()
+        };
+        if (misses as f64) > floor + margin {
+            if k == 1 {
+                return Err(InferenceError::GeometryInconsistent(
+                    "a single line does not survive re-access".to_owned(),
+                ));
+            }
+            return Ok(k - 1);
+        }
+    }
+    Err(InferenceError::AssociativityNotFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::oracle::SimOracle;
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle_for(capacity: u64, assoc: usize, line: u64, kind: PolicyKind) -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(capacity, assoc, line).unwrap(),
+            kind,
+        ))
+    }
+
+    fn check(capacity: u64, assoc: usize, line: u64, kind: PolicyKind) {
+        let mut oracle = oracle_for(capacity, assoc, line, kind);
+        let g = infer_geometry(&mut oracle, &InferenceConfig::default()).unwrap();
+        assert_eq!(
+            (g.capacity, g.associativity, g.line_size),
+            (capacity, assoc, line),
+            "kind {kind:?}"
+        );
+        assert_eq!(g.num_sets, capacity / (assoc as u64 * line));
+    }
+
+    #[test]
+    fn recovers_l1_geometries() {
+        check(32 * 1024, 8, 64, PolicyKind::Lru);
+        check(32 * 1024, 8, 64, PolicyKind::TreePlru);
+        check(24 * 1024, 6, 64, PolicyKind::Lru); // Atom D525 L1 shape
+    }
+
+    #[test]
+    fn recovers_l2_geometries() {
+        check(512 * 1024, 8, 64, PolicyKind::TreePlru); // Atom L2
+        check(2 * 1024 * 1024, 8, 64, PolicyKind::TreePlru); // E6300 L2
+    }
+
+    #[test]
+    fn recovers_non_power_of_two_capacity_with_high_assoc() {
+        // E8400-like: 6 MiB 24-way (scaled down 4x to keep the test fast:
+        // 1.5 MiB, 24-way, 1024 sets).
+        check(1536 * 1024, 24, 64, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn recovers_geometry_under_random_replacement() {
+        check(64 * 1024, 8, 64, PolicyKind::Random { seed: 42 });
+    }
+
+    #[test]
+    fn recovers_odd_line_sizes() {
+        check(16 * 1024, 4, 32, PolicyKind::Lru);
+        check(16 * 1024, 4, 128, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn capacity_out_of_range_errors() {
+        let mut oracle = oracle_for(8 * 1024 * 1024, 8, 64, PolicyKind::Lru);
+        let config = InferenceConfig {
+            max_capacity: 1024 * 1024,
+            ..InferenceConfig::default()
+        };
+        assert_eq!(
+            infer_capacity(&mut oracle, &config, 64),
+            Err(InferenceError::CapacityNotFound)
+        );
+    }
+
+    #[test]
+    fn associativity_beyond_range_errors() {
+        let mut oracle = oracle_for(16 * 1024, 16, 64, PolicyKind::Lru);
+        let config = InferenceConfig {
+            max_associativity: 8,
+            ..InferenceConfig::default()
+        };
+        assert_eq!(
+            infer_associativity(&mut oracle, &config, 16 * 1024, 64),
+            Err(InferenceError::AssociativityNotFound)
+        );
+    }
+
+    #[test]
+    fn geometry_display_matches_config_display() {
+        let g = Geometry {
+            line_size: 64,
+            capacity: 32 * 1024,
+            associativity: 8,
+            num_sets: 64,
+        };
+        assert_eq!(g.to_string(), "32 KiB, 8-way, 64 B lines, 64 sets");
+    }
+}

@@ -1,0 +1,205 @@
+//! Address-mapping inference: which physical address bits select the set?
+//!
+//! The geometry campaign ([`crate::infer::infer_geometry`]) derives the
+//! set count arithmetically from capacity, associativity and line size —
+//! which silently assumes the standard power-of-two modulo indexing. This
+//! module *verifies* that assumption bit by bit: it classifies every
+//! address bit as **offset** (selects a byte within a line), **index**
+//! (participates in set selection) or **tag** (neither), using the
+//! standard-layout conflict construction. On a cache whose indexing IS
+//! standard, the classification reproduces the arithmetic geometry
+//! exactly ([`consistent_with`]); on a hashed or sliced index function
+//! (as in post-Nehalem last-level caches) the constructed conflicts stop
+//! working and the bit pattern contradicts the geometry — the
+//! inconsistency is the detection signal.
+
+use crate::infer::oracle::{measure_voted, CacheOracle};
+use crate::infer::{Geometry, InferenceConfig};
+
+/// Classification of one address bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitRole {
+    /// Selects the byte within a line: flipping it stays in the same
+    /// line.
+    Offset,
+    /// Participates in set selection: flipping it moves the line to a
+    /// different set.
+    Index,
+    /// Above the index: flipping it changes the tag but not the set.
+    Tag,
+}
+
+/// Classify address bits `0..bits` of the cache behind `oracle`.
+///
+/// Per bit `b`, two measurements decide the role:
+///
+/// 1. *Same line?* Touch `1 << b`, probe address `0`: a hit means bit
+///    `b` is inside the line offset. (Probing in this direction keeps
+///    the experiment clear of any L1-defeat flush lattice an oracle may
+///    interleave around the warm-up access — those addresses lie
+///    *above* the warm-up address, where the probe is not.)
+/// 2. *Same set?* Touch the flipped address, thrash address 0's set with
+///    conflicting lines placed at a distant base (`1 << 45` plus way
+///    strides, so no flush lattice of theirs can touch the probe), then
+///    re-probe the flipped address: eviction means it shares the set
+///    (the bit is tag); survival means it landed elsewhere (index).
+///
+/// ## Oracle requirements
+///
+/// For second- or third-level caches, run this against an oracle with
+/// upper-level defeat sequences **disabled**
+/// (`LevelOracle::without_flushers`): the flush lattice's addresses alias
+/// L2/L3 sets at power-of-two strides — precisely the sets that bit-flip
+/// probes land in — and would evict the probe lines. The experiments are
+/// self-sufficient instead: the same-set warm-up streams enough
+/// conflicting lines through the upper levels to displace the probe from
+/// them naturally.
+///
+/// # Panics
+///
+/// Panics if `bits > 40` (the distant thrash base starts at `1 << 45`).
+pub fn classify_bits<O: CacheOracle>(
+    oracle: &mut O,
+    geometry: &Geometry,
+    config: &InferenceConfig,
+    bits: u32,
+) -> Vec<BitRole> {
+    assert!(bits <= 40, "bit classification supports bits 0..40");
+    const THRASH_BASE: u64 = 1 << 45;
+    let assoc = geometry.associativity as u64;
+    // Enough conflicting lines to displace the probe from any upper
+    // level on its way to the cache under measurement.
+    let thrash = (2 * assoc).max(24);
+    let way = geometry.way_size();
+    (0..bits)
+        .map(|b| {
+            let flipped = 1u64 << b;
+            // Same line?
+            let same_line = measure_voted(oracle, &[flipped], &[0], config.repetitions) == 0;
+            if same_line {
+                return BitRole::Offset;
+            }
+            // Same set?
+            let mut warmup = vec![flipped];
+            warmup.extend((0..thrash).map(|i| THRASH_BASE + i * way));
+            let evicted = measure_voted(oracle, &warmup, &[flipped], config.repetitions) > 0;
+            if evicted {
+                BitRole::Tag
+            } else {
+                BitRole::Index
+            }
+        })
+        .collect()
+}
+
+/// Whether a bit classification confirms the standard power-of-two
+/// layout implied by `geometry`.
+pub fn consistent_with(roles: &[BitRole], geometry: &Geometry) -> bool {
+    interpret(roles) == Some((geometry.line_size, geometry.num_sets))
+}
+
+/// The contiguous-power-of-two interpretation of a bit classification,
+/// if it has one: `(line_size, num_sets)`.
+pub fn interpret(roles: &[BitRole]) -> Option<(u64, u64)> {
+    let offset_bits = roles.iter().take_while(|&&r| r == BitRole::Offset).count();
+    let index_bits = roles[offset_bits..]
+        .iter()
+        .take_while(|&&r| r == BitRole::Index)
+        .count();
+    let rest_are_tag = roles[offset_bits + index_bits..]
+        .iter()
+        .all(|&r| r == BitRole::Tag);
+    if offset_bits == 0 || !rest_are_tag {
+        return None;
+    }
+    Some((1u64 << offset_bits, 1u64 << index_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{InferenceConfig, SimOracle};
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn geometry_of(cfg: &CacheConfig) -> Geometry {
+        Geometry {
+            line_size: cfg.line_size(),
+            capacity: cfg.capacity(),
+            associativity: cfg.associativity(),
+            num_sets: cfg.num_sets(),
+        }
+    }
+
+    #[test]
+    fn classifies_the_standard_mapping() {
+        let cfg = CacheConfig::new(16 * 1024, 4, 64).unwrap(); // 64 sets
+        let mut oracle = SimOracle::new(Cache::new(cfg, PolicyKind::Lru));
+        let roles = classify_bits(
+            &mut oracle,
+            &geometry_of(&cfg),
+            &InferenceConfig::default(),
+            16,
+        );
+        // Bits 0..6 offset, 6..12 index, 12..16 tag.
+        for (b, &r) in roles.iter().enumerate() {
+            let expected = if b < 6 {
+                BitRole::Offset
+            } else if b < 12 {
+                BitRole::Index
+            } else {
+                BitRole::Tag
+            };
+            assert_eq!(r, expected, "bit {b}");
+        }
+        assert_eq!(interpret(&roles), Some((64, 64)));
+        assert!(consistent_with(&roles, &geometry_of(&cfg)));
+    }
+
+    #[test]
+    fn works_with_other_line_sizes() {
+        let cfg = CacheConfig::new(8 * 1024, 2, 128).unwrap(); // 32 sets
+        let mut oracle = SimOracle::new(Cache::new(cfg, PolicyKind::TreePlru));
+        let roles = classify_bits(
+            &mut oracle,
+            &geometry_of(&cfg),
+            &InferenceConfig::default(),
+            14,
+        );
+        assert_eq!(interpret(&roles), Some((128, 32)));
+    }
+
+    #[test]
+    fn hashed_indexing_is_detected() {
+        use cachekit_sim::IndexFunction;
+        let cfg = CacheConfig::new(16 * 1024, 4, 64)
+            .unwrap()
+            .with_index_function(IndexFunction::XorFold);
+        let mut oracle = SimOracle::new(Cache::new(cfg, PolicyKind::Lru));
+        let roles = classify_bits(
+            &mut oracle,
+            &geometry_of(&cfg),
+            &InferenceConfig::default(),
+            16,
+        );
+        // Under the fold, the standard-layout conflict construction stops
+        // working, so the measured bit pattern contradicts the arithmetic
+        // geometry (64 sets) — the detection signal.
+        assert!(
+            !consistent_with(&roles, &geometry_of(&cfg)),
+            "hashed indexing must not look standard: {roles:?}"
+        );
+        assert!(
+            roles[12..].contains(&BitRole::Index),
+            "folded tag bits must classify as index: {roles:?}"
+        );
+    }
+
+    #[test]
+    fn interpret_rejects_gapped_classifications() {
+        use BitRole::*;
+        assert_eq!(interpret(&[Offset, Index, Tag, Index]), None);
+        assert_eq!(interpret(&[Index, Tag]), None);
+        assert_eq!(interpret(&[Offset, Offset, Index, Tag]), Some((4, 2)));
+    }
+}

@@ -1,0 +1,42 @@
+//! Measurement-based reverse engineering of cache geometry and
+//! replacement policy.
+//!
+//! The pipeline mirrors the paper's methodology: everything is phrased in
+//! terms of one black-box operation — *flush, run a warm-up access
+//! sequence, then count how many of a probe sequence's accesses miss*
+//! ([`CacheOracle::measure`]) — so the identical code runs against the
+//! noise-free software oracle ([`SimOracle`]), the noisy virtual CPUs of
+//! `cachekit-hw`, and (with an `rdtsc`/perf-counter backend) real
+//! hardware.
+//!
+//! ```
+//! use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
+//! use cachekit_policies::PolicyKind;
+//! use cachekit_sim::{Cache, CacheConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cache = Cache::new(CacheConfig::new(16 * 1024, 4, 64)?, PolicyKind::TreePlru);
+//! let mut oracle = SimOracle::new(cache);
+//! let config = InferenceConfig::default();
+//! let geometry = infer_geometry(&mut oracle, &config)?;
+//! let report = infer_policy(&mut oracle, &geometry, &config)?;
+//! assert_eq!(report.matched, Some("PLRU"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod geometry;
+pub mod mapping;
+mod oracle;
+mod policy;
+pub mod sets;
+
+pub use config::{InferenceConfig, InferenceError, ReadoutSearch};
+pub use geometry::{
+    infer_associativity, infer_capacity, infer_geometry, infer_line_size, Geometry,
+};
+pub use oracle::{
+    measure_voted, CacheOracle, CountingOracle, ExperimentRecord, RecordingOracle, SimOracle,
+};
+pub use policy::{infer_insertion_position, infer_policy, PolicyReport};

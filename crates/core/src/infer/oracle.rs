@@ -1,0 +1,293 @@
+//! The black-box measurement interface to a cache under test.
+
+use cachekit_sim::Cache;
+
+/// Black-box access to a cache under measurement — the only interface the
+/// reverse-engineering pipeline is allowed to use.
+///
+/// On real hardware one `measure` call corresponds to: flush the caches
+/// (`wbinvd`), execute the warm-up access sequence, then execute the probe
+/// accesses while reading the miss performance counter (or timing each
+/// access and thresholding). The returned value is the number of probe
+/// accesses that missed in the cache under measurement; it may be *noisy*
+/// (prefetchers, TLB walks, interrupts), which is why the pipeline votes
+/// over repeated calls.
+pub trait CacheOracle {
+    /// Flush, run `warmup`, then run `probe`; return how many of the
+    /// `probe` accesses missed.
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize;
+}
+
+impl<O: CacheOracle + ?Sized> CacheOracle for &mut O {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        (**self).measure(warmup, probe)
+    }
+}
+
+/// A noise-free software oracle over a single simulated cache.
+///
+/// Used by the tests and by the cost experiments (Table 3), where the
+/// interesting quantity is the number of measurements, not their noise.
+#[derive(Debug, Clone)]
+pub struct SimOracle {
+    cache: Cache,
+}
+
+impl SimOracle {
+    /// Wrap a simulated cache. The cache's current contents are
+    /// irrelevant; every measurement starts with a flush.
+    pub fn new(cache: Cache) -> Self {
+        Self { cache }
+    }
+
+    /// The wrapped cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+impl CacheOracle for SimOracle {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        self.cache.flush();
+        for &a in warmup {
+            self.cache.access(a);
+        }
+        probe
+            .iter()
+            .filter(|&&a| self.cache.access(a).is_miss())
+            .count()
+    }
+}
+
+/// Decorator that counts measurements and accesses — the "cost of the
+/// attack" metric of Table 3.
+#[derive(Debug)]
+pub struct CountingOracle<O> {
+    inner: O,
+    measurements: u64,
+    accesses: u64,
+}
+
+impl<O: CacheOracle> CountingOracle<O> {
+    /// Wrap an oracle with counters starting at zero.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            measurements: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Number of `measure` calls so far.
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Total warm-up plus probe accesses issued so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: CacheOracle> CacheOracle for CountingOracle<O> {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        self.measurements += 1;
+        self.accesses += (warmup.len() + probe.len()) as u64;
+        self.inner.measure(warmup, probe)
+    }
+}
+
+/// One recorded experiment of a [`RecordingOracle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentRecord {
+    /// Number of warm-up accesses.
+    pub warmup_len: usize,
+    /// Number of probe accesses.
+    pub probe_len: usize,
+    /// The reported miss count.
+    pub misses: usize,
+}
+
+/// Decorator that keeps a transcript of every measurement — the artifact
+/// trail a reverse-engineering campaign leaves behind, useful for
+/// debugging a failed inference or for publishing the raw evidence
+/// alongside a claimed policy.
+#[derive(Debug)]
+pub struct RecordingOracle<O> {
+    inner: O,
+    records: Vec<ExperimentRecord>,
+}
+
+impl<O: CacheOracle> RecordingOracle<O> {
+    /// Wrap an oracle with an empty transcript.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            records: Vec::new(),
+        }
+    }
+
+    /// The transcript so far, in measurement order.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Drop the transcript (e.g. between campaign phases).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: CacheOracle> CacheOracle for RecordingOracle<O> {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        let misses = self.inner.measure(warmup, probe);
+        self.records.push(ExperimentRecord {
+            warmup_len: warmup.len(),
+            probe_len: probe.len(),
+            misses,
+        });
+        misses
+    }
+}
+
+/// Take the median of `repetitions` measurements of the same experiment —
+/// the voting primitive that makes the pipeline robust to sporadic
+/// counter noise.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn measure_voted<O: CacheOracle>(
+    oracle: &mut O,
+    warmup: &[u64],
+    probe: &[u64],
+    repetitions: usize,
+) -> usize {
+    assert!(repetitions >= 1, "need at least one repetition");
+    let mut results: Vec<usize> = (0..repetitions)
+        .map(|_| oracle.measure(warmup, probe))
+        .collect();
+    results.sort_unstable();
+    results[results.len() / 2]
+}
+
+/// Estimate the channel's counter-noise rate: the probability that a
+/// truly-hitting probe access is misreported as a miss.
+///
+/// Touches one line, then probes it `samples` times — every probe is a
+/// true hit, so the fraction reported as misses is the false-miss rate.
+/// The calibration the geometry and validation steps subtract this floor;
+/// on a clean channel it returns exactly 0.
+pub fn estimate_counter_noise<O: CacheOracle>(oracle: &mut O, samples: usize) -> f64 {
+    assert!(samples >= 1, "need at least one sample");
+    let addr = 0u64;
+    let probe = vec![addr; samples];
+    let misses = oracle.measure(&[addr], &probe);
+    misses as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::CacheConfig;
+
+    fn oracle() -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(1024, 2, 64).unwrap(),
+            PolicyKind::Lru,
+        ))
+    }
+
+    #[test]
+    fn measure_flushes_first() {
+        let mut o = oracle();
+        assert_eq!(o.measure(&[], &[0]), 1);
+        // Same probe again: the flush makes it miss again.
+        assert_eq!(o.measure(&[], &[0]), 1);
+    }
+
+    #[test]
+    fn warmup_lines_hit_in_probe() {
+        let mut o = oracle();
+        assert_eq!(o.measure(&[0, 64], &[0, 64, 128]), 1);
+    }
+
+    #[test]
+    fn counting_oracle_tracks_cost() {
+        let mut o = CountingOracle::new(oracle());
+        o.measure(&[0, 64], &[128]);
+        o.measure(&[], &[0]);
+        assert_eq!(o.measurements(), 2);
+        assert_eq!(o.accesses(), 4);
+    }
+
+    #[test]
+    fn recording_oracle_keeps_the_transcript() {
+        let mut o = RecordingOracle::new(oracle());
+        o.measure(&[0, 64], &[0, 128]);
+        o.measure(&[], &[0]);
+        assert_eq!(
+            o.records(),
+            &[
+                ExperimentRecord {
+                    warmup_len: 2,
+                    probe_len: 2,
+                    misses: 1
+                },
+                ExperimentRecord {
+                    warmup_len: 0,
+                    probe_len: 1,
+                    misses: 1
+                },
+            ]
+        );
+        o.clear();
+        assert!(o.records().is_empty());
+    }
+
+    #[test]
+    fn voted_measurement_is_stable_on_noise_free_oracle() {
+        let mut o = oracle();
+        let m = measure_voted(&mut o, &[0], &[0, 64], 5);
+        assert_eq!(m, 1);
+    }
+
+    /// An oracle that lies on every other call.
+    struct Flaky {
+        inner: SimOracle,
+        calls: usize,
+    }
+    impl CacheOracle for Flaky {
+        fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+            self.calls += 1;
+            let true_val = self.inner.measure(warmup, probe);
+            if self.calls.is_multiple_of(2) {
+                true_val + 3
+            } else {
+                true_val
+            }
+        }
+    }
+
+    #[test]
+    fn voting_suppresses_minority_noise() {
+        let mut o = Flaky {
+            inner: oracle(),
+            calls: 0,
+        };
+        // 5 calls: 3 truthful (odd calls), 2 inflated -> median is truthful.
+        let m = measure_voted(&mut o, &[0], &[0], 5);
+        assert_eq!(m, 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Replacement-policy inference over a measurement oracle.
+//!
+//! This is the hardware-facing twin of [`crate::perm::derive_permutation_spec`]:
+//! the same read-out algorithm, but phrased purely in terms of
+//! [`CacheOracle::measure`] calls on conflicting addresses, with majority
+//! voting on every boolean question so that sporadic counter noise does
+//! not corrupt the inferred permutations.
+
+use crate::infer::oracle::{estimate_counter_noise, measure_voted, CacheOracle};
+use crate::infer::{Geometry, InferenceConfig, InferenceError, ReadoutSearch};
+use crate::perm::{match_spec, Permutation, PermutationSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The result of a successful policy inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyReport {
+    /// The geometry the inference ran against.
+    pub geometry: Geometry,
+    /// The inferred policy description.
+    pub spec: PermutationSpec,
+    /// Canonical name if the spec matches the catalog; `None` means a
+    /// previously undocumented policy.
+    pub matched: Option<&'static str>,
+    /// Miss insertion position (always 0 for a successful inference).
+    pub insertion_position: usize,
+    /// Validation scripts run.
+    pub validation_rounds: usize,
+    /// Validation scripts that diverged (0 for a successful inference
+    /// under the configured tolerance).
+    pub validation_mismatches: usize,
+}
+
+impl PolicyReport {
+    /// Human-readable one-paragraph summary, as printed in Table 2.
+    pub fn summary(&self) -> String {
+        let name = match self.matched {
+            Some(n) => n.to_owned(),
+            None => "UNDOCUMENTED (no catalog match)".to_owned(),
+        };
+        format!(
+            "{} cache: policy = {}, validated on {}/{} scripts\n{}",
+            self.geometry,
+            name,
+            self.validation_rounds - self.validation_mismatches,
+            self.validation_rounds,
+            self.spec.render()
+        )
+    }
+}
+
+impl fmt::Display for PolicyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Address planner for one cache set: the base blocks, a marked block and
+/// a fresh pool, all mapping to set 0 with distinct tags.
+struct SetAddrs {
+    way_size: u64,
+    assoc: usize,
+}
+
+impl SetAddrs {
+    fn new(geometry: &Geometry) -> Self {
+        Self {
+            way_size: geometry.way_size(),
+            assoc: geometry.associativity,
+        }
+    }
+
+    fn base(&self, i: usize) -> u64 {
+        debug_assert!(i < self.assoc);
+        i as u64 * self.way_size
+    }
+
+    fn base_fill(&self) -> Vec<u64> {
+        (0..self.assoc).map(|i| self.base(i)).collect()
+    }
+
+    fn marked(&self) -> u64 {
+        999 * self.way_size
+    }
+
+    fn fresh(&self, k: usize) -> Vec<u64> {
+        (0..k as u64).map(|i| (1000 + i) * self.way_size).collect()
+    }
+
+    fn extra(&self, i: usize) -> u64 {
+        (self.assoc + i) as u64 * self.way_size
+    }
+}
+
+/// Was `target` evicted after establishing `base ++ prepare` and then
+/// forcing `k` fresh misses?
+fn evicted_within<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    prepare: &[u64],
+    target: u64,
+    k: usize,
+    repetitions: usize,
+) -> bool {
+    let mut warmup = addrs.base_fill();
+    warmup.extend_from_slice(prepare);
+    warmup.extend(addrs.fresh(k));
+    measure_voted(oracle, &warmup, &[target], repetitions) > 0
+}
+
+/// Smallest `k` in `1..=assoc` such that `target` is evicted within `k`
+/// fresh misses, or `None` if it survives `assoc` misses. Resolved by
+/// binary search over the monotone predicate or by a linear scan,
+/// depending on the configured [`ReadoutSearch`].
+fn eviction_k<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    prepare: &[u64],
+    target: u64,
+    repetitions: usize,
+    search: ReadoutSearch,
+) -> Option<usize> {
+    match search {
+        ReadoutSearch::Binary => {
+            if !evicted_within(oracle, addrs, prepare, target, addrs.assoc, repetitions) {
+                return None;
+            }
+            let (mut lo, mut hi) = (1usize, addrs.assoc);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if evicted_within(oracle, addrs, prepare, target, mid, repetitions) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            Some(lo)
+        }
+        ReadoutSearch::Linear => (1..=addrs.assoc)
+            .find(|&k| evicted_within(oracle, addrs, prepare, target, k, repetitions)),
+    }
+}
+
+/// Read out the priority order of the base blocks after `base ++ prepare`:
+/// `order[pos] = base index`, position 0 most protected.
+fn read_out<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    prepare: &[u64],
+    repetitions: usize,
+    search: ReadoutSearch,
+) -> Result<Vec<usize>, InferenceError> {
+    let assoc = addrs.assoc;
+    let mut order: Vec<Option<usize>> = vec![None; assoc];
+    for b in 0..assoc {
+        let target = addrs.base(b);
+        let k =
+            eviction_k(oracle, addrs, prepare, target, repetitions, search).ok_or_else(|| {
+                InferenceError::InconsistentReadout(format!(
+                    "base block {b} survives {assoc} fresh misses"
+                ))
+            })?;
+        let pos = assoc - k;
+        if let Some(other) = order[pos] {
+            return Err(InferenceError::InconsistentReadout(format!(
+                "blocks {other} and {b} both read out at position {pos}"
+            )));
+        }
+        order[pos] = Some(b);
+    }
+    Ok(order.into_iter().map(|o| o.expect("all filled")).collect())
+}
+
+/// Infer the miss insertion position: fill the set, insert a marked
+/// block, and count the fresh misses it survives. A block inserted at
+/// position `p` of an `A`-way set is evicted by the `(A - p)`-th
+/// subsequent miss.
+///
+/// # Errors
+///
+/// [`InferenceError::InconsistentReadout`] if the marked block outlives
+/// `assoc` fresh misses (it is pinned — no front-insertion shift model
+/// fits).
+pub fn infer_insertion_position<O: CacheOracle>(
+    oracle: &mut O,
+    geometry: &Geometry,
+    config: &InferenceConfig,
+) -> Result<usize, InferenceError> {
+    let addrs = SetAddrs::new(geometry);
+    let marked = addrs.marked();
+    let k = eviction_k(
+        oracle,
+        &addrs,
+        &[marked],
+        marked,
+        config.repetitions,
+        config.readout_search,
+    )
+    .ok_or_else(|| {
+        InferenceError::InconsistentReadout("marked block never evicted by fresh misses".to_owned())
+    })?;
+    Ok(geometry.associativity - k)
+}
+
+/// Infer the replacement policy behind `oracle` as a [`PermutationSpec`].
+///
+/// Pipeline: detect the insertion position; read out the base state;
+/// infer one hit permutation per position; validate the assembled spec by
+/// predicted-vs-measured miss counts on random scripts; match against the
+/// catalog.
+///
+/// # Errors
+///
+/// See [`InferenceError`]; in particular
+/// [`NotAPermutationPolicy`](InferenceError::NotAPermutationPolicy) for
+/// caches whose policy is outside the class (e.g. random replacement) and
+/// [`NotFrontInsertion`](InferenceError::NotFrontInsertion) for LIP-style
+/// insertion.
+pub fn infer_policy<O: CacheOracle>(
+    oracle: &mut O,
+    geometry: &Geometry,
+    config: &InferenceConfig,
+) -> Result<PolicyReport, InferenceError> {
+    let assoc = geometry.associativity;
+    let addrs = SetAddrs::new(geometry);
+
+    let noise = estimate_counter_noise(oracle, 200);
+
+    let position = infer_insertion_position(oracle, geometry, config)?;
+    if position != 0 {
+        return Err(InferenceError::NotFrontInsertion { position });
+    }
+
+    let base_order = read_out_retry(
+        oracle,
+        &addrs,
+        &[],
+        config.repetitions,
+        config.readout_search,
+    )?;
+
+    let mut hits = Vec::with_capacity(assoc);
+    for i in 0..assoc {
+        let prepare = [addrs.base(base_order[i])];
+        let new_order = read_out_retry(
+            oracle,
+            &addrs,
+            &prepare,
+            config.repetitions,
+            config.readout_search,
+        )?;
+        let mut map = Vec::with_capacity(assoc);
+        for &old_block in base_order.iter() {
+            let new_pos = new_order
+                .iter()
+                .position(|&b| b == old_block)
+                .expect("read_out returns a permutation of base indices");
+            map.push(new_pos);
+        }
+        let perm = Permutation::new(map)
+            .map_err(|e| InferenceError::InconsistentReadout(e.to_string()))?;
+        hits.push(perm);
+    }
+
+    let spec = PermutationSpec::new(hits, 0)
+        .map_err(|e| InferenceError::InconsistentReadout(e.to_string()))?;
+
+    let (rounds, mismatches) = validate(oracle, &addrs, &base_order, &spec, config, noise);
+    let rejected = if noise < 0.005 {
+        mismatches > 0
+    } else {
+        // A noisy channel occasionally lands outside the tolerance band
+        // even for a correct model; reject only on systematic divergence.
+        mismatches * 4 > rounds
+    };
+    if rejected {
+        return Err(InferenceError::NotAPermutationPolicy { mismatches, rounds });
+    }
+
+    let matched = match_spec(&spec);
+    Ok(PolicyReport {
+        geometry: *geometry,
+        spec,
+        matched,
+        insertion_position: 0,
+        validation_rounds: rounds,
+        validation_mismatches: mismatches,
+    })
+}
+
+/// Re-run a read-out on an inconsistent result: on a noisy channel a
+/// single flipped boolean can corrupt one read-out, and the measurements
+/// of a retry are independent.
+fn read_out_retry<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    prepare: &[u64],
+    repetitions: usize,
+    search: ReadoutSearch,
+) -> Result<Vec<usize>, InferenceError> {
+    let mut last = None;
+    for _ in 0..3 {
+        match read_out(oracle, addrs, prepare, repetitions, search) {
+            Ok(order) => return Ok(order),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Predicted-vs-measured validation on random scripts: establish the base
+/// state, run a random tail over base and extra blocks, and compare the
+/// measured probe miss count with the abstract model's prediction
+/// (noise-adjusted: a channel with false-event rate `p` turns a true
+/// count `m` out of `n` into `m + p(n - 2m)` in expectation).
+fn validate<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    base_order: &[usize],
+    spec: &PermutationSpec,
+    config: &InferenceConfig,
+    noise: f64,
+) -> (usize, usize) {
+    let assoc = addrs.assoc;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut mismatches = 0;
+    for _ in 0..config.validation_rounds {
+        let len = 10 * assoc;
+        let tail: Vec<u64> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    addrs.base(rng.gen_range(0..assoc))
+                } else {
+                    addrs.extra(rng.gen_range(0..assoc))
+                }
+            })
+            .collect();
+        // Abstract prediction from the read-out base state.
+        let mut state: Vec<u64> = base_order.iter().map(|&b| addrs.base(b)).collect();
+        let mut predicted = 0usize;
+        for &a in &tail {
+            match state.iter().position(|&b| b == a) {
+                Some(i) => spec.apply_hit(&mut state, i),
+                None => {
+                    predicted += 1;
+                    spec.apply_miss(&mut state, a);
+                }
+            }
+        }
+        let warmup = addrs.base_fill();
+        let measured = measure_voted(oracle, &warmup, &tail, config.repetitions);
+        let n = tail.len() as f64;
+        let expected = predicted as f64 + noise * (n - 2.0 * predicted as f64);
+        let tolerance = if noise < 0.005 {
+            0.0
+        } else {
+            (3.0 * (n * noise * (1.0 - noise)).sqrt()).max(2.0)
+        };
+        if (measured as f64 - expected).abs() > tolerance {
+            mismatches += 1;
+        }
+    }
+    (config.validation_rounds, mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::oracle::SimOracle;
+    use crate::infer::{infer_geometry, InferenceConfig};
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle_for(kind: PolicyKind, capacity: u64, assoc: usize) -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(capacity, assoc, 64).unwrap(),
+            kind,
+        ))
+    }
+
+    fn end_to_end(
+        kind: PolicyKind,
+        capacity: u64,
+        assoc: usize,
+    ) -> Result<PolicyReport, InferenceError> {
+        let mut oracle = oracle_for(kind, capacity, assoc);
+        let config = InferenceConfig::default();
+        let geometry = infer_geometry(&mut oracle, &config).expect("geometry");
+        assert_eq!(geometry.associativity, assoc);
+        infer_policy(&mut oracle, &geometry, &config)
+    }
+
+    #[test]
+    fn identifies_lru() {
+        let report = end_to_end(PolicyKind::Lru, 16 * 1024, 4).unwrap();
+        assert_eq!(report.matched, Some("LRU"));
+        assert_eq!(report.spec, PermutationSpec::lru(4));
+    }
+
+    #[test]
+    fn identifies_fifo() {
+        let report = end_to_end(PolicyKind::Fifo, 16 * 1024, 4).unwrap();
+        assert_eq!(report.matched, Some("FIFO"));
+    }
+
+    #[test]
+    fn identifies_plru() {
+        let report = end_to_end(PolicyKind::TreePlru, 32 * 1024, 8).unwrap();
+        assert_eq!(report.matched, Some("PLRU"));
+    }
+
+    #[test]
+    fn reports_lazy_lru_as_undocumented() {
+        let report = end_to_end(PolicyKind::LazyLru, 16 * 1024, 8).unwrap();
+        assert_eq!(report.matched, None);
+        assert!(report.summary().contains("UNDOCUMENTED"));
+    }
+
+    #[test]
+    fn rejects_random_replacement() {
+        let err = end_to_end(PolicyKind::Random { seed: 7 }, 16 * 1024, 4).unwrap_err();
+        match err {
+            InferenceError::InconsistentReadout(_)
+            | InferenceError::NotAPermutationPolicy { .. }
+            | InferenceError::NotFrontInsertion { .. } => {}
+            other => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bit_plru() {
+        let err = end_to_end(PolicyKind::BitPlru, 16 * 1024, 4).unwrap_err();
+        match err {
+            InferenceError::InconsistentReadout(_)
+            | InferenceError::NotAPermutationPolicy { .. }
+            | InferenceError::NotFrontInsertion { .. } => {}
+            other => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_lip_insertion_position() {
+        let mut oracle = oracle_for(PolicyKind::Lip, 16 * 1024, 4);
+        let config = InferenceConfig::default();
+        let geometry = infer_geometry(&mut oracle, &config).unwrap();
+        let err = infer_policy(&mut oracle, &geometry, &config).unwrap_err();
+        assert_eq!(err, InferenceError::NotFrontInsertion { position: 3 });
+    }
+
+    #[test]
+    fn detects_slru_insertion_position() {
+        let mut oracle = oracle_for(PolicyKind::Slru { protected: 3 }, 16 * 1024, 8);
+        let config = InferenceConfig::default();
+        let geometry = infer_geometry(&mut oracle, &config).unwrap();
+        assert_eq!(geometry.associativity, 8);
+        let err = infer_policy(&mut oracle, &geometry, &config).unwrap_err();
+        assert_eq!(err, InferenceError::NotFrontInsertion { position: 3 });
+    }
+
+    #[test]
+    fn summary_mentions_policy_and_geometry() {
+        let report = end_to_end(PolicyKind::Lru, 16 * 1024, 4).unwrap();
+        let s = report.summary();
+        assert!(s.contains("LRU"));
+        assert!(s.contains("16 KiB"));
+        assert!(s.contains("Π_0"));
+    }
+}

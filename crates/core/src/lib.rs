@@ -1,0 +1,44 @@
+//! # cachekit-core
+//!
+//! The primary contribution of *Abel & Reineke, "Reverse engineering of
+//! cache replacement policies in Intel microprocessors and their
+//! evaluation" (ISPASS 2014)*, reproduced as a library:
+//!
+//! * [`perm`] — the **permutation policy** formalism: replacement policies
+//!   whose state is a total priority order over the lines of a set and
+//!   whose updates are fixed permutations of that order. The module
+//!   provides the executable [`perm::PermutationPolicy`], a catalog of
+//!   canonical policies expressed as permutation vectors, automatic
+//!   *derivation* of the permutation representation from any concrete
+//!   policy implementation, and equivalence checking.
+//!
+//! * [`infer`] — the **measurement-based reverse-engineering pipeline**:
+//!   given only a black-box [`infer::CacheOracle`] ("run this access
+//!   sequence, tell me how many of these probe accesses missed"), infer
+//!   the cache geometry (capacity, line size, associativity) and then the
+//!   replacement policy as an explicit permutation vector, with majority
+//!   voting to survive measurement noise, and a validation phase that
+//!   accepts or rejects the inferred model.
+//!
+//! * [`analysis`] — evaluation metrics over policies: reachable-state
+//!   enumeration and the predictability measures (*evict* and *minimal
+//!   life span*) used to compare the discovered policies.
+//!
+//! ## Example: derive PLRU's permutation vectors
+//!
+//! ```
+//! use cachekit_core::perm::derive_permutation_spec;
+//! use cachekit_policies::TreePlru;
+//!
+//! let spec = derive_permutation_spec(Box::new(TreePlru::new(4)))?;
+//! assert_eq!(spec.associativity(), 4);
+//! # Ok::<(), cachekit_core::perm::DeriveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod infer;
+pub mod perm;
+pub mod query;

@@ -1,0 +1,222 @@
+//! Finite permutations of cache-set positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A permutation of `0..n`, stored as the image vector: `perm[j]` is the
+/// position that the element at position `j` moves to.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_core::perm::Permutation;
+///
+/// // The LRU update for a hit at position 2 of a 4-way set: the hit
+/// // element moves to the front, positions 0 and 1 shift down.
+/// let p = Permutation::new(vec![1, 2, 0, 3])?;
+/// assert_eq!(p.apply(&['a', 'b', 'c', 'd']), vec!['c', 'a', 'b', 'd']);
+/// # Ok::<(), cachekit_core::perm::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+/// Error returned when an image vector is not a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutationError {
+    /// The offending image vector.
+    pub map: Vec<usize>,
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} is not a permutation of 0..{}",
+            self.map,
+            self.map.len()
+        )
+    }
+}
+
+impl Error for PermutationError {}
+
+impl Permutation {
+    /// Create a permutation from its image vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError`] if `map` is not a bijection on
+    /// `0..map.len()`.
+    pub fn new(map: Vec<usize>) -> Result<Self, PermutationError> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &m in &map {
+            if m >= n || seen[m] {
+                return Err(PermutationError { map });
+            }
+            seen[m] = true;
+        }
+        Ok(Self { map })
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// The LRU hit permutation for a hit at position `i` of `0..n`: `i`
+    /// moves to the front, `0..i` shift down, the rest stay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn promote_to_front(n: usize, i: usize) -> Self {
+        assert!(i < n, "position {i} out of range for size {n}");
+        let map = (0..n)
+            .map(|j| {
+                use std::cmp::Ordering::*;
+                match j.cmp(&i) {
+                    Less => j + 1,
+                    Equal => 0,
+                    Greater => j,
+                }
+            })
+            .collect();
+        Self { map }
+    }
+
+    /// Size of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(j, &m)| j == m)
+    }
+
+    /// The image of position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn image(&self, j: usize) -> usize {
+        self.map[j]
+    }
+
+    /// The image vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Apply to a slice: the element at position `j` of `items` lands at
+    /// position `self.image(j)` of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != self.len()`.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.map.len(), "length mismatch");
+        let mut out: Vec<Option<T>> = vec![None; items.len()];
+        for (j, item) in items.iter().enumerate() {
+            out[self.map[j]] = Some(item.clone());
+        }
+        out.into_iter().map(|o| o.expect("bijection")).collect()
+    }
+
+    /// Composition: `self.then(&g)` first applies `self`, then `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn then(&self, g: &Permutation) -> Permutation {
+        assert_eq!(self.len(), g.len(), "size mismatch");
+        Permutation {
+            map: self.map.iter().map(|&m| g.map[m]).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.map.len()];
+        for (j, &m) in self.map.iter().enumerate() {
+            inv[m] = j;
+        }
+        Permutation { map: inv }
+    }
+}
+
+impl fmt::Display for Permutation {
+    /// Renders the image vector in the angle-bracket notation used by the
+    /// paper's tables, e.g. `⟨1,2,0,3⟩`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, m) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(Permutation::new(vec![0, 0]).is_err());
+        assert!(Permutation::new(vec![0, 2]).is_err());
+        assert!(Permutation::new(vec![]).map(|p| p.is_empty()).unwrap());
+    }
+
+    #[test]
+    fn identity_applies_trivially() {
+        let id = Permutation::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.apply(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn promote_to_front_matches_lru_semantics() {
+        let p = Permutation::promote_to_front(4, 2);
+        assert_eq!(p.as_slice(), &[1, 2, 0, 3]);
+        assert_eq!(p.apply(&['a', 'b', 'c', 'd']), vec!['c', 'a', 'b', 'd']);
+        assert!(Permutation::promote_to_front(4, 0).is_identity());
+    }
+
+    #[test]
+    fn composition_order() {
+        let f = Permutation::promote_to_front(3, 1); // [1,0,2]
+        let g = Permutation::promote_to_front(3, 2); // [1,2,0]
+                                                     // f then g: b to front, then (new position 2 = a? trace it below).
+        let items = ['a', 'b', 'c'];
+        let via_apply = g.apply(&f.apply(&items));
+        assert_eq!(f.then(&g).apply(&items), via_apply);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::new(vec![2, 0, 3, 1]).unwrap();
+        let items = [10, 20, 30, 40];
+        assert_eq!(p.inverse().apply(&p.apply(&items)), items.to_vec());
+        assert!(p.then(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        let p = Permutation::new(vec![1, 0]).unwrap();
+        assert_eq!(p.to_string(), "⟨1,0⟩");
+    }
+}

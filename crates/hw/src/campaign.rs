@@ -1,0 +1,158 @@
+//! Whole-machine reverse-engineering campaigns.
+//!
+//! [`survey`] runs the full pipeline (geometry, then policy) against
+//! every cache level of a virtual CPU and gathers the per-level results
+//! into one report — the programmatic form of the paper's per-processor
+//! table rows. The example binaries and the CLI are thin wrappers over
+//! this.
+
+use crate::{CacheLevel, LevelOracle, MeasureMode, VirtualCpu};
+use cachekit_core::infer::{
+    infer_geometry, infer_policy, CountingOracle, Geometry, InferenceConfig, InferenceError,
+    PolicyReport,
+};
+use std::fmt;
+
+/// Result for one cache level of a survey.
+#[derive(Debug)]
+pub struct LevelSurvey {
+    /// The level measured.
+    pub level: CacheLevel,
+    /// The inferred geometry, or why none was found.
+    pub geometry: Result<Geometry, InferenceError>,
+    /// The inferred policy (only attempted when the geometry succeeded).
+    pub policy: Option<Result<PolicyReport, InferenceError>>,
+    /// Measurements spent on this level.
+    pub measurements: u64,
+    /// Memory accesses spent on this level.
+    pub accesses: u64,
+}
+
+impl LevelSurvey {
+    /// Short outcome string: the policy name, `"UNDOCUMENTED"`, or the
+    /// rejection reason.
+    pub fn verdict(&self) -> String {
+        match (&self.geometry, &self.policy) {
+            (Err(e), _) => format!("geometry failed: {e}"),
+            (Ok(_), Some(Ok(report))) => report
+                .matched
+                .map(str::to_owned)
+                .unwrap_or_else(|| "UNDOCUMENTED".to_owned()),
+            (Ok(_), Some(Err(e))) => format!("rejected: {e}"),
+            (Ok(_), None) => "geometry only".to_owned(),
+        }
+    }
+}
+
+/// A whole-machine survey: one [`LevelSurvey`] per cache level.
+#[derive(Debug)]
+pub struct MachineSurvey {
+    /// The surveyed machine's display name.
+    pub cpu: String,
+    /// Per-level results, L1 first.
+    pub levels: Vec<LevelSurvey>,
+}
+
+impl fmt::Display for MachineSurvey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.cpu)?;
+        for l in &self.levels {
+            write!(f, "{:?}: ", l.level)?;
+            match &l.geometry {
+                Ok(g) => write!(f, "{g} — {}", l.verdict())?,
+                Err(e) => write!(f, "geometry failed: {e}")?,
+            }
+            writeln!(
+                f,
+                "  [{} measurements, {} accesses]",
+                l.measurements, l.accesses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Reverse engineer every cache level of `cpu`.
+///
+/// Levels are measured independently (each gets a fresh oracle); a
+/// failing level does not stop the survey — rejections are results, not
+/// errors (see [`InferenceError`]).
+pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode) -> MachineSurvey {
+    let mut levels = vec![CacheLevel::L1, CacheLevel::L2];
+    if cpu.l3_config().is_some() {
+        levels.push(CacheLevel::L3);
+    }
+    let name = cpu.name().to_owned();
+    let results = levels
+        .into_iter()
+        .map(|level| {
+            let mut oracle = CountingOracle::new(LevelOracle::new(cpu, level).with_mode(mode));
+            let geometry = infer_geometry(&mut oracle, config);
+            let policy = geometry
+                .as_ref()
+                .ok()
+                .map(|g| infer_policy(&mut oracle, g, config));
+            LevelSurvey {
+                level,
+                geometry,
+                policy,
+                measurements: oracle.measurements(),
+                accesses: oracle.accesses(),
+            }
+        })
+        .collect();
+    MachineSurvey {
+        cpu: name,
+        levels: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet;
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::CacheConfig;
+
+    #[test]
+    fn surveys_a_two_level_machine() {
+        let mut cpu = fleet::atom_d525();
+        let s = survey(
+            &mut cpu,
+            &InferenceConfig::default(),
+            MeasureMode::PerfCounter,
+        );
+        assert_eq!(s.cpu, "atom_d525");
+        assert_eq!(s.levels.len(), 2);
+        assert_eq!(s.levels[0].verdict(), "LRU");
+        assert_eq!(s.levels[1].verdict(), "PLRU");
+        assert!(s.levels.iter().all(|l| l.measurements > 0));
+        let rendered = s.to_string();
+        assert!(rendered.contains("24 KiB"));
+        assert!(rendered.contains("PLRU"));
+    }
+
+    #[test]
+    fn surveys_include_the_l3_and_keep_rejections_as_results() {
+        let mut cpu = crate::VirtualCpu::builder("mini")
+            .l1(CacheConfig::new(2 * 1024, 2, 64).unwrap(), PolicyKind::Lru)
+            .l2(
+                CacheConfig::new(16 * 1024, 4, 64).unwrap(),
+                PolicyKind::Random { seed: 1 },
+            )
+            .l3(
+                CacheConfig::new(128 * 1024, 8, 64).unwrap(),
+                PolicyKind::TreePlru,
+            )
+            .build();
+        let s = survey(
+            &mut cpu,
+            &InferenceConfig::default(),
+            MeasureMode::PerfCounter,
+        );
+        assert_eq!(s.levels.len(), 3);
+        assert_eq!(s.levels[0].verdict(), "LRU");
+        assert!(s.levels[1].verdict().starts_with("rejected"));
+        assert_eq!(s.levels[2].verdict(), "PLRU");
+    }
+}

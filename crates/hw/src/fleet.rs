@@ -1,0 +1,228 @@
+//! The fleet of virtual CPUs mirroring the paper's measurement targets.
+//!
+//! Geometries follow the datasheets of the physical parts; the *hidden
+//! replacement policies* are the reproduction's reconstruction (see
+//! DESIGN.md): the inference pipeline is validated by recovering them
+//! blindly, not by their historical accuracy. One machine hides a policy
+//! outside every textbook catalog (`core2_e8400`, LazyLRU) to exercise
+//! the paper's "previously undocumented policy" outcome, and one hides
+//! random replacement (`mystery_rand`) to exercise the rejection path.
+
+use crate::noise::NoiseModel;
+use crate::vcpu::VirtualCpu;
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{CacheConfig, IndexFunction};
+
+fn cfg(capacity: u64, assoc: usize) -> CacheConfig {
+    CacheConfig::new(capacity, assoc, 64).expect("fleet geometries are valid")
+}
+
+/// Intel Atom D525: 24 KiB 6-way L1, 512 KiB 8-way L2.
+/// Hidden policies: LRU (L1), tree-PLRU (L2).
+pub fn atom_d525() -> VirtualCpu {
+    VirtualCpu::builder("atom_d525")
+        .l1(cfg(24 * 1024, 6), PolicyKind::Lru)
+        .l2(cfg(512 * 1024, 8), PolicyKind::TreePlru)
+        .seed(0xA70)
+        .build()
+}
+
+/// Intel Core 2 Duo E6300: 32 KiB 8-way L1, 2 MiB 8-way L2.
+/// Hidden policies: tree-PLRU at both levels.
+pub fn core2_e6300() -> VirtualCpu {
+    VirtualCpu::builder("core2_e6300")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(2 * 1024 * 1024, 8), PolicyKind::TreePlru)
+        .seed(0xE6300)
+        .build()
+}
+
+/// Intel Core 2 Duo E6750: 32 KiB 8-way L1, 4 MiB 16-way L2.
+/// Hidden policies: tree-PLRU at both levels.
+pub fn core2_e6750() -> VirtualCpu {
+    VirtualCpu::builder("core2_e6750")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(4 * 1024 * 1024, 16), PolicyKind::TreePlru)
+        .seed(0xE6750)
+        .build()
+}
+
+/// Intel Core 2 Duo E8400: 32 KiB 8-way L1, 6 MiB 24-way L2.
+/// Hidden policies: tree-PLRU (L1) and **LazyLRU** (L2) — the stand-in
+/// for the undocumented policy the paper discovered.
+pub fn core2_e8400() -> VirtualCpu {
+    VirtualCpu::builder("core2_e8400")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(6 * 1024 * 1024, 24), PolicyKind::LazyLru)
+        .seed(0xE8400)
+        .build()
+}
+
+/// The negative control: 1 MiB 8-way L2 with random replacement, which
+/// the inference must *reject* as not a permutation policy.
+pub fn mystery_rand() -> VirtualCpu {
+    VirtualCpu::builder("mystery_rand")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(1024 * 1024, 8), PolicyKind::Random { seed: 0x777 })
+        .seed(0x300)
+        .build()
+}
+
+/// A Nehalem-era three-level machine: 32 KiB 8-way L1, 256 KiB 8-way L2,
+/// 8 MiB 16-way L3, all tree-PLRU. Exercises the chained L1+L2 defeat of
+/// the L3 oracle ("Table 4" of the reproduction).
+pub fn nehalem_3level() -> VirtualCpu {
+    VirtualCpu::builder("nehalem_3level")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(256 * 1024, 8), PolicyKind::TreePlru)
+        .l3(cfg(8 * 1024 * 1024, 16), PolicyKind::TreePlru)
+        .seed(0x3EA1)
+        .build()
+}
+
+/// A machine whose L3 uses *hashed* (XOR-folded) indexing, as sliced
+/// last-level caches do: the standard-layout conflict construction stops
+/// working there, so the arithmetic geometry campaign must fail and the
+/// bit-classification must flag the mapping — the second negative
+/// control.
+pub fn sliced_llc() -> VirtualCpu {
+    let l3_cfg = cfg(4 * 1024 * 1024, 16).with_index_function(IndexFunction::XorFold);
+    VirtualCpu::builder("sliced_llc")
+        .l1(cfg(32 * 1024, 8), PolicyKind::TreePlru)
+        .l2(cfg(256 * 1024, 8), PolicyKind::TreePlru)
+        .l3(l3_cfg, PolicyKind::Lru)
+        .seed(0x511C)
+        .build()
+}
+
+/// The whole fleet, in the order of the paper's tables.
+pub fn all() -> Vec<VirtualCpu> {
+    vec![
+        atom_d525(),
+        core2_e6300(),
+        core2_e6750(),
+        core2_e8400(),
+        mystery_rand(),
+    ]
+}
+
+/// A fleet member by name.
+pub fn by_name(name: &str) -> Option<VirtualCpu> {
+    match name {
+        "atom_d525" => Some(atom_d525()),
+        "core2_e6300" => Some(core2_e6300()),
+        "core2_e6750" => Some(core2_e6750()),
+        "core2_e8400" => Some(core2_e8400()),
+        "mystery_rand" => Some(mystery_rand()),
+        "nehalem_3level" => Some(nehalem_3level()),
+        "sliced_llc" => Some(sliced_llc()),
+        _ => None,
+    }
+}
+
+/// Rebuild a fleet member with a different noise model (same geometry and
+/// hidden policies) — used by the noise-robustness experiment (Fig. 2).
+pub fn with_noise(name: &str, noise: NoiseModel) -> Option<VirtualCpu> {
+    let template = by_name(name)?;
+    let l1_kind = hidden_kind(template.hidden_l1_policy())?;
+    let l2_kind = hidden_kind(template.hidden_l2_policy())?;
+    let mut builder = VirtualCpu::builder(format!("{name}+noise"))
+        .l1(*template.l1_config(), l1_kind)
+        .l2(*template.l2_config(), l2_kind)
+        .noise(noise)
+        .seed(0xF1632);
+    if let (Some(l3_policy), Some(l3_cfg)) = (template.hidden_l3_policy(), template.l3_config()) {
+        builder = builder.l3(*l3_cfg, hidden_kind(l3_policy)?);
+    }
+    Some(builder.build())
+}
+
+/// Map a policy label back to its kind (fleet policies only).
+fn hidden_kind(label: &str) -> Option<PolicyKind> {
+    match label {
+        "LRU" => Some(PolicyKind::Lru),
+        "FIFO" => Some(PolicyKind::Fifo),
+        "PLRU" => Some(PolicyKind::TreePlru),
+        "LazyLRU" => Some(PolicyKind::LazyLru),
+        "Random" => Some(PolicyKind::Random { seed: 0x777 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_five_members_with_datasheet_geometries() {
+        let fleet = all();
+        assert_eq!(fleet.len(), 5);
+        let atom = &fleet[0];
+        assert_eq!(atom.l1_config().capacity(), 24 * 1024);
+        assert_eq!(atom.l1_config().associativity(), 6);
+        assert_eq!(atom.l2_config().capacity(), 512 * 1024);
+        let e8400 = &fleet[3];
+        assert_eq!(e8400.l2_config().capacity(), 6 * 1024 * 1024);
+        assert_eq!(e8400.l2_config().associativity(), 24);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for cpu in all() {
+            let name = cpu.name().to_owned();
+            assert!(by_name(&name).is_some(), "{name}");
+        }
+        assert!(by_name("pentium_4").is_none());
+    }
+
+    #[test]
+    fn with_noise_preserves_geometry_and_policies() {
+        let noisy = with_noise("core2_e6300", NoiseModel::counter(0.05)).unwrap();
+        let clean = core2_e6300();
+        assert_eq!(noisy.l2_config(), clean.l2_config());
+        assert_eq!(noisy.hidden_l2_policy(), clean.hidden_l2_policy());
+        assert!(!noisy.noise_model().is_none());
+    }
+
+    #[test]
+    fn with_noise_keeps_the_l3() {
+        let noisy = with_noise("nehalem_3level", NoiseModel::counter(0.01)).unwrap();
+        let clean = nehalem_3level();
+        assert_eq!(noisy.l3_config(), clean.l3_config());
+        assert_eq!(noisy.hidden_l3_policy(), clean.hidden_l3_policy());
+    }
+
+    #[test]
+    fn three_level_members_expose_their_l3() {
+        let n = nehalem_3level();
+        assert_eq!(n.l3_config().unwrap().capacity(), 8 * 1024 * 1024);
+        assert_eq!(n.hidden_l3_policy(), Some("PLRU"));
+        let s = sliced_llc();
+        assert_eq!(
+            s.l3_config().unwrap().index_function(),
+            cachekit_sim::IndexFunction::XorFold
+        );
+    }
+
+    #[test]
+    fn l3_way_sizes_are_multiples_of_l2_way_sizes() {
+        for cpu in [nehalem_3level(), sliced_llc()] {
+            let r = cpu.l3_config().unwrap().way_size() % cpu.l2_config().way_size();
+            assert_eq!(r, 0, "{}", cpu.name());
+        }
+    }
+
+    #[test]
+    fn l2_way_sizes_are_multiples_of_l1_way_sizes() {
+        // Required by the L1-defeat flusher construction.
+        for cpu in all() {
+            let r = cpu.l2_config().way_size() % cpu.l1_config().way_size();
+            assert_eq!(r, 0, "{}", cpu.name());
+            assert!(
+                cpu.l2_config().way_size() / cpu.l1_config().way_size() >= 2,
+                "{}",
+                cpu.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Access-latency model of the virtual CPUs.
+
+use rand::Rng;
+
+/// Cycle costs per hit level, with uniform jitter — the quantities a
+/// timing-based measurement thresholds against.
+///
+/// The defaults approximate a Core 2: 3-cycle L1, 15-cycle L2, 200-cycle
+/// memory, ±2 cycles of jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cycles for an L1 hit.
+    pub l1_hit: u64,
+    /// Cycles for an L2 hit.
+    pub l2_hit: u64,
+    /// Cycles for an L3 hit (only reachable on three-level machines).
+    pub l3_hit: u64,
+    /// Cycles for a memory access.
+    pub memory: u64,
+    /// Extra cycles added to every access, uniform in `0..=jitter`.
+    pub jitter: u64,
+    /// Cycles added by a TLB miss (page-walk latency).
+    pub tlb_miss: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 3,
+            l2_hit: 15,
+            l3_hit: 40,
+            memory: 200,
+            jitter: 2,
+            tlb_miss: 30,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of an access satisfied at `level` (0 = L1, 1 = L2, deeper
+    /// or none = memory), plus jitter drawn from `rng`.
+    pub fn cycles<R: Rng>(&self, level: Option<usize>, rng: &mut R) -> u64 {
+        let base = match level {
+            Some(0) => self.l1_hit,
+            Some(1) => self.l2_hit,
+            Some(2) => self.l3_hit,
+            _ => self.memory,
+        };
+        base + if self.jitter > 0 {
+            rng.gen_range(0..=self.jitter)
+        } else {
+            0
+        }
+    }
+
+    /// A threshold that separates L2 hits from memory accesses under this
+    /// model (used by timing-based measurement of the L2).
+    pub fn l2_miss_threshold(&self) -> u64 {
+        (self.l2_hit + self.jitter + self.memory) / 2
+    }
+
+    /// A threshold that separates L1 hits from L1 misses.
+    pub fn l1_miss_threshold(&self) -> u64 {
+        (self.l1_hit + self.jitter + self.l2_hit) / 2
+    }
+
+    /// A threshold that separates L2 hits from L3 hits (for timing-based
+    /// L2 measurement on a three-level machine).
+    pub fn l2_miss_threshold_with_l3(&self) -> u64 {
+        (self.l2_hit + self.jitter + self.l3_hit) / 2
+    }
+
+    /// A threshold that separates L3 hits from memory accesses.
+    pub fn l3_miss_threshold(&self) -> u64 {
+        (self.l3_hit + self.jitter + self.memory) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn levels_are_ordered() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let l1 = m.cycles(Some(0), &mut rng);
+        let l2 = m.cycles(Some(1), &mut rng);
+        let mem = m.cycles(None, &mut rng);
+        assert!(l1 < l2 && l2 < mem);
+    }
+
+    #[test]
+    fn thresholds_separate_the_distributions() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(m.cycles(Some(1), &mut rng) < m.l2_miss_threshold());
+            assert!(m.cycles(None, &mut rng) > m.l2_miss_threshold());
+            assert!(m.cycles(Some(0), &mut rng) < m.l1_miss_threshold());
+            assert!(m.cycles(Some(1), &mut rng) > m.l1_miss_threshold());
+        }
+    }
+
+    #[test]
+    fn l3_sits_between_l2_and_memory() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let l3 = m.cycles(Some(2), &mut rng);
+            assert!(l3 > m.l2_miss_threshold_with_l3());
+            assert!(l3 < m.l3_miss_threshold());
+            assert!(m.cycles(None, &mut rng) > m.l3_miss_threshold());
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let m = LatencyModel {
+            jitter: 0,
+            ..LatencyModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(m.cycles(Some(0), &mut rng), 3);
+    }
+}

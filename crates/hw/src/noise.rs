@@ -1,0 +1,67 @@
+//! Measurement-noise model.
+
+/// Sources of measurement error on the virtual CPUs.
+///
+/// * `counter_noise` — probability that the per-access miss reading is
+///   wrong (flipped). Models shared performance counters picking up
+///   unrelated events, the paper's main nuisance.
+/// * `background_eviction` — probability, per access, that some other
+///   agent (interrupt handler, sibling core) evicts a random line from
+///   the accessed set first. Unlike counter noise this perturbs the real
+///   cache state, so no amount of re-reading one run fixes it — only
+///   repeating the whole measurement does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Per-access probability of a miscounted event.
+    pub counter_noise: f64,
+    /// Per-access probability of a background eviction in the touched set.
+    pub background_eviction: f64,
+}
+
+impl NoiseModel {
+    /// A perfectly clean channel.
+    pub fn none() -> Self {
+        Self {
+            counter_noise: 0.0,
+            background_eviction: 0.0,
+        }
+    }
+
+    /// Counter noise only.
+    pub fn counter(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Self {
+            counter_noise: p,
+            background_eviction: 0.0,
+        }
+    }
+
+    /// Whether this model is exactly noise-free.
+    pub fn is_none(&self) -> bool {
+        self.counter_noise == 0.0 && self.background_eviction == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(NoiseModel::none().is_none());
+        assert!(NoiseModel::default().is_none());
+        assert!(!NoiseModel::counter(0.1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = NoiseModel::counter(1.5);
+    }
+}

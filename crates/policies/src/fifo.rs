@@ -1,0 +1,129 @@
+//! First-in-first-out replacement.
+
+use crate::lru::RecencyStack;
+use crate::ReplacementPolicy;
+
+/// The first-in-first-out policy (round-robin over fills).
+///
+/// Lines are evicted in the order they were brought into the set; hits do
+/// not change the replacement state. FIFO is one of the canonical
+/// *permutation policies* of Abel & Reineke's formalism: all of its hit
+/// permutations are the identity.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{Fifo, ReplacementPolicy};
+///
+/// let mut p = Fifo::new(2);
+/// p.on_fill(0);
+/// p.on_fill(1);
+/// p.on_hit(0); // does not protect way 0
+/// assert_eq!(p.victim(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fifo {
+    stack: RecencyStack,
+}
+
+impl Fifo {
+    /// Create a FIFO policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(assoc),
+        }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn associativity(&self) -> usize {
+        self.stack.assoc()
+    }
+
+    fn name(&self) -> String {
+        "FIFO".to_owned()
+    }
+
+    fn on_hit(&mut self, _way: usize) {
+        // FIFO ignores hits.
+    }
+
+    fn victim(&mut self) -> usize {
+        self.stack.lru_way()
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.stack.most_recent(way);
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.stack.least_recent(way);
+    }
+
+    fn reset(&mut self) {
+        self.stack.reset();
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.stack.key()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_fill_order() {
+        let mut p = Fifo::new(3);
+        p.on_fill(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        assert_eq!(p.victim(), 2);
+        p.on_fill(2); // replace the oldest
+        assert_eq!(p.victim(), 0);
+        p.on_fill(0);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn hits_do_not_protect() {
+        let mut p = Fifo::new(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        for _ in 0..10 {
+            p.on_hit(0);
+        }
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn reset_restores_way_order() {
+        let mut p = Fifo::new(3);
+        p.on_fill(2);
+        p.reset();
+        assert_eq!(p.victim(), 2);
+    }
+
+    #[test]
+    fn differs_from_lru_on_hit_heavy_sequence() {
+        use crate::Lru;
+        let mut fifo = Fifo::new(2);
+        let mut lru = Lru::new(2);
+        for p in [&mut fifo as &mut dyn ReplacementPolicy, &mut lru] {
+            p.on_fill(0);
+            p.on_fill(1);
+            p.on_hit(0);
+        }
+        assert_eq!(fifo.victim(), 0);
+        assert_eq!(lru.victim(), 1);
+    }
+}

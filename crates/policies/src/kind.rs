@@ -1,0 +1,207 @@
+//! Policy construction by name.
+
+use crate::{
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, RandomPolicy, ReplacementPolicy,
+    Slru, Srrip, TreePlru,
+};
+
+/// A constructible replacement-policy identity.
+///
+/// `PolicyKind` is the value-level name of a policy, used wherever policies
+/// are selected by configuration: the simulator builds one instance per
+/// cache set, the virtual CPUs of `cachekit-hw` pick their hidden policies,
+/// and the benchmark harness sweeps over kinds.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{PolicyKind, ReplacementPolicy};
+///
+/// let mut p = PolicyKind::Lru.build(4, 0);
+/// p.on_fill(1);
+/// assert_eq!(p.name(), "LRU");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least recently used.
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Tree-based pseudo-LRU.
+    TreePlru,
+    /// Bit-based pseudo-LRU ("MRU").
+    BitPlru,
+    /// Not recently used.
+    Nru,
+    /// CLOCK / second chance.
+    Clock,
+    /// LRU-insertion policy.
+    Lip,
+    /// Segmented LRU with a protected segment of the given size.
+    Slru {
+        /// Number of protected stack positions (must be below the
+        /// associativity).
+        protected: usize,
+    },
+    /// Bimodal insertion policy with MRU-insertion probability `1/throttle`.
+    Bip {
+        /// Reciprocal of the MRU-insertion probability.
+        throttle: u32,
+    },
+    /// Static RRIP with the given RRPV width.
+    Srrip {
+        /// RRPV counter width in bits (1..=7).
+        bits: u8,
+    },
+    /// Bimodal RRIP.
+    Brrip {
+        /// RRPV counter width in bits (1..=7).
+        bits: u8,
+        /// Reciprocal of the long-insertion probability.
+        throttle: u32,
+    },
+    /// Uniform random replacement.
+    Random {
+        /// Base RNG seed (mixed with the per-set salt).
+        seed: u64,
+    },
+    /// LRU with lazy promotion (the "undocumented" policy stand-in).
+    LazyLru,
+}
+
+impl PolicyKind {
+    /// Build a policy instance for a set with `assoc` ways.
+    ///
+    /// `salt` differentiates per-set RNG streams for stochastic policies
+    /// (pass the set index); deterministic policies ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128, or if a kind-specific
+    /// parameter is invalid (zero throttle, RRPV width outside `1..=7`).
+    pub fn build(self, assoc: usize, salt: u64) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(assoc)),
+            PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
+            PolicyKind::TreePlru => Box::new(TreePlru::new(assoc)),
+            PolicyKind::BitPlru => Box::new(BitPlru::new(assoc)),
+            PolicyKind::Nru => Box::new(Nru::new(assoc)),
+            PolicyKind::Clock => Box::new(Clock::new(assoc)),
+            PolicyKind::Lip => Box::new(Lip::new(assoc)),
+            PolicyKind::Slru { protected } => Box::new(Slru::new(assoc, protected)),
+            PolicyKind::Bip { throttle } => Box::new(Bip::new(assoc, throttle, mix(0xb1b0, salt))),
+            PolicyKind::Srrip { bits } => Box::new(Srrip::new(assoc, bits)),
+            PolicyKind::Brrip { bits, throttle } => {
+                Box::new(Brrip::new(assoc, bits, throttle, mix(0xbbb1, salt)))
+            }
+            PolicyKind::Random { seed } => Box::new(RandomPolicy::new(assoc, mix(seed, salt))),
+            PolicyKind::LazyLru => Box::new(LazyLru::new(assoc)),
+        }
+    }
+
+    /// Display name of the kind (matches the built policy's
+    /// [`name`](ReplacementPolicy::name) for the default parameters).
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::Lru => "LRU".into(),
+            PolicyKind::Fifo => "FIFO".into(),
+            PolicyKind::TreePlru => "PLRU".into(),
+            PolicyKind::BitPlru => "BitPLRU".into(),
+            PolicyKind::Nru => "NRU".into(),
+            PolicyKind::Clock => "CLOCK".into(),
+            PolicyKind::Lip => "LIP".into(),
+            PolicyKind::Slru { protected } => format!("SLRU-{protected}"),
+            PolicyKind::Bip { throttle } => format!("BIP-1/{throttle}"),
+            PolicyKind::Srrip { bits } => format!("SRRIP-{bits}"),
+            PolicyKind::Brrip { bits, throttle } => format!("BRRIP-{bits}-1/{throttle}"),
+            PolicyKind::Random { .. } => "Random".into(),
+            PolicyKind::LazyLru => "LazyLRU".into(),
+        }
+    }
+
+    /// Whether policies of this kind are deterministic functions of the
+    /// access history.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(
+            self,
+            PolicyKind::Bip { .. } | PolicyKind::Brrip { .. } | PolicyKind::Random { .. }
+        )
+    }
+
+    /// The deterministic kinds with default parameters — the set used by
+    /// exhaustive tests and by the catalog-matching step of the
+    /// reverse-engineering pipeline.
+    pub fn deterministic_kinds() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::TreePlru,
+            PolicyKind::BitPlru,
+            PolicyKind::Nru,
+            PolicyKind::Clock,
+            PolicyKind::Lip,
+            PolicyKind::Srrip { bits: 2 },
+            PolicyKind::LazyLru,
+        ]
+    }
+
+    /// The kinds compared in the evaluation figures (deterministic kinds
+    /// plus the stochastic baselines).
+    pub fn evaluation_kinds() -> Vec<PolicyKind> {
+        let mut kinds = Self::deterministic_kinds();
+        kinds.push(PolicyKind::Bip { throttle: 32 });
+        kinds.push(PolicyKind::Brrip {
+            bits: 2,
+            throttle: 32,
+        });
+        kinds.push(PolicyKind::Random { seed: 0x5eed });
+        kinds
+    }
+}
+
+/// Cheap seed mixer (splitmix64 finalizer) so per-set RNG streams differ.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in PolicyKind::evaluation_kinds() {
+            let p = kind.build(4, 0);
+            assert_eq!(p.name(), kind.label(), "kind {kind:?}");
+            assert_eq!(p.associativity(), 4);
+        }
+    }
+
+    #[test]
+    fn determinism_flags_match_instances() {
+        for kind in PolicyKind::evaluation_kinds() {
+            let p = kind.build(4, 0);
+            assert_eq!(p.is_deterministic(), kind.is_deterministic());
+        }
+    }
+
+    #[test]
+    fn salt_differentiates_random_streams() {
+        let mut a = PolicyKind::Random { seed: 1 }.build(8, 0);
+        let mut b = PolicyKind::Random { seed: 1 }.build(8, 1);
+        let va: Vec<usize> = (0..32).map(|_| a.victim()).collect();
+        let vb: Vec<usize> = (0..32).map(|_| b.victim()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn deterministic_kinds_is_a_subset_of_evaluation_kinds() {
+        let eval = PolicyKind::evaluation_kinds();
+        for k in PolicyKind::deterministic_kinds() {
+            assert!(eval.contains(&k));
+        }
+    }
+}

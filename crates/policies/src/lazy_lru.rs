@@ -1,0 +1,164 @@
+//! Lazy-promotion LRU — the stand-in for the "previously undocumented"
+//! policy discovered by the reverse-engineering pipeline.
+
+use crate::lru::RecencyStack;
+use crate::ReplacementPolicy;
+
+/// LRU with lazy promotion.
+///
+/// Hits on ways in the *younger* half of the recency stack (positions
+/// `0..A/2`) do not update the state at all; hits in the older half promote
+/// the way to MRU, and fills insert at MRU. The idea (found in real designs
+/// that want to save state-update bandwidth) is that a line that is already
+/// recent gains little from being promoted again.
+///
+/// `LazyLru` is a *permutation policy* with insertion position 0 whose hit
+/// permutations are the identity for `i < A/2` and LRU's rotations
+/// otherwise — but it matches none of the textbook policies. The
+/// reproduction uses it as the hidden policy of one virtual CPU so that the
+/// pipeline exercises the paper's headline scenario: inferring a policy
+/// that is *not* in the catalog and reporting its permutation vectors.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{LazyLru, ReplacementPolicy};
+///
+/// let mut p = LazyLru::new(4);
+/// for w in 0..4 {
+///     p.on_fill(w);
+/// }
+/// // Recency order is [3,2,1,0]; a hit on way 3 (position 0, young half)
+/// // changes nothing, while a hit on way 0 (position 3) promotes it.
+/// p.on_hit(3);
+/// assert_eq!(p.victim(), 0);
+/// p.on_hit(0);
+/// assert_eq!(p.victim(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LazyLru {
+    stack: RecencyStack,
+}
+
+impl LazyLru {
+    /// Create a lazy-promotion LRU policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(assoc),
+        }
+    }
+
+    /// First stack position whose hits cause a promotion (`A/2`).
+    pub fn promotion_threshold(&self) -> usize {
+        self.stack.assoc() / 2
+    }
+}
+
+impl ReplacementPolicy for LazyLru {
+    fn associativity(&self) -> usize {
+        self.stack.assoc()
+    }
+
+    fn name(&self) -> String {
+        "LazyLRU".to_owned()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        let pos = self.stack.position(way);
+        if pos >= self.promotion_threshold() {
+            self.stack.most_recent(way);
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        self.stack.lru_way()
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.stack.most_recent(way);
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.stack.least_recent(way);
+    }
+
+    fn reset(&mut self) {
+        self.stack.reset();
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.stack.key()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_hits_are_ignored() {
+        let mut p = LazyLru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // Order [3,2,1,0]; hit positions 0 and 1 -> no change.
+        p.on_hit(3);
+        p.on_hit(2);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn old_hits_promote() {
+        let mut p = LazyLru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_hit(0); // position 3 -> promote; order [0,3,2,1]
+        assert_eq!(p.victim(), 1);
+        p.on_hit(1); // position 3 -> promote; order [1,0,3,2]
+        assert_eq!(p.victim(), 2);
+    }
+
+    #[test]
+    fn degenerates_to_lru_for_assoc_two() {
+        use crate::Lru;
+        // With A=2 the threshold is 1, so only LRU-position hits promote —
+        // identical observable behaviour to LRU.
+        let mut lazy = LazyLru::new(2);
+        let mut lru = Lru::new(2);
+        let script = [0usize, 1, 0, 1, 1, 0, 0];
+        for &w in &script {
+            lazy.on_hit(w);
+            lru.on_hit(w);
+            assert_eq!(lazy.victim(), lru.victim());
+        }
+    }
+
+    #[test]
+    fn differs_from_lru_for_assoc_four() {
+        use crate::Lru;
+        let mut lazy = LazyLru::new(4);
+        let mut lru = Lru::new(4);
+        for w in 0..4 {
+            lazy.on_fill(w);
+            lru.on_fill(w);
+        }
+        lazy.on_hit(2); // young: ignored
+        lru.on_hit(2);
+        lazy.on_hit(0);
+        lru.on_hit(0);
+        lazy.on_hit(1);
+        lru.on_hit(1);
+        // LRU order: [1,0,2,3] -> victim 3. Lazy order: [1,0,3,2] -> victim 2.
+        assert_eq!(lru.victim(), 3);
+        assert_eq!(lazy.victim(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! LRU-insertion-policy replacement (Qureshi et al., ISCA 2007).
+
+use crate::lru::RecencyStack;
+use crate::ReplacementPolicy;
+
+/// The LRU insertion policy.
+///
+/// Behaves like [`Lru`](crate::Lru) on hits, but inserts new lines at the
+/// *least* recently used position instead of the most recently used one.
+/// A line therefore has to earn protection with a hit before it survives
+/// the next miss — which makes LIP thrash-resistant on scanning workloads
+/// (a single streaming pass evicts at most one resident line per set).
+///
+/// In the permutation-policy formalism LIP is the policy with LRU's hit
+/// permutations but insertion position `A - 1` instead of `0`.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{Lip, ReplacementPolicy};
+///
+/// let mut p = Lip::new(2);
+/// p.on_fill(0);
+/// p.on_fill(1);
+/// // Way 1 was inserted at the LRU position, so it is evicted first ...
+/// assert_eq!(p.victim(), 1);
+/// p.on_hit(1);
+/// // ... unless it gets hit, which promotes it to MRU.
+/// assert_eq!(p.victim(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lip {
+    stack: RecencyStack,
+}
+
+impl Lip {
+    /// Create a LIP policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(assoc),
+        }
+    }
+}
+
+impl ReplacementPolicy for Lip {
+    fn associativity(&self) -> usize {
+        self.stack.assoc()
+    }
+
+    fn name(&self) -> String {
+        "LIP".to_owned()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.stack.most_recent(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        self.stack.lru_way()
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.stack.least_recent(way);
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.stack.least_recent(way);
+    }
+
+    fn reset(&mut self) {
+        self.stack.reset();
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.stack.key()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_lines_are_evicted_first() {
+        let mut p = Lip::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // Last fill sits at LRU; a miss right away evicts it again.
+        assert_eq!(p.victim(), 3);
+        p.on_fill(3);
+        assert_eq!(p.victim(), 3);
+    }
+
+    #[test]
+    fn hit_promotes_to_mru() {
+        let mut p = Lip::new(3);
+        for w in 0..3 {
+            p.on_fill(w);
+        }
+        p.on_hit(2);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn scan_resistance_keeps_working_set() {
+        // Ways 0 and 1 hold a hot working set; a stream of misses keeps
+        // replacing the same victim way instead of flushing the set.
+        let mut p = Lip::new(3);
+        for w in 0..3 {
+            p.on_fill(w);
+        }
+        p.on_hit(0);
+        p.on_hit(1);
+        for _ in 0..100 {
+            let v = p.victim();
+            assert_eq!(v, 2, "stream must be contained in the LRU way");
+            p.on_fill(v);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Least-recently-used replacement.
+
+use crate::{check_assoc, check_way, ReplacementPolicy};
+
+/// A recency stack over way indices, shared by the LRU-family policies.
+///
+/// `stack[0]` is the most recently used way, `stack[assoc - 1]` the least
+/// recently used (the eviction candidate).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct RecencyStack {
+    stack: Vec<u8>,
+}
+
+impl RecencyStack {
+    pub(crate) fn new(assoc: usize) -> Self {
+        check_assoc(assoc);
+        Self {
+            stack: (0..assoc as u8).collect(),
+        }
+    }
+
+    pub(crate) fn assoc(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Position of `way` in the stack (0 = MRU).
+    pub(crate) fn position(&self, way: usize) -> usize {
+        check_way(way, self.stack.len());
+        self.stack
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("stack is a permutation of all ways")
+    }
+
+    /// Move `way` to the given position, shifting the ways in between.
+    pub(crate) fn move_to(&mut self, way: usize, pos: usize) {
+        let cur = self.position(way);
+        let w = self.stack.remove(cur);
+        self.stack.insert(pos, w);
+    }
+
+    pub(crate) fn most_recent(&mut self, way: usize) {
+        self.move_to(way, 0);
+    }
+
+    pub(crate) fn least_recent(&mut self, way: usize) {
+        let last = self.stack.len() - 1;
+        self.move_to(way, last);
+    }
+
+    pub(crate) fn lru_way(&self) -> usize {
+        *self.stack.last().expect("associativity >= 1") as usize
+    }
+
+    pub(crate) fn reset(&mut self) {
+        let assoc = self.stack.len();
+        self.stack.clear();
+        self.stack.extend(0..assoc as u8);
+    }
+
+    pub(crate) fn key(&self) -> Vec<u8> {
+        self.stack.clone()
+    }
+
+    /// The stack from MRU to LRU, as way indices.
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.stack
+    }
+}
+
+/// The least-recently-used policy.
+///
+/// Maintains a full recency order of the ways; hits and fills promote the
+/// way to most-recently-used, and the least-recently-used way is evicted.
+/// LRU is the reference point of the evaluation: every other policy's miss
+/// ratio is reported relative to it, and in the permutation-policy
+/// formalism of `cachekit-core` it is the policy whose hit permutations
+/// rotate the hit element to the front.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{Lru, ReplacementPolicy};
+///
+/// let mut p = Lru::new(2);
+/// p.on_fill(0);
+/// p.on_fill(1);
+/// assert_eq!(p.victim(), 0);
+/// p.on_hit(0);
+/// assert_eq!(p.victim(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lru {
+    stack: RecencyStack,
+}
+
+impl Lru {
+    /// Create an LRU policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(assoc),
+        }
+    }
+
+    /// The current recency order, most recently used first.
+    pub fn recency_order(&self) -> Vec<usize> {
+        self.stack.as_slice().iter().map(|&w| w as usize).collect()
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn associativity(&self) -> usize {
+        self.stack.assoc()
+    }
+
+    fn name(&self) -> String {
+        "LRU".to_owned()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.stack.most_recent(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        self.stack.lru_way()
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.stack.most_recent(way);
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.stack.least_recent(way);
+    }
+
+    fn reset(&mut self) {
+        self.stack.reset();
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.stack.key()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_least_recently_used() {
+        let mut p = Lru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        assert_eq!(p.victim(), 0);
+        p.on_hit(0);
+        assert_eq!(p.victim(), 1);
+        p.on_hit(2);
+        assert_eq!(p.victim(), 1);
+        p.on_hit(1);
+        assert_eq!(p.victim(), 3);
+    }
+
+    #[test]
+    fn fill_promotes_to_mru() {
+        let mut p = Lru::new(3);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_fill(2);
+        let v = p.victim();
+        assert_eq!(v, 0);
+        p.on_fill(v); // replace way 0
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn invalidate_demotes() {
+        let mut p = Lru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_invalidate(3);
+        assert_eq!(p.victim(), 3);
+    }
+
+    #[test]
+    fn reset_restores_initial_order() {
+        let mut p = Lru::new(4);
+        p.on_fill(3);
+        p.on_fill(1);
+        p.reset();
+        assert_eq!(p.recency_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recency_order_tracks_hits() {
+        let mut p = Lru::new(4);
+        for w in [0, 1, 2, 3, 2, 0] {
+            p.on_hit(w);
+        }
+        assert_eq!(p.recency_order(), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn assoc_one_always_evicts_zero() {
+        let mut p = Lru::new(1);
+        p.on_fill(0);
+        assert_eq!(p.victim(), 0);
+        p.on_hit(0);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "way index")]
+    fn hit_out_of_range_panics() {
+        let mut p = Lru::new(2);
+        p.on_hit(2);
+    }
+
+    #[test]
+    fn state_key_distinguishes_orders() {
+        let mut a = Lru::new(4);
+        let b = Lru::new(4);
+        a.on_hit(2);
+        assert_ne!(a.state_key(), b.state_key());
+    }
+}

@@ -1,0 +1,147 @@
+//! Not-recently-used replacement (Itanium-style reference bits).
+
+use crate::{check_assoc, check_way, ReplacementPolicy};
+
+/// The not-recently-used policy.
+///
+/// Each way has a reference bit that is set on every access. The victim is
+/// the lowest-indexed way with a cleared bit; if *all* bits are set when a
+/// victim is needed, every bit is cleared first (so the search always
+/// succeeds). NRU differs from [`BitPlru`](crate::BitPlru) in *when* the
+/// clear happens: bit-PLRU clears eagerly when the last bit is set, NRU
+/// clears lazily at eviction time — observably different histories, which
+/// the reverse-engineering test-suite uses to tell the two apart.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::{Nru, ReplacementPolicy};
+///
+/// let mut p = Nru::new(2);
+/// p.on_fill(0);
+/// p.on_fill(1);
+/// // Both bits set: eviction clears all and picks way 0.
+/// assert_eq!(p.victim(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Nru {
+    bits: Vec<bool>,
+}
+
+impl Nru {
+    /// Create an NRU policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize) -> Self {
+        check_assoc(assoc);
+        Self {
+            bits: vec![false; assoc],
+        }
+    }
+
+    /// The reference bits (for inspection and tests).
+    pub fn reference_bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+impl ReplacementPolicy for Nru {
+    fn associativity(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn name(&self) -> String {
+        "NRU".to_owned()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        check_way(way, self.bits.len());
+        self.bits[way] = true;
+    }
+
+    fn victim(&mut self) -> usize {
+        if self.bits.iter().all(|&b| b) {
+            self.bits.iter_mut().for_each(|b| *b = false);
+        }
+        self.bits
+            .iter()
+            .position(|&b| !b)
+            .expect("all bits were just cleared")
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        check_way(way, self.bits.len());
+        self.bits[way] = true;
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        check_way(way, self.bits.len());
+        self.bits[way] = false;
+    }
+
+    fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.bits.iter().map(|&b| b as u8).collect()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_prefers_unreferenced_ways() {
+        let mut p = Nru::new(4);
+        p.on_fill(0);
+        p.on_fill(2);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn all_referenced_triggers_clear() {
+        let mut p = Nru::new(3);
+        for w in 0..3 {
+            p.on_fill(w);
+        }
+        assert_eq!(p.victim(), 0);
+        // The clear is part of victim selection, so the bits are now gone.
+        assert_eq!(p.reference_bits(), &[false, false, false]);
+    }
+
+    #[test]
+    fn differs_from_bit_plru() {
+        use crate::BitPlru;
+        let mut nru = Nru::new(3);
+        let mut bp = BitPlru::new(3);
+        for w in 0..3 {
+            nru.on_fill(w);
+            bp.on_fill(w);
+        }
+        // Bit-PLRU flash-cleared at the third fill (keeping way 2);
+        // NRU still has all bits set and clears lazily at eviction.
+        assert_eq!(bp.mru_bits(), &[false, false, true]);
+        assert_eq!(nru.reference_bits(), &[true, true, true]);
+        nru.on_hit(0);
+        bp.on_hit(0);
+        // NRU: all bits set -> eviction clears everything -> victim 0.
+        // BitPLRU: bits [1,0,1] -> victim 1.
+        assert_eq!(nru.victim(), 0);
+        assert_eq!(bp.victim(), 1);
+    }
+
+    #[test]
+    fn assoc_one() {
+        let mut p = Nru::new(1);
+        p.on_fill(0);
+        assert_eq!(p.victim(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Random replacement.
+
+use crate::{check_assoc, check_way, ReplacementPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random replacement: every eviction picks a uniformly random way.
+///
+/// Several shipped processors (notably many ARM cores, and the L2 of some
+/// Intel designs in "fast pseudo-random" mode) use random or pseudo-random
+/// replacement. In this reproduction it serves two purposes:
+///
+/// * as the hidden policy of the `mystery_rand` virtual CPU, where the
+///   reverse-engineering pipeline must *reject* the permutation-policy
+///   hypothesis (the paper's negative result), and
+/// * as the evaluation baseline that every history-aware policy should
+///   beat on workloads with reuse.
+///
+/// The RNG is seeded, so a given `RandomPolicy` instance replays the same
+/// victim sequence after [`reset`](ReplacementPolicy::reset).
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    assoc: usize,
+    rng: StdRng,
+    seed: u64,
+    draws: u64,
+}
+
+impl RandomPolicy {
+    /// Create a random-replacement policy for a set with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128.
+    pub fn new(assoc: usize, seed: u64) -> Self {
+        check_assoc(assoc);
+        Self {
+            assoc,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
+    }
+
+    /// Number of victim draws made so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn associativity(&self) -> usize {
+        self.assoc
+    }
+
+    fn name(&self) -> String {
+        "Random".to_owned()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        check_way(way, self.assoc);
+    }
+
+    fn victim(&mut self) -> usize {
+        self.draws += 1;
+        self.rng.gen_range(0..self.assoc)
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        check_way(way, self.assoc);
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.draws = 0;
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn state_key(&self) -> Vec<u8> {
+        self.draws.to_le_bytes().to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_are_in_range() {
+        let mut p = RandomPolicy::new(8, 1);
+        for _ in 0..1000 {
+            assert!(p.victim() < 8);
+        }
+    }
+
+    #[test]
+    fn victims_cover_all_ways() {
+        let mut p = RandomPolicy::new(4, 2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[p.victim()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut p = RandomPolicy::new(4, 3);
+        let mut counts = [0u32; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[p.victim()] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 4;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "counts {counts:?} deviate from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_replays_sequence() {
+        let mut p = RandomPolicy::new(8, 99);
+        let first: Vec<usize> = (0..64).map(|_| p.victim()).collect();
+        p.reset();
+        let second: Vec<usize> = (0..64).map(|_| p.victim()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reports_non_deterministic() {
+        assert!(!RandomPolicy::new(2, 0).is_deterministic());
+    }
+}

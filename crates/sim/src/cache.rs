@@ -1,0 +1,353 @@
+//! A complete single-level cache.
+
+use crate::set::SetOutcome;
+use crate::{CacheConfig, CacheSet, CacheStats};
+use cachekit_policies::{PolicyKind, ReplacementPolicy};
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched; `evicted` is the displaced line address.
+    Miss {
+        /// Line address displaced by the fill, if a valid line was evicted.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether this outcome is a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// Whether this outcome is a miss.
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+}
+
+/// A set-associative cache with a replacement policy per set.
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::PolicyKind;
+/// use cachekit_sim::{AccessOutcome, Cache, CacheConfig};
+///
+/// # fn main() -> Result<(), cachekit_sim::ConfigError> {
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64)?, PolicyKind::Lru);
+/// assert!(c.access(0x40).is_miss());
+/// assert!(c.access(0x40).is_hit());
+/// assert!(c.access(0x7f).is_hit()); // same line as 0x40
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    policy_label: String,
+}
+
+impl Cache {
+    /// Create a cache whose sets all use policies of `kind`.
+    pub fn new(config: CacheConfig, kind: PolicyKind) -> Self {
+        Self::with_policy_factory(config, kind.label(), |set| {
+            kind.build(config.associativity(), set)
+        })
+    }
+
+    /// Create a cache with one policy instance per set produced by
+    /// `factory` (called with the set index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced policy's associativity does not match the
+    /// configuration.
+    pub fn with_policy_factory(
+        config: CacheConfig,
+        policy_label: impl Into<String>,
+        mut factory: impl FnMut(u64) -> Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        let sets = (0..config.num_sets())
+            .map(|i| {
+                let p = factory(i);
+                assert_eq!(
+                    p.associativity(),
+                    config.associativity(),
+                    "policy associativity must match the cache configuration"
+                );
+                CacheSet::new(p)
+            })
+            .collect();
+        Self {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            policy_label: policy_label.into(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Label of the replacement policy in use.
+    pub fn policy_label(&self) -> &str {
+        &self.policy_label
+    }
+
+    /// Read the byte at `addr`, updating contents and statistics.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.access_op(addr, false).0
+    }
+
+    /// Write the byte at `addr` (write-allocate, write-back: the line is
+    /// fetched on a miss and marked dirty).
+    pub fn write(&mut self, addr: u64) -> AccessOutcome {
+        self.access_op(addr, true).0
+    }
+
+    /// Read or write `addr`. The second return value is the address of a
+    /// dirty line written back by the fill, if any — multi-level
+    /// hierarchies forward it to the next level.
+    pub fn access_op(&mut self, addr: u64, write: bool) -> (AccessOutcome, Option<u64>) {
+        let set = self.config.set_index(addr);
+        let tag = self.config.tag(addr);
+        if write {
+            self.stats.writes += 1;
+        }
+        let (outcome, writeback) = self.sets[set].access_rw(tag, write);
+        let writeback = writeback.map(|t| {
+            self.stats.writebacks += 1;
+            self.config.addr_of(t, set)
+        });
+        match outcome {
+            SetOutcome::Hit { .. } => {
+                self.stats.record_hit();
+                (AccessOutcome::Hit, writeback)
+            }
+            SetOutcome::Miss { evicted, .. } => {
+                self.stats.record_miss(evicted.is_some());
+                (
+                    AccessOutcome::Miss {
+                        evicted: evicted.map(|t| self.config.addr_of(t, set)),
+                    },
+                    writeback,
+                )
+            }
+        }
+    }
+
+    /// Whether the line containing `addr` is resident (non-perturbing,
+    /// not counted in the statistics).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.sets[self.config.set_index(addr)].contains(self.config.tag(addr))
+    }
+
+    /// Invalidate the line containing `addr`; returns whether it was
+    /// resident.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set = self.config.set_index(addr);
+        let tag = self.config.tag(addr);
+        self.sets[set].invalidate(tag)
+    }
+
+    /// Invalidate all contents (replacement state is preserved, like a
+    /// hardware flush).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.flush();
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset the statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of valid lines across all sets.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(CacheSet::occupancy).sum()
+    }
+
+    /// Borrow a set (for inspection in tests and interference models).
+    pub fn set(&self, index: usize) -> &CacheSet {
+        &self.sets[index]
+    }
+
+    /// Mutably borrow a set (for interference models).
+    pub fn set_mut(&mut self, index: usize) -> &mut CacheSet {
+        &mut self.sets[index]
+    }
+
+    /// Run a read/write operation stream (pairs of `(addr, is_write)`),
+    /// returning the stats delta for the run.
+    pub fn run_ops<I: IntoIterator<Item = (u64, bool)>>(&mut self, ops: I) -> CacheStats {
+        let before = self.stats;
+        for (addr, write) in ops {
+            self.access_op(addr, write);
+        }
+        let mut delta = self.stats;
+        delta.accesses -= before.accesses;
+        delta.hits -= before.hits;
+        delta.misses -= before.misses;
+        delta.evictions -= before.evictions;
+        delta.writes -= before.writes;
+        delta.writebacks -= before.writebacks;
+        delta
+    }
+
+    /// Run a whole address trace, returning the stats delta for the run.
+    pub fn run_trace<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> CacheStats {
+        let before = self.stats;
+        for addr in trace {
+            self.access(addr);
+        }
+        let mut delta = self.stats;
+        delta.accesses -= before.accesses;
+        delta.hits -= before.hits;
+        delta.misses -= before.misses;
+        delta.evictions -= before.evictions;
+        delta.writes -= before.writes;
+        delta.writebacks -= before.writebacks;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lru() -> Cache {
+        Cache::new(CacheConfig::new(1024, 2, 64).unwrap(), PolicyKind::Lru)
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = small_lru();
+        assert!(c.access(0x100).is_miss());
+        for off in 0..64 {
+            assert!(c.access(0x100 + off).is_hit());
+        }
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small_lru(); // 8 sets, 2 ways
+                                 // Fill three lines in three different sets; all must coexist.
+        for addr in [0x000u64, 0x040, 0x080] {
+            c.access(addr);
+        }
+        for addr in [0x000u64, 0x040, 0x080] {
+            assert!(c.contains(addr));
+        }
+    }
+
+    #[test]
+    fn conflict_misses_in_one_set() {
+        let mut c = small_lru();
+        let ws = c.config().way_size();
+        // Three lines mapping to set 0 in a 2-way cache thrash under LRU
+        // when accessed cyclically.
+        let lines = [0u64, ws, 2 * ws];
+        for &a in &lines {
+            c.access(a);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &a in &lines {
+                assert!(c.access(a).is_miss());
+            }
+        }
+        assert_eq!(c.stats().misses, 30);
+    }
+
+    #[test]
+    fn eviction_reports_displaced_line_address() {
+        let mut c = small_lru();
+        let ws = c.config().way_size();
+        c.access(0);
+        c.access(ws);
+        match c.access(2 * ws) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(0)),
+            _ => panic!("expected an eviction"),
+        }
+    }
+
+    #[test]
+    fn flush_forces_cold_misses_again() {
+        let mut c = small_lru();
+        c.access(0x40);
+        assert!(c.access(0x40).is_hit());
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.access(0x40).is_miss());
+    }
+
+    #[test]
+    fn run_trace_returns_delta() {
+        let mut c = small_lru();
+        c.access(0x40);
+        let delta = c.run_trace([0x40u64, 0x40, 0x80]);
+        assert_eq!(delta.accesses, 3);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.misses, 1);
+    }
+
+    #[test]
+    fn whole_cache_capacity_fits_exactly() {
+        let mut c = small_lru();
+        let line = c.config().line_size();
+        let n_lines = c.config().capacity() / line;
+        for i in 0..n_lines {
+            assert!(c.access(i * line).is_miss());
+        }
+        // A second pass hits everywhere: the working set fits exactly.
+        for i in 0..n_lines {
+            assert!(c.access(i * line).is_hit());
+        }
+    }
+
+    #[test]
+    fn writes_produce_writebacks_on_eviction() {
+        let mut c = small_lru();
+        let ws = c.config().way_size();
+        c.write(0);
+        c.access(ws);
+        // Third conflicting line evicts the dirty line 0.
+        let (outcome, wb) = c.access_op(2 * ws, false);
+        assert!(outcome.is_miss());
+        assert_eq!(wb, Some(0));
+        let stats = c.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_evictions_do_not_write_back() {
+        let mut c = small_lru();
+        let ws = c.config().way_size();
+        c.access(0);
+        c.access(ws);
+        let (_, wb) = c.access_op(2 * ws, false);
+        assert_eq!(wb, None);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must match")]
+    fn factory_with_wrong_assoc_panics() {
+        let cfg = CacheConfig::new(1024, 2, 64).unwrap();
+        let _ = Cache::with_policy_factory(cfg, "bad", |_| PolicyKind::Lru.build(4, 0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-level cache hierarchies.
+
+use crate::{AccessOutcome, Cache, CacheConfig, CacheStats};
+use cachekit_policies::PolicyKind;
+
+/// Specification of one cache level.
+#[derive(Debug, Clone)]
+pub struct LevelSpec {
+    /// Geometry of the level.
+    pub config: CacheConfig,
+    /// Replacement policy of the level.
+    pub policy: PolicyKind,
+}
+
+impl LevelSpec {
+    /// Convenience constructor.
+    pub fn new(config: CacheConfig, policy: PolicyKind) -> Self {
+        Self { config, policy }
+    }
+}
+
+/// Outcome of a hierarchy access: which level (0-based) satisfied it, or
+/// `Memory` if every level missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyOutcome {
+    /// Satisfied by the cache at the given index (0 = L1).
+    Level(usize),
+    /// Satisfied by main memory.
+    Memory,
+}
+
+impl HierarchyOutcome {
+    /// The deepest level that was *looked up* (all levels up to and
+    /// including the hit level, or all of them on a full miss).
+    pub fn levels_probed(&self, total: usize) -> usize {
+        match *self {
+            HierarchyOutcome::Level(l) => l + 1,
+            HierarchyOutcome::Memory => total,
+        }
+    }
+}
+
+/// A non-inclusive multi-level cache hierarchy.
+///
+/// An access probes L1 first; on a miss it proceeds to the next level, and
+/// the line is filled into every level it missed in (no back-invalidation
+/// on evictions — non-inclusive, non-exclusive, the organisation of the
+/// Core 2 family the paper targets).
+///
+/// # Example
+///
+/// ```
+/// use cachekit_policies::PolicyKind;
+/// use cachekit_sim::{CacheConfig, Hierarchy, HierarchyOutcome, LevelSpec};
+///
+/// # fn main() -> Result<(), cachekit_sim::ConfigError> {
+/// let mut h = Hierarchy::new(vec![
+///     LevelSpec::new(CacheConfig::new(32 * 1024, 8, 64)?, PolicyKind::TreePlru),
+///     LevelSpec::new(CacheConfig::new(2 * 1024 * 1024, 8, 64)?, PolicyKind::TreePlru),
+/// ]);
+/// assert_eq!(h.access(0x1000), HierarchyOutcome::Memory);
+/// assert_eq!(h.access(0x1000), HierarchyOutcome::Level(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy from level specifications, L1 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<LevelSpec>) -> Self {
+        assert!(!specs.is_empty(), "a hierarchy needs at least one level");
+        Self {
+            levels: specs
+                .into_iter()
+                .map(|s| Cache::new(s.config, s.policy))
+                .collect(),
+        }
+    }
+
+    /// Build a hierarchy from already-constructed caches, L1 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn from_caches(levels: Vec<Cache>) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        Self { levels }
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Read `addr`, filling the line into every level that missed.
+    pub fn access(&mut self, addr: u64) -> HierarchyOutcome {
+        self.access_op(addr, false)
+    }
+
+    /// Write `addr` (write-allocate, write-back at every level).
+    pub fn write(&mut self, addr: u64) -> HierarchyOutcome {
+        self.access_op(addr, true)
+    }
+
+    /// Read or write `addr`. Dirty victims displaced at level `i` are
+    /// written through to level `i + 1` (or to memory from the last
+    /// level), as a write-back hierarchy does.
+    pub fn access_op(&mut self, addr: u64, write: bool) -> HierarchyOutcome {
+        let depth = self.levels.len();
+        let mut result = HierarchyOutcome::Memory;
+        let mut writebacks: Vec<(usize, u64)> = Vec::new();
+        for i in 0..depth {
+            // The dirty bit lands in the innermost level only: the fill
+            // into deeper levels is a clean read-for-ownership fetch.
+            let (outcome, wb) = self.levels[i].access_op(addr, write && i == 0);
+            if let Some(victim) = wb {
+                if i + 1 < depth {
+                    writebacks.push((i + 1, victim));
+                }
+            }
+            if let AccessOutcome::Hit = outcome {
+                result = HierarchyOutcome::Level(i);
+                break;
+            }
+        }
+        // Absorb the write-backs after the demand access settles: each is
+        // a write at the next level (possibly cascading further).
+        while let Some((level, victim)) = writebacks.pop() {
+            let (_, wb) = self.levels[level].access_op(victim, true);
+            if let Some(next_victim) = wb {
+                if level + 1 < depth {
+                    writebacks.push((level + 1, next_victim));
+                }
+            }
+        }
+        result
+    }
+
+    /// Flush every level.
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            level.flush();
+        }
+    }
+
+    /// Borrow a level (0 = L1).
+    pub fn level(&self, i: usize) -> &Cache {
+        &self.levels[i]
+    }
+
+    /// Mutably borrow a level (0 = L1).
+    pub fn level_mut(&mut self, i: usize) -> &mut Cache {
+        &mut self.levels[i]
+    }
+
+    /// Per-level statistics, L1 first.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.levels.iter().map(Cache::stats).collect()
+    }
+
+    /// Reset statistics on every level.
+    pub fn reset_stats(&mut self) {
+        for level in &mut self.levels {
+            level.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Hierarchy {
+        Hierarchy::new(vec![
+            LevelSpec::new(CacheConfig::new(512, 2, 64).unwrap(), PolicyKind::Lru),
+            LevelSpec::new(CacheConfig::new(4096, 4, 64).unwrap(), PolicyKind::Lru),
+        ])
+    }
+
+    #[test]
+    fn first_touch_goes_to_memory() {
+        let mut h = two_level();
+        assert_eq!(h.access(0), HierarchyOutcome::Memory);
+        assert_eq!(h.access(0), HierarchyOutcome::Level(0));
+    }
+
+    #[test]
+    fn l1_eviction_leaves_l2_copy() {
+        let mut h = two_level();
+        let l1_ways = h.level(0).config().way_size();
+        // Three conflicting L1 lines (2-way L1): the first gets evicted
+        // from L1 but must still hit in L2.
+        h.access(0);
+        h.access(l1_ways);
+        h.access(2 * l1_ways);
+        assert!(!h.level(0).contains(0));
+        assert_eq!(h.access(0), HierarchyOutcome::Level(1));
+        // And it is refilled into L1 on the way.
+        assert_eq!(h.access(0), HierarchyOutcome::Level(0));
+    }
+
+    #[test]
+    fn stats_track_per_level_traffic() {
+        let mut h = two_level();
+        h.access(0); // L1 miss, L2 miss
+        h.access(0); // L1 hit
+        let stats = h.stats();
+        assert_eq!(stats[0].accesses, 2);
+        assert_eq!(stats[0].misses, 1);
+        assert_eq!(stats[1].accesses, 1);
+        assert_eq!(stats[1].misses, 1);
+    }
+
+    #[test]
+    fn flush_empties_all_levels() {
+        let mut h = two_level();
+        h.access(0);
+        h.flush();
+        assert_eq!(h.access(0), HierarchyOutcome::Memory);
+    }
+
+    #[test]
+    fn levels_probed_counts_lookups() {
+        assert_eq!(HierarchyOutcome::Level(0).levels_probed(2), 1);
+        assert_eq!(HierarchyOutcome::Level(1).levels_probed(2), 2);
+        assert_eq!(HierarchyOutcome::Memory.levels_probed(2), 2);
+    }
+
+    #[test]
+    fn dirty_l1_victims_are_written_back_into_l2() {
+        let mut h = two_level();
+        let l1_ways = h.level(0).config().way_size();
+        h.write(0); // dirty in L1 (and resident in L2 from the fill)
+        h.access(l1_ways);
+        h.access(2 * l1_ways); // evicts the dirty line from L1
+        assert_eq!(h.level(1).stats().writes, 1, "L2 absorbed the write-back");
+        // The line is still (cleanly re-readable) from L2.
+        assert_eq!(h.access(0), HierarchyOutcome::Level(1));
+    }
+
+    #[test]
+    fn write_hits_do_not_traverse_levels() {
+        let mut h = two_level();
+        h.access(0);
+        h.write(0); // L1 hit: the L2 must not see a second access
+        assert_eq!(h.level(1).stats().accesses, 1);
+        assert_eq!(h.level(0).stats().writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_panics() {
+        let _ = Hierarchy::new(vec![]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Belady's OPT (MIN): the offline-optimal replacement baseline.
+//!
+//! OPT evicts the resident line whose next use lies farthest in the
+//! future — provably minimal misses, but it requires knowing the future,
+//! so it cannot be a [`ReplacementPolicy`](cachekit_policies::ReplacementPolicy)
+//! (those see one access at a time). It lives here as a trace-level
+//! simulator and serves as the evaluation's upper bound: the gap between
+//! a real policy and OPT is the headroom replacement research fights
+//! over.
+
+use crate::{CacheConfig, CacheStats};
+use std::collections::HashMap;
+
+/// Simulate `trace` under Belady's OPT on the given geometry, returning
+/// the (minimal) statistics.
+///
+/// Two passes: the first computes, for every access, the position of the
+/// next access to the same line; the second simulates, evicting the
+/// resident line with the farthest next use (never-used-again lines
+/// first).
+pub fn simulate_opt(config: CacheConfig, trace: &[u64]) -> CacheStats {
+    // Pass 1: next-use chain. next_use[i] = index of the next access to
+    // the same line after i (usize::MAX if none).
+    let lines: Vec<u64> = trace.iter().map(|&a| config.line_addr(a)).collect();
+    let mut next_use = vec![usize::MAX; trace.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &line) in lines.iter().enumerate() {
+        if let Some(&prev) = last_seen.get(&line) {
+            next_use[prev] = i;
+        }
+        last_seen.insert(line, i);
+    }
+
+    // Pass 2: per set, resident lines mapped to their next-use index.
+    let num_sets = config.num_sets() as usize;
+    let assoc = config.associativity();
+    let mut sets: Vec<HashMap<u64, usize>> = vec![HashMap::new(); num_sets];
+    let mut stats = CacheStats::default();
+
+    for (i, &line) in lines.iter().enumerate() {
+        let set = &mut sets[config.set_index(line)];
+        if let Some(entry) = set.get_mut(&line) {
+            *entry = next_use[i];
+            stats.record_hit();
+            continue;
+        }
+        let evicted = if set.len() == assoc {
+            // Evict the farthest next use (usize::MAX = never again).
+            let (&victim, _) = set
+                .iter()
+                .max_by_key(|&(_, &next)| next)
+                .expect("set is full");
+            set.remove(&victim);
+            true
+        } else {
+            false
+        };
+        set.insert(line, next_use[i]);
+        stats.record_miss(evicted);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::simulate;
+    use cachekit_policies::PolicyKind;
+
+    fn cfg_one_set(assoc: usize) -> CacheConfig {
+        CacheConfig::new(assoc as u64 * 64, assoc, 64).unwrap()
+    }
+
+    #[test]
+    fn textbook_belady_example() {
+        // The classic 3-frame reference string (as cache lines).
+        let refs = [
+            7u64, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1,
+        ];
+        let trace: Vec<u64> = refs.iter().map(|&r| r * 64).collect();
+        let stats = simulate_opt(cfg_one_set(3), &trace);
+        // Belady's example famously yields 9 faults.
+        assert_eq!(stats.misses, 9);
+        assert_eq!(stats.hits, 11);
+    }
+
+    #[test]
+    fn opt_lower_bounds_every_online_policy() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let config = CacheConfig::new(4096, 4, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let trace: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..256u64) * 64).collect();
+            let opt = simulate_opt(config, &trace);
+            for kind in PolicyKind::evaluation_kinds() {
+                let online = simulate(config, kind, &trace);
+                assert!(
+                    opt.misses <= online.misses,
+                    "OPT ({}) beaten by {} ({})",
+                    opt.misses,
+                    kind.label(),
+                    online.misses
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_equals_everyone_on_fitting_working_sets() {
+        let config = CacheConfig::new(4096, 4, 64).unwrap();
+        let trace: Vec<u64> = (0..64u64).cycle().take(640).map(|i| i * 64).collect();
+        let opt = simulate_opt(config, &trace);
+        assert_eq!(opt.misses, 64); // cold misses only
+    }
+
+    #[test]
+    fn opt_exploits_the_future_on_a_thrash_loop() {
+        // Cyclic A+1 over an A-way set: LRU misses always; OPT keeps A-1
+        // lines pinned and misses only on the rotating pair.
+        let assoc = 4;
+        let config = cfg_one_set(assoc);
+        let lines = assoc as u64 + 1;
+        let trace: Vec<u64> = (0..lines).cycle().take(200).map(|i| i * 64).collect();
+        let opt = simulate_opt(config, &trace);
+        let lru = simulate(config, PolicyKind::Lru, &trace);
+        assert!(lru.miss_ratio() > 0.95);
+        assert!(
+            opt.miss_ratio() < 0.35,
+            "OPT should contain the thrash: {}",
+            opt.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let config = CacheConfig::new(2048, 2, 64).unwrap();
+        let trace: Vec<u64> = (0..500u64).map(|i| (i * 192) % 8192).collect();
+        let s = simulate_opt(config, &trace);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.accesses, 500);
+    }
+}

@@ -1,0 +1,292 @@
+//! A single cache set: tags, validity and replacement state.
+
+use cachekit_policies::ReplacementPolicy;
+
+/// One set of a set-associative cache.
+///
+/// Stores the tag of each way (or `None` when invalid) together with the
+/// set's replacement policy instance. All higher-level behaviour — address
+/// mapping, statistics, multi-level composition — lives in
+/// [`Cache`](crate::Cache); the set only answers "hit or miss, and whom do
+/// I evict".
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+/// Result of a set lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SetOutcome {
+    /// The tag was present in the given way.
+    Hit {
+        /// The way that matched.
+        way: usize,
+    },
+    /// The tag was installed; `evicted` is the tag it displaced, if any.
+    Miss {
+        /// The way the new line was installed into.
+        way: usize,
+        /// Tag displaced by the fill (`None` if the way was invalid).
+        evicted: Option<u64>,
+    },
+}
+
+impl CacheSet {
+    /// Create a set using the given policy instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's associativity is zero (excluded by policy
+    /// constructors).
+    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        let assoc = policy.associativity();
+        assert!(assoc >= 1);
+        Self {
+            tags: vec![None; assoc],
+            dirty: vec![false; assoc],
+            policy,
+        }
+    }
+
+    /// Number of ways.
+    pub fn associativity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Look up `tag`; on a miss, install it (filling an invalid way if one
+    /// exists, otherwise evicting the policy's victim).
+    pub(crate) fn access(&mut self, tag: u64) -> SetOutcome {
+        self.access_rw(tag, false).0
+    }
+
+    /// Read or write `tag`. Writes mark the line dirty (write-allocate).
+    /// The second return value is the tag of a *dirty* evicted line, if
+    /// the fill displaced one (the write-back the next level must absorb).
+    pub(crate) fn access_rw(&mut self, tag: u64, write: bool) -> (SetOutcome, Option<u64>) {
+        if let Some(way) = self.way_of(tag) {
+            self.policy.on_hit(way);
+            if write {
+                self.dirty[way] = true;
+            }
+            return (SetOutcome::Hit { way }, None);
+        }
+        let way = match self.tags.iter().position(Option::is_none) {
+            Some(invalid) => invalid,
+            None => self.policy.victim(),
+        };
+        let evicted = self.tags[way].take();
+        let writeback = if self.dirty[way] { evicted } else { None };
+        self.tags[way] = Some(tag);
+        self.dirty[way] = write;
+        self.policy.on_fill(way);
+        (SetOutcome::Miss { way, evicted }, writeback)
+    }
+
+    /// Whether the line holding `tag` is dirty.
+    pub fn is_dirty(&self, tag: u64) -> bool {
+        self.way_of(tag).is_some_and(|w| self.dirty[w])
+    }
+
+    /// Public tag-level access for callers that drive a bare set without
+    /// an address mapping (the reverse-engineering derivations treat tags
+    /// as abstract block ids).
+    ///
+    /// In the returned outcome, `evicted` carries the displaced *tag*.
+    pub fn access_tag(&mut self, tag: u64) -> crate::AccessOutcome {
+        match self.access(tag) {
+            SetOutcome::Hit { .. } => crate::AccessOutcome::Hit,
+            SetOutcome::Miss { evicted, .. } => crate::AccessOutcome::Miss { evicted },
+        }
+    }
+
+    /// Whether `tag` is resident (non-perturbing).
+    pub fn contains(&self, tag: u64) -> bool {
+        self.way_of(tag).is_some()
+    }
+
+    /// The tag resident in `way`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn tag_in_way(&self, way: usize) -> Option<u64> {
+        self.tags[way]
+    }
+
+    /// The way holding `tag`, if resident.
+    pub fn way_of(&self, tag: u64) -> Option<usize> {
+        self.tags.iter().position(|&t| t == Some(tag))
+    }
+
+    /// Invalidate `tag` if resident; returns whether a line was dropped.
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        if let Some(way) = self.way_of(tag) {
+            self.tags[way] = None;
+            self.dirty[way] = false;
+            self.policy.on_invalidate(way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate every line. The replacement state is *not* reset —
+    /// mirroring real hardware, where `wbinvd` drops contents but leaves
+    /// LRU/PLRU bits alone.
+    pub fn flush(&mut self) {
+        for way in 0..self.tags.len() {
+            if self.tags[way].take().is_some() {
+                self.dirty[way] = false;
+                self.policy.on_invalidate(way);
+            }
+        }
+    }
+
+    /// Evict the line in `way` directly (used by interference models to
+    /// emulate external evictions). Returns the evicted tag.
+    pub fn force_evict(&mut self, way: usize) -> Option<u64> {
+        let t = self.tags[way].take();
+        if t.is_some() {
+            self.dirty[way] = false;
+            self.policy.on_invalidate(way);
+        }
+        t
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// The resident tags in way order.
+    pub fn resident_tags(&self) -> Vec<u64> {
+        self.tags.iter().filter_map(|&t| t).collect()
+    }
+
+    /// Access to the policy (for inspection in tests).
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekit_policies::{Lru, PolicyKind};
+
+    fn lru_set(assoc: usize) -> CacheSet {
+        CacheSet::new(Box::new(Lru::new(assoc)))
+    }
+
+    #[test]
+    fn fills_use_invalid_ways_first() {
+        let mut s = lru_set(4);
+        for tag in 0..4 {
+            match s.access(tag) {
+                SetOutcome::Miss { way, evicted } => {
+                    assert_eq!(way, tag as usize);
+                    assert_eq!(evicted, None);
+                }
+                SetOutcome::Hit { .. } => panic!("cold access can't hit"),
+            }
+        }
+        assert_eq!(s.occupancy(), 4);
+    }
+
+    #[test]
+    fn full_set_evicts_lru_victim() {
+        let mut s = lru_set(2);
+        s.access(10);
+        s.access(20);
+        match s.access(30) {
+            SetOutcome::Miss { evicted, .. } => assert_eq!(evicted, Some(10)),
+            _ => panic!("expected miss"),
+        }
+        assert!(s.contains(20));
+        assert!(s.contains(30));
+        assert!(!s.contains(10));
+    }
+
+    #[test]
+    fn hit_updates_policy() {
+        let mut s = lru_set(2);
+        s.access(1);
+        s.access(2);
+        assert!(matches!(s.access(1), SetOutcome::Hit { way: 0 }));
+        match s.access(3) {
+            SetOutcome::Miss { evicted, .. } => assert_eq!(evicted, Some(2)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn invalidate_and_refill() {
+        let mut s = lru_set(2);
+        s.access(1);
+        s.access(2);
+        assert!(s.invalidate(1));
+        assert!(!s.invalidate(1));
+        assert_eq!(s.occupancy(), 1);
+        // Next miss must reuse the invalid way, not evict tag 2.
+        match s.access(3) {
+            SetOutcome::Miss { evicted, .. } => assert_eq!(evicted, None),
+            _ => panic!(),
+        }
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    fn flush_drops_contents_but_not_policy_state() {
+        let mut s = CacheSet::new(PolicyKind::Fifo.build(2, 0));
+        s.access(1);
+        s.access(2);
+        s.flush();
+        assert_eq!(s.occupancy(), 0);
+        // Tags are gone, contains is false.
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_evictions_report_writebacks() {
+        let mut s = lru_set(2);
+        s.access_rw(1, true);
+        assert!(s.is_dirty(1));
+        s.access_rw(2, false);
+        assert!(!s.is_dirty(2));
+        // Evicting the dirty line 1 reports a write-back.
+        let (outcome, wb) = s.access_rw(3, false);
+        assert!(matches!(outcome, SetOutcome::Miss { .. }));
+        assert_eq!(wb, Some(1));
+        // Evicting the clean line 2 does not.
+        let (_, wb) = s.access_rw(4, true);
+        assert_eq!(wb, None);
+    }
+
+    #[test]
+    fn hit_write_dirties_resident_line() {
+        let mut s = lru_set(2);
+        s.access_rw(7, false);
+        assert!(!s.is_dirty(7));
+        s.access_rw(7, true);
+        assert!(s.is_dirty(7));
+    }
+
+    #[test]
+    fn invalidate_clears_dirtiness() {
+        let mut s = lru_set(2);
+        s.access_rw(1, true);
+        s.invalidate(1);
+        s.access_rw(1, false);
+        assert!(!s.is_dirty(1));
+    }
+
+    #[test]
+    fn force_evict_reports_tag() {
+        let mut s = lru_set(2);
+        s.access(5);
+        assert_eq!(s.force_evict(0), Some(5));
+        assert_eq!(s.force_evict(0), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Trace serialization: a plain-text interchange format.
+//!
+//! One operation per line: an `R` or `W` marker followed by a hex
+//! address, e.g.
+//!
+//! ```text
+//! R 0x7f3a00
+//! W 0x7f3a40
+//! # comments and blank lines are ignored
+//! ```
+//!
+//! A bare address line is read as a read — so a file that is just a list
+//! of hex addresses (the classic "din-lite" dump) loads too.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One memory operation of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Byte address.
+    pub addr: u64,
+    /// Whether the operation is a write.
+    pub write: bool,
+}
+
+impl MemOp {
+    /// A read.
+    pub fn read(addr: u64) -> Self {
+        Self { addr, write: false }
+    }
+
+    /// A write.
+    pub fn write(addr: u64) -> Self {
+        Self { addr, write: true }
+    }
+}
+
+/// Error while parsing a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither an operation nor a comment.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::BadLine { line, content } => {
+                write!(f, "bad trace line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serialize `ops` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace<W: Write>(ops: &[MemOp], out: &mut W) -> std::io::Result<()> {
+    for op in ops {
+        writeln!(out, "{} {:#x}", if op.write { 'W' } else { 'R' }, op.addr)?;
+    }
+    Ok(())
+}
+
+/// Parse a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadLine`] for malformed lines and
+/// [`TraceIoError::Io`] for underlying read failures.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceIoError> {
+    let mut ops = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = || TraceIoError::BadLine {
+            line: i + 1,
+            content: trimmed.to_owned(),
+        };
+        let (write, addr_str) = match trimmed.split_once(char::is_whitespace) {
+            Some((marker, rest)) => match marker {
+                "R" | "r" => (false, rest.trim()),
+                "W" | "w" => (true, rest.trim()),
+                _ => return Err(bad()),
+            },
+            None => (false, trimmed),
+        };
+        let addr = parse_addr(addr_str).ok_or_else(bad)?;
+        ops.push(MemOp { addr, write });
+    }
+    Ok(ops)
+}
+
+fn parse_addr(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+/// Attach write markers to an address trace: each access becomes a write
+/// with probability `write_fraction` (seeded, reproducible).
+pub fn with_writes(addrs: &[u64], write_fraction: f64, seed: u64) -> Vec<MemOp> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(
+        (0.0..=1.0).contains(&write_fraction),
+        "fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    addrs
+        .iter()
+        .map(|&addr| MemOp {
+            addr,
+            write: rng.gen_bool(write_fraction),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ops = vec![MemOp::read(0x40), MemOp::write(0x1000), MemOp::read(7)];
+        let mut buf = Vec::new();
+        write_trace(&ops, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn comments_blanks_and_bare_addresses_are_accepted() {
+        let text = "# a trace\n\n0x40\n64\nW 0x80\n";
+        let ops = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(
+            ops,
+            vec![MemOp::read(0x40), MemOp::read(64), MemOp::write(0x80)]
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let text = "R 0x40\nX 12\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::BadLine { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "X 12");
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_writes_is_reproducible_and_proportional() {
+        let addrs: Vec<u64> = (0..10_000).collect();
+        let a = with_writes(&addrs, 0.3, 1);
+        let b = with_writes(&addrs, 0.3, 1);
+        assert_eq!(a, b);
+        let writes = a.iter().filter(|op| op.write).count();
+        assert!((2500..3500).contains(&writes), "writes = {writes}");
+    }
+}

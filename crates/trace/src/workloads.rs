@@ -1,0 +1,204 @@
+//! The named workload suite used by the evaluation figures.
+//!
+//! Each workload is an access-pattern archetype, scaled relative to the
+//! capacity of the cache under evaluation so that the interesting
+//! regime (fits / almost fits / thrashes) is hit regardless of the
+//! concrete geometry.
+
+use crate::gen;
+use crate::stack_dist::StackDistanceProfile;
+
+/// A named, generated memory trace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier used in tables (e.g. `"thrash_loop"`).
+    pub name: &'static str,
+    /// One-line description of the access pattern.
+    pub description: &'static str,
+    /// The address trace.
+    pub trace: Vec<u64>,
+}
+
+impl Workload {
+    fn new(name: &'static str, description: &'static str, trace: Vec<u64>) -> Self {
+        Self {
+            name,
+            description,
+            trace,
+        }
+    }
+}
+
+/// Build the eight-workload evaluation suite for a cache of
+/// `capacity` bytes with `line`-byte lines.
+///
+/// The suite mirrors the archetypes a SPEC-style evaluation exercises:
+///
+/// | name            | pattern                                            |
+/// |-----------------|----------------------------------------------------|
+/// | `seq_stream`    | streaming scan, 4× capacity                        |
+/// | `fit_loop`      | cyclic working set at 1/2 capacity                 |
+/// | `thrash_loop`   | cyclic working set at 9/8 capacity                 |
+/// | `zipf_hot`      | Zipf(1.1) over 4× capacity                         |
+/// | `ptr_chase`     | random pointer chase over 2× capacity              |
+/// | `matmul`        | naive matrix multiply, ~2× capacity footprint      |
+/// | `stack_geo`     | geometric stack-distance profile around capacity   |
+/// | `scan_plus_hot` | hot loop at 1/4 capacity disturbed by a 4× scan    |
+/// | `phase_switch`  | Zipf hot set relocating to a disjoint region per phase |
+/// | `col_walk`      | column-major walk of a row-major matrix, twice     |
+///
+/// # Panics
+///
+/// Panics if `capacity` is smaller than 16 lines.
+pub fn suite(capacity: u64, line: u64, seed: u64) -> Vec<Workload> {
+    let cap_lines = capacity / line;
+    assert!(cap_lines >= 16, "capacity must hold at least 16 lines");
+
+    let seq = gen::sequential_scan(4 * capacity, 2, line);
+
+    let fit_passes = 40;
+    let fit = gen::cyclic_working_set(cap_lines / 2, fit_passes, line);
+
+    let thrash_lines = cap_lines + cap_lines / 8;
+    let thrash_passes = (80_000 / thrash_lines.max(1) as usize).clamp(8, 200);
+    let thrash = gen::cyclic_working_set(thrash_lines, thrash_passes, line);
+
+    let zipf = gen::zipf(4 * cap_lines, 1.1, 200_000, line, seed ^ 0x1);
+
+    let chase = gen::pointer_chase(2 * cap_lines, 200_000, line, seed ^ 0x2);
+
+    // Pick n so 3 n^2 elements of 8 bytes ~ 2x capacity.
+    let n = (((2 * capacity) as f64 / (3.0 * 8.0)).sqrt() as usize).max(8);
+    let mm = gen::matmul(n, 8);
+
+    let profile =
+        StackDistanceProfile::geometric(2.0 / cap_lines as f64, (2 * cap_lines) as usize, 0.02);
+    let stack = profile.generate(200_000, line, seed ^ 0x3);
+
+    // Mixed phase tuned so that, at an 8-way geometry of this capacity,
+    // the scan injects more than one associativity's worth of fresh lines
+    // into each set between two reuses of a hot line — enough to flush
+    // the hot loop out of a pure-recency policy, while insertion-throttled
+    // policies (LIP/BIP) keep it resident.
+    let hot = gen::cyclic_working_set(cap_lines / 4, 40, line);
+    let scan = gen::sequential_scan(4 * capacity, 10, line);
+    let mixed = gen::interleave(&hot, 8, &scan, 40);
+
+    // Phased behaviour: the hot set relocates to a disjoint region every
+    // phase (programs switching working sets), stressing adaptivity.
+    let phase_len = 40_000;
+    let phases: Vec<Vec<u64>> = (0..4u64)
+        .map(|ph| {
+            let base = ph * 8 * capacity;
+            gen::zipf(2 * cap_lines, 1.1, phase_len, line, seed ^ (0x10 + ph))
+                .into_iter()
+                .map(|a| a + base)
+                .collect()
+        })
+        .collect();
+    let phased = gen::concat(phases);
+
+    // Column-major walk of a row-major matrix: long strides that hammer a
+    // subset of sets, twice (so the second pass measures retention).
+    let cols = 512usize;
+    let rows = (2 * capacity / (cols as u64 * 8)) as usize;
+    let one_pass = gen::matrix_walk(rows.max(8), cols, 8, false, 0);
+    let col_walk = gen::concat([one_pass.clone(), one_pass]);
+
+    vec![
+        Workload::new("seq_stream", "streaming scan, 4x capacity", seq),
+        Workload::new("fit_loop", "cyclic working set at 1/2 capacity", fit),
+        Workload::new("thrash_loop", "cyclic working set at 9/8 capacity", thrash),
+        Workload::new("zipf_hot", "Zipf(1.1) over 4x capacity", zipf),
+        Workload::new("ptr_chase", "pointer chase over 2x capacity", chase),
+        Workload::new("matmul", "naive matmul, ~2x capacity footprint", mm),
+        Workload::new(
+            "stack_geo",
+            "geometric stack-distance profile around capacity",
+            stack,
+        ),
+        Workload::new(
+            "scan_plus_hot",
+            "hot loop at 1/4 capacity disturbed by a 4x scan",
+            mixed,
+        ),
+        Workload::new(
+            "phase_switch",
+            "Zipf hot set relocating to a disjoint region per phase",
+            phased,
+        ),
+        Workload::new(
+            "col_walk",
+            "column-major walk of a row-major matrix, twice",
+            col_walk,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_nonempty_workloads() {
+        let s = suite(64 * 1024, 64, 0);
+        assert_eq!(s.len(), 10);
+        for w in &s {
+            assert!(!w.trace.is_empty(), "{} is empty", w.name);
+            assert!(!w.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let s = suite(64 * 1024, 64, 0);
+        let mut names: Vec<_> = s.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn suite_is_reproducible() {
+        let a = suite(32 * 1024, 64, 5);
+        let b = suite(32 * 1024, 64, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace, y.trace, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn fit_loop_fits_and_thrash_loop_does_not() {
+        let capacity = 64 * 1024u64;
+        let line = 64u64;
+        let s = suite(capacity, line, 0);
+        let distinct = |t: &[u64]| {
+            t.iter()
+                .map(|a| a / line)
+                .collect::<std::collections::HashSet<_>>()
+                .len() as u64
+        };
+        let fit = s.iter().find(|w| w.name == "fit_loop").unwrap();
+        let thrash = s.iter().find(|w| w.name == "thrash_loop").unwrap();
+        assert!(distinct(&fit.trace) <= capacity / line / 2);
+        assert!(distinct(&thrash.trace) > capacity / line);
+    }
+
+    #[test]
+    fn phases_are_disjoint() {
+        let s = suite(64 * 1024, 64, 0);
+        let w = s.iter().find(|w| w.name == "phase_switch").unwrap();
+        let quarter = w.trace.len() / 4;
+        let first: std::collections::HashSet<u64> =
+            w.trace[..quarter].iter().map(|a| a / 64).collect();
+        let last: std::collections::HashSet<u64> =
+            w.trace[3 * quarter..].iter().map(|a| a / 64).collect();
+        assert!(first.is_disjoint(&last), "phases must not share lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 lines")]
+    fn tiny_capacity_panics() {
+        let _ = suite(512, 64, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Interactive membership queries against policies and virtual hardware —
+//! the CacheQuery-style interface built on the reproduction.
+//!
+//! Run with:
+//! `cargo run --release --example cache_query -- "A B C A? B?"`
+//! (defaults to a classic LRU/FIFO/PLRU distinguishing query).
+//!
+//! Each access is a named block; a trailing `?` measures whether that
+//! access hits. The query runs against every deterministic policy at
+//! 4 ways, and against the L2 of the `core2_e6300` virtual CPU through
+//! real (simulated) measurements.
+
+use cachekit::core::infer::Geometry;
+use cachekit::core::query::Query;
+use cachekit::hw::{fleet, CacheLevel, LevelOracle};
+use cachekit::policies::PolicyKind;
+
+fn main() {
+    let input = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "A B C D E A? B? C?".to_owned());
+    let query: Query = match input.parse() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("cannot parse query {input:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("query: {query}\n");
+
+    println!("{:<10} outcome (M = miss, H = hit)", "policy");
+    for kind in PolicyKind::deterministic_kinds() {
+        let policy = kind.build(4, 0);
+        let outcome = query.run_policy(policy.as_ref());
+        println!("{:<10} {}", kind.label(), outcome.pattern());
+    }
+
+    // The same query against simulated hardware, through measurements.
+    let mut cpu = fleet::core2_e6300();
+    let geometry = Geometry {
+        line_size: cpu.l2_config().line_size(),
+        capacity: cpu.l2_config().capacity(),
+        associativity: cpu.l2_config().associativity(),
+        num_sets: cpu.l2_config().num_sets(),
+    };
+    let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L2);
+    let outcome = query.run_oracle(&mut oracle, &geometry, 3);
+    println!("\ncore2_e6300 L2 (measured): {}", outcome.pattern());
+}

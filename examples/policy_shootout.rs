@@ -1,0 +1,33 @@
+//! The evaluation half of the paper in one screen: miss ratios of every
+//! policy across the synthetic workload suite.
+//!
+//! Run with: `cargo run --release --example policy_shootout`
+
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{sweep, CacheConfig};
+use cachekit::trace::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = 64 * 1024;
+    let config = CacheConfig::new(capacity, 8, 64)?;
+    let suite = workloads::suite(capacity, 64, 7);
+    let kinds = PolicyKind::evaluation_kinds();
+
+    print!("{:<14}", "workload");
+    for k in &kinds {
+        print!("{:>10}", k.label());
+    }
+    println!();
+
+    for w in &suite {
+        print!("{:<14}", w.name);
+        for &k in &kinds {
+            let m = sweep::simulate(config, k, &w.trace).miss_ratio();
+            print!("{:>9.1}%", m * 100.0);
+        }
+        println!();
+    }
+
+    println!("\ncache: {config}; lower is better; see EXPERIMENTS.md for the expected shapes");
+    Ok(())
+}

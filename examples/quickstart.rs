@@ -1,0 +1,35 @@
+//! Quickstart: simulate a cache, inspect miss ratios, and reverse
+//! engineer a replacement policy — the three things `cachekit` does.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{Cache, CacheConfig};
+use cachekit::trace::gen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate: a 32 KiB, 8-way cache under PLRU on a zipf workload.
+    let config = CacheConfig::new(32 * 1024, 8, 64)?;
+    let mut cache = Cache::new(config, PolicyKind::TreePlru);
+    let trace = gen::zipf(4096, 1.1, 200_000, 64, 42);
+    let stats = cache.run_trace(trace.iter().copied());
+    println!("PLRU on zipf(1.1): {stats}");
+
+    // 2. Compare: the same workload under every evaluation policy.
+    println!("\n{:<12} {:>10}", "policy", "miss %");
+    for kind in PolicyKind::evaluation_kinds() {
+        let mut cache = Cache::new(config, kind);
+        let stats = cache.run_trace(trace.iter().copied());
+        println!("{:<12} {:>9.2}%", kind.label(), stats.miss_ratio() * 100.0);
+    }
+
+    // 3. Reverse engineer: hand the cache to the inference pipeline as a
+    //    black box and recover its geometry and policy.
+    let mut oracle = SimOracle::new(Cache::new(config, PolicyKind::TreePlru));
+    let infer_config = InferenceConfig::default();
+    let geometry = infer_geometry(&mut oracle, &infer_config)?;
+    let report = infer_policy(&mut oracle, &geometry, &infer_config)?;
+    println!("\nReverse engineered: {}", report.summary());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Reverse engineer a virtual CPU end to end, exactly as the paper does
+//! with the physical machines: geometry first, then the replacement
+//! policy of each cache level, printing the permutation vectors.
+//!
+//! Run with: `cargo run --release --example reverse_engineer [cpu]`
+//! where `[cpu]` is one of `atom_d525`, `core2_e6300`, `core2_e6750`,
+//! `core2_e8400`, `mystery_rand`, `nehalem_3level`, `sliced_llc`
+//! (default: `atom_d525`).
+
+use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
+use cachekit::hw::{fleet, CacheLevel, LevelOracle};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "atom_d525".to_owned());
+    let Some(mut cpu) = fleet::by_name(&name) else {
+        eprintln!(
+            "unknown CPU {name:?}; try atom_d525 / core2_e6300 / core2_e6750 / \
+core2_e8400 / mystery_rand / nehalem_3level / sliced_llc"
+        );
+        std::process::exit(1);
+    };
+    println!("=== {} ===", cpu.name());
+    let config = InferenceConfig::default();
+
+    let mut levels = vec![CacheLevel::L1, CacheLevel::L2];
+    if cpu.l3_config().is_some() {
+        levels.push(CacheLevel::L3);
+    }
+    for level in levels {
+        println!("\n--- {level:?} ---");
+        let mut oracle = LevelOracle::new(&mut cpu, level);
+        match infer_geometry(&mut oracle, &config) {
+            Ok(geometry) => {
+                println!("geometry: {geometry}");
+                match infer_policy(&mut oracle, &geometry, &config) {
+                    Ok(report) => println!("{}", report.summary()),
+                    Err(e) => println!("policy inference rejected: {e}"),
+                }
+            }
+            Err(e) => println!("geometry inference failed: {e}"),
+        }
+    }
+
+    // Reveal the ground truth so the reader can check the blind result.
+    println!(
+        "\nground truth: L1 = {} ({}), L2 = {} ({})",
+        cpu.hidden_l1_policy(),
+        cpu.l1_config(),
+        cpu.hidden_l2_policy(),
+        cpu.l2_config(),
+    );
+    if let (Some(policy), Some(cfg)) = (cpu.hidden_l3_policy(), cpu.l3_config()) {
+        println!("              L3 = {policy} ({cfg})");
+    }
+}

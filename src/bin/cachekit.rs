@@ -1,0 +1,334 @@
+//! The `cachekit` command-line tool: simulate caches, reverse engineer
+//! virtual hardware, run membership queries, and compute predictability
+//! metrics — the library's functionality for shell users.
+//!
+//! ```text
+//! cachekit simulate  --policy PLRU --capacity 262144 --assoc 8 --workload zipf_hot
+//! cachekit simulate  --policy LRU  --capacity 65536  --assoc 8 --trace t.txt --writes 0.2
+//! cachekit infer     --cpu atom_d525 [--level l2] [--reps 3] [--timing]
+//! cachekit query     "A B C A? B?" --policy FIFO --assoc 4
+//! cachekit distances --policy PLRU --assoc 8
+//! cachekit workloads --capacity 262144 --out traces/
+//! ```
+
+use cachekit::core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
+use cachekit::core::infer::{infer_geometry, infer_policy, mapping, InferenceConfig};
+use cachekit::core::perm::derive_permutation_spec;
+use cachekit::core::query::Query;
+use cachekit::hw::{fleet, CacheLevel, LevelOracle, MeasureMode};
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{Cache, CacheConfig};
+use cachekit::trace::{io, workloads};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "infer" => cmd_infer(rest),
+        "query" => cmd_query(rest),
+        "distances" => cmd_distances(rest),
+        "mapping" => cmd_mapping(rest),
+        "workloads" => cmd_workloads(rest),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `cachekit help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "cachekit — cache replacement-policy reverse engineering and evaluation\n\n\
+         commands:\n\
+         \x20 simulate  --policy NAME --capacity BYTES --assoc N [--line 64]\n\
+         \x20           (--workload NAME | --trace FILE) [--writes FRACTION] [--seed N]\n\
+         \x20 infer     --cpu NAME [--level l1|l2|l3] [--reps N] [--timing]\n\
+         \x20 query     \"A B C A?\" (--policy NAME --assoc N | --cpu NAME [--level lX])\n\
+         \x20 distances --policy NAME --assoc N\n\
+         \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
+         \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\n\
+         policies: LRU FIFO PLRU BitPLRU NRU CLOCK LIP BIP SRRIP BRRIP Random LazyLRU\n\
+         cpus: atom_d525 core2_e6300 core2_e6750 core2_e8400 mystery_rand\n\
+         \x20     nehalem_3level sliced_llc"
+    );
+}
+
+/// Parse `--key value` pairs plus at most one positional argument.
+fn parse(args: &[String]) -> Result<(Option<String>, HashMap<String, String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags take no value.
+            if key == "timing" {
+                flags.insert(key.to_owned(), "true".to_owned());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            flags.insert(key.to_owned(), value.clone());
+        } else if positional.is_none() {
+            positional = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_u64(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<u64>,
+) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        None => default.ok_or_else(|| format!("missing --{key}")),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "LRU" => PolicyKind::Lru,
+        "FIFO" => PolicyKind::Fifo,
+        "PLRU" | "TREEPLRU" => PolicyKind::TreePlru,
+        "BITPLRU" | "MRU" => PolicyKind::BitPlru,
+        "NRU" => PolicyKind::Nru,
+        "CLOCK" => PolicyKind::Clock,
+        "LIP" => PolicyKind::Lip,
+        "BIP" => PolicyKind::Bip { throttle: 32 },
+        "SRRIP" => PolicyKind::Srrip { bits: 2 },
+        "BRRIP" => PolicyKind::Brrip {
+            bits: 2,
+            throttle: 32,
+        },
+        "RANDOM" => PolicyKind::Random { seed: 0x5eed },
+        "LAZYLRU" => PolicyKind::LazyLru,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn parse_level(flags: &HashMap<String, String>) -> Result<CacheLevel, String> {
+    match flags.get("level").map(String::as_str) {
+        None | Some("l1") | Some("L1") => Ok(CacheLevel::L1),
+        Some("l2") | Some("L2") => Ok(CacheLevel::L2),
+        Some("l3") | Some("L3") => Ok(CacheLevel::L3),
+        Some(other) => Err(format!("unknown level {other:?}")),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let policy = parse_policy(flag(&flags, "policy")?)?;
+    let capacity = parse_u64(&flags, "capacity", None)?;
+    let assoc = parse_u64(&flags, "assoc", None)? as usize;
+    let line = parse_u64(&flags, "line", Some(64))?;
+    let seed = parse_u64(&flags, "seed", Some(7))?;
+    let config = CacheConfig::new(capacity, assoc, line).map_err(|e| e.to_string())?;
+
+    let ops: Vec<io::MemOp> = if let Some(path) = flags.get("trace") {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?
+    } else if let Some(wname) = flags.get("workload") {
+        let suite = workloads::suite(capacity, line, seed);
+        let w = suite.iter().find(|w| w.name == wname).ok_or_else(|| {
+            let names: Vec<_> = suite.iter().map(|w| w.name).collect();
+            format!("unknown workload {wname:?}; available: {names:?}")
+        })?;
+        let fraction = flags
+            .get("writes")
+            .map(|v| v.parse::<f64>().map_err(|_| "--writes: bad fraction"))
+            .transpose()?
+            .unwrap_or(0.0);
+        io::with_writes(&w.trace, fraction, seed)
+    } else {
+        return Err("need --workload NAME or --trace FILE".to_owned());
+    };
+
+    let mut cache = Cache::new(config, policy);
+    let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+    println!("cache: {config}, policy {}", policy.label());
+    println!("{stats}");
+    if stats.writes > 0 {
+        println!("writes: {}, writebacks: {}", stats.writes, stats.writebacks);
+    }
+    Ok(())
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let name = flag(&flags, "cpu")?;
+    let mut cpu = fleet::by_name(name).ok_or_else(|| format!("unknown cpu {name:?}"))?;
+    let level = parse_level(&flags)?;
+    if matches!(level, CacheLevel::L3) && cpu.l3_config().is_none() {
+        return Err(format!("{name} has no L3"));
+    }
+    let reps = parse_u64(&flags, "reps", Some(3))? as usize;
+    let config = InferenceConfig::with_repetitions(reps);
+    let mut oracle = LevelOracle::new(&mut cpu, level);
+    if flags.contains_key("timing") {
+        oracle = oracle.with_mode(MeasureMode::Timing);
+    }
+    let geometry = infer_geometry(&mut oracle, &config).map_err(|e| e.to_string())?;
+    println!("geometry: {geometry}");
+    match infer_policy(&mut oracle, &geometry, &config) {
+        Ok(report) => println!("{}", report.summary()),
+        Err(e) => println!("policy inference rejected: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let text = positional.ok_or("missing query string, e.g. \"A B C A?\"")?;
+    let query: Query = text.parse().map_err(|e| format!("{e}"))?;
+    if let Some(cpu_name) = flags.get("cpu") {
+        let mut cpu =
+            fleet::by_name(cpu_name).ok_or_else(|| format!("unknown cpu {cpu_name:?}"))?;
+        let level = parse_level(&flags)?;
+        let cfg = match level {
+            CacheLevel::L1 => *cpu.l1_config(),
+            CacheLevel::L2 => *cpu.l2_config(),
+            CacheLevel::L3 => *cpu.l3_config().ok_or("machine has no L3")?,
+        };
+        let geometry = cachekit::core::infer::Geometry {
+            line_size: cfg.line_size(),
+            capacity: cfg.capacity(),
+            associativity: cfg.associativity(),
+            num_sets: cfg.num_sets(),
+        };
+        let mut oracle = LevelOracle::new(&mut cpu, level);
+        let outcome = query.run_oracle(&mut oracle, &geometry, 3);
+        println!("{}: {}", query, outcome.pattern());
+    } else {
+        let policy = parse_policy(flag(&flags, "policy")?)?;
+        let assoc = parse_u64(&flags, "assoc", None)? as usize;
+        let outcome = query.run_policy(policy.build(assoc, 0).as_ref());
+        println!("{}: {}", query, outcome.pattern());
+    }
+    Ok(())
+}
+
+fn cmd_distances(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let kind = parse_policy(flag(&flags, "policy")?)?;
+    let assoc = parse_u64(&flags, "assoc", None)? as usize;
+    let spec = derive_permutation_spec(kind.build(assoc, 0)).map_err(|e| {
+        format!(
+            "{} is not a (front-insertion) permutation policy: {e}",
+            kind.label()
+        )
+    })?;
+    let budget = 8_000_000;
+    let show = |r: Result<usize, DistanceError>| match r {
+        Ok(v) => v.to_string(),
+        Err(DistanceError::Unbounded) => "unbounded".to_owned(),
+        Err(e) => format!("({e})"),
+    };
+    println!(
+        "{} at {assoc} ways: evict = {}, mls = {}",
+        kind.label(),
+        show(evict_distance_spec(&spec, budget)),
+        show(minimal_lifespan_spec(&spec, budget)),
+    );
+    Ok(())
+}
+
+fn cmd_mapping(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let name = flag(&flags, "cpu")?;
+    let mut cpu = fleet::by_name(name).ok_or_else(|| format!("unknown cpu {name:?}"))?;
+    let level = parse_level(&flags)?;
+    let cfg = match level {
+        CacheLevel::L1 => *cpu.l1_config(),
+        CacheLevel::L2 => *cpu.l2_config(),
+        CacheLevel::L3 => *cpu.l3_config().ok_or("machine has no L3")?,
+    };
+    let bits = parse_u64(&flags, "bits", Some(24))? as u32;
+    let geometry = cachekit::core::infer::Geometry {
+        line_size: cfg.line_size(),
+        capacity: cfg.capacity(),
+        associativity: cfg.associativity(),
+        num_sets: cfg.num_sets(),
+    };
+    let config = InferenceConfig::default();
+    // Bit classification supplies its own upper-level displacement; the
+    // oracle's flush lattice would pollute the probed sets (see the
+    // mapping module docs).
+    let mut oracle = LevelOracle::new(&mut cpu, level).without_flushers();
+    let roles = mapping::classify_bits(&mut oracle, &geometry, &config, bits);
+    print!("bit roles (LSB first): ");
+    for role in &roles {
+        print!(
+            "{}",
+            match role {
+                mapping::BitRole::Offset => 'O',
+                mapping::BitRole::Index => 'I',
+                mapping::BitRole::Tag => 'T',
+            }
+        );
+    }
+    println!();
+    match mapping::interpret(&roles) {
+        Some((line, sets)) if mapping::consistent_with(&roles, &geometry) => {
+            println!("standard layout confirmed: {line} B lines, {sets} sets");
+        }
+        Some((line, sets)) => println!(
+            "contiguous split ({line} B lines, {sets} sets) CONTRADICTS the              datasheet geometry — non-standard indexing"
+        ),
+        None => println!("no contiguous offset/index/tag split — hashed/sliced indexing"),
+    }
+    Ok(())
+}
+
+fn cmd_workloads(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let capacity = parse_u64(&flags, "capacity", None)?;
+    let line = parse_u64(&flags, "line", Some(64))?;
+    let seed = parse_u64(&flags, "seed", Some(7))?;
+    let suite = workloads::suite(capacity, line, seed);
+    match flags.get("out") {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            for w in &suite {
+                let path = format!("{dir}/{}.trace", w.name);
+                let ops: Vec<io::MemOp> = w.trace.iter().map(|&a| io::MemOp::read(a)).collect();
+                let mut file = std::io::BufWriter::new(
+                    std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?,
+                );
+                io::write_trace(&ops, &mut file).map_err(|e| e.to_string())?;
+                println!("{path}: {} accesses — {}", w.trace.len(), w.description);
+            }
+        }
+        None => {
+            println!("{:<14} {:>10}  description", "workload", "accesses");
+            for w in &suite {
+                println!("{:<14} {:>10}  {}", w.name, w.trace.len(), w.description);
+            }
+        }
+    }
+    Ok(())
+}

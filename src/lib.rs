@@ -1,0 +1,41 @@
+//! # cachekit
+//!
+//! A reproduction of **Abel & Reineke, "Reverse engineering of cache
+//! replacement policies in Intel microprocessors and their evaluation"
+//! (ISPASS 2014)** as a Rust workspace.
+//!
+//! This umbrella crate re-exports the public API of the member crates:
+//!
+//! * [`policies`] — replacement-policy implementations ([`policies::Lru`],
+//!   [`policies::TreePlru`], …) behind the
+//!   [`policies::ReplacementPolicy`] trait;
+//! * [`sim`] — a trace-driven set-associative cache simulator;
+//! * [`trace`] — synthetic workload generators;
+//! * [`core`] — the paper's contribution: *permutation policies* and the
+//!   measurement-based reverse-engineering pipeline;
+//! * [`hw`] — the simulated hardware substrate (virtual CPUs with hidden
+//!   policies and noisy measurement channels) standing in for the paper's
+//!   Intel Atom / Core 2 machines.
+//!
+//! ## Quickstart
+//!
+//! Reverse engineer the L2 replacement policy of a virtual CPU:
+//!
+//! ```
+//! use cachekit::hw::{fleet, CacheLevel, LevelOracle};
+//! use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
+//!
+//! let mut cpu = fleet::core2_e6300();
+//! let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L2);
+//! let cfg = InferenceConfig::default();
+//! let geometry = infer_geometry(&mut oracle, &cfg)?;
+//! let report = infer_policy(&mut oracle, &geometry, &cfg)?;
+//! println!("{}", report.summary());
+//! # Ok::<(), cachekit::core::infer::InferenceError>(())
+//! ```
+
+pub use cachekit_core as core;
+pub use cachekit_hw as hw;
+pub use cachekit_policies as policies;
+pub use cachekit_sim as sim;
+pub use cachekit_trace as trace;

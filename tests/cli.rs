@@ -1,0 +1,144 @@
+//! Smoke tests for the `cachekit` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cachekit"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, _, err) = run(&["help"]);
+    assert!(ok);
+    assert!(err.contains("simulate"));
+    assert!(err.contains("infer"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("commands"));
+}
+
+#[test]
+fn simulate_workload_reports_stats() {
+    let (ok, out, err) = run(&[
+        "simulate",
+        "--policy",
+        "PLRU",
+        "--capacity",
+        "65536",
+        "--assoc",
+        "8",
+        "--workload",
+        "zipf_hot",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("miss ratio"), "out: {out}");
+    assert!(out.contains("policy PLRU"));
+}
+
+#[test]
+fn simulate_with_writes_reports_writebacks() {
+    let (ok, out, _) = run(&[
+        "simulate",
+        "--policy",
+        "LRU",
+        "--capacity",
+        "65536",
+        "--assoc",
+        "8",
+        "--workload",
+        "thrash_loop",
+        "--writes",
+        "0.5",
+    ]);
+    assert!(ok);
+    assert!(out.contains("writebacks:"));
+}
+
+#[test]
+fn infer_identifies_the_atom_l1() {
+    let (ok, out, err) = run(&["infer", "--cpu", "atom_d525", "--level", "l1"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("24 KiB"), "out: {out}");
+    assert!(out.contains("policy = LRU"));
+}
+
+#[test]
+fn query_runs_against_a_policy() {
+    let (ok, out, _) = run(&["query", "A B C A? B?", "--policy", "LRU", "--assoc", "2"]);
+    assert!(ok);
+    assert!(out.contains("M M"), "out: {out}");
+}
+
+#[test]
+fn distances_prints_the_metrics() {
+    let (ok, out, _) = run(&["distances", "--policy", "PLRU", "--assoc", "8"]);
+    assert!(ok);
+    assert!(out.contains("evict = 13"), "out: {out}");
+    assert!(out.contains("mls = 4"));
+}
+
+#[test]
+fn distances_rejects_non_permutation_policies() {
+    let (ok, _, err) = run(&["distances", "--policy", "BitPLRU", "--assoc", "4"]);
+    assert!(!ok);
+    assert!(err.contains("not a"), "err: {err}");
+}
+
+#[test]
+fn workloads_lists_the_suite() {
+    let (ok, out, _) = run(&["workloads", "--capacity", "65536"]);
+    assert!(ok);
+    assert!(out.contains("thrash_loop"));
+    assert!(out.contains("stack_geo"));
+}
+
+#[test]
+fn workloads_dump_and_simulate_round_trip() {
+    let dir = std::env::temp_dir().join("cachekit_cli_traces");
+    let dir_s = dir.display().to_string();
+    let (ok, _, err) = run(&["workloads", "--capacity", "65536", "--out", &dir_s]);
+    assert!(ok, "stderr: {err}");
+    let trace = dir.join("fit_loop.trace");
+    let (ok, out, err) = run(&[
+        "simulate",
+        "--policy",
+        "LRU",
+        "--capacity",
+        "65536",
+        "--assoc",
+        "8",
+        "--trace",
+        &trace.display().to_string(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("miss ratio"));
+}
+
+#[test]
+fn unknown_policy_is_a_clean_error() {
+    let (ok, _, err) = run(&[
+        "simulate",
+        "--policy",
+        "OPT",
+        "--capacity",
+        "1024",
+        "--assoc",
+        "2",
+        "--workload",
+        "zipf_hot",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown policy"));
+}

@@ -1,0 +1,94 @@
+//! Majority voting vs measurement noise — the property behind Fig. 2.
+
+use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
+use cachekit::hw::{CacheLevel, LevelOracle, NoiseModel, VirtualCpu};
+use cachekit::policies::PolicyKind;
+use cachekit::sim::CacheConfig;
+
+fn noisy_cpu(noise: NoiseModel, seed: u64) -> VirtualCpu {
+    VirtualCpu::builder("noisy")
+        .l1(
+            CacheConfig::new(4 * 1024, 4, 64).unwrap(),
+            PolicyKind::TreePlru,
+        )
+        .l2(
+            CacheConfig::new(64 * 1024, 8, 64).unwrap(),
+            PolicyKind::TreePlru,
+        )
+        .noise(noise)
+        .seed(seed)
+        .build()
+}
+
+/// Attempt a full L1 inference; true iff geometry and policy both land.
+fn attempt(noise: NoiseModel, repetitions: usize, seed: u64) -> bool {
+    let mut cpu = noisy_cpu(noise, seed);
+    let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L1);
+    let config = InferenceConfig::with_repetitions(repetitions);
+    let Ok(geometry) = infer_geometry(&mut oracle, &config) else {
+        return false;
+    };
+    if (geometry.capacity, geometry.associativity) != (4 * 1024, 4) {
+        return false;
+    }
+    matches!(
+        infer_policy(&mut oracle, &geometry, &config),
+        Ok(report) if report.matched == Some("PLRU")
+    )
+}
+
+#[test]
+fn clean_channel_single_shot_succeeds() {
+    assert!(attempt(NoiseModel::none(), 1, 1));
+}
+
+#[test]
+fn moderate_noise_defeats_single_shot_inference() {
+    // With 10% counter noise a single-shot campaign should fail at least
+    // sometimes across seeds; the point of the experiment is that it is
+    // unreliable, not that it fails deterministically.
+    let failures = (0..5)
+        .filter(|&s| !attempt(NoiseModel::counter(0.10), 1, s))
+        .count();
+    assert!(
+        failures >= 2,
+        "expected single-shot inference to be unreliable, {failures}/5 failures"
+    );
+}
+
+#[test]
+fn voting_recovers_under_moderate_noise() {
+    let successes = (0..5)
+        .filter(|&s| attempt(NoiseModel::counter(0.10), 9, s))
+        .count();
+    assert!(
+        successes >= 4,
+        "9-fold voting should survive 10% counter noise, got {successes}/5"
+    );
+}
+
+#[test]
+fn background_evictions_are_harder_than_counter_noise() {
+    // Background evictions corrupt the *state*, not just the reading;
+    // re-reading the same run cannot fix them. At a high rate even
+    // voting fails (the paper's answer: pin cores / quiesce the system).
+    let heavy = NoiseModel {
+        counter_noise: 0.0,
+        background_eviction: 0.20,
+    };
+    let successes = (0..3).filter(|&s| attempt(heavy, 9, s)).count();
+    assert!(
+        successes <= 1,
+        "20% background evictions should defeat the campaign, got {successes}/3 successes"
+    );
+}
+
+#[test]
+fn light_background_noise_is_survivable_with_voting() {
+    let light = NoiseModel {
+        counter_noise: 0.0,
+        background_eviction: 0.002,
+    };
+    let successes = (0..3).filter(|&s| attempt(light, 9, s)).count();
+    assert!(successes >= 2, "got {successes}/3");
+}

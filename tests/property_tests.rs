@@ -1,0 +1,251 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! central invariants of the reproduction.
+
+use cachekit::core::perm::{
+    derive_permutation_spec, Permutation, PermutationPolicy, PermutationSpec,
+};
+use cachekit::policies::{PolicyKind, ReplacementPolicy};
+use cachekit::sim::{Cache, CacheConfig};
+use cachekit::trace::stack_dist::{measure, StackDistanceProfile};
+use proptest::prelude::*;
+
+/// Strategy: a random permutation of `0..n`.
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut map: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            map.swap(i, j);
+        }
+        Permutation::new(map).expect("shuffle yields a permutation")
+    })
+}
+
+/// Strategy: a random front-insertion permutation spec of associativity
+/// `assoc`.
+fn perm_spec(assoc: usize) -> impl Strategy<Value = PermutationSpec> {
+    proptest::collection::vec(permutation(assoc), assoc)
+        .prop_map(|hits| PermutationSpec::new(hits, 0).expect("validated by construction"))
+}
+
+/// Strategy: one of the evaluation policy kinds.
+fn any_kind() -> impl Strategy<Value = PolicyKind> {
+    proptest::sample::select(PolicyKind::evaluation_kinds())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutation_inverse_round_trips(p in permutation(8)) {
+        let items: Vec<usize> = (100..108).collect();
+        let there = p.apply(&items);
+        let back = p.inverse().apply(&there);
+        prop_assert_eq!(back, items);
+        prop_assert!(p.then(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn permutation_composition_is_application_order(
+        f in permutation(6),
+        g in permutation(6),
+    ) {
+        let items: Vec<usize> = (0..6).collect();
+        prop_assert_eq!(
+            f.then(&g).apply(&items),
+            g.apply(&f.apply(&items))
+        );
+    }
+
+    #[test]
+    fn policies_only_evict_what_they_hold(
+        kind in any_kind(),
+        script in proptest::collection::vec(0u64..12, 1..200),
+    ) {
+        // Invariant: a cache never reports evicting a line it did not
+        // contain, and contains() agrees with hit/miss outcomes.
+        let config = CacheConfig::new(1024, 4, 64).unwrap(); // 4 sets
+        let mut cache = Cache::new(config, kind);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for &block in &script {
+            let addr = block * 64;
+            let was_resident = cache.contains(addr);
+            prop_assert_eq!(was_resident, resident.contains(&addr));
+            match cache.access(addr) {
+                cachekit::sim::AccessOutcome::Hit => {
+                    prop_assert!(was_resident);
+                }
+                cachekit::sim::AccessOutcome::Miss { evicted } => {
+                    prop_assert!(!was_resident);
+                    if let Some(e) = evicted {
+                        prop_assert!(resident.remove(&e), "evicted non-resident {}", e);
+                    }
+                    resident.insert(addr);
+                }
+            }
+        }
+        prop_assert_eq!(cache.occupancy(), resident.len());
+    }
+
+    #[test]
+    fn lru_respects_stack_distances(
+        script in proptest::collection::vec(0u64..32, 1..300),
+    ) {
+        // The inclusion property: under LRU with A ways (single set),
+        // an access hits iff its stack distance is < A.
+        let config = CacheConfig::new(8 * 64, 8, 64).unwrap(); // 1 set, 8 ways
+        let mut cache = Cache::new(config, PolicyKind::Lru);
+        let mut stack: Vec<u64> = Vec::new();
+        for &block in &script {
+            let addr = block * 64;
+            let dist = stack.iter().position(|&b| b == block);
+            let outcome = cache.access(addr);
+            match dist {
+                Some(d) if d < 8 => prop_assert!(outcome.is_hit(), "distance {}", d),
+                _ => prop_assert!(outcome.is_miss()),
+            }
+            if let Some(d) = dist {
+                stack.remove(d);
+            }
+            stack.insert(0, block);
+        }
+    }
+
+    #[test]
+    fn derive_round_trips_arbitrary_specs(spec in perm_spec(4)) {
+        // The read-out algorithm must recover ANY front-insertion
+        // permutation policy exactly — the core correctness property of
+        // the paper's method.
+        let policy = PermutationPolicy::new(spec.clone());
+        let derived = derive_permutation_spec(Box::new(policy)).expect("in class");
+        prop_assert_eq!(derived, spec);
+    }
+
+    #[test]
+    fn permutation_policy_conforms(spec in perm_spec(6)) {
+        cachekit::policies::conformance::assert_conformance(
+            Box::new(PermutationPolicy::new(spec)),
+        );
+    }
+
+    #[test]
+    fn policies_are_replay_deterministic(
+        kind in any_kind(),
+        script in proptest::collection::vec(0u64..16, 1..100),
+    ) {
+        // Same seeded policy, same script, same victims.
+        let mut a = kind.build(4, 3);
+        let mut b = kind.build(4, 3);
+        for &w in &script {
+            let w = (w % 4) as usize;
+            a.on_hit(w);
+            b.on_hit(w);
+            let (va, vb) = (a.victim(), b.victim());
+            prop_assert_eq!(va, vb);
+            a.on_fill(va);
+            b.on_fill(vb);
+        }
+    }
+
+    #[test]
+    fn stack_distance_histogram_mass_equals_accesses(
+        script in proptest::collection::vec(0u64..64, 1..400),
+    ) {
+        let trace: Vec<u64> = script.iter().map(|b| b * 64).collect();
+        let (hist, cold) = measure(&trace, 64);
+        let total: u64 = hist.iter().sum::<u64>() + cold;
+        prop_assert_eq!(total, trace.len() as u64);
+    }
+
+    #[test]
+    fn generated_traces_never_exceed_profile_support(
+        p in 0.05f64..0.9,
+        accesses in 1usize..2000,
+    ) {
+        let profile = StackDistanceProfile::geometric(p, 16, 0.05);
+        let trace = profile.generate(accesses, 64, 11);
+        prop_assert_eq!(trace.len(), accesses);
+        let (hist, _cold) = measure(&trace, 64);
+        // No reuse distance beyond the profile's support can appear.
+        for (d, &count) in hist.iter().enumerate() {
+            if d >= 16 {
+                prop_assert_eq!(count, 0, "distance {} appeared", d);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_and_generic_distance_solvers_agree(spec in perm_spec(3)) {
+        use cachekit::core::analysis::{
+            evict_distance, evict_distance_spec, minimal_lifespan, minimal_lifespan_spec,
+        };
+        let policy = PermutationPolicy::new(spec.clone());
+        let budget = 2_000_000;
+        prop_assert_eq!(
+            evict_distance_spec(&spec, budget),
+            evict_distance(&policy, budget)
+        );
+        prop_assert_eq!(
+            minimal_lifespan_spec(&spec, budget),
+            minimal_lifespan(&policy, budget)
+        );
+    }
+
+    #[test]
+    fn query_display_parse_round_trips(
+        blocks in proptest::collection::vec(0u64..8, 1..20),
+        measured in proptest::collection::vec(proptest::bool::ANY, 1..20),
+    ) {
+        use cachekit::core::query::Query;
+        let text: String = blocks
+            .iter()
+            .zip(measured.iter().chain(std::iter::repeat(&false)))
+            .map(|(&b, &m)| format!("B{}{} ", b, if m { "?" } else { "" }))
+            .collect();
+        let q: Query = text.parse().unwrap();
+        let reparsed: Query = q.to_string().parse().unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn trace_io_round_trips(
+        ops in proptest::collection::vec((0u64..1 << 40, proptest::bool::ANY), 0..200),
+    ) {
+        use cachekit::trace::io::{read_trace, write_trace, MemOp};
+        let ops: Vec<MemOp> = ops
+            .into_iter()
+            .map(|(addr, write)| MemOp { addr, write })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&ops, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn writeback_accounting_is_conservative(
+        kind in any_kind(),
+        script in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..400),
+    ) {
+        // A line must be written before it can be written back, so the
+        // cumulative write-back count never exceeds the write count.
+        let config = CacheConfig::new(2048, 4, 64).unwrap();
+        let mut cache = Cache::new(config, kind);
+        let stats = cache.run_ops(script.iter().map(|&(b, w)| (b * 64, w)));
+        prop_assert!(stats.writebacks <= stats.writes);
+        prop_assert_eq!(stats.accesses as usize, script.len());
+    }
+
+    #[test]
+    fn miss_ratio_is_between_zero_and_one(
+        kind in any_kind(),
+        script in proptest::collection::vec(0u64..256, 1..500),
+    ) {
+        let config = CacheConfig::new(4096, 4, 64).unwrap();
+        let trace: Vec<u64> = script.iter().map(|b| b * 64).collect();
+        let stats = cachekit::sim::sweep::simulate(config, kind, &trace);
+        prop_assert!(stats.miss_ratio() >= 0.0 && stats.miss_ratio() <= 1.0);
+        prop_assert_eq!(stats.accesses, trace.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+}
