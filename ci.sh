@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 build+test command, and
+# the offline build of the umbrella crate. Mirrors what a hosted CI job
+# would run; everything here must pass before a commit lands.
+#
+# The workspace has no registry dependencies (the PRNG and JSON
+# serializers are vendored), so every step below works with the network
+# unplugged; --offline makes cargo fail loudly if that ever regresses.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Tier-1: the seed's acceptance command.
+run cargo build --release
+run cargo test -q
+
+# Offline build of the umbrella package specifically (regression guard
+# for the seed's original failure: manifests referencing crates.io).
+run cargo build --release -p cachekit --offline
+
+echo "ci: all checks passed"

@@ -1,36 +1,25 @@
 //! Microbenchmark: end-to-end reverse-engineering time (geometry +
 //! policy) against a noise-free software oracle, per associativity.
 
+use cachekit_bench::microbench::{bench, report};
 use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inference");
-    group.sample_size(10);
+fn main() {
     for assoc in [4usize, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("end_to_end_lru", assoc),
-            &assoc,
-            |b, &assoc| {
-                let capacity = (assoc as u64) * 64 * 64;
-                let config = InferenceConfig::default();
-                b.iter(|| {
-                    let cache = Cache::new(
-                        CacheConfig::new(capacity, assoc, 64).expect("valid"),
-                        PolicyKind::Lru,
-                    );
-                    let mut oracle = SimOracle::new(cache);
-                    let g = infer_geometry(&mut oracle, &config).expect("geometry");
-                    black_box(infer_policy(&mut oracle, &g, &config).expect("policy"))
-                });
-            },
-        );
+        let capacity = (assoc as u64) * 64 * 64;
+        let config = InferenceConfig::default();
+        let sample = bench(&format!("inference/end_to_end_lru/{assoc}"), 10, 1, |_| {
+            let cache = Cache::new(
+                CacheConfig::new(capacity, assoc, 64).expect("valid"),
+                PolicyKind::Lru,
+            );
+            let mut oracle = SimOracle::new(cache);
+            let g = infer_geometry(&mut oracle, &config).expect("geometry");
+            black_box(infer_policy(&mut oracle, &g, &config).expect("policy"))
+        });
+        report(&sample);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);

@@ -2,37 +2,31 @@
 //! miss path) for each replacement policy at 8 ways — the ablation for
 //! DESIGN.md's "set-state representation" choice.
 
+use cachekit_bench::microbench::{bench, report};
 use cachekit_policies::PolicyKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_policy_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_update");
+fn main() {
     for kind in PolicyKind::evaluation_kinds() {
-        group.bench_with_input(
-            BenchmarkId::new("hit_miss_mix", kind.label()),
-            &kind,
-            |b, &kind| {
-                let mut p = kind.build(8, 0);
-                for w in 0..8 {
-                    p.on_fill(w);
+        let mut p = kind.build(8, 0);
+        for w in 0..8 {
+            p.on_fill(w);
+        }
+        let sample = bench(
+            &format!("policy_update/hit_miss_mix/{}", kind.label()),
+            20,
+            100_000,
+            |i| {
+                let i = i as usize + 1;
+                if i.is_multiple_of(3) {
+                    let v = p.victim();
+                    p.on_fill(v);
+                    black_box(v);
+                } else {
+                    p.on_hit(i % 8);
                 }
-                let mut i = 0usize;
-                b.iter(|| {
-                    i = i.wrapping_add(1);
-                    if i.is_multiple_of(3) {
-                        let v = p.victim();
-                        p.on_fill(v);
-                        black_box(v);
-                    } else {
-                        p.on_hit(i % 8);
-                    }
-                });
             },
         );
+        report(&sample);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_policy_update);
-criterion_main!(benches);

@@ -1,46 +1,41 @@
 //! Microbenchmark: trace-driven simulator throughput (accesses/second)
 //! for representative policies and a permutation-spec-driven cache.
 
+use cachekit_bench::microbench::{bench, report};
 use cachekit_core::perm::{PermutationPolicy, PermutationSpec};
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
 use cachekit_trace::gen;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_sim_throughput(c: &mut Criterion) {
+fn main() {
     let config = CacheConfig::new(64 * 1024, 8, 64).expect("valid");
     let trace = gen::zipf(8192, 1.1, 100_000, 64, 9);
 
-    let mut group = c.benchmark_group("sim_throughput");
-    group.throughput(Throughput::Elements(trace.len() as u64));
     for kind in [
         PolicyKind::Lru,
         PolicyKind::TreePlru,
         PolicyKind::Random { seed: 1 },
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("trace", kind.label()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut cache = Cache::new(config, kind);
-                    black_box(cache.run_trace(trace.iter().copied()))
-                });
+        let sample = bench(
+            &format!("sim_throughput/trace/{}", kind.label()),
+            10,
+            1,
+            |_| {
+                let mut cache = Cache::new(config, kind);
+                black_box(cache.run_trace(trace.iter().copied()))
             },
         );
+        report(&sample);
+        let throughput = trace.len() as f64 / (sample.median.as_secs_f64());
+        println!("    -> {:.1} M accesses/s", throughput / 1e6);
     }
-    group.bench_function(BenchmarkId::new("trace", "Perm(LRU spec)"), |b| {
-        let spec = PermutationSpec::lru(8);
-        b.iter(|| {
-            let mut cache = Cache::with_policy_factory(config, "perm", |_| {
-                Box::new(PermutationPolicy::new(spec.clone()))
-            });
-            black_box(cache.run_trace(trace.iter().copied()))
+    let spec = PermutationSpec::lru(8);
+    let sample = bench("sim_throughput/trace/Perm(LRU spec)", 10, 1, |_| {
+        let mut cache = Cache::with_policy_factory(config, "perm", |_| {
+            Box::new(PermutationPolicy::new(spec.clone()))
         });
+        black_box(cache.run_trace(trace.iter().copied()))
     });
-    group.finish();
+    report(&sample);
 }
-
-criterion_group!(benches, bench_sim_throughput);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin ablation_interference`
 
-use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_bench::{human_bytes, jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{infer_geometry, InferenceConfig};
 use cachekit_hw::{CacheLevel, LevelOracle, VirtualCpu};
 use cachekit_policies::PolicyKind;
@@ -28,6 +28,7 @@ fn cpu(prefetcher: bool, tlb_pollution: bool) -> VirtualCpu {
 }
 
 fn main() {
+    let mut run = Runner::new("ablation_interference");
     let mut table = Table::new(
         "Ablation: interference sources vs inferred L1 geometry (truth: 32 KiB, 8-way, 64 B)",
         &[
@@ -43,18 +44,25 @@ fn main() {
         max_capacity: 4 * 1024 * 1024,
         ..InferenceConfig::default()
     };
-    let mut series = Vec::new();
 
-    for (pf, tlb) in [(false, false), (true, false), (false, true), (true, true)] {
+    // The four interference configurations are independent machines.
+    let grid = [(false, false), (true, false), (false, true), (true, true)];
+    let outcomes = cachekit_sim::par_map(&grid, run.jobs(), |&(pf, tlb)| {
         let mut machine = cpu(pf, tlb);
         let mut oracle = LevelOracle::new(&mut machine, CacheLevel::L1);
-        let row = match infer_geometry(&mut oracle, &config) {
+        infer_geometry(&mut oracle, &config)
+    });
+    run.add_cells(grid.len() as u64);
+
+    let mut series = Vec::new();
+    for (&(pf, tlb), outcome) in grid.iter().zip(&outcomes) {
+        let row = match outcome {
             Ok(g) => {
                 let ok = g.capacity == 32 * 1024 && g.associativity == 8 && g.line_size == 64;
-                series.push(serde_json::json!({
+                series.push(jobj! {
                     "prefetcher": pf, "tlb_pollution": tlb,
                     "capacity": g.capacity, "assoc": g.associativity, "line": g.line_size,
-                }));
+                });
                 vec![
                     pf.to_string(),
                     tlb.to_string(),
@@ -69,9 +77,9 @@ fn main() {
                 ]
             }
             Err(e) => {
-                series.push(serde_json::json!({
+                series.push(jobj! {
                     "prefetcher": pf, "tlb_pollution": tlb, "error": e.to_string(),
-                }));
+                });
                 vec![
                     pf.to_string(),
                     tlb.to_string(),
@@ -84,7 +92,7 @@ fn main() {
         };
         table.row(row);
     }
-    emit("ablation_interference", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "The adjacent-line prefetcher makes the line size read as 128 B\n\
          (the buddy line is resident when probed); the paper's MSR writes\n\

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin ablation_readout`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
     infer_geometry, infer_policy, CountingOracle, InferenceConfig, ReadoutSearch, SimOracle,
 };
@@ -33,6 +33,7 @@ fn cost(assoc: usize, search: ReadoutSearch) -> (u64, u64) {
 }
 
 fn main() {
+    let mut run = Runner::new("ablation_readout");
     let mut table = Table::new(
         "Ablation: read-out search strategy (policy inference on PLRU)",
         &[
@@ -45,9 +46,18 @@ fn main() {
         ],
     );
     let mut series = Vec::new();
-    for assoc in [2usize, 4, 8, 16] {
-        let (bm, ba) = cost(assoc, ReadoutSearch::Binary);
-        let (lm, la) = cost(assoc, ReadoutSearch::Linear);
+    // Both search strategies for every associativity, all independent.
+    let assocs = [2usize, 4, 8, 16];
+    let costs: Vec<((u64, u64), (u64, u64))> =
+        cachekit_sim::par_map(&assocs, run.jobs(), |&assoc| {
+            (
+                cost(assoc, ReadoutSearch::Binary),
+                cost(assoc, ReadoutSearch::Linear),
+            )
+        });
+    run.add_cells(2 * assocs.len() as u64);
+    for (&assoc, &((bm, ba), (lm, la))) in assocs.iter().zip(&costs) {
+        run.count("measurements", bm + lm);
         table.row(vec![
             assoc.to_string(),
             bm.to_string(),
@@ -56,11 +66,11 @@ fn main() {
             la.to_string(),
             format!("{:.2}x", lm as f64 / bm as f64),
         ]);
-        series.push(serde_json::json!({
+        series.push(jobj! {
             "assoc": assoc,
-            "binary": {"measurements": bm, "accesses": ba},
-            "linear": {"measurements": lm, "accesses": la},
-        }));
+            "binary": jobj! {"measurements": bm, "accesses": ba},
+            "linear": jobj! {"measurements": lm, "accesses": la},
+        });
     }
-    emit("ablation_readout", &table, &series);
+    run.finish(&table, Json::from(series));
 }

@@ -6,11 +6,12 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig10_competitive`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::analysis::competitiveness;
 use cachekit_policies::PolicyKind;
 
 fn main() {
+    let mut run = Runner::new("fig10_competitive").with_seed(0xF10);
     let assoc = 8usize;
     let trials = 400;
     let kinds = [
@@ -32,23 +33,32 @@ fn main() {
     );
     let mut series = Vec::new();
 
-    for &p in &kinds {
+    // The pairwise matrix is embarrassingly parallel: each (P, Q) cell
+    // replays the same seeded adversarial family independently.
+    let pairs: Vec<(PolicyKind, PolicyKind)> = kinds
+        .iter()
+        .flat_map(|&p| kinds.iter().map(move |&q| (p, q)))
+        .collect();
+    let ratios: Vec<f64> = cachekit_sim::par_map(&pairs, run.jobs(), |&(p, q)| {
+        competitiveness(
+            p.build(assoc, 0).as_ref(),
+            q.build(assoc, 0).as_ref(),
+            trials,
+            0xF10,
+        )
+        .max_ratio
+    });
+    run.add_cells(pairs.len() as u64);
+    run.count("adversarial_trials", pairs.len() as u64 * trials as u64);
+
+    for (pi, &p) in kinds.iter().enumerate() {
+        let row = &ratios[pi * kinds.len()..(pi + 1) * kinds.len()];
         let mut cells = vec![p.label()];
-        let mut row = Vec::new();
-        for &q in &kinds {
-            let e = competitiveness(
-                p.build(assoc, 0).as_ref(),
-                q.build(assoc, 0).as_ref(),
-                trials,
-                0xF10,
-            );
-            cells.push(format!("{:.2}", e.max_ratio));
-            row.push(e.max_ratio);
-        }
-        series.push(serde_json::json!({"policy": p.label(), "ratios": row}));
+        cells.extend(row.iter().map(|r| format!("{r:.2}")));
+        series.push(jobj! {"policy": p.label(), "ratios": row.to_vec()});
         table.row(cells);
     }
-    emit("fig10_competitive", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "Each cell is an empirical LOWER bound on P's competitive ratio\n\
          relative to Q. Every off-diagonal entry exceeds 1: each policy\n\

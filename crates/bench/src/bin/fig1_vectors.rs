@@ -6,11 +6,12 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig1_vectors`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{json::Json, Runner, Table};
 use cachekit_core::perm::{derive_permutation_spec, PermutationSpec};
 use cachekit_policies::{LazyLru, TreePlru};
 
 fn main() {
+    let mut run = Runner::new("fig1_vectors");
     let mut table = Table::new(
         "Fig. 1: permutation vectors of canonical policies",
         &[
@@ -20,6 +21,7 @@ fn main() {
             "insert",
         ],
     );
+    let mut cells = 0u64;
     let mut add = |name: &str, spec: &PermutationSpec| {
         let perms = spec
             .hit_permutations()
@@ -27,6 +29,7 @@ fn main() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(" ");
+        cells += 1;
         table.row(vec![
             name.to_owned(),
             spec.associativity().to_string(),
@@ -46,10 +49,10 @@ fn main() {
             .expect("LazyLRU is a permutation policy");
         add("LazyLRU", &lazy);
     }
-    emit(
-        "fig1_vectors",
+    run.add_cells(cells);
+    run.finish(
         &table,
-        &"PLRU/LazyLRU vectors derived mechanically",
+        Json::from("PLRU/LazyLRU vectors derived mechanically"),
     );
 
     // Also show the negative result: non-power-of-two tree-PLRU is *not*

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig2_noise`
 
-use cachekit_bench::{emit, pct, Table};
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig};
 use cachekit_hw::{CacheLevel, LevelOracle, NoiseModel, VirtualCpu};
 use cachekit_policies::PolicyKind;
@@ -51,6 +51,7 @@ fn attempt(noise: NoiseModel, repetitions: usize, seed: u64) -> bool {
 }
 
 fn main() {
+    let mut run = Runner::new("fig2_noise").with_seed(0xF16);
     let noise_levels = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30];
     let reps = [1usize, 3, 5, 9];
 
@@ -58,22 +59,30 @@ fn main() {
         "Fig. 2: inference success rate vs counter noise (8-way PLRU L1 target)",
         &["counter noise", "R=1", "R=3", "R=5", "R=9"],
     );
+    // 7 noise levels x 4 vote counts x 30 trials: every campaign is
+    // seeded independently, so fan the whole grid out at once.
+    let grid: Vec<(f64, usize)> = noise_levels
+        .iter()
+        .flat_map(|&p| reps.iter().map(move |&r| (p, r)))
+        .collect();
+    let rates: Vec<f64> = cachekit_sim::par_map(&grid, run.jobs(), |&(p, r)| {
+        let ok = (0..TRIALS)
+            .filter(|&s| attempt(NoiseModel::counter(p), r, 0xF16 + s))
+            .count();
+        ok as f64 / TRIALS as f64
+    });
+    run.add_cells(grid.len() as u64);
+    run.count("campaigns", grid.len() as u64 * TRIALS);
+
     let mut series = Vec::new();
-    for &p in &noise_levels {
+    for (i, &p) in noise_levels.iter().enumerate() {
+        let row_rates = &rates[i * reps.len()..(i + 1) * reps.len()];
         let mut cells = vec![pct(p)];
-        let mut rates = Vec::new();
-        for &r in &reps {
-            let ok = (0..TRIALS)
-                .filter(|&s| attempt(NoiseModel::counter(p), r, 0xF16 + s))
-                .count();
-            let rate = ok as f64 / TRIALS as f64;
-            cells.push(pct(rate));
-            rates.push(rate);
-        }
-        series.push(serde_json::json!({"noise": p, "success": rates}));
+        cells.extend(row_rates.iter().map(|&r| pct(r)));
+        series.push(jobj! {"noise": p, "success": row_rates.to_vec()});
         table.row(cells);
     }
-    emit("fig2_noise", &table, &series);
+    run.finish(&table, Json::from(series));
     println!("Each cell: fraction of {TRIALS} independent campaigns that recovered");
     println!("the exact geometry AND identified PLRU.");
 }

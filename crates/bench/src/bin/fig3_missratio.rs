@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig3_missratio`
 
-use cachekit_bench::{emit, pct, Table};
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_policies::{DipFamily, DrripFamily, PolicyKind};
 use cachekit_sim::{sweep, Cache, CacheConfig};
 use cachekit_trace::workloads;
@@ -26,9 +26,11 @@ fn adaptive_miss_ratio(config: CacheConfig, which: &str, trace: &[u64]) -> f64 {
 }
 
 fn main() {
+    let seed = 7;
+    let mut run = Runner::new("fig3_missratio").with_seed(seed);
     let capacity = 256 * 1024u64;
     let config = CacheConfig::new(capacity, 8, 64).expect("valid geometry");
-    let suite = workloads::suite(capacity, 64, 7);
+    let suite = workloads::suite(capacity, 64, seed);
     let kinds = PolicyKind::evaluation_kinds();
 
     let mut headers: Vec<&str> = vec!["workload"];
@@ -47,7 +49,9 @@ fn main() {
     );
     let mut series = Vec::new();
 
-    for w in &suite {
+    // Each workload row is independent; fan the per-workload columns out
+    // over the worker pool while keeping suite order.
+    let rows: Vec<Vec<f64>> = cachekit_sim::par_map(&suite, run.jobs(), |w| {
         let mut ratios: Vec<f64> = kinds
             .iter()
             .map(|&k| sweep::simulate(config, k, &w.trace).miss_ratio())
@@ -55,21 +59,27 @@ fn main() {
         ratios.push(adaptive_miss_ratio(config, "DIP", &w.trace));
         ratios.push(adaptive_miss_ratio(config, "DRRIP", &w.trace));
         ratios.push(cachekit_sim::opt::simulate_opt(config, &w.trace).miss_ratio());
+        ratios
+    });
+
+    for (w, ratios) in suite.iter().zip(&rows) {
+        run.add_cells(ratios.len() as u64);
+        run.count("accesses", (w.trace.len() * ratios.len()) as u64);
         let lru = ratios[0].max(1e-9); // LRU is the first evaluation kind
         let mut abs_cells = vec![w.name.to_owned()];
         let mut rel_cells = vec![w.name.to_owned()];
-        for &r in &ratios {
+        for &r in ratios {
             abs_cells.push(pct(r));
             rel_cells.push(format!("{:.2}", r / lru));
         }
         table.row(abs_cells);
         rel.row(rel_cells);
-        series.push(serde_json::json!({
+        series.push(jobj! {
             "workload": w.name,
-            "policies": labels,
-            "miss_ratios": ratios,
-        }));
+            "policies": labels.clone(),
+            "miss_ratios": ratios.clone(),
+        });
     }
-    emit("fig3_missratio", &table, &series);
+    run.finish(&table, Json::from(series));
     println!("{}", rel.to_markdown());
 }

@@ -5,14 +5,16 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig4_sweep`
 
-use cachekit_bench::{emit, pct, Table};
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_policies::PolicyKind;
-use cachekit_sim::{sweep, CacheConfig};
+use cachekit_sim::{sweep_parallel_jobs, CacheConfig};
 use cachekit_trace::workloads;
 
 fn main() {
+    let seed = 7;
+    let mut run = Runner::new("fig4_sweep").with_seed(seed);
     let reference_capacity = 256 * 1024u64; // workloads sized for this
-    let suite = workloads::suite(reference_capacity, 64, 7);
+    let suite = workloads::suite(reference_capacity, 64, seed);
     let kinds = [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -22,7 +24,9 @@ fn main() {
         PolicyKind::Srrip { bits: 2 },
         PolicyKind::Random { seed: 0x5eed },
     ];
-    let capacities: Vec<u64> = (0..7).map(|i| (32 * 1024) << i).collect(); // 32K..2M
+    let configs: Vec<CacheConfig> = (0..7)
+        .map(|i| CacheConfig::new((32 * 1024) << i, 8, 64).expect("valid geometry")) // 32K..2M
+        .collect();
     let mut series = Vec::new();
 
     for wname in ["thrash_loop", "zipf_hot", "stack_geo"] {
@@ -34,23 +38,25 @@ fn main() {
             format!("Fig. 4: miss ratio vs capacity — workload `{wname}` (8-way, 64 B)"),
             &headers_ref,
         );
-        for &cap in &capacities {
-            let config = CacheConfig::new(cap, 8, 64).expect("valid geometry");
-            let mut cells = vec![cachekit_bench::human_bytes(cap)];
-            let mut ratios = Vec::new();
-            for &k in &kinds {
-                let m = sweep::simulate(config, k, &w.trace).miss_ratio();
-                cells.push(pct(m));
-                ratios.push(m);
-            }
-            series.push(serde_json::json!({
+        // Cells come back config-major, policy-minor: one table row per
+        // chunk of `kinds.len()` cells, identical to the serial sweep.
+        let cells = sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs());
+        run.add_cells(cells.len() as u64);
+        run.count("accesses", (w.trace.len() * cells.len()) as u64);
+        for chunk in cells.chunks(kinds.len()) {
+            let cap = chunk[0].config.capacity();
+            let mut row = vec![cachekit_bench::human_bytes(cap)];
+            let ratios: Vec<f64> = chunk.iter().map(|c| c.miss_ratio()).collect();
+            row.extend(ratios.iter().map(|&m| pct(m)));
+            series.push(jobj! {
                 "workload": wname, "capacity": cap, "miss_ratios": ratios,
-            }));
-            table.row(cells);
+            });
+            table.row(row);
+        }
+        if wname == "stack_geo" {
+            run.finish(&table, Json::from(series));
+            break;
         }
         println!("{}", table.to_markdown());
-        if wname == "stack_geo" {
-            emit("fig4_sweep", &table, &series);
-        }
     }
 }

@@ -4,14 +4,16 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig5_assoc`
 
-use cachekit_bench::{emit, pct, Table};
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_policies::PolicyKind;
-use cachekit_sim::{sweep, CacheConfig};
+use cachekit_sim::{sweep_parallel_jobs, CacheConfig};
 use cachekit_trace::workloads;
 
 fn main() {
+    let seed = 7;
+    let mut run = Runner::new("fig5_assoc").with_seed(seed);
     let capacity = 256 * 1024u64;
-    let suite = workloads::suite(capacity, 64, 7);
+    let suite = workloads::suite(capacity, 64, seed);
     let kinds = [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -19,7 +21,10 @@ fn main() {
         PolicyKind::LazyLru,
         PolicyKind::Random { seed: 0x5eed },
     ];
-    let assocs = [1usize, 2, 4, 8, 16, 32];
+    let configs: Vec<CacheConfig> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .filter_map(|&assoc| CacheConfig::new(capacity, assoc, 64).ok())
+        .collect();
     let mut series = Vec::new();
 
     for wname in ["zipf_hot", "ptr_chase", "stack_geo"] {
@@ -31,25 +36,23 @@ fn main() {
             format!("Fig. 5: miss ratio vs associativity — workload `{wname}` (256 KiB, 64 B)"),
             &headers_ref,
         );
-        for &assoc in &assocs {
-            let Ok(config) = CacheConfig::new(capacity, assoc, 64) else {
-                continue;
-            };
-            let mut cells = vec![assoc.to_string()];
-            let mut ratios = Vec::new();
-            for &k in &kinds {
-                let m = sweep::simulate(config, k, &w.trace).miss_ratio();
-                cells.push(pct(m));
-                ratios.push(m);
-            }
-            series.push(serde_json::json!({
+        let cells = sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs());
+        run.add_cells(cells.len() as u64);
+        run.count("accesses", (w.trace.len() * cells.len()) as u64);
+        for chunk in cells.chunks(kinds.len()) {
+            let assoc = chunk[0].config.associativity();
+            let mut row = vec![assoc.to_string()];
+            let ratios: Vec<f64> = chunk.iter().map(|c| c.miss_ratio()).collect();
+            row.extend(ratios.iter().map(|&m| pct(m)));
+            series.push(jobj! {
                 "workload": wname, "assoc": assoc, "miss_ratios": ratios,
-            }));
-            table.row(cells);
+            });
+            table.row(row);
+        }
+        if wname == "stack_geo" {
+            run.finish(&table, Json::from(series));
+            break;
         }
         println!("{}", table.to_markdown());
-        if wname == "stack_geo" {
-            emit("fig5_assoc", &table, &series);
-        }
     }
 }

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig6_predictability`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::analysis::{
     evict_distance, evict_distance_spec, minimal_lifespan, minimal_lifespan_spec, DistanceError,
 };
@@ -39,6 +39,7 @@ fn spec_for(kind: PolicyKind, assoc: usize) -> Option<PermutationSpec> {
 }
 
 fn main() {
+    let mut run = Runner::new("fig6_predictability");
     let kinds = [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -59,40 +60,53 @@ fn main() {
         "Fig. 6: predictability — evict / mls per policy and associativity",
         &headers_ref,
     );
-    let mut series = Vec::new();
-    for &kind in &kinds {
-        let mut cells = vec![kind.label()];
-        for &a in &assocs {
-            let (e, m) = match spec_for(kind, a) {
-                Some(spec) => (
-                    evict_distance_spec(&spec, budget),
-                    minimal_lifespan_spec(&spec, budget),
-                ),
-                None => {
-                    let p = kind.build(a, 0);
-                    (
-                        evict_distance(p.as_ref(), budget),
-                        minimal_lifespan(p.as_ref(), budget),
-                    )
-                }
-            };
-            // Cross-check the quotient solver against the generic one
-            // where the latter is tractable.
-            if a <= 4 {
+    // Every (policy, assoc) game is independent; solve the grid on the
+    // worker pool (the 16-way games dominate, so this splits the tail).
+    let grid: Vec<(PolicyKind, usize)> = kinds
+        .iter()
+        .flat_map(|&k| assocs.iter().map(move |&a| (k, a)))
+        .collect();
+    type Distances = (Result<usize, DistanceError>, Result<usize, DistanceError>);
+    let solved: Vec<Distances> = cachekit_sim::par_map(&grid, run.jobs(), |&(kind, a)| {
+        let (e, m) = match spec_for(kind, a) {
+            Some(spec) => (
+                evict_distance_spec(&spec, budget),
+                minimal_lifespan_spec(&spec, budget),
+            ),
+            None => {
                 let p = kind.build(a, 0);
-                assert_eq!(e, evict_distance(p.as_ref(), budget), "{kind:?} A={a}");
-                assert_eq!(m, minimal_lifespan(p.as_ref(), budget), "{kind:?} A={a}");
+                (
+                    evict_distance(p.as_ref(), budget),
+                    minimal_lifespan(p.as_ref(), budget),
+                )
             }
-            cells.push(show(&e));
-            cells.push(show(&m));
-            series.push(serde_json::json!({
+        };
+        // Cross-check the quotient solver against the generic one
+        // where the latter is tractable.
+        if a <= 4 {
+            let p = kind.build(a, 0);
+            assert_eq!(e, evict_distance(p.as_ref(), budget), "{kind:?} A={a}");
+            assert_eq!(m, minimal_lifespan(p.as_ref(), budget), "{kind:?} A={a}");
+        }
+        (e, m)
+    });
+    run.add_cells(grid.len() as u64);
+
+    let mut series = Vec::new();
+    for (ki, &kind) in kinds.iter().enumerate() {
+        let mut cells = vec![kind.label()];
+        for (ai, &a) in assocs.iter().enumerate() {
+            let (e, m) = &solved[ki * assocs.len() + ai];
+            cells.push(show(e));
+            cells.push(show(m));
+            series.push(jobj! {
                 "policy": kind.label(), "assoc": a,
-                "evict": e.as_ref().ok(), "mls": m.as_ref().ok(),
-            }));
+                "evict": e.as_ref().ok().copied(), "mls": m.as_ref().ok().copied(),
+            });
         }
         table.row(cells);
     }
-    emit("fig6_predictability", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "evict = pairwise-distinct accesses guaranteeing a fully known set;\n\
          mls   = fastest adversarial eviction of a freshly inserted line.\n\

@@ -6,15 +6,17 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig7_writebacks`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
 use cachekit_trace::{io, workloads};
 
 fn main() {
+    let seed = 7;
+    let mut run = Runner::new("fig7_writebacks").with_seed(seed);
     let capacity = 256 * 1024u64;
     let config = CacheConfig::new(capacity, 8, 64).expect("valid geometry");
-    let suite = workloads::suite(capacity, 64, 7);
+    let suite = workloads::suite(capacity, 64, seed);
     let kinds = [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -34,23 +36,31 @@ fn main() {
     );
     let mut series = Vec::new();
 
-    for w in &suite {
+    // One worker per workload row: the write-annotated trace is built
+    // once per row and shared by its policy columns.
+    let rows: Vec<Vec<f64>> = cachekit_sim::par_map(&suite, run.jobs(), |w| {
         let ops = io::with_writes(&w.trace, 0.3, 0xF17);
+        kinds
+            .iter()
+            .map(|&kind| {
+                let mut cache = Cache::new(config, kind);
+                let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+                stats.writebacks as f64 / stats.accesses as f64 * 1000.0
+            })
+            .collect()
+    });
+
+    for (w, rates) in suite.iter().zip(&rows) {
+        run.add_cells(rates.len() as u64);
+        run.count("accesses", (w.trace.len() * rates.len()) as u64);
         let mut cells = vec![w.name.to_owned()];
-        let mut rates = Vec::new();
-        for &kind in &kinds {
-            let mut cache = Cache::new(config, kind);
-            let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
-            let rate = stats.writebacks as f64 / stats.accesses as f64 * 1000.0;
-            cells.push(format!("{rate:.1}"));
-            rates.push(rate);
-        }
-        series.push(serde_json::json!({
-            "workload": w.name, "writebacks_per_1k": rates,
-        }));
+        cells.extend(rates.iter().map(|rate| format!("{rate:.1}")));
+        series.push(jobj! {
+            "workload": w.name, "writebacks_per_1k": rates.clone(),
+        });
         table.row(cells);
     }
-    emit("fig7_writebacks", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "Lower is better; the write-back rate tracks the miss ratio scaled\n\
          by the dirty fraction — thrash-resistant insertion saves write\n\

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig8_amat`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_hw::VirtualCpu;
 use cachekit_policies::PolicyKind;
 use cachekit_sim::CacheConfig;
@@ -28,8 +28,10 @@ fn amat(l2_policy: PolicyKind, trace: &[u64]) -> f64 {
 }
 
 fn main() {
+    let seed = 7;
+    let mut run = Runner::new("fig8_amat").with_seed(seed);
     let capacity = 256 * 1024u64;
-    let suite = workloads::suite(capacity, 64, 7);
+    let suite = workloads::suite(capacity, 64, seed);
     let kinds = [
         PolicyKind::Lru,
         PolicyKind::Fifo,
@@ -48,18 +50,25 @@ fn main() {
     );
     let mut series = Vec::new();
 
-    for w in &suite {
+    // Each (workload, L2 policy) run builds its own virtual CPU; the
+    // whole grid fans out over the worker pool.
+    let grid: Vec<(usize, PolicyKind)> = (0..suite.len())
+        .flat_map(|wi| kinds.iter().map(move |&k| (wi, k)))
+        .collect();
+    let values: Vec<f64> = cachekit_sim::par_map(&grid, run.jobs(), |&(wi, kind)| {
+        amat(kind, &suite[wi].trace)
+    });
+    run.add_cells(grid.len() as u64);
+
+    for (wi, w) in suite.iter().enumerate() {
+        run.count("accesses", (w.trace.len() * kinds.len()) as u64);
+        let row = &values[wi * kinds.len()..(wi + 1) * kinds.len()];
         let mut cells = vec![w.name.to_owned()];
-        let mut values = Vec::new();
-        for &kind in &kinds {
-            let v = amat(kind, &w.trace);
-            cells.push(format!("{v:.1}"));
-            values.push(v);
-        }
-        series.push(serde_json::json!({"workload": w.name, "amat_cycles": values}));
+        cells.extend(row.iter().map(|v| format!("{v:.1}")));
+        series.push(jobj! {"workload": w.name, "amat_cycles": row.to_vec()});
         table.row(cells);
     }
-    emit("fig8_amat", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "3-cycle L1 hits, 15-cycle L2 hits, 200-cycle memory: on the\n\
          thrash loop an L2 policy choice is worth >100 cycles per access."

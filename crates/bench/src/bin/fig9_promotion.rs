@@ -7,17 +7,19 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin fig9_promotion`
 
-use cachekit_bench::{emit, pct, Table};
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec};
 use cachekit_core::perm::{PermutationPolicy, PermutationSpec};
 use cachekit_sim::{Cache, CacheConfig};
 use cachekit_trace::workloads;
 
 fn main() {
+    let seed = 7;
+    let mut runner = Runner::new("fig9_promotion").with_seed(seed);
     let assoc = 8usize;
     let capacity = 256 * 1024u64;
     let config = CacheConfig::new(capacity, assoc, 64).expect("valid geometry");
-    let suite = workloads::suite(capacity, 64, 7);
+    let suite = workloads::suite(capacity, 64, seed);
     let zipf = suite
         .iter()
         .find(|w| w.name == "zipf_hot")
@@ -34,7 +36,11 @@ fn main() {
     let mut series = Vec::new();
     let budget = 4_000_000;
 
-    for step in 0..=assoc {
+    // Each promotion step is an independent column of work (two
+    // simulations plus two game searches); fan the steps out.
+    let steps: Vec<usize> = (0..=assoc).collect();
+    type StepRow = (f64, f64, Option<usize>, Option<usize>);
+    let rows: Vec<StepRow> = cachekit_sim::par_map(&steps, runner.jobs(), |&step| {
         let spec = PermutationSpec::promote_by(assoc, step);
         let run = |trace: &[u64]| {
             let spec = spec.clone();
@@ -46,8 +52,13 @@ fn main() {
         };
         let mz = run(&zipf.trace);
         let mg = run(&geo.trace);
-        let evict = evict_distance_spec(&spec, budget);
-        let mls = minimal_lifespan_spec(&spec, budget);
+        let evict = evict_distance_spec(&spec, budget).ok();
+        let mls = minimal_lifespan_spec(&spec, budget).ok();
+        (mz, mg, evict, mls)
+    });
+    runner.add_cells(steps.len() as u64);
+
+    for (&step, &(mz, mg, evict, mls)) in steps.iter().zip(&rows) {
         table.row(vec![
             if step == 0 {
                 "0 (FIFO)".to_owned()
@@ -61,12 +72,12 @@ fn main() {
             evict.as_ref().map_or("-".into(), ToString::to_string),
             mls.as_ref().map_or("-".into(), ToString::to_string),
         ]);
-        series.push(serde_json::json!({
+        series.push(jobj! {
             "step": step, "zipf_hot": mz, "stack_geo": mg,
-            "evict": evict.ok(), "mls": mls.ok(),
-        }));
+            "evict": evict, "mls": mls,
+        });
     }
-    emit("fig9_promotion", &table, &series);
+    runner.finish(&table, Json::from(series));
     println!(
         "One promotion step captures most of LRU's benefit over FIFO, and\n\
          the miss ratio converges by step ~4. Predictability does NOT\n\

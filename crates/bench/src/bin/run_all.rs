@@ -1,11 +1,14 @@
 //! Regenerate every table and figure in one run (artifact-evaluation
-//! convenience): executes each experiment binary in sequence and reports
-//! pass/fail. Results land in `results/*.json` as usual.
+//! convenience): executes the experiment binaries concurrently on the
+//! worker pool and reports pass/fail per experiment. Results land in
+//! `results/*.json` as usual; each child's stdout/stderr is captured in
+//! `results/logs/<name>.log`, and the last stderr lines of a failing
+//! experiment are printed inline.
 //!
-//! Run with: `cargo run --release -p cachekit-bench --bin run_all`
+//! Run with: `cargo run --release -p cachekit-bench --bin run_all [-- --jobs N]`
+//! (`CACHEKIT_JOBS` is honoured when `--jobs` is not given.)
 
-use std::process::Command;
-use std::time::Instant;
+use cachekit_bench::exec::run_experiments;
 
 const EXPERIMENTS: &[&str] = &[
     "table1_geometry",
@@ -26,38 +29,76 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_interference",
 ];
 
-fn main() {
-    // The experiment binaries live next to this one.
-    let mut self_path = std::env::current_exe().expect("own path");
-    self_path.pop();
-
-    let mut failures = 0;
-    for name in EXPERIMENTS {
-        let bin = self_path.join(name);
-        let start = Instant::now();
-        print!("{name:<24} ");
-        match Command::new(&bin).output() {
-            Ok(out) if out.status.success() => {
-                println!("ok ({:.1}s)", start.elapsed().as_secs_f32());
+fn parse_jobs() -> Option<usize> {
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a value");
+                    std::process::exit(2);
+                });
+                jobs = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }));
             }
-            Ok(out) => {
-                failures += 1;
-                println!("FAILED (exit {:?})", out.status.code());
-                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            "--help" | "-h" => {
+                println!("usage: run_all [--jobs N]");
+                println!("  --jobs N   run N experiments concurrently");
+                println!("             (default: CACHEKIT_JOBS, then available cores)");
+                std::process::exit(0);
             }
-            Err(e) => {
-                failures += 1;
-                println!("FAILED to launch: {e}");
-                eprintln!(
-                    "(build all experiment binaries first: \
-                     `cargo build --release -p cachekit-bench --bins`)"
-                );
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
             }
         }
     }
-    if failures > 0 {
-        eprintln!("{failures} experiment(s) failed");
+    jobs
+}
+
+fn main() {
+    let jobs = cachekit_sim::effective_jobs(parse_jobs());
+    // The experiment binaries live next to this one.
+    let mut bin_dir = std::env::current_exe().expect("own path");
+    bin_dir.pop();
+
+    println!(
+        "running {} experiments on {jobs} worker(s); logs in results/logs/",
+        EXPERIMENTS.len()
+    );
+    let outcomes = run_experiments(EXPERIMENTS, jobs, |name| {
+        bin_dir.join(name).to_string_lossy().into_owned()
+    });
+
+    let failures: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+    for f in &failures {
+        eprintln!(
+            "\n{} failed (exit {}); full log: {}",
+            f.name,
+            f.exit_label(),
+            f.log_path.display()
+        );
+        if f.stderr_tail.is_empty() {
+            eprintln!(
+                "  (stderr was empty — did the binary get built? \
+                       `cargo build --release -p cachekit-bench --bins`)"
+            );
+        }
+        for line in &f.stderr_tail {
+            eprintln!("  | {line}");
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\n{} experiment(s) failed", failures.len());
         std::process::exit(1);
     }
-    println!("\nall experiments regenerated; see results/*.json");
+    let total: f64 = outcomes.iter().map(|o| o.wall_time_s).sum();
+    println!(
+        "\nall {} experiments regenerated ({total:.1}s of serial work on {jobs} worker(s)); \
+         see results/*.json",
+        outcomes.len()
+    );
 }

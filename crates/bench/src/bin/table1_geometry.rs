@@ -3,11 +3,13 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin table1_geometry`
 
-use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_bench::{human_bytes, json::Json, Runner, Table};
 use cachekit_core::infer::{infer_geometry, CountingOracle, InferenceConfig};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
+use std::sync::Mutex;
 
 fn main() {
+    let mut run = Runner::new("table1_geometry");
     let mut table = Table::new(
         "Table 1: inferred cache geometries (inferred / datasheet)",
         &[
@@ -24,54 +26,62 @@ fn main() {
     );
     let config = InferenceConfig::default();
 
-    for mut cpu in fleet::all() {
+    // One worker per machine; the two levels of a machine share its
+    // virtual CPU, so they stay serial within the worker.
+    let machines: Vec<Mutex<_>> = fleet::all().into_iter().map(Mutex::new).collect();
+    let per_machine: Vec<Vec<Vec<String>>> = cachekit_sim::par_map(&machines, run.jobs(), |cell| {
+        let mut cpu = cell.lock().expect("one worker per machine");
         let name = cpu.name().to_owned();
-        for level in [CacheLevel::L1, CacheLevel::L2] {
-            let truth = match level {
-                CacheLevel::L1 => *cpu.l1_config(),
-                CacheLevel::L2 => *cpu.l2_config(),
-                CacheLevel::L3 => unreachable!("two-level fleet"),
-            };
-            let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
-            let row = match infer_geometry(&mut oracle, &config) {
-                Ok(g) => {
-                    let ok = g.capacity == truth.capacity()
-                        && g.associativity == truth.associativity()
-                        && g.line_size == truth.line_size();
-                    vec![
+        [CacheLevel::L1, CacheLevel::L2]
+            .into_iter()
+            .map(|level| {
+                let truth = match level {
+                    CacheLevel::L1 => *cpu.l1_config(),
+                    CacheLevel::L2 => *cpu.l2_config(),
+                    CacheLevel::L3 => unreachable!("two-level fleet"),
+                };
+                let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
+                match infer_geometry(&mut oracle, &config) {
+                    Ok(g) => {
+                        let ok = g.capacity == truth.capacity()
+                            && g.associativity == truth.associativity()
+                            && g.line_size == truth.line_size();
+                        vec![
+                            name.clone(),
+                            format!("{level:?}"),
+                            human_bytes(g.capacity),
+                            g.associativity.to_string(),
+                            g.line_size.to_string(),
+                            g.num_sets.to_string(),
+                            if ok {
+                                "match".into()
+                            } else {
+                                format!("MISMATCH ({truth})")
+                            },
+                            oracle.measurements().to_string(),
+                            oracle.accesses().to_string(),
+                        ]
+                    }
+                    Err(e) => vec![
                         name.clone(),
                         format!("{level:?}"),
-                        human_bytes(g.capacity),
-                        g.associativity.to_string(),
-                        g.line_size.to_string(),
-                        g.num_sets.to_string(),
-                        if ok {
-                            "match".into()
-                        } else {
-                            format!("MISMATCH ({truth})")
-                        },
+                        format!("ERROR: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        truth.to_string(),
                         oracle.measurements().to_string(),
                         oracle.accesses().to_string(),
-                    ]
+                    ],
                 }
-                Err(e) => vec![
-                    name.clone(),
-                    format!("{level:?}"),
-                    format!("ERROR: {e}"),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    truth.to_string(),
-                    oracle.measurements().to_string(),
-                    oracle.accesses().to_string(),
-                ],
-            };
+            })
+            .collect()
+    });
+    for rows in per_machine {
+        for row in rows {
+            run.add_cells(1);
             table.row(row);
         }
     }
-    emit(
-        "table1_geometry",
-        &table,
-        &"noise-free fleet, default config",
-    );
+    run.finish(&table, Json::from("noise-free fleet, default config"));
 }

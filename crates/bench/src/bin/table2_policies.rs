@@ -5,13 +5,15 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin table2_policies`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
     infer_geometry, infer_policy, CountingOracle, InferenceConfig, InferenceError,
 };
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
+use std::sync::Mutex;
 
 fn main() {
+    let mut run = Runner::new("table2_policies");
     let mut table = Table::new(
         "Table 2: identified replacement policies",
         &[
@@ -27,64 +29,89 @@ fn main() {
     let config = InferenceConfig::default();
     let mut undocumented_specs = Vec::new();
 
-    for mut cpu in fleet::all() {
+    // One worker per machine (levels stay serial within their machine);
+    // each worker returns its table rows plus any undocumented specs.
+    type LevelRow = (Vec<String>, Option<(String, String)>);
+    let machines: Vec<Mutex<_>> = fleet::all().into_iter().map(Mutex::new).collect();
+    let per_machine: Vec<Vec<LevelRow>> = cachekit_sim::par_map(&machines, run.jobs(), |cell| {
+        let mut cpu = cell.lock().expect("one worker per machine");
         let name = cpu.name().to_owned();
-        for level in [CacheLevel::L1, CacheLevel::L2] {
-            let truth = match level {
-                CacheLevel::L1 => cpu.hidden_l1_policy().to_owned(),
-                CacheLevel::L2 => cpu.hidden_l2_policy().to_owned(),
-                CacheLevel::L3 => unreachable!("two-level fleet"),
-            };
-            let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
-            let (identified, validation) = match infer_geometry(&mut oracle, &config)
-                .and_then(|g| infer_policy(&mut oracle, &g, &config))
-            {
-                Ok(report) => {
-                    let id = match report.matched {
-                        Some(n) => n.to_owned(),
-                        None => {
-                            undocumented_specs
-                                .push((format!("{name}/{level:?}"), report.spec.render()));
-                            "UNDOCUMENTED".to_owned()
-                        }
-                    };
-                    (
-                        id,
-                        format!(
-                            "{}/{}",
-                            report.validation_rounds - report.validation_mismatches,
-                            report.validation_rounds
-                        ),
-                    )
-                }
-                Err(InferenceError::NotAPermutationPolicy { mismatches, rounds }) => (
-                    "rejected (not a permutation policy)".to_owned(),
-                    format!("{}/{rounds}", rounds - mismatches),
-                ),
-                Err(e) => (format!("rejected ({e})"), "-".to_owned()),
-            };
-            // Blind verdict: correct if the catalog name equals the hidden
-            // label; an UNDOCUMENTED finding is correct when the truth is
-            // outside the catalog (LazyLRU); a rejection is correct when
-            // the truth is stochastic (Random).
-            let verdict = match (identified.as_str(), truth.as_str()) {
-                (id, t) if id == t => "correct",
-                ("UNDOCUMENTED", "LazyLRU") => "correct (new policy found)",
-                (id, "Random") if id.starts_with("rejected") => "correct (rejected)",
-                _ => "WRONG",
-            };
-            table.row(vec![
-                name.clone(),
-                format!("{level:?}"),
-                identified,
-                validation,
-                oracle.measurements().to_string(),
-                truth,
-                verdict.to_owned(),
-            ]);
+        [CacheLevel::L1, CacheLevel::L2]
+            .into_iter()
+            .map(|level| {
+                let truth = match level {
+                    CacheLevel::L1 => cpu.hidden_l1_policy().to_owned(),
+                    CacheLevel::L2 => cpu.hidden_l2_policy().to_owned(),
+                    CacheLevel::L3 => unreachable!("two-level fleet"),
+                };
+                let mut undocumented = None;
+                let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
+                let (identified, validation) = match infer_geometry(&mut oracle, &config)
+                    .and_then(|g| infer_policy(&mut oracle, &g, &config))
+                {
+                    Ok(report) => {
+                        let id = match report.matched {
+                            Some(n) => n.to_owned(),
+                            None => {
+                                undocumented =
+                                    Some((format!("{name}/{level:?}"), report.spec.render()));
+                                "UNDOCUMENTED".to_owned()
+                            }
+                        };
+                        (
+                            id,
+                            format!(
+                                "{}/{}",
+                                report.validation_rounds - report.validation_mismatches,
+                                report.validation_rounds
+                            ),
+                        )
+                    }
+                    Err(InferenceError::NotAPermutationPolicy { mismatches, rounds }) => (
+                        "rejected (not a permutation policy)".to_owned(),
+                        format!("{}/{rounds}", rounds - mismatches),
+                    ),
+                    Err(e) => (format!("rejected ({e})"), "-".to_owned()),
+                };
+                // Blind verdict: correct if the catalog name equals the hidden
+                // label; an UNDOCUMENTED finding is correct when the truth is
+                // outside the catalog (LazyLRU); a rejection is correct when
+                // the truth is stochastic (Random).
+                let verdict = match (identified.as_str(), truth.as_str()) {
+                    (id, t) if id == t => "correct",
+                    ("UNDOCUMENTED", "LazyLRU") => "correct (new policy found)",
+                    (id, "Random") if id.starts_with("rejected") => "correct (rejected)",
+                    _ => "WRONG",
+                };
+                let row = vec![
+                    name.clone(),
+                    format!("{level:?}"),
+                    identified,
+                    validation,
+                    oracle.measurements().to_string(),
+                    truth,
+                    verdict.to_owned(),
+                ];
+                (row, undocumented)
+            })
+            .collect()
+    });
+    for rows in per_machine {
+        for (row, undocumented) in rows {
+            run.add_cells(1);
+            table.row(row);
+            if let Some(spec) = undocumented {
+                undocumented_specs.push(spec);
+            }
         }
     }
-    emit("table2_policies", &table, &undocumented_specs);
+    let extra = Json::Arr(
+        undocumented_specs
+            .iter()
+            .map(|(place, spec)| jobj! {"place": place.as_str(), "spec": spec.as_str()})
+            .collect(),
+    );
+    run.finish(&table, extra);
 
     if !undocumented_specs.is_empty() {
         println!("Permutation vectors of the undocumented policies:\n");

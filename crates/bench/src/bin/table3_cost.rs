@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin table3_cost`
 
-use cachekit_bench::{emit, Table};
+use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
     infer_geometry, infer_policy, CountingOracle, InferenceConfig, SimOracle,
 };
@@ -13,6 +13,7 @@ use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
 
 fn main() {
+    let mut run = Runner::new("table3_cost");
     let mut table = Table::new(
         "Table 3: inference cost vs associativity (LRU target, 64-set cache)",
         &[
@@ -26,7 +27,10 @@ fn main() {
     let config = InferenceConfig::default();
     let mut series = Vec::new();
 
-    for assoc in [2usize, 4, 8, 16, 24, 32] {
+    // Each associativity is an independent campaign against its own
+    // simulated cache; fan them out (the 32-way campaign dominates).
+    let assocs = [2usize, 4, 8, 16, 24, 32];
+    let costs: Vec<(u64, u64, u64, u64)> = cachekit_sim::par_map(&assocs, run.jobs(), |&assoc| {
         let capacity = (assoc as u64) * 64 * 64; // 64 sets
         let cache = Cache::new(
             CacheConfig::new(capacity, assoc, 64).expect("valid geometry"),
@@ -37,7 +41,13 @@ fn main() {
         let (gm, ga) = (oracle.measurements(), oracle.accesses());
         let report = infer_policy(&mut oracle, &geometry, &config).expect("policy");
         assert_eq!(report.matched, Some("LRU"));
-        let (pm, pa) = (oracle.measurements() - gm, oracle.accesses() - ga);
+        (gm, ga, oracle.measurements() - gm, oracle.accesses() - ga)
+    });
+    run.add_cells(assocs.len() as u64);
+
+    for (&assoc, &(gm, ga, pm, pa)) in assocs.iter().zip(&costs) {
+        run.count("measurements", gm + pm);
+        run.count("accesses", ga + pa);
         table.row(vec![
             assoc.to_string(),
             gm.to_string(),
@@ -45,13 +55,13 @@ fn main() {
             pm.to_string(),
             pa.to_string(),
         ]);
-        series.push(serde_json::json!({
+        series.push(jobj! {
             "assoc": assoc,
-            "geometry": {"measurements": gm, "accesses": ga},
-            "policy": {"measurements": pm, "accesses": pa},
-        }));
+            "geometry": jobj! {"measurements": gm, "accesses": ga},
+            "policy": jobj! {"measurements": pm, "accesses": pa},
+        });
     }
-    emit("table3_cost", &table, &series);
+    run.finish(&table, Json::from(series));
     println!(
         "The policy column grows ~A^2 log A: each of the A+1 read-outs asks\n\
          A positions, each answered by a log2(A) binary search of voted\n\

@@ -6,11 +6,12 @@
 //!
 //! Run with: `cargo run --release -p cachekit-bench --bin table4_l3`
 
-use cachekit_bench::{emit, human_bytes, Table};
+use cachekit_bench::{human_bytes, json::Json, Runner, Table};
 use cachekit_core::infer::{infer_geometry, infer_policy, mapping, Geometry, InferenceConfig};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 
 fn main() {
+    let mut run = Runner::new("table4_l3");
     let mut table = Table::new(
         "Table 4: three-level machines",
         &[
@@ -63,6 +64,7 @@ fn main() {
                 }
                 Err(e) => (format!("ERROR: {e}"), "-".into(), "WRONG"),
             };
+            run.add_cells(1);
             table.row(vec![
                 "nehalem_3level".into(),
                 format!("{level:?}"),
@@ -107,6 +109,7 @@ fn main() {
         let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L3).without_flushers();
         let roles = mapping::classify_bits(&mut oracle, &datasheet, &sliced_config, 24);
         let flagged = !mapping::consistent_with(&roles, &datasheet);
+        run.add_cells(1);
         table.row(vec![
             "sliced_llc".into(),
             "L3".into(),
@@ -126,5 +129,5 @@ fn main() {
         notes.push(format!("sliced_llc bit roles: {roles:?}"));
     }
 
-    emit("table4_l3", &table, &notes);
+    run.finish(&table, Json::from(notes));
 }

@@ -1,0 +1,287 @@
+//! Minimal JSON value type and serializer (no external dependencies).
+//!
+//! The experiment harness must emit machine-readable `results/*.json`
+//! records on machines without access to crates.io, so instead of
+//! `serde_json` it builds [`Json`] values by hand (or with the
+//! [`jobj!`](crate::jobj) macro) and pretty-prints them. Object key
+//! order is insertion order, so records are stable across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite floats serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Append a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("insert on non-object Json: {other:?}"),
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serialize without whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Infinity
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<&String> for Json {
+    fn from(s: &String) -> Json {
+        Json::Str(s.clone())
+    }
+}
+
+macro_rules! impl_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(x: $t) -> Json {
+                Json::Num(x as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(items: &[T]) -> Json {
+        Json::Arr(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(opt: Option<T>) -> Json {
+        opt.map_or(Json::Null, Into::into)
+    }
+}
+
+impl<V: Into<Json> + Clone> From<&BTreeMap<String, V>> for Json {
+    fn from(map: &BTreeMap<String, V>) -> Json {
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), v.clone().into()))
+                .collect(),
+        )
+    }
+}
+
+/// Build a [`Json`] object literal: `jobj! { "key": value, ... }`.
+///
+/// Values are arbitrary expressions convertible to `Json` (numbers,
+/// strings, bools, vectors, nested `jobj!`s).
+#[macro_export]
+macro_rules! jobj {
+    ( $( $k:literal : $v:expr ),* $(,)? ) => {
+        $crate::json::Json::Obj(vec![
+            $( ($k.to_string(), $crate::json::Json::from($v)) ),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_compact(), "null");
+        assert_eq!(Json::from(true).to_compact(), "true");
+        assert_eq!(Json::from(42u64).to_compact(), "42");
+        assert_eq!(Json::from(0.125).to_compact(), "0.125");
+        assert_eq!(Json::from(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::from("hi").to_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let j = jobj! { "z": 1, "a": 2, "m": vec![1, 2, 3] };
+        assert_eq!(j.to_compact(), "{\"z\":1,\"a\":2,\"m\":[1,2,3]}");
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let j = jobj! { "outer": jobj! { "inner": vec![1.5] } };
+        assert_eq!(
+            j.to_pretty(),
+            "{\n  \"outer\": {\n    \"inner\": [\n      1.5\n    ]\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(Json::from(3.0).to_compact(), "3");
+        assert_eq!(Json::from(1e16).to_compact(), "10000000000000000");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).to_pretty(), "{}\n");
+    }
+}

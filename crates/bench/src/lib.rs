@@ -1,22 +1,31 @@
 //! # cachekit-bench
 //!
 //! The experiment harness: one binary per table/figure of the
-//! reproduction (see `DESIGN.md` for the index), plus Criterion
-//! microbenchmarks.
+//! reproduction (see `DESIGN.md` for the index), plus std-only
+//! microbenchmarks under `benches/`.
 //!
 //! Every binary prints a markdown table to stdout and drops a
 //! machine-readable JSON record under `results/` so that
-//! `EXPERIMENTS.md` can cite exact numbers.
+//! `EXPERIMENTS.md` can cite exact numbers. Records are written through
+//! [`Runner`], which stamps each one with a [`RunReport`] — wall time,
+//! worker count, seed and counters — so every number in the paper
+//! reproduction carries its provenance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod exec;
+pub mod json;
+pub mod microbench;
+
+use json::Json;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// A rectangular result table with a title and column headers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (e.g. `"Table 1: inferred cache geometries"`).
     pub title: String,
@@ -76,6 +85,157 @@ impl Table {
         }
         out
     }
+
+    /// The table as a [`Json`] object (title, headers, rows).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("title", Json::from(self.title.clone())),
+            ("headers", Json::from(self.headers.clone())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-run provenance attached to every experiment record: how long the
+/// run took, how parallel it was, what it was seeded with, and whatever
+/// counters the experiment accumulated.
+///
+/// Serialized as the `"run_report"` field of every `results/*.json`:
+///
+/// ```json
+/// {
+///   "wall_time_s": 1.234,
+///   "cells": 42,
+///   "jobs": 8,
+///   "seed": 7,
+///   "counters": { "accesses": 123456 }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Wall-clock duration of the experiment, seconds.
+    pub wall_time_s: f64,
+    /// Number of work cells the experiment evaluated ((policy, geometry)
+    /// pairs, campaigns, scripts — the experiment's own unit).
+    pub cells: u64,
+    /// Worker threads the run was configured for.
+    pub jobs: usize,
+    /// The run's base PRNG seed (0 when the experiment draws nothing).
+    pub seed: u64,
+    /// Free-form named counters (accesses, measurements, …).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// As a [`Json`] object, field order fixed.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("wall_time_s", Json::Num(self.wall_time_s)),
+            ("cells", Json::from(self.cells)),
+            ("jobs", Json::from(self.jobs)),
+            ("seed", Json::from(self.seed)),
+            ("counters", Json::from(&self.counters)),
+        ])
+    }
+}
+
+/// The shared experiment runner: times the run, tracks provenance, and
+/// emits the instrumented record.
+///
+/// Every experiment binary follows the same shape:
+///
+/// ```no_run
+/// use cachekit_bench::{jobj, Runner, Table};
+///
+/// let mut run = Runner::new("fig0_demo").with_seed(7);
+/// let mut table = Table::new("Demo", &["x"]);
+/// table.row(vec!["1".into()]);
+/// run.add_cells(1);
+/// run.finish(&table, jobj! { "series": vec![1.0] });
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    name: String,
+    started: Instant,
+    jobs: usize,
+    seed: u64,
+    cells: u64,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Runner {
+    /// Start a run: records the start time and resolves the worker count
+    /// from `CACHEKIT_JOBS` / available parallelism.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            started: Instant::now(),
+            jobs: cachekit_sim::parallel::effective_jobs(None),
+            seed: 0,
+            cells: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Record the run's base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the recorded worker count (e.g. for a deliberately
+    /// serial experiment).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The worker count this run is configured for — pass this to the
+    /// `*_jobs` parallel entry points so the report matches reality.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Count `n` more evaluated work cells.
+    pub fn add_cells(&mut self, n: u64) {
+        self.cells += n;
+    }
+
+    /// Add `n` to the named counter (created at zero).
+    pub fn count(&mut self, key: impl Into<String>, n: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += n;
+    }
+
+    /// The report as it stands now (wall time keeps running until
+    /// [`finish`](Self::finish)).
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            wall_time_s: self.started.elapsed().as_secs_f64(),
+            cells: self.cells,
+            jobs: self.jobs,
+            seed: self.seed,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Print the table and persist the instrumented record under
+    /// `results/<name>.json`; returns the path written.
+    pub fn finish(self, table: &Table, extra: Json) -> PathBuf {
+        println!("{}", table.to_markdown());
+        let record = Json::object(vec![
+            ("experiment", Json::from(self.name.as_str())),
+            ("run_report", self.report().to_json()),
+            ("table", table.to_json()),
+            ("extra", extra),
+        ]);
+        let path = results_dir().join(format!("{}.json", self.name));
+        std::fs::write(&path, record.to_pretty()).expect("write results file");
+        println!("[written {}]", path.display());
+        path
+    }
 }
 
 /// Directory where experiment records are written (`results/` at the
@@ -84,24 +244,6 @@ pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
-}
-
-/// Print the table and persist it (plus an optional extra JSON payload)
-/// under `results/<name>.json`.
-pub fn emit<T: Serialize>(name: &str, table: &Table, extra: &T) {
-    println!("{}", table.to_markdown());
-    let record = serde_json::json!({
-        "experiment": name,
-        "table": table,
-        "extra": extra,
-    });
-    let path = results_dir().join(format!("{name}.json"));
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&record).expect("serialize"),
-    )
-    .expect("write results file");
-    println!("[written {}]", path.display());
 }
 
 /// Format a byte count the way datasheets do (KiB/MiB).
@@ -151,5 +293,47 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn table_serializes_to_json() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(
+            t.to_json().to_compact(),
+            "{\"title\":\"T\",\"headers\":[\"a\"],\"rows\":[[\"x\"]]}"
+        );
+    }
+
+    #[test]
+    fn run_report_has_the_documented_schema() {
+        let mut counters = BTreeMap::new();
+        counters.insert("accesses".to_owned(), 5u64);
+        let r = RunReport {
+            wall_time_s: 0.5,
+            cells: 3,
+            jobs: 2,
+            seed: 9,
+            counters,
+        };
+        assert_eq!(
+            r.to_json().to_compact(),
+            "{\"wall_time_s\":0.5,\"cells\":3,\"jobs\":2,\"seed\":9,\
+             \"counters\":{\"accesses\":5}}"
+        );
+    }
+
+    #[test]
+    fn runner_accumulates_provenance() {
+        let mut run = Runner::new("unit_test").with_seed(42).with_jobs(3);
+        run.add_cells(4);
+        run.count("measurements", 10);
+        run.count("measurements", 5);
+        let report = run.report();
+        assert_eq!(report.cells, 4);
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.seed, 42);
+        assert_eq!(report.counters["measurements"], 15);
+        assert!(report.wall_time_s >= 0.0);
     }
 }

@@ -1,0 +1,86 @@
+//! Tiny dependency-free microbenchmark harness.
+//!
+//! The workspace must build without crates.io access, so the `benches/`
+//! binaries cannot use criterion. This harness keeps the part that
+//! matters for the reproduction — stable median-of-samples timings with
+//! a warmup phase — behind a two-function API.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Median wall time per iteration batch.
+    pub median: Duration,
+    /// Fastest observed batch.
+    pub min: Duration,
+    /// Slowest observed batch.
+    pub max: Duration,
+    /// Iterations per batch.
+    pub iters: u32,
+}
+
+impl Sample {
+    /// Median nanoseconds per single iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.median.as_nanos() as f64 / f64::from(self.iters)
+    }
+}
+
+/// Run `f` in `batches` timed batches of `iters` iterations each (after
+/// one untimed warmup batch) and report median/min/max.
+///
+/// Return values are routed through [`black_box`] so the work is not
+/// optimized away; `f` takes the iteration index so callers can vary
+/// inputs cheaply.
+pub fn bench<R>(name: &str, batches: usize, iters: u32, mut f: impl FnMut(u32) -> R) -> Sample {
+    assert!(batches >= 1 && iters >= 1);
+    for i in 0..iters {
+        black_box(f(i));
+    }
+    let mut times: Vec<Duration> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for i in 0..iters {
+                black_box(f(i));
+            }
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    Sample {
+        name: name.to_owned(),
+        median: times[times.len() / 2] / iters,
+        min: times[0] / iters,
+        max: times[times.len() - 1] / iters,
+        iters,
+    }
+}
+
+/// Print a sample the way the old criterion output read (one line per
+/// benchmark).
+pub fn report(sample: &Sample) {
+    println!(
+        "{:<44} {:>12.1} ns/iter  (min {:.1}, max {:.1})",
+        sample.name,
+        sample.median.as_nanos() as f64,
+        sample.min.as_nanos() as f64,
+        sample.max.as_nanos() as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let s = bench("noop", 5, 100, |i| i.wrapping_mul(3));
+        assert_eq!(s.name, "noop");
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.ns_per_iter() >= 0.0);
+    }
+}

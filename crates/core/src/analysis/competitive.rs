@@ -14,10 +14,9 @@
 //! the qualitative facts (a policy is 1-competitive against itself,
 //! PLRU ≈ LRU, FIFO strictly worse than LRU somewhere, and vice versa).
 
+use cachekit_policies::rng::Prng;
 use cachekit_policies::ReplacementPolicy;
 use cachekit_sim::CacheSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Result of an empirical competitiveness estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +35,7 @@ pub struct CompetitiveEstimate {
 /// universe with bursts of re-use and bursts of fresh blocks — the mix
 /// that separates recency-, insertion- and tree-based policies.
 pub fn adversarial_sequence(assoc: usize, len: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let universe = (assoc as u64) + 1 + rng.gen_range(0..=assoc as u64);
     let mut seq = Vec::with_capacity(len);
     while seq.len() < len {

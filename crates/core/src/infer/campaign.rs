@@ -1,0 +1,139 @@
+//! Parallel measurement campaigns over a cache oracle.
+//!
+//! A reverse-engineering campaign is dominated by *independent*
+//! measurements: every `measure` call starts with a flush, so two
+//! measurements share no cache state and can run on different clones of
+//! the oracle concurrently. This module fans such batches across the
+//! bounded worker pool of [`cachekit_sim::parallel`]; worker counts
+//! resolve exactly like every other parallel entry point in the
+//! workspace (explicit `jobs` argument, then `CACHEKIT_JOBS`, then
+//! [`available_parallelism`](std::thread::available_parallelism)).
+//!
+//! On a noise-free oracle ([`SimOracle`](crate::infer::SimOracle)) the
+//! results are bit-identical to running the same batch serially. On a
+//! noisy oracle each clone replays its own noise stream, so individual
+//! readings may differ from a serial run the way two serial runs differ
+//! from each other — statistically equivalent, which is all the voting
+//! layer assumes.
+
+use crate::infer::oracle::{measure_voted, CacheOracle};
+use cachekit_sim::parallel::{effective_jobs, par_map};
+
+/// One independent experiment of a measurement campaign: flush, access
+/// `warmup`, then count the misses of `probe` (median over
+/// `repetitions` votes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Warm-up access sequence (run after the flush, not counted).
+    pub warmup: Vec<u64>,
+    /// Probe access sequence (its miss count is the result).
+    pub probe: Vec<u64>,
+    /// Votes per reading (median); 1 = trust a single reading.
+    pub repetitions: usize,
+}
+
+impl Measurement {
+    /// A single-vote measurement.
+    pub fn new(warmup: Vec<u64>, probe: Vec<u64>) -> Self {
+        Self {
+            warmup,
+            probe,
+            repetitions: 1,
+        }
+    }
+
+    /// The same measurement with `repetitions` votes.
+    pub fn voted(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions;
+        self
+    }
+}
+
+/// Run a batch of independent measurements, fanning them across worker
+/// threads; results come back in input order.
+///
+/// Each worker measures on its own clone of `oracle`, so the oracle is
+/// taken by shared reference and is never mutated. `jobs` of `None`
+/// falls back to `CACHEKIT_JOBS` / available parallelism.
+pub fn measure_campaign<O>(
+    oracle: &O,
+    experiments: &[Measurement],
+    jobs: Option<usize>,
+) -> Vec<usize>
+where
+    O: CacheOracle + Clone + Send + Sync,
+{
+    run_campaign(oracle, experiments, jobs, |o, m| {
+        measure_voted(o, &m.warmup, &m.probe, m.repetitions)
+    })
+}
+
+/// Generic parallel campaign runner: apply `run` to every task with a
+/// per-worker clone of `oracle`, preserving task order in the output.
+///
+/// This is the substrate for any fan-out whose tasks are independent
+/// given a flush-first oracle — per-set probes, per-associativity
+/// conflict scans, per-position read-outs ([`infer_policy_parallel`]
+/// (crate::infer::infer_policy_parallel) is built on it).
+pub fn run_campaign<O, T, R, F>(oracle: &O, tasks: &[T], jobs: Option<usize>, run: F) -> Vec<R>
+where
+    O: CacheOracle + Clone + Send + Sync,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut O, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs);
+    par_map(tasks, jobs, |task| {
+        let mut worker_oracle = oracle.clone();
+        run(&mut worker_oracle, task)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::SimOracle;
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle() -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(4096, 4, 64).unwrap(),
+            PolicyKind::Lru,
+        ))
+    }
+
+    #[test]
+    fn campaign_matches_serial_measurements() {
+        let o = oracle();
+        let experiments: Vec<Measurement> = (0..32u64)
+            .map(|i| {
+                let warmup: Vec<u64> = (0..i).map(|j| j * 64).collect();
+                let probe: Vec<u64> = (0..8u64).map(|j| j * 64).collect();
+                Measurement::new(warmup, probe).voted(3)
+            })
+            .collect();
+        let serial: Vec<usize> = experiments
+            .iter()
+            .map(|m| {
+                let mut so = o.clone();
+                measure_voted(&mut so, &m.warmup, &m.probe, m.repetitions)
+            })
+            .collect();
+        let parallel = measure_campaign(&o, &experiments, Some(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_campaign_preserves_task_order() {
+        let o = oracle();
+        let tasks: Vec<u64> = (0..64).collect();
+        let out = run_campaign(&o, &tasks, Some(8), |oracle, &t| {
+            (t, oracle.measure(&[], &[t * 64]))
+        });
+        for (i, &(t, misses)) in out.iter().enumerate() {
+            assert_eq!(t, i as u64);
+            assert_eq!(misses, 1, "flushed probe always misses");
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! # }
 //! ```
 
+pub mod campaign;
 mod config;
 mod geometry;
 pub mod mapping;
@@ -32,6 +33,7 @@ mod oracle;
 mod policy;
 pub mod sets;
 
+pub use campaign::{measure_campaign, run_campaign, Measurement};
 pub use config::{InferenceConfig, InferenceError, ReadoutSearch};
 pub use geometry::{
     infer_associativity, infer_capacity, infer_geometry, infer_line_size, Geometry,
@@ -39,4 +41,4 @@ pub use geometry::{
 pub use oracle::{
     measure_voted, CacheOracle, CountingOracle, ExperimentRecord, RecordingOracle, SimOracle,
 };
-pub use policy::{infer_insertion_position, infer_policy, PolicyReport};
+pub use policy::{infer_insertion_position, infer_policy, infer_policy_parallel, PolicyReport};

@@ -9,8 +9,8 @@
 use crate::infer::oracle::{estimate_counter_noise, measure_voted, CacheOracle};
 use crate::infer::{Geometry, InferenceConfig, InferenceError, ReadoutSearch};
 use crate::perm::{match_spec, Permutation, PermutationSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachekit_policies::rng::Prng;
+use cachekit_sim::parallel::{effective_jobs, par_map};
 use std::fmt;
 
 /// The result of a successful policy inference.
@@ -289,6 +289,110 @@ pub fn infer_policy<O: CacheOracle>(
     })
 }
 
+/// Parallel twin of [`infer_policy`]: identical pipeline, but the
+/// independent measurement batches — the per-position hit read-outs and
+/// the validation scripts — fan across worker threads, each on its own
+/// clone of the oracle.
+///
+/// On a noise-free oracle the result is identical to [`infer_policy`];
+/// on a noisy oracle individual readings differ the way two serial runs
+/// differ (each clone replays its own noise stream), which the voting
+/// and tolerance layers already absorb. `jobs` of `None` resolves via
+/// `CACHEKIT_JOBS`, then available parallelism.
+///
+/// # Errors
+///
+/// Exactly the failure modes of [`infer_policy`].
+pub fn infer_policy_parallel<O>(
+    oracle: &O,
+    geometry: &Geometry,
+    config: &InferenceConfig,
+    jobs: Option<usize>,
+) -> Result<PolicyReport, InferenceError>
+where
+    O: CacheOracle + Clone + Send + Sync,
+{
+    let jobs = effective_jobs(jobs);
+    let assoc = geometry.associativity;
+    let addrs = SetAddrs::new(geometry);
+
+    let noise = estimate_counter_noise(&mut oracle.clone(), 200);
+
+    let position = infer_insertion_position(&mut oracle.clone(), geometry, config)?;
+    if position != 0 {
+        return Err(InferenceError::NotFrontInsertion { position });
+    }
+
+    let base_order = read_out_retry(
+        &mut oracle.clone(),
+        &addrs,
+        &[],
+        config.repetitions,
+        config.readout_search,
+    )?;
+
+    // One read-out per hit position, all independent given the flush-first
+    // oracle contract — the widest fan-out of the pipeline.
+    let positions: Vec<usize> = (0..assoc).collect();
+    let readouts = par_map(&positions, jobs, |&i| {
+        let mut worker = oracle.clone();
+        read_out_retry(
+            &mut worker,
+            &addrs,
+            &[addrs.base(base_order[i])],
+            config.repetitions,
+            config.readout_search,
+        )
+    });
+
+    let mut hits = Vec::with_capacity(assoc);
+    for new_order in readouts {
+        let new_order = new_order?;
+        let mut map = Vec::with_capacity(assoc);
+        for &old_block in base_order.iter() {
+            let new_pos = new_order
+                .iter()
+                .position(|&b| b == old_block)
+                .expect("read_out returns a permutation of base indices");
+            map.push(new_pos);
+        }
+        let perm = Permutation::new(map)
+            .map_err(|e| InferenceError::InconsistentReadout(e.to_string()))?;
+        hits.push(perm);
+    }
+
+    let spec = PermutationSpec::new(hits, 0)
+        .map_err(|e| InferenceError::InconsistentReadout(e.to_string()))?;
+
+    // Validation scripts are measured concurrently; the script set itself
+    // is generated serially from the seed, so it matches the serial path.
+    let tails = validation_tails(&addrs, config);
+    let diverged = par_map(&tails, jobs, |tail| {
+        let mut worker = oracle.clone();
+        tail_diverges(&mut worker, &addrs, &base_order, &spec, tail, config, noise)
+    });
+    let rounds = config.validation_rounds;
+    let mismatches = diverged.into_iter().filter(|&d| d).count();
+    let rejected = if noise < 0.005 {
+        mismatches > 0
+    } else {
+        mismatches * 4 > rounds
+    };
+    if rejected {
+        return Err(InferenceError::NotAPermutationPolicy { mismatches, rounds });
+    }
+
+    let matched = match_spec(&spec);
+    Ok(PolicyReport {
+        geometry: *geometry,
+        spec,
+        matched,
+        insertion_position: 0,
+        validation_rounds: rounds,
+        validation_mismatches: mismatches,
+    })
+}
+
 /// Re-run a read-out on an inconsistent result: on a noisy channel a
 /// single flipped boolean can corrupt one read-out, and the measurements
 /// of a retry are independent.
@@ -322,46 +426,66 @@ fn validate<O: CacheOracle>(
     config: &InferenceConfig,
     noise: f64,
 ) -> (usize, usize) {
+    let mismatches = validation_tails(addrs, config)
+        .iter()
+        .filter(|tail| tail_diverges(oracle, addrs, base_order, spec, tail, config, noise))
+        .count();
+    (config.validation_rounds, mismatches)
+}
+
+/// The seeded random validation scripts — generated up front so serial
+/// and parallel validation measure the identical script set.
+fn validation_tails(addrs: &SetAddrs, config: &InferenceConfig) -> Vec<Vec<u64>> {
     let assoc = addrs.assoc;
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut mismatches = 0;
-    for _ in 0..config.validation_rounds {
-        let len = 10 * assoc;
-        let tail: Vec<u64> = (0..len)
-            .map(|_| {
-                if rng.gen_bool(0.7) {
-                    addrs.base(rng.gen_range(0..assoc))
-                } else {
-                    addrs.extra(rng.gen_range(0..assoc))
-                }
-            })
-            .collect();
-        // Abstract prediction from the read-out base state.
-        let mut state: Vec<u64> = base_order.iter().map(|&b| addrs.base(b)).collect();
-        let mut predicted = 0usize;
-        for &a in &tail {
-            match state.iter().position(|&b| b == a) {
-                Some(i) => spec.apply_hit(&mut state, i),
-                None => {
-                    predicted += 1;
-                    spec.apply_miss(&mut state, a);
-                }
+    let mut rng = Prng::seed_from_u64(config.seed);
+    (0..config.validation_rounds)
+        .map(|_| {
+            (0..10 * assoc)
+                .map(|_| {
+                    if rng.gen_bool(0.7) {
+                        addrs.base(rng.gen_range(0..assoc))
+                    } else {
+                        addrs.extra(rng.gen_range(0..assoc))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Does the measured miss count of one validation script diverge from the
+/// spec's noise-adjusted prediction?
+fn tail_diverges<O: CacheOracle>(
+    oracle: &mut O,
+    addrs: &SetAddrs,
+    base_order: &[usize],
+    spec: &PermutationSpec,
+    tail: &[u64],
+    config: &InferenceConfig,
+    noise: f64,
+) -> bool {
+    // Abstract prediction from the read-out base state.
+    let mut state: Vec<u64> = base_order.iter().map(|&b| addrs.base(b)).collect();
+    let mut predicted = 0usize;
+    for &a in tail {
+        match state.iter().position(|&b| b == a) {
+            Some(i) => spec.apply_hit(&mut state, i),
+            None => {
+                predicted += 1;
+                spec.apply_miss(&mut state, a);
             }
         }
-        let warmup = addrs.base_fill();
-        let measured = measure_voted(oracle, &warmup, &tail, config.repetitions);
-        let n = tail.len() as f64;
-        let expected = predicted as f64 + noise * (n - 2.0 * predicted as f64);
-        let tolerance = if noise < 0.005 {
-            0.0
-        } else {
-            (3.0 * (n * noise * (1.0 - noise)).sqrt()).max(2.0)
-        };
-        if (measured as f64 - expected).abs() > tolerance {
-            mismatches += 1;
-        }
     }
-    (config.validation_rounds, mismatches)
+    let warmup = addrs.base_fill();
+    let measured = measure_voted(oracle, &warmup, tail, config.repetitions);
+    let n = tail.len() as f64;
+    let expected = predicted as f64 + noise * (n - 2.0 * predicted as f64);
+    let tolerance = if noise < 0.005 {
+        0.0
+    } else {
+        (3.0 * (n * noise * (1.0 - noise)).sqrt()).max(2.0)
+    };
+    (measured as f64 - expected).abs() > tolerance
 }
 
 #[cfg(test)]

@@ -14,10 +14,9 @@
 //! verified by random differential testing.
 
 use crate::perm::{Permutation, PermutationSpec};
+use cachekit_policies::rng::Prng;
 use cachekit_policies::ReplacementPolicy;
 use cachekit_sim::CacheSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
 
@@ -233,7 +232,7 @@ fn validate_spec(
     let assoc = template.associativity();
     let rounds = 200;
     let mut mismatches = 0;
-    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut rng = Prng::seed_from_u64(0xD1FF);
     for _ in 0..rounds {
         let mut original = based_set(template);
         let mut predicted: Vec<u64> = base_order.to_vec();

@@ -361,10 +361,8 @@ mod tests {
         mut b: Box<dyn ReplacementPolicy>,
         script_seed: u64,
     ) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         let assoc = a.associativity();
-        let mut rng = StdRng::seed_from_u64(script_seed);
+        let mut rng = cachekit_policies::rng::Prng::seed_from_u64(script_seed);
         for w in 0..assoc {
             a.on_fill(w);
             b.on_fill(w);

@@ -107,12 +107,50 @@ pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode)
     }
 }
 
+/// Survey a whole fleet of machines concurrently, one worker per
+/// machine, returning the surveys in fleet order.
+///
+/// Campaigns against different machines share no state at all, so this
+/// is a pure fan-out over the bounded pool of `cachekit-sim::parallel`;
+/// `jobs` of `None` resolves via `CACHEKIT_JOBS`, then available
+/// parallelism. Per-machine results are identical to calling [`survey`]
+/// serially (each virtual CPU carries its own seeded noise stream).
+pub fn survey_fleet(
+    cpus: Vec<VirtualCpu>,
+    config: &InferenceConfig,
+    mode: MeasureMode,
+    jobs: Option<usize>,
+) -> Vec<MachineSurvey> {
+    let jobs = cachekit_sim::parallel::effective_jobs(jobs);
+    let cells: Vec<std::sync::Mutex<VirtualCpu>> =
+        cpus.into_iter().map(std::sync::Mutex::new).collect();
+    cachekit_sim::parallel::par_map(&cells, jobs, |cell| {
+        let mut cpu = cell.lock().expect("exactly one worker per machine");
+        survey(&mut cpu, config, mode)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fleet;
     use cachekit_policies::PolicyKind;
     use cachekit_sim::CacheConfig;
+
+    #[test]
+    fn parallel_fleet_survey_matches_serial() {
+        let config = InferenceConfig::default();
+        let serial: Vec<String> = fleet::all()
+            .into_iter()
+            .map(|mut cpu| survey(&mut cpu, &config, MeasureMode::PerfCounter).to_string())
+            .collect();
+        let parallel: Vec<String> =
+            survey_fleet(fleet::all(), &config, MeasureMode::PerfCounter, Some(4))
+                .into_iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(serial, parallel);
+    }
 
     #[test]
     fn surveys_a_two_level_machine() {

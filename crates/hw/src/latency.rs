@@ -1,6 +1,6 @@
 //! Access-latency model of the virtual CPUs.
 
-use rand::Rng;
+use cachekit_policies::rng::Prng;
 
 /// Cycle costs per hit level, with uniform jitter — the quantities a
 /// timing-based measurement thresholds against.
@@ -39,7 +39,7 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// Latency of an access satisfied at `level` (0 = L1, 1 = L2, deeper
     /// or none = memory), plus jitter drawn from `rng`.
-    pub fn cycles<R: Rng>(&self, level: Option<usize>, rng: &mut R) -> u64 {
+    pub fn cycles(&self, level: Option<usize>, rng: &mut Prng) -> u64 {
         let base = match level {
             Some(0) => self.l1_hit,
             Some(1) => self.l2_hit,
@@ -79,13 +79,11 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn levels_are_ordered() {
         let m = LatencyModel::default();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let l1 = m.cycles(Some(0), &mut rng);
         let l2 = m.cycles(Some(1), &mut rng);
         let mem = m.cycles(None, &mut rng);
@@ -95,7 +93,7 @@ mod tests {
     #[test]
     fn thresholds_separate_the_distributions() {
         let m = LatencyModel::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         for _ in 0..100 {
             assert!(m.cycles(Some(1), &mut rng) < m.l2_miss_threshold());
             assert!(m.cycles(None, &mut rng) > m.l2_miss_threshold());
@@ -107,7 +105,7 @@ mod tests {
     #[test]
     fn l3_sits_between_l2_and_memory() {
         let m = LatencyModel::default();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::seed_from_u64(3);
         for _ in 0..50 {
             let l3 = m.cycles(Some(2), &mut rng);
             assert!(l3 > m.l2_miss_threshold_with_l3());
@@ -122,7 +120,7 @@ mod tests {
             jitter: 0,
             ..LatencyModel::default()
         };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(2);
         assert_eq!(m.cycles(Some(0), &mut rng), 3);
     }
 }

@@ -50,7 +50,7 @@ mod prefetch;
 mod tlb;
 mod vcpu;
 
-pub use campaign::{survey, LevelSurvey, MachineSurvey};
+pub use campaign::{survey, survey_fleet, LevelSurvey, MachineSurvey};
 pub use latency::LatencyModel;
 pub use noise::NoiseModel;
 pub use oracle::{CacheLevel, LevelOracle, MeasureMode};

@@ -5,10 +5,9 @@ use crate::latency::LatencyModel;
 use crate::noise::NoiseModel;
 use crate::prefetch::Prefetcher;
 use crate::tlb::Tlb;
+use cachekit_policies::rng::Prng;
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig, Hierarchy, HierarchyOutcome};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// What one demand access did, as real hardware would report it through
 /// per-event performance counters and `rdtsc`.
@@ -41,7 +40,7 @@ pub struct VirtualCpu {
     prefetcher: Prefetcher,
     noise: NoiseModel,
     latency: LatencyModel,
-    rng: StdRng,
+    rng: Prng,
     background: Option<(Vec<u64>, usize)>,
     demand_accesses: u64,
     l1_miss_count: u64,
@@ -410,7 +409,7 @@ impl VirtualCpuBuilder {
             prefetcher: self.prefetcher,
             noise: self.noise,
             latency: self.latency,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: Prng::seed_from_u64(self.seed),
             background: self.background,
             demand_accesses: 0,
             l1_miss_count: 0,

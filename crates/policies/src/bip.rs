@@ -1,9 +1,8 @@
 //! Bimodal insertion policy (Qureshi et al., ISCA 2007).
 
 use crate::lru::RecencyStack;
+use crate::rng::Prng;
 use crate::{check_assoc, ReplacementPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The bimodal insertion policy.
 ///
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 pub struct Bip {
     stack: RecencyStack,
     throttle: u32,
-    rng: StdRng,
+    rng: Prng,
     seed: u64,
 }
 
@@ -39,7 +38,7 @@ impl Bip {
         Self {
             stack: RecencyStack::new(assoc),
             throttle,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             seed,
         }
     }
@@ -82,7 +81,7 @@ impl ReplacementPolicy for Bip {
 
     fn reset(&mut self) {
         self.stack.reset();
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Prng::seed_from_u64(self.seed);
     }
 
     fn is_deterministic(&self) -> bool {

@@ -13,9 +13,8 @@
 //! `Cache::with_policy_factory(cfg, label, |set| family.policy_for_set(set))`.
 
 use crate::lru::RecencyStack;
+use crate::rng::Prng;
 use crate::{check_assoc, ReplacementPolicy, Srrip};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
 
@@ -141,7 +140,7 @@ impl DipFamily {
             role: role_of(set, self.period),
             duel: Arc::clone(&self.duel),
             throttle: self.throttle,
-            rng: StdRng::seed_from_u64(self.seed ^ set.wrapping_mul(0x9e37)),
+            rng: Prng::seed_from_u64(self.seed ^ set.wrapping_mul(0x9e37)),
             seed: self.seed ^ set.wrapping_mul(0x9e37),
         })
     }
@@ -154,7 +153,7 @@ pub struct Dip {
     role: Role,
     duel: Arc<DuelState>,
     throttle: u32,
-    rng: StdRng,
+    rng: Prng,
     seed: u64,
 }
 
@@ -205,7 +204,7 @@ impl ReplacementPolicy for Dip {
 
     fn reset(&mut self) {
         self.stack.reset();
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Prng::seed_from_u64(self.seed);
     }
 
     fn is_deterministic(&self) -> bool {
@@ -265,7 +264,7 @@ impl DrripFamily {
             role: role_of(set, self.period),
             duel: Arc::clone(&self.duel),
             throttle: self.throttle,
-            rng: StdRng::seed_from_u64(self.seed ^ set.wrapping_mul(0x9e37)),
+            rng: Prng::seed_from_u64(self.seed ^ set.wrapping_mul(0x9e37)),
             seed: self.seed ^ set.wrapping_mul(0x9e37),
         })
     }
@@ -278,7 +277,7 @@ pub struct Drrip {
     role: Role,
     duel: Arc<DuelState>,
     throttle: u32,
-    rng: StdRng,
+    rng: Prng,
     seed: u64,
 }
 
@@ -325,7 +324,7 @@ impl ReplacementPolicy for Drrip {
 
     fn reset(&mut self) {
         self.inner.reset();
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Prng::seed_from_u64(self.seed);
     }
 
     fn is_deterministic(&self) -> bool {

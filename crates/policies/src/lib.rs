@@ -66,6 +66,7 @@ pub use srrip::{Brrip, Srrip};
 pub use tree_plru::TreePlru;
 
 pub mod conformance;
+pub mod rng;
 
 /// Replacement state machine for a single cache set.
 ///
@@ -78,12 +79,14 @@ pub mod conformance;
 /// * [`victim`](Self::victim) to pick the way to evict when the set is full.
 ///
 /// The trait is object-safe; the simulator stores `Box<dyn
-/// ReplacementPolicy>` per set.
+/// ReplacementPolicy>` per set. Implementations must be `Send + Sync`
+/// (all state behind `&mut self`) so caches and oracles can be shared by
+/// reference across the worker threads of `cachekit-sim::parallel`.
 ///
 /// # Panics
 ///
 /// All methods taking a `way` panic if `way >= self.associativity()`.
-pub trait ReplacementPolicy: fmt::Debug + Send {
+pub trait ReplacementPolicy: fmt::Debug + Send + Sync {
     /// Number of ways in the set this policy manages.
     fn associativity(&self) -> usize;
 

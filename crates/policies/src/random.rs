@@ -1,8 +1,7 @@
 //! Random replacement.
 
+use crate::rng::Prng;
 use crate::{check_assoc, check_way, ReplacementPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Random replacement: every eviction picks a uniformly random way.
 ///
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct RandomPolicy {
     assoc: usize,
-    rng: StdRng,
+    rng: Prng,
     seed: u64,
     draws: u64,
 }
@@ -36,7 +35,7 @@ impl RandomPolicy {
         check_assoc(assoc);
         Self {
             assoc,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             seed,
             draws: 0,
         }
@@ -71,7 +70,7 @@ impl ReplacementPolicy for RandomPolicy {
     }
 
     fn reset(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Prng::seed_from_u64(self.seed);
         self.draws = 0;
     }
 

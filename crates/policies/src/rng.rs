@@ -1,0 +1,339 @@
+//! Vendored pseudo-random number generator (no external dependencies).
+//!
+//! The workspace must build on machines with no access to crates.io, so
+//! instead of depending on the `rand` crate every stochastic component
+//! (random replacement, BIP/DIP throttles, noise models, trace
+//! generators, randomized tests) draws from this module: a
+//! [xoshiro256**](https://prng.di.unimi.it/) generator seeded through
+//! SplitMix64, the combination recommended by its authors.
+//!
+//! The generator is deterministic: the same seed always produces the
+//! same stream, on every platform, which is what the reproduction needs
+//! (seeded policies replay the same victim sequence after a reset, and
+//! `RunReport.seed` makes every experiment re-runnable). It is **not**
+//! cryptographically secure.
+
+/// SplitMix64: expands a 64-bit seed into well-mixed stream of 64-bit
+/// values; used to initialize [`Prng`] state so that closely related
+/// seeds (0, 1, 2, …) still yield uncorrelated streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A seeded xoshiro256** generator — the workspace-wide PRNG.
+///
+/// ## Example
+///
+/// ```
+/// use cachekit_policies::rng::Prng;
+///
+/// let mut rng = Prng::seed_from_u64(42);
+/// let x = rng.gen_range(0..10u64);
+/// assert!(x < 10);
+/// let same = Prng::seed_from_u64(42).gen_range(0..10u64);
+/// assert_eq!(x, same);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Create a generator from a 64-bit seed (via SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random bits of mantissa).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value below `n` (rejection sampling — unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        if n == 1 {
+            return 0;
+        }
+        let bits = 64 - (n - 1).leading_zeros();
+        let mask = u64::MAX >> (64 - bits);
+        loop {
+            let v = self.next_u64() & mask;
+            if v < n {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.next_f64() < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(
+            numerator <= denominator,
+            "ratio {numerator}/{denominator} above 1"
+        );
+        self.below(u64::from(denominator)) < u64::from(numerator)
+    }
+
+    /// A uniformly distributed value of type `T` (`f64` in `[0, 1)`,
+    /// full-range integers, fair `bool`).
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types [`Prng::gen`] can produce.
+pub trait FromRng {
+    /// Draw one uniformly distributed value.
+    fn from_rng(rng: &mut Prng) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng(rng: &mut Prng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut Prng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng(rng: &mut Prng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut Prng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer ranges [`Prng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i32 => u32, i64 => u64);
+
+/// Extension trait so `slice.shuffle(&mut rng)` reads like the `rand`
+/// idiom it replaces.
+pub trait Shuffle {
+    /// Shuffle in place with Fisher–Yates.
+    fn shuffle(&mut self, rng: &mut Prng);
+}
+
+impl<T> Shuffle for [T] {
+    fn shuffle(&mut self, rng: &mut Prng) {
+        rng.shuffle(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(0);
+        let mut b = Prng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "adjacent seeds must yield uncorrelated streams");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_handles_all_forms() {
+        let mut rng = Prng::seed_from_u64(11);
+        for _ in 0..200 {
+            let a: u64 = rng.gen_range(5..10u64);
+            assert!((5..10).contains(&a));
+            let b: usize = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&b));
+            let c: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval() {
+        let mut rng = Prng::seed_from_u64(13);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = Prng::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}/10000 at p=0.3");
+    }
+
+    #[test]
+    fn gen_ratio_matches_probability() {
+        let mut rng = Prng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 32)).count();
+        assert!((200..430).contains(&hits), "got {hits}/10000 at 1/32");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(23);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

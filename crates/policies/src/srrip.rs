@@ -1,8 +1,7 @@
 //! Re-reference interval prediction policies (Jaleel et al., ISCA 2010).
 
+use crate::rng::Prng;
 use crate::{check_assoc, check_way, ReplacementPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Static re-reference interval prediction (SRRIP-HP).
 ///
@@ -128,7 +127,7 @@ impl ReplacementPolicy for Srrip {
 pub struct Brrip {
     inner: Srrip,
     throttle: u32,
-    rng: StdRng,
+    rng: Prng,
     seed: u64,
 }
 
@@ -145,7 +144,7 @@ impl Brrip {
         Self {
             inner: Srrip::new(assoc, bits),
             throttle,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             seed,
         }
     }
@@ -183,7 +182,7 @@ impl ReplacementPolicy for Brrip {
 
     fn reset(&mut self) {
         self.inner.reset();
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Prng::seed_from_u64(self.seed);
     }
 
     fn is_deterministic(&self) -> bool {

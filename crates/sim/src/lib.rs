@@ -36,6 +36,7 @@ mod cache;
 mod config;
 mod hierarchy;
 pub mod opt;
+pub mod parallel;
 mod set;
 mod stats;
 pub mod sweep;
@@ -43,5 +44,6 @@ pub mod sweep;
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError, IndexFunction};
 pub use hierarchy::{Hierarchy, HierarchyOutcome, LevelSpec};
+pub use parallel::{effective_jobs, par_map, sweep_parallel, sweep_parallel_jobs};
 pub use set::CacheSet;
 pub use stats::CacheStats;

@@ -86,10 +86,9 @@ mod tests {
 
     #[test]
     fn opt_lower_bounds_every_online_policy() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cachekit_policies::rng::Prng;
         let config = CacheConfig::new(4096, 4, 64).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         for _ in 0..10 {
             let trace: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..256u64) * 64).collect();
             let opt = simulate_opt(config, &trace);

@@ -1,0 +1,229 @@
+//! Dependency-free parallel execution engine.
+//!
+//! Replacement-policy evaluation is embarrassingly parallel: every
+//! (policy, geometry) cell of a sweep and every independent measurement
+//! of an inference campaign can run on its own thread. This module
+//! provides the one primitive the whole workspace builds on —
+//! [`par_map`], an order-preserving parallel map over a bounded worker
+//! pool built from [`std::thread::scope`] — plus the sweep entry points
+//! ([`sweep_parallel`], [`sweep_parallel_jobs`]) that are guaranteed to
+//! return results **bit-identical to, and in the same order as,** the
+//! serial [`sweep`](crate::sweep::sweep).
+//!
+//! ## Worker-count resolution
+//!
+//! Every entry point resolves its worker count the same way:
+//!
+//! 1. an explicit `jobs` argument (e.g. from a `--jobs N` flag) wins;
+//! 2. otherwise the `CACHEKIT_JOBS` environment variable, if set to a
+//!    positive integer;
+//! 3. otherwise [`std::thread::available_parallelism`].
+//!
+//! ## Determinism
+//!
+//! Work items are claimed dynamically (an atomic cursor), but every
+//! result is written back to the slot of its input index, so the output
+//! order never depends on thread scheduling. Item computations must be
+//! deterministic functions of their input for full run-to-run
+//! reproducibility — which holds for all simulator work, where stochastic
+//! policies carry their own seeded PRNG.
+
+use crate::sweep::{simulate, SweepCell};
+use crate::CacheConfig;
+use cachekit_policies::PolicyKind;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Name of the environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "CACHEKIT_JOBS";
+
+/// The machine's available parallelism (at least 1).
+pub fn available_jobs() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a worker count: explicit request, then `CACHEKIT_JOBS`, then
+/// [`available_jobs`]. Zero or unparsable values fall through to the
+/// next source.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        if n >= 1 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    available_jobs()
+}
+
+/// Parallel map with deterministic output order.
+///
+/// Applies `f` to every element of `items` using at most `jobs` worker
+/// threads and returns the results **in input order**, exactly as
+/// `items.iter().map(f).collect()` would. The worker pool is bounded:
+/// `jobs` scoped threads claim items off a shared atomic cursor, so cheap
+/// and expensive items load-balance automatically.
+///
+/// A `jobs` of 0 or 1 (or a single-item input) runs inline on the caller
+/// thread with no spawning at all.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller once
+/// the pool has been joined.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, thread::Result<R>)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            match r {
+                Ok(r) => out[i] = Some(r),
+                Err(payload) => panic = panic.take().or(Some(payload)),
+            }
+        }
+    });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|r| r.expect("pool filled every slot"))
+        .collect()
+}
+
+/// Cross every policy with every geometry on one trace, in parallel.
+///
+/// Equivalent to [`sweep`](crate::sweep::sweep) — same cells, same
+/// (config-major, policy-minor) order, bit-identical
+/// [`CacheStats`](crate::CacheStats) — but cells are simulated
+/// concurrently on [`effective_jobs`]`(None)` workers.
+pub fn sweep_parallel(
+    configs: &[CacheConfig],
+    policies: &[PolicyKind],
+    trace: &[u64],
+) -> Vec<SweepCell> {
+    sweep_parallel_jobs(configs, policies, trace, effective_jobs(None))
+}
+
+/// [`sweep_parallel`] with an explicit worker count.
+pub fn sweep_parallel_jobs(
+    configs: &[CacheConfig],
+    policies: &[PolicyKind],
+    trace: &[u64],
+    jobs: usize,
+) -> Vec<SweepCell> {
+    let cells: Vec<(CacheConfig, PolicyKind)> = configs
+        .iter()
+        .flat_map(|&config| policies.iter().map(move |&policy| (config, policy)))
+        .collect();
+    par_map(&cells, jobs, |&(config, policy)| {
+        let stats = simulate(config, policy, trace);
+        SweepCell {
+            policy,
+            policy_label: policy.label(),
+            config,
+            stats,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{capacity_series, sweep};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, 8, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_runs_inline_when_single_job() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 1, |&i| i + 1), vec![2, 3, 4]);
+        assert_eq!(par_map(&items, 0, |&i| i + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_input() {
+        let items: [u8; 0] = [];
+        assert!(par_map(&items, 4, |&b| b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        par_map(&items, 4, |&i| {
+            if i == 33 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_sweep() {
+        let trace: Vec<u64> = (0..4000u64).map(|i| (i % 173) * 64).collect();
+        let configs = capacity_series(1024, 8192, 4, 64).unwrap();
+        let policies = [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::TreePlru,
+            PolicyKind::Random { seed: 7 },
+        ];
+        let serial = sweep(&configs, &policies, &trace);
+        for jobs in [1, 2, 3, 8] {
+            let parallel = sweep_parallel_jobs(&configs, &policies, &trace, jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.policy, p.policy);
+                assert_eq!(s.config, p.config);
+                assert_eq!(s.stats, p.stats, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_jobs_prefers_explicit_request() {
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert!(effective_jobs(None) >= 1);
+    }
+}

@@ -4,9 +4,8 @@
 //! function of its parameters (stochastic generators take an explicit
 //! seed), so traces are reproducible across runs and platforms.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use cachekit_policies::rng::Prng;
+use cachekit_policies::rng::Shuffle;
 
 /// `passes` sequential passes over a `footprint`-byte region, touching one
 /// address per `line`-byte block — the streaming-scan archetype.
@@ -58,7 +57,7 @@ pub fn zipf(num_lines: u64, alpha: f64, accesses: usize, line: u64, seed: u64) -
         cdf.push(acc);
     }
     let total = acc;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     // Shuffle the rank->address mapping so the hot lines are not all
     // adjacent (adjacency would conflate Zipf skew with spatial locality).
     let mut placement: Vec<u64> = (0..num_lines).collect();
@@ -77,7 +76,7 @@ pub fn zipf(num_lines: u64, alpha: f64, accesses: usize, line: u64, seed: u64) -
 /// spatial locality.
 pub fn pointer_chase(num_lines: u64, steps: usize, line: u64, seed: u64) -> Vec<u64> {
     assert!(num_lines > 0, "need at least one line");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut order: Vec<u64> = (0..num_lines).collect();
     order.shuffle(&mut rng);
     let mut next = vec![0u64; num_lines as usize];
@@ -168,7 +167,7 @@ pub fn concat<I: IntoIterator<Item = Vec<u64>>>(parts: I) -> Vec<u64> {
 /// every policy, used as a control.
 pub fn uniform_random(num_lines: u64, accesses: usize, line: u64, seed: u64) -> Vec<u64> {
     assert!(num_lines > 0, "need at least one line");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..accesses)
         .map(|_| rng.gen_range(0..num_lines) * line)
         .collect()

@@ -125,13 +125,12 @@ fn parse_addr(s: &str) -> Option<u64> {
 /// Attach write markers to an address trace: each access becomes a write
 /// with probability `write_fraction` (seeded, reproducible).
 pub fn with_writes(addrs: &[u64], write_fraction: f64, seed: u64) -> Vec<MemOp> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachekit_policies::rng::Prng;
     assert!(
         (0.0..=1.0).contains(&write_fraction),
         "fraction out of range"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     addrs
         .iter()
         .map(|&addr| MemOp {

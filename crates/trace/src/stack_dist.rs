@@ -9,8 +9,7 @@
 //! reduced back to its histogram (the profiler here), which the test-suite
 //! uses to check the generator round-trips.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachekit_policies::rng::Prng;
 use std::collections::HashMap;
 
 /// A stack-distance histogram: `weights[d]` is the relative frequency of
@@ -96,7 +95,7 @@ impl StackDistanceProfile {
             acc += w;
             cdf.push(acc);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut stack: Vec<u64> = Vec::new();
         let mut next_block = 0u64;
         let mut trace = Vec::with_capacity(accesses);

@@ -6,14 +6,12 @@
 use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
 use cachekit::core::perm::{Permutation, PermutationPolicy, PermutationSpec};
 use cachekit::hw::{CacheLevel, LevelOracle, VirtualCpu};
+use cachekit::policies::rng::{Prng, Shuffle};
 use cachekit::policies::PolicyKind;
 use cachekit::sim::{Cache, CacheConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 fn random_spec(assoc: usize, seed: u64) -> PermutationSpec {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let hits = (0..assoc)
         .map(|_| {
             let mut map: Vec<usize> = (0..assoc).collect();

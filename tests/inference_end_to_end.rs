@@ -111,8 +111,7 @@ fn derived_spec_predicts_future_behaviour() {
     // The inferred spec must predict the hardware on a fresh random
     // workload, not just on the inference's own experiments.
     use cachekit::core::perm::PermutationSpec;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachekit::policies::rng::Prng;
 
     let mut cpu = fleet::atom_d525();
     let config = InferenceConfig::default();
@@ -126,7 +125,7 @@ fn derived_spec_predicts_future_behaviour() {
     // Fresh experiment: base fill then a random tail, predicted by hand.
     let way = report.geometry.way_size();
     let base: Vec<u64> = (0..6u64).map(|i| i * way).collect();
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Prng::seed_from_u64(42);
     let tail: Vec<u64> = (0..60).map(|_| rng.gen_range(0..10u64) * way).collect();
 
     let mut state: Vec<u64> = base.iter().rev().copied().collect();

@@ -1,67 +1,82 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! central invariants of the reproduction.
+//! Property-style tests over the core data structures and the central
+//! invariants of the reproduction: each property is checked against many
+//! seeded-random cases (deterministic across runs — the vendored
+//! `cachekit::policies::rng::Prng` replaces proptest's case generation,
+//! and a failing case prints its seed for replay).
 
 use cachekit::core::perm::{
     derive_permutation_spec, Permutation, PermutationPolicy, PermutationSpec,
 };
+use cachekit::policies::rng::{Prng, Shuffle};
 use cachekit::policies::{PolicyKind, ReplacementPolicy};
 use cachekit::sim::{Cache, CacheConfig};
 use cachekit::trace::stack_dist::{measure, StackDistanceProfile};
-use proptest::prelude::*;
 
-/// Strategy: a random permutation of `0..n`.
-fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
-    Just(()).prop_perturb(move |(), mut rng| {
-        let mut map: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-            map.swap(i, j);
-        }
-        Permutation::new(map).expect("shuffle yields a permutation")
-    })
+const CASES: u64 = 64;
+
+/// One deterministic RNG per (property, case) pair.
+fn rng(property: u64, case: u64) -> Prng {
+    Prng::seed_from_u64(property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
 }
 
-/// Strategy: a random front-insertion permutation spec of associativity
-/// `assoc`.
-fn perm_spec(assoc: usize) -> impl Strategy<Value = PermutationSpec> {
-    proptest::collection::vec(permutation(assoc), assoc)
-        .prop_map(|hits| PermutationSpec::new(hits, 0).expect("validated by construction"))
+fn random_permutation(n: usize, rng: &mut Prng) -> Permutation {
+    let mut map: Vec<usize> = (0..n).collect();
+    map.shuffle(rng);
+    Permutation::new(map).expect("shuffle yields a permutation")
 }
 
-/// Strategy: one of the evaluation policy kinds.
-fn any_kind() -> impl Strategy<Value = PolicyKind> {
-    proptest::sample::select(PolicyKind::evaluation_kinds())
+/// A random front-insertion permutation spec of associativity `assoc`.
+fn random_spec(assoc: usize, rng: &mut Prng) -> PermutationSpec {
+    let hits = (0..assoc).map(|_| random_permutation(assoc, rng)).collect();
+    PermutationSpec::new(hits, 0).expect("validated by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random script of `1..=max_len` blocks drawn from `0..blocks`.
+fn random_script(blocks: u64, max_len: usize, rng: &mut Prng) -> Vec<u64> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len).map(|_| rng.gen_range(0..blocks)).collect()
+}
 
-    #[test]
-    fn permutation_inverse_round_trips(p in permutation(8)) {
+/// One of the evaluation policy kinds.
+fn random_kind(rng: &mut Prng) -> PolicyKind {
+    let kinds = PolicyKind::evaluation_kinds();
+    kinds[rng.gen_range(0..kinds.len())]
+}
+
+#[test]
+fn permutation_inverse_round_trips() {
+    for case in 0..CASES {
+        let mut r = rng(1, case);
+        let p = random_permutation(8, &mut r);
         let items: Vec<usize> = (100..108).collect();
         let there = p.apply(&items);
         let back = p.inverse().apply(&there);
-        prop_assert_eq!(back, items);
-        prop_assert!(p.then(&p.inverse()).is_identity());
+        assert_eq!(back, items, "case {case}");
+        assert!(p.then(&p.inverse()).is_identity(), "case {case}");
     }
+}
 
-    #[test]
-    fn permutation_composition_is_application_order(
-        f in permutation(6),
-        g in permutation(6),
-    ) {
+#[test]
+fn permutation_composition_is_application_order() {
+    for case in 0..CASES {
+        let mut r = rng(2, case);
+        let f = random_permutation(6, &mut r);
+        let g = random_permutation(6, &mut r);
         let items: Vec<usize> = (0..6).collect();
-        prop_assert_eq!(
+        assert_eq!(
             f.then(&g).apply(&items),
-            g.apply(&f.apply(&items))
+            g.apply(&f.apply(&items)),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn policies_only_evict_what_they_hold(
-        kind in any_kind(),
-        script in proptest::collection::vec(0u64..12, 1..200),
-    ) {
+#[test]
+fn policies_only_evict_what_they_hold() {
+    for case in 0..CASES {
+        let mut r = rng(3, case);
+        let kind = random_kind(&mut r);
+        let script = random_script(12, 200, &mut r);
         // Invariant: a cache never reports evicting a line it did not
         // contain, and contains() agrees with hit/miss outcomes.
         let config = CacheConfig::new(1024, 4, 64).unwrap(); // 4 sets
@@ -70,27 +85,29 @@ proptest! {
         for &block in &script {
             let addr = block * 64;
             let was_resident = cache.contains(addr);
-            prop_assert_eq!(was_resident, resident.contains(&addr));
+            assert_eq!(was_resident, resident.contains(&addr), "case {case}");
             match cache.access(addr) {
                 cachekit::sim::AccessOutcome::Hit => {
-                    prop_assert!(was_resident);
+                    assert!(was_resident, "case {case}");
                 }
                 cachekit::sim::AccessOutcome::Miss { evicted } => {
-                    prop_assert!(!was_resident);
+                    assert!(!was_resident, "case {case}");
                     if let Some(e) = evicted {
-                        prop_assert!(resident.remove(&e), "evicted non-resident {}", e);
+                        assert!(resident.remove(&e), "case {case}: evicted non-resident {e}");
                     }
                     resident.insert(addr);
                 }
             }
         }
-        prop_assert_eq!(cache.occupancy(), resident.len());
+        assert_eq!(cache.occupancy(), resident.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn lru_respects_stack_distances(
-        script in proptest::collection::vec(0u64..32, 1..300),
-    ) {
+#[test]
+fn lru_respects_stack_distances() {
+    for case in 0..CASES {
+        let mut r = rng(4, case);
+        let script = random_script(32, 300, &mut r);
         // The inclusion property: under LRU with A ways (single set),
         // an access hits iff its stack distance is < A.
         let config = CacheConfig::new(8 * 64, 8, 64).unwrap(); // 1 set, 8 ways
@@ -101,8 +118,8 @@ proptest! {
             let dist = stack.iter().position(|&b| b == block);
             let outcome = cache.access(addr);
             match dist {
-                Some(d) if d < 8 => prop_assert!(outcome.is_hit(), "distance {}", d),
-                _ => prop_assert!(outcome.is_miss()),
+                Some(d) if d < 8 => assert!(outcome.is_hit(), "case {case}: distance {d}"),
+                _ => assert!(outcome.is_miss(), "case {case}"),
             }
             if let Some(d) = dist {
                 stack.remove(d);
@@ -110,29 +127,37 @@ proptest! {
             stack.insert(0, block);
         }
     }
+}
 
-    #[test]
-    fn derive_round_trips_arbitrary_specs(spec in perm_spec(4)) {
+#[test]
+fn derive_round_trips_arbitrary_specs() {
+    for case in 0..CASES {
+        let mut r = rng(5, case);
+        let spec = random_spec(4, &mut r);
         // The read-out algorithm must recover ANY front-insertion
         // permutation policy exactly — the core correctness property of
         // the paper's method.
         let policy = PermutationPolicy::new(spec.clone());
         let derived = derive_permutation_spec(Box::new(policy)).expect("in class");
-        prop_assert_eq!(derived, spec);
+        assert_eq!(derived, spec, "case {case}");
     }
+}
 
-    #[test]
-    fn permutation_policy_conforms(spec in perm_spec(6)) {
-        cachekit::policies::conformance::assert_conformance(
-            Box::new(PermutationPolicy::new(spec)),
-        );
+#[test]
+fn permutation_policy_conforms() {
+    for case in 0..CASES {
+        let mut r = rng(6, case);
+        let spec = random_spec(6, &mut r);
+        cachekit::policies::conformance::assert_conformance(Box::new(PermutationPolicy::new(spec)));
     }
+}
 
-    #[test]
-    fn policies_are_replay_deterministic(
-        kind in any_kind(),
-        script in proptest::collection::vec(0u64..16, 1..100),
-    ) {
+#[test]
+fn policies_are_replay_deterministic() {
+    for case in 0..CASES {
+        let mut r = rng(7, case);
+        let kind = random_kind(&mut r);
+        let script = random_script(16, 100, &mut r);
         // Same seeded policy, same script, same victims.
         let mut a = kind.build(4, 3);
         let mut b = kind.build(4, 3);
@@ -141,111 +166,138 @@ proptest! {
             a.on_hit(w);
             b.on_hit(w);
             let (va, vb) = (a.victim(), b.victim());
-            prop_assert_eq!(va, vb);
+            assert_eq!(va, vb, "case {case}");
             a.on_fill(va);
             b.on_fill(vb);
         }
     }
+}
 
-    #[test]
-    fn stack_distance_histogram_mass_equals_accesses(
-        script in proptest::collection::vec(0u64..64, 1..400),
-    ) {
+#[test]
+fn stack_distance_histogram_mass_equals_accesses() {
+    for case in 0..CASES {
+        let mut r = rng(8, case);
+        let script = random_script(64, 400, &mut r);
         let trace: Vec<u64> = script.iter().map(|b| b * 64).collect();
         let (hist, cold) = measure(&trace, 64);
         let total: u64 = hist.iter().sum::<u64>() + cold;
-        prop_assert_eq!(total, trace.len() as u64);
+        assert_eq!(total, trace.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn generated_traces_never_exceed_profile_support(
-        p in 0.05f64..0.9,
-        accesses in 1usize..2000,
-    ) {
+#[test]
+fn generated_traces_never_exceed_profile_support() {
+    for case in 0..CASES {
+        let mut r = rng(9, case);
+        let p = 0.05 + 0.85 * r.gen::<f64>();
+        let accesses = r.gen_range(1usize..2000);
         let profile = StackDistanceProfile::geometric(p, 16, 0.05);
         let trace = profile.generate(accesses, 64, 11);
-        prop_assert_eq!(trace.len(), accesses);
+        assert_eq!(trace.len(), accesses, "case {case}");
         let (hist, _cold) = measure(&trace, 64);
         // No reuse distance beyond the profile's support can appear.
         for (d, &count) in hist.iter().enumerate() {
             if d >= 16 {
-                prop_assert_eq!(count, 0, "distance {} appeared", d);
+                assert_eq!(count, 0, "case {case}: distance {d} appeared");
             }
         }
     }
+}
 
-    #[test]
-    fn quotient_and_generic_distance_solvers_agree(spec in perm_spec(3)) {
-        use cachekit::core::analysis::{
-            evict_distance, evict_distance_spec, minimal_lifespan, minimal_lifespan_spec,
-        };
+#[test]
+fn quotient_and_generic_distance_solvers_agree() {
+    use cachekit::core::analysis::{
+        evict_distance, evict_distance_spec, minimal_lifespan, minimal_lifespan_spec,
+    };
+    for case in 0..CASES {
+        let mut r = rng(10, case);
+        let spec = random_spec(3, &mut r);
         let policy = PermutationPolicy::new(spec.clone());
         let budget = 2_000_000;
-        prop_assert_eq!(
+        assert_eq!(
             evict_distance_spec(&spec, budget),
-            evict_distance(&policy, budget)
+            evict_distance(&policy, budget),
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             minimal_lifespan_spec(&spec, budget),
-            minimal_lifespan(&policy, budget)
+            minimal_lifespan(&policy, budget),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn query_display_parse_round_trips(
-        blocks in proptest::collection::vec(0u64..8, 1..20),
-        measured in proptest::collection::vec(proptest::bool::ANY, 1..20),
-    ) {
-        use cachekit::core::query::Query;
-        let text: String = blocks
-            .iter()
-            .zip(measured.iter().chain(std::iter::repeat(&false)))
-            .map(|(&b, &m)| format!("B{}{} ", b, if m { "?" } else { "" }))
+#[test]
+fn query_display_parse_round_trips() {
+    use cachekit::core::query::Query;
+    for case in 0..CASES {
+        let mut r = rng(11, case);
+        let len = r.gen_range(1usize..20);
+        let text: String = (0..len)
+            .map(|_| {
+                let b = r.gen_range(0u64..8);
+                let m = r.gen::<bool>();
+                format!("B{}{} ", b, if m { "?" } else { "" })
+            })
             .collect();
         let q: Query = text.parse().unwrap();
         let reparsed: Query = q.to_string().parse().unwrap();
-        prop_assert_eq!(q, reparsed);
+        assert_eq!(q, reparsed, "case {case}");
     }
+}
 
-    #[test]
-    fn trace_io_round_trips(
-        ops in proptest::collection::vec((0u64..1 << 40, proptest::bool::ANY), 0..200),
-    ) {
-        use cachekit::trace::io::{read_trace, write_trace, MemOp};
-        let ops: Vec<MemOp> = ops
-            .into_iter()
-            .map(|(addr, write)| MemOp { addr, write })
+#[test]
+fn trace_io_round_trips() {
+    use cachekit::trace::io::{read_trace, write_trace, MemOp};
+    for case in 0..CASES {
+        let mut r = rng(12, case);
+        let len = r.gen_range(0usize..200);
+        let ops: Vec<MemOp> = (0..len)
+            .map(|_| MemOp {
+                addr: r.gen_range(0u64..1 << 40),
+                write: r.gen::<bool>(),
+            })
             .collect();
         let mut buf = Vec::new();
         write_trace(&ops, &mut buf).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, ops);
+        assert_eq!(back, ops, "case {case}");
     }
+}
 
-    #[test]
-    fn writeback_accounting_is_conservative(
-        kind in any_kind(),
-        script in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..400),
-    ) {
+#[test]
+fn writeback_accounting_is_conservative() {
+    for case in 0..CASES {
+        let mut r = rng(13, case);
+        let kind = random_kind(&mut r);
+        let len = r.gen_range(1usize..400);
+        let script: Vec<(u64, bool)> = (0..len)
+            .map(|_| (r.gen_range(0u64..64), r.gen::<bool>()))
+            .collect();
         // A line must be written before it can be written back, so the
         // cumulative write-back count never exceeds the write count.
         let config = CacheConfig::new(2048, 4, 64).unwrap();
         let mut cache = Cache::new(config, kind);
         let stats = cache.run_ops(script.iter().map(|&(b, w)| (b * 64, w)));
-        prop_assert!(stats.writebacks <= stats.writes);
-        prop_assert_eq!(stats.accesses as usize, script.len());
+        assert!(stats.writebacks <= stats.writes, "case {case}");
+        assert_eq!(stats.accesses as usize, script.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn miss_ratio_is_between_zero_and_one(
-        kind in any_kind(),
-        script in proptest::collection::vec(0u64..256, 1..500),
-    ) {
+#[test]
+fn miss_ratio_is_between_zero_and_one() {
+    for case in 0..CASES {
+        let mut r = rng(14, case);
+        let kind = random_kind(&mut r);
+        let script = random_script(256, 500, &mut r);
         let config = CacheConfig::new(4096, 4, 64).unwrap();
         let trace: Vec<u64> = script.iter().map(|b| b * 64).collect();
         let stats = cachekit::sim::sweep::simulate(config, kind, &trace);
-        prop_assert!(stats.miss_ratio() >= 0.0 && stats.miss_ratio() <= 1.0);
-        prop_assert_eq!(stats.accesses, trace.len() as u64);
-        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        assert!(
+            stats.miss_ratio() >= 0.0 && stats.miss_ratio() <= 1.0,
+            "case {case}"
+        );
+        assert_eq!(stats.accesses, trace.len() as u64, "case {case}");
+        assert_eq!(stats.hits + stats.misses, stats.accesses, "case {case}");
     }
 }
