@@ -17,6 +17,11 @@ run() {
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Public-API docs must build clean (broken intra-doc links and missing
+# docs are errors, not noise).
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Tier-1: the seed's acceptance command.
 run cargo build --release
 run cargo test -q
@@ -24,5 +29,9 @@ run cargo test -q
 # Offline build of the umbrella package specifically (regression guard
 # for the seed's original failure: manifests referencing crates.io).
 run cargo build --release -p cachekit --offline
+
+# Public-API smoke check: the examples exercise the builder/layer API
+# surface and must keep compiling against it.
+run cargo build --release --examples --offline
 
 echo "ci: all checks passed"

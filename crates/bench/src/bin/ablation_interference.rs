@@ -40,10 +40,10 @@ fn main() {
             "verdict",
         ],
     );
-    let config = InferenceConfig {
-        max_capacity: 4 * 1024 * 1024,
-        ..InferenceConfig::default()
-    };
+    let config = InferenceConfig::builder()
+        .max_capacity(4 * 1024 * 1024)
+        .build()
+        .expect("valid config");
 
     // The four interference configurations are independent machines.
     let grid = [(false, false), (true, false), (false, true), (true, true)];

@@ -8,7 +8,8 @@
 
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CountingOracle, InferenceConfig, ReadoutSearch, SimOracle,
+    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, ReadoutSearch,
+    SimOracle,
 };
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
@@ -19,11 +20,11 @@ fn cost(assoc: usize, search: ReadoutSearch) -> (u64, u64) {
         CacheConfig::new(capacity, assoc, 64).expect("valid"),
         PolicyKind::TreePlru,
     );
-    let mut oracle = CountingOracle::new(SimOracle::new(cache));
-    let config = InferenceConfig {
-        readout_search: search,
-        ..InferenceConfig::default()
-    };
+    let mut oracle = SimOracle::new(cache).layer(Counting);
+    let config = InferenceConfig::builder()
+        .readout(search)
+        .build()
+        .expect("valid config");
     let geometry = infer_geometry(&mut oracle, &config).expect("geometry");
     let (gm, ga) = (oracle.measurements(), oracle.accesses());
     let report = infer_policy(&mut oracle, &geometry, &config).expect("policy");

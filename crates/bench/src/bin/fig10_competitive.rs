@@ -39,15 +39,18 @@ fn main() {
         .iter()
         .flat_map(|&p| kinds.iter().map(move |&q| (p, q)))
         .collect();
-    let ratios: Vec<f64> = cachekit_sim::par_map(&pairs, run.jobs(), |&(p, q)| {
-        competitiveness(
-            p.build(assoc, 0).as_ref(),
-            q.build(assoc, 0).as_ref(),
-            trials,
-            0xF10,
-        )
-        .max_ratio
-    });
+    let ratios: Vec<f64> = {
+        let _span = cachekit_obs::span("competitive_matrix");
+        cachekit_sim::par_map(&pairs, run.jobs(), |&(p, q)| {
+            competitiveness(
+                p.build(assoc, 0).as_ref(),
+                q.build(assoc, 0).as_ref(),
+                trials,
+                0xF10,
+            )
+            .max_ratio
+        })
+    };
     run.add_cells(pairs.len() as u64);
     run.count("adversarial_trials", pairs.len() as u64 * trials as u64);
 

@@ -38,6 +38,7 @@ fn main() {
         ]);
     };
 
+    let derive_span = cachekit_obs::span("derive_vectors");
     for assoc in [4usize, 8] {
         add("LRU", &PermutationSpec::lru(assoc));
         add("FIFO", &PermutationSpec::fifo(assoc));
@@ -49,6 +50,7 @@ fn main() {
             .expect("LazyLRU is a permutation policy");
         add("LazyLRU", &lazy);
     }
+    drop(derive_span);
     run.add_cells(cells);
     run.finish(
         &table,

@@ -32,12 +32,12 @@ fn attempt(noise: NoiseModel, repetitions: usize, seed: u64) -> bool {
     // capacity knee can be washed out entirely, and without a bound the
     // doubling search would wander to the 64 MiB default limit measuring
     // ever-larger working sets. Running past the bound = failed campaign.
-    let config = InferenceConfig {
-        repetitions,
-        max_capacity: 64 * 1024,
-        max_associativity: 16,
-        ..InferenceConfig::default()
-    };
+    let config = InferenceConfig::builder()
+        .repetitions(repetitions)
+        .max_capacity(64 * 1024)
+        .max_associativity(16)
+        .build()
+        .expect("valid config");
     let Ok(geometry) = infer_geometry(&mut oracle, &config) else {
         return false;
     };

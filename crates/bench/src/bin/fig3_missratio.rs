@@ -51,6 +51,7 @@ fn main() {
 
     // Each workload row is independent; fan the per-workload columns out
     // over the worker pool while keeping suite order.
+    let sim_span = cachekit_obs::span("simulate_suite");
     let rows: Vec<Vec<f64>> = cachekit_sim::par_map(&suite, run.jobs(), |w| {
         let mut ratios: Vec<f64> = kinds
             .iter()
@@ -61,6 +62,7 @@ fn main() {
         ratios.push(cachekit_sim::opt::simulate_opt(config, &w.trace).miss_ratio());
         ratios
     });
+    drop(sim_span);
 
     for (w, ratios) in suite.iter().zip(&rows) {
         run.add_cells(ratios.len() as u64);

@@ -40,7 +40,10 @@ fn main() {
         );
         // Cells come back config-major, policy-minor: one table row per
         // chunk of `kinds.len()` cells, identical to the serial sweep.
-        let cells = sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs());
+        let cells = {
+            let _span = cachekit_obs::span(&format!("sweep.{wname}"));
+            sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs())
+        };
         run.add_cells(cells.len() as u64);
         run.count("accesses", (w.trace.len() * cells.len()) as u64);
         for chunk in cells.chunks(kinds.len()) {

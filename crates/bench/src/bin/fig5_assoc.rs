@@ -36,7 +36,10 @@ fn main() {
             format!("Fig. 5: miss ratio vs associativity — workload `{wname}` (256 KiB, 64 B)"),
             &headers_ref,
         );
-        let cells = sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs());
+        let cells = {
+            let _span = cachekit_obs::span(&format!("sweep.{wname}"));
+            sweep_parallel_jobs(&configs, &kinds, &w.trace, run.jobs())
+        };
         run.add_cells(cells.len() as u64);
         run.count("accesses", (w.trace.len() * cells.len()) as u64);
         for chunk in cells.chunks(kinds.len()) {

@@ -67,6 +67,7 @@ fn main() {
         .flat_map(|&k| assocs.iter().map(move |&a| (k, a)))
         .collect();
     type Distances = (Result<usize, DistanceError>, Result<usize, DistanceError>);
+    let solve_span = cachekit_obs::span("solve_distances");
     let solved: Vec<Distances> = cachekit_sim::par_map(&grid, run.jobs(), |&(kind, a)| {
         let (e, m) = match spec_for(kind, a) {
             Some(spec) => (
@@ -90,6 +91,7 @@ fn main() {
         }
         (e, m)
     });
+    drop(solve_span);
     run.add_cells(grid.len() as u64);
 
     let mut series = Vec::new();

@@ -38,6 +38,7 @@ fn main() {
 
     // One worker per workload row: the write-annotated trace is built
     // once per row and shared by its policy columns.
+    let sim_span = cachekit_obs::span("simulate_writebacks");
     let rows: Vec<Vec<f64>> = cachekit_sim::par_map(&suite, run.jobs(), |w| {
         let ops = io::with_writes(&w.trace, 0.3, 0xF17);
         kinds
@@ -49,6 +50,7 @@ fn main() {
             })
             .collect()
     });
+    drop(sim_span);
 
     for (w, rates) in suite.iter().zip(&rows) {
         run.add_cells(rates.len() as u64);

@@ -55,9 +55,12 @@ fn main() {
     let grid: Vec<(usize, PolicyKind)> = (0..suite.len())
         .flat_map(|wi| kinds.iter().map(move |&k| (wi, k)))
         .collect();
-    let values: Vec<f64> = cachekit_sim::par_map(&grid, run.jobs(), |&(wi, kind)| {
-        amat(kind, &suite[wi].trace)
-    });
+    let values: Vec<f64> = {
+        let _span = cachekit_obs::span("simulate_amat");
+        cachekit_sim::par_map(&grid, run.jobs(), |&(wi, kind)| {
+            amat(kind, &suite[wi].trace)
+        })
+    };
     run.add_cells(grid.len() as u64);
 
     for (wi, w) in suite.iter().enumerate() {

@@ -40,6 +40,7 @@ fn main() {
     // simulations plus two game searches); fan the steps out.
     let steps: Vec<usize> = (0..=assoc).collect();
     type StepRow = (f64, f64, Option<usize>, Option<usize>);
+    let steps_span = cachekit_obs::span("simulate_promotion_steps");
     let rows: Vec<StepRow> = cachekit_sim::par_map(&steps, runner.jobs(), |&step| {
         let spec = PermutationSpec::promote_by(assoc, step);
         let run = |trace: &[u64]| {
@@ -56,6 +57,7 @@ fn main() {
         let mls = minimal_lifespan_spec(&spec, budget).ok();
         (mz, mg, evict, mls)
     });
+    drop(steps_span);
     runner.add_cells(steps.len() as u64);
 
     for (&step, &(mz, mg, evict, mls)) in steps.iter().zip(&rows) {

@@ -69,9 +69,13 @@ fn main() {
         "running {} experiments on {jobs} worker(s); logs in results/logs/",
         EXPERIMENTS.len()
     );
+    // The span shows up in the CACHEKIT_TRACE=1 live renderer; each
+    // child process writes its own metrics into its results/*.json.
+    let dispatch_span = cachekit_obs::span("run_experiments");
     let outcomes = run_experiments(EXPERIMENTS, jobs, |name| {
         bin_dir.join(name).to_string_lossy().into_owned()
     });
+    drop(dispatch_span);
 
     let failures: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
     for f in &failures {

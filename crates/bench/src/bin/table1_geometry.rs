@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release -p cachekit-bench --bin table1_geometry`
 
 use cachekit_bench::{human_bytes, json::Json, Runner, Table};
-use cachekit_core::infer::{infer_geometry, CountingOracle, InferenceConfig};
+use cachekit_core::infer::{infer_geometry, CacheOracleExt, Counting, InferenceConfig};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use std::sync::Mutex;
 
@@ -40,7 +40,7 @@ fn main() {
                     CacheLevel::L2 => *cpu.l2_config(),
                     CacheLevel::L3 => unreachable!("two-level fleet"),
                 };
-                let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
+                let mut oracle = LevelOracle::new(&mut cpu, level).layer(Counting);
                 match infer_geometry(&mut oracle, &config) {
                     Ok(g) => {
                         let ok = g.capacity == truth.capacity()

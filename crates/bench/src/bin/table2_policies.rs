@@ -7,7 +7,7 @@
 
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CountingOracle, InferenceConfig, InferenceError,
+    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, InferenceError,
 };
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use std::sync::Mutex;
@@ -45,7 +45,7 @@ fn main() {
                     CacheLevel::L3 => unreachable!("two-level fleet"),
                 };
                 let mut undocumented = None;
-                let mut oracle = CountingOracle::new(LevelOracle::new(&mut cpu, level));
+                let mut oracle = LevelOracle::new(&mut cpu, level).layer(Counting);
                 let (identified, validation) = match infer_geometry(&mut oracle, &config)
                     .and_then(|g| infer_policy(&mut oracle, &g, &config))
                 {

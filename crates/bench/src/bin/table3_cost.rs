@@ -7,7 +7,7 @@
 
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CountingOracle, InferenceConfig, SimOracle,
+    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, SimOracle,
 };
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
@@ -36,7 +36,7 @@ fn main() {
             CacheConfig::new(capacity, assoc, 64).expect("valid geometry"),
             PolicyKind::Lru,
         );
-        let mut oracle = CountingOracle::new(SimOracle::new(cache));
+        let mut oracle = SimOracle::new(cache).layer(Counting);
         let geometry = infer_geometry(&mut oracle, &config).expect("geometry");
         let (gm, ga) = (oracle.measurements(), oracle.accesses());
         let report = infer_policy(&mut oracle, &geometry, &config).expect("policy");

@@ -80,11 +80,11 @@ fn main() {
     {
         let mut cpu = fleet::sliced_llc();
         let truth = *cpu.l3_config().expect("has L3");
-        let sliced_config = InferenceConfig {
-            max_capacity: 16 * 1024 * 1024,
-            max_associativity: 32,
-            ..InferenceConfig::default()
-        };
+        let sliced_config = InferenceConfig::builder()
+            .max_capacity(16 * 1024 * 1024)
+            .max_associativity(32)
+            .build()
+            .expect("valid config");
         let outcome = {
             let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L3);
             infer_geometry(&mut oracle, &sliced_config)

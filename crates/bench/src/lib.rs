@@ -16,6 +16,7 @@
 
 pub mod exec;
 pub mod json;
+pub mod metrics;
 pub mod microbench;
 
 use json::Json;
@@ -114,6 +115,9 @@ impl Table {
 ///   "counters": { "accesses": 123456 }
 /// }
 /// ```
+///
+/// [`Runner::finish`] appends a `"metrics"` field to this block — the
+/// process's `cachekit-obs` snapshot (see [`metrics::metrics_to_json`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Wall-clock duration of the experiment, seconds.
@@ -223,11 +227,21 @@ impl Runner {
 
     /// Print the table and persist the instrumented record under
     /// `results/<name>.json`; returns the path written.
+    ///
+    /// The `run_report` block is augmented with a `"metrics"` field
+    /// holding the process's `cachekit-obs` snapshot (per-phase oracle
+    /// query counts, span timings, worker-pool histograms); see
+    /// [`metrics::metrics_to_json`] for the schema.
     pub fn finish(self, table: &Table, extra: Json) -> PathBuf {
         println!("{}", table.to_markdown());
+        let mut run_report = self.report().to_json();
+        run_report.insert(
+            "metrics",
+            metrics::metrics_to_json(&cachekit_obs::snapshot()),
+        );
         let record = Json::object(vec![
             ("experiment", Json::from(self.name.as_str())),
-            ("run_report", self.report().to_json()),
+            ("run_report", run_report),
             ("table", table.to_json()),
             ("extra", extra),
         ]);

@@ -1,0 +1,138 @@
+//! Export of `cachekit-obs` snapshots into the experiment JSON records.
+//!
+//! Every [`Runner::finish`](crate::Runner::finish) embeds the process's
+//! metrics snapshot as the `"metrics"` field of the `run_report` block,
+//! so each `results/*.json` carries its per-phase oracle-query counts
+//! and span timings alongside the wall time. The schema is documented in
+//! `docs/observability.md`.
+
+use crate::json::Json;
+use cachekit_obs::Snapshot;
+
+/// Convert a metrics snapshot to the `run_report.metrics` JSON block:
+///
+/// ```json
+/// {
+///   "counters": { "infer_geometry/infer_capacity/oracle.measurements": 84 },
+///   "counter_totals": { "oracle.measurements": 421 },
+///   "spans": { "infer_geometry": { "count": 1, "total_ns": 12000,
+///              "min_ns": 12000, "max_ns": 12000 } },
+///   "histograms": { "par_map.worker_items": { "total": 8, "buckets":
+///              [ { "lo": 4, "hi": 7, "count": 8 } ] } }
+/// }
+/// ```
+pub fn metrics_to_json(snapshot: &Snapshot) -> Json {
+    let counters = Json::object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect(),
+    );
+    let counter_totals = Json::object(
+        snapshot
+            .counter_totals()
+            .into_iter()
+            .map(|(k, v)| (k, Json::from(v)))
+            .collect(),
+    );
+    let spans = Json::object(
+        snapshot
+            .spans
+            .iter()
+            .map(|(path, s)| {
+                (
+                    path.clone(),
+                    Json::object(vec![
+                        ("count", Json::from(s.count)),
+                        ("total_ns", Json::from(s.total_ns)),
+                        ("min_ns", Json::from(s.min_ns)),
+                        ("max_ns", Json::from(s.max_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let histograms = Json::object(
+        snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets: Vec<Json> = h
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        Json::object(vec![
+                            ("lo", Json::from(b.lo)),
+                            ("hi", Json::from(b.hi)),
+                            ("count", Json::from(b.count)),
+                        ])
+                    })
+                    .collect();
+                (
+                    name.clone(),
+                    Json::object(vec![
+                        ("total", Json::from(h.total())),
+                        ("buckets", Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::object(vec![
+        ("counters", counters),
+        ("counter_totals", counter_totals),
+        ("spans", spans),
+        ("histograms", histograms),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekit_obs::{HistBucket, Histogram, SpanStats};
+
+    #[test]
+    fn empty_snapshot_serializes_to_empty_blocks() {
+        let json = metrics_to_json(&Snapshot::default());
+        assert_eq!(
+            json.to_compact(),
+            "{\"counters\":{},\"counter_totals\":{},\"spans\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn populated_snapshot_keeps_the_documented_schema() {
+        let mut snap = Snapshot::default();
+        snap.counters
+            .insert("phase/oracle.measurements".to_owned(), 4);
+        snap.spans.insert(
+            "phase".to_owned(),
+            SpanStats {
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            },
+        );
+        snap.histograms.insert(
+            "par_map.worker_items".to_owned(),
+            Histogram {
+                buckets: vec![HistBucket {
+                    lo: 4,
+                    hi: 7,
+                    count: 2,
+                }],
+            },
+        );
+        let compact = metrics_to_json(&snap).to_compact();
+        assert!(compact.contains("\"phase/oracle.measurements\":4"));
+        assert!(compact.contains("\"counter_totals\":{\"oracle.measurements\":4}"));
+        assert!(
+            compact.contains("\"phase\":{\"count\":1,\"total_ns\":10,\"min_ns\":10,\"max_ns\":10}")
+        );
+        assert!(compact.contains(
+            "\"par_map.worker_items\":{\"total\":2,\"buckets\":[{\"lo\":4,\"hi\":7,\"count\":2}]}"
+        ));
+    }
+}

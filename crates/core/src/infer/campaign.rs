@@ -16,20 +16,22 @@
 //! from each other — statistically equivalent, which is all the voting
 //! layer assumes.
 
-use crate::infer::oracle::{measure_voted, CacheOracle};
+use crate::infer::oracle::CacheOracle;
+use crate::infer::vote::VotePlan;
 use cachekit_sim::parallel::{effective_jobs, par_map};
 
 /// One independent experiment of a measurement campaign: flush, access
-/// `warmup`, then count the misses of `probe` (median over
-/// `repetitions` votes).
+/// `warmup`, then count the misses of `probe`, reduced by the
+/// measurement's [`VotePlan`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measurement {
     /// Warm-up access sequence (run after the flush, not counted).
     pub warmup: Vec<u64>,
     /// Probe access sequence (its miss count is the result).
     pub probe: Vec<u64>,
-    /// Votes per reading (median); 1 = trust a single reading.
-    pub repetitions: usize,
+    /// How readings are repeated and reduced (single reading by
+    /// default).
+    pub vote: VotePlan,
 }
 
 impl Measurement {
@@ -38,13 +40,17 @@ impl Measurement {
         Self {
             warmup,
             probe,
-            repetitions: 1,
+            vote: VotePlan::single(),
         }
     }
 
     /// The same measurement with `repetitions` votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is zero.
     pub fn voted(mut self, repetitions: usize) -> Self {
-        self.repetitions = repetitions;
+        self.vote = VotePlan::of(repetitions);
         self
     }
 }
@@ -64,7 +70,7 @@ where
     O: CacheOracle + Clone + Send + Sync,
 {
     run_campaign(oracle, experiments, jobs, |o, m| {
-        measure_voted(o, &m.warmup, &m.probe, m.repetitions)
+        m.vote.measure(o, &m.warmup, &m.probe)
     })
 }
 
@@ -73,8 +79,8 @@ where
 ///
 /// This is the substrate for any fan-out whose tasks are independent
 /// given a flush-first oracle — per-set probes, per-associativity
-/// conflict scans, per-position read-outs ([`infer_policy_parallel`]
-/// (crate::infer::infer_policy_parallel) is built on it).
+/// conflict scans, per-position read-outs
+/// ([`crate::infer::infer_policy_parallel`] is built on it).
 pub fn run_campaign<O, T, R, F>(oracle: &O, tasks: &[T], jobs: Option<usize>, run: F) -> Vec<R>
 where
     O: CacheOracle + Clone + Send + Sync,
@@ -117,7 +123,7 @@ mod tests {
             .iter()
             .map(|m| {
                 let mut so = o.clone();
-                measure_voted(&mut so, &m.warmup, &m.probe, m.repetitions)
+                m.vote.measure(&mut so, &m.warmup, &m.probe)
             })
             .collect();
         let parallel = measure_campaign(&o, &experiments, Some(4));

@@ -68,6 +68,168 @@ impl InferenceConfig {
             ..Self::default()
         }
     }
+
+    /// Start a validating builder from the defaults. Invalid
+    /// combinations fail at [`build`](InferenceConfigBuilder::build)
+    /// instead of mid-campaign:
+    ///
+    /// ```
+    /// use cachekit_core::infer::{InferenceConfig, ReadoutSearch};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = InferenceConfig::builder()
+    ///     .repetitions(7)
+    ///     .readout(ReadoutSearch::Linear)
+    ///     .max_capacity(4 * 1024 * 1024)
+    ///     .build()?;
+    /// assert_eq!(config.repetitions, 7);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> InferenceConfigBuilder {
+        InferenceConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// A configuration that a builder refused to produce, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `repetitions` was zero; the voting layer needs at least one
+    /// reading.
+    ZeroRepetitions,
+    /// `max_line_size` must be a power of two (the line-size search
+    /// doubles from 1).
+    LineSizeNotPowerOfTwo(u64),
+    /// The capacity search range is empty or starts at zero.
+    CapacityRangeEmpty {
+        /// Configured minimum capacity (bytes).
+        min: u64,
+        /// Configured maximum capacity (bytes).
+        max: u64,
+    },
+    /// `max_associativity` was zero.
+    ZeroAssociativity,
+    /// `capacity_miss_threshold` must lie strictly between 0 and 1.
+    ThresholdOutOfRange(f64),
+    /// `validation_rounds` was zero; a spec validated against nothing
+    /// proves nothing.
+    ZeroValidationRounds,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRepetitions => write!(f, "repetitions must be at least 1"),
+            ConfigError::LineSizeNotPowerOfTwo(v) => {
+                write!(f, "max_line_size must be a power of two, got {v}")
+            }
+            ConfigError::CapacityRangeEmpty { min, max } => {
+                write!(f, "capacity range is empty: min {min} .. max {max}")
+            }
+            ConfigError::ZeroAssociativity => write!(f, "max_associativity must be at least 1"),
+            ConfigError::ThresholdOutOfRange(v) => {
+                write!(f, "capacity_miss_threshold must be in (0, 1), got {v}")
+            }
+            ConfigError::ZeroValidationRounds => {
+                write!(f, "validation_rounds must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Validating builder for [`InferenceConfig`]; see
+/// [`InferenceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct InferenceConfigBuilder {
+    config: InferenceConfig,
+}
+
+impl InferenceConfigBuilder {
+    /// Votes per boolean measurement (median).
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.config.repetitions = repetitions;
+        self
+    }
+
+    /// Largest line size considered (bytes, power of two).
+    pub fn max_line_size(mut self, bytes: u64) -> Self {
+        self.config.max_line_size = bytes;
+        self
+    }
+
+    /// Smallest capacity considered (bytes).
+    pub fn min_capacity(mut self, bytes: u64) -> Self {
+        self.config.min_capacity = bytes;
+        self
+    }
+
+    /// Largest capacity considered (bytes).
+    pub fn max_capacity(mut self, bytes: u64) -> Self {
+        self.config.max_capacity = bytes;
+        self
+    }
+
+    /// Largest associativity considered.
+    pub fn max_associativity(mut self, ways: usize) -> Self {
+        self.config.max_associativity = ways;
+        self
+    }
+
+    /// Second-pass miss-ratio above which a working set is deemed not
+    /// to fit.
+    pub fn capacity_miss_threshold(mut self, threshold: f64) -> Self {
+        self.config.capacity_miss_threshold = threshold;
+        self
+    }
+
+    /// Number of random scripts in the validation phase.
+    pub fn validation_rounds(mut self, rounds: usize) -> Self {
+        self.config.validation_rounds = rounds;
+        self
+    }
+
+    /// Seed for the validation script generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Search strategy of the state read-out.
+    pub fn readout(mut self, search: ReadoutSearch) -> Self {
+        self.config.readout_search = search;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<InferenceConfig, ConfigError> {
+        let c = self.config;
+        if c.repetitions == 0 {
+            return Err(ConfigError::ZeroRepetitions);
+        }
+        if !c.max_line_size.is_power_of_two() {
+            return Err(ConfigError::LineSizeNotPowerOfTwo(c.max_line_size));
+        }
+        if c.min_capacity == 0 || c.min_capacity > c.max_capacity {
+            return Err(ConfigError::CapacityRangeEmpty {
+                min: c.min_capacity,
+                max: c.max_capacity,
+            });
+        }
+        if c.max_associativity == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if !(c.capacity_miss_threshold > 0.0 && c.capacity_miss_threshold < 1.0) {
+            return Err(ConfigError::ThresholdOutOfRange(c.capacity_miss_threshold));
+        }
+        if c.validation_rounds == 0 {
+            return Err(ConfigError::ZeroValidationRounds);
+        }
+        Ok(c)
+    }
 }
 
 /// Failure modes of the pipeline. Several of these are *results*, not
@@ -148,6 +310,77 @@ mod tests {
         let c = InferenceConfig::with_repetitions(9);
         assert_eq!(c.repetitions, 9);
         assert_eq!(c.max_line_size, InferenceConfig::default().max_line_size);
+    }
+
+    #[test]
+    fn builder_with_no_overrides_equals_default() {
+        assert_eq!(
+            InferenceConfig::builder().build().unwrap(),
+            InferenceConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let c = InferenceConfig::builder()
+            .repetitions(7)
+            .max_line_size(256)
+            .min_capacity(2048)
+            .max_capacity(1024 * 1024)
+            .max_associativity(16)
+            .capacity_miss_threshold(0.2)
+            .validation_rounds(11)
+            .seed(42)
+            .readout(ReadoutSearch::Linear)
+            .build()
+            .unwrap();
+        let expect = InferenceConfig {
+            repetitions: 7,
+            max_line_size: 256,
+            min_capacity: 2048,
+            max_capacity: 1024 * 1024,
+            max_associativity: 16,
+            capacity_miss_threshold: 0.2,
+            validation_rounds: 11,
+            seed: 42,
+            readout_search: ReadoutSearch::Linear,
+        };
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_combination() {
+        use ConfigError::*;
+        let b = InferenceConfig::builder;
+        assert_eq!(b().repetitions(0).build(), Err(ZeroRepetitions));
+        assert_eq!(
+            b().max_line_size(96).build(),
+            Err(LineSizeNotPowerOfTwo(96))
+        );
+        assert_eq!(
+            b().min_capacity(0).build(),
+            Err(CapacityRangeEmpty {
+                min: 0,
+                max: InferenceConfig::default().max_capacity
+            })
+        );
+        assert_eq!(
+            b().min_capacity(4096).max_capacity(1024).build(),
+            Err(CapacityRangeEmpty {
+                min: 4096,
+                max: 1024
+            })
+        );
+        assert_eq!(b().max_associativity(0).build(), Err(ZeroAssociativity));
+        assert_eq!(
+            b().capacity_miss_threshold(1.0).build(),
+            Err(ThresholdOutOfRange(1.0))
+        );
+        assert!(matches!(
+            b().capacity_miss_threshold(f64::NAN).build(),
+            Err(ThresholdOutOfRange(t)) if t.is_nan()
+        ));
+        assert_eq!(b().validation_rounds(0).build(), Err(ZeroValidationRounds));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub fn infer_geometry<O: CacheOracle>(
     oracle: &mut O,
     config: &InferenceConfig,
 ) -> Result<Geometry, InferenceError> {
+    let _span = cachekit_obs::span("infer_geometry");
     let line_size = infer_line_size(oracle, config)?;
     let capacity = infer_capacity(oracle, config, line_size)?;
     let associativity = infer_associativity(oracle, config, capacity, line_size)?;
@@ -100,6 +101,7 @@ pub fn infer_line_size<O: CacheOracle>(
     oracle: &mut O,
     config: &InferenceConfig,
 ) -> Result<u64, InferenceError> {
+    let _span = cachekit_obs::span("infer_line_size");
     let mut delta = 1u64;
     while delta <= config.max_line_size {
         let misses = measure_voted(oracle, &[0], &[delta], config.repetitions);
@@ -132,6 +134,7 @@ pub fn infer_capacity<O: CacheOracle>(
     config: &InferenceConfig,
     line: u64,
 ) -> Result<u64, InferenceError> {
+    let _span = cachekit_obs::span("infer_capacity");
     // Calibrate the channel: a noisy counter reports a floor of spurious
     // misses even for perfectly fitting working sets, so the knee must be
     // detected *relative* to that floor.
@@ -180,6 +183,7 @@ pub fn infer_associativity<O: CacheOracle>(
     capacity: u64,
     _line: u64,
 ) -> Result<usize, InferenceError> {
+    let _span = cachekit_obs::span("infer_associativity");
     // On a noisy channel, a re-probe of k fitting lines still reads
     // ~k*noise spurious misses; require the count to exceed the floor by
     // a statistical margin before declaring the conflict point. On a

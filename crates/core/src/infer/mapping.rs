@@ -65,6 +65,7 @@ pub fn classify_bits<O: CacheOracle>(
     bits: u32,
 ) -> Vec<BitRole> {
     assert!(bits <= 40, "bit classification supports bits 0..40");
+    let _span = cachekit_obs::span("classify_bits");
     const THRASH_BASE: u64 = 1 << 45;
     let assoc = geometry.associativity as u64;
     // Enough conflicting lines to displace the probe from any upper

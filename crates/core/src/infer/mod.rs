@@ -32,13 +32,20 @@ pub mod mapping;
 mod oracle;
 mod policy;
 pub mod sets;
+mod vote;
 
 pub use campaign::{measure_campaign, run_campaign, Measurement};
-pub use config::{InferenceConfig, InferenceError, ReadoutSearch};
+pub use config::{
+    ConfigError, InferenceConfig, InferenceConfigBuilder, InferenceError, ReadoutSearch,
+};
 pub use geometry::{
     infer_associativity, infer_capacity, infer_geometry, infer_line_size, Geometry,
 };
 pub use oracle::{
-    measure_voted, CacheOracle, CountingOracle, ExperimentRecord, RecordingOracle, SimOracle,
+    estimate_counter_noise, measure_voted, CacheOracle, CacheOracleExt, Counted, Counting,
+    ExperimentRecord, Metered, MeteredOracle, OracleLayer, Recorded, Recording, SimOracle,
 };
+#[allow(deprecated)]
+pub use oracle::{CountingOracle, RecordingOracle};
 pub use policy::{infer_insertion_position, infer_policy, infer_policy_parallel, PolicyReport};
+pub use vote::VotePlan;

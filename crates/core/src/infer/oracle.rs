@@ -1,5 +1,24 @@
-//! The black-box measurement interface to a cache under test.
+//! The black-box measurement interface to a cache under test, and the
+//! composable decorator ("layer") stack over it.
+//!
+//! Decorators compose uniformly through [`OracleLayer`]:
+//!
+//! ```
+//! use cachekit_core::infer::{CacheOracleExt, Counting, Metered, SimOracle};
+//! use cachekit_policies::PolicyKind;
+//! use cachekit_sim::{Cache, CacheConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cache = Cache::new(CacheConfig::new(16 * 1024, 4, 64)?, PolicyKind::Lru);
+//! let mut oracle = SimOracle::new(cache).layer(Counting).layer(Metered);
+//! use cachekit_core::infer::CacheOracle as _;
+//! oracle.measure(&[0, 64], &[0, 128]);
+//! assert_eq!(oracle.inner().measurements(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
+use crate::infer::vote::VotePlan;
 use cachekit_sim::Cache;
 
 /// Black-box access to a cache under measurement — the only interface the
@@ -23,6 +42,30 @@ impl<O: CacheOracle + ?Sized> CacheOracle for &mut O {
         (**self).measure(warmup, probe)
     }
 }
+
+/// A decorator that wraps a [`CacheOracle`] in another oracle — the
+/// uniform composition point for the measurement stack.
+///
+/// A layer value is a small marker ([`Counting`], [`Recording`],
+/// [`Metered`]) describing *what* to add; applying it via
+/// [`CacheOracleExt::layer`] produces the concrete wrapper type.
+pub trait OracleLayer<O: CacheOracle> {
+    /// The wrapper produced by this layer.
+    type Output: CacheOracle;
+    /// Wrap `inner` in this layer's decorator.
+    fn layer(self, inner: O) -> Self::Output;
+}
+
+/// Fluent `.layer(...)` composition for any sized oracle:
+/// `oracle.layer(Counting).layer(Metered)`.
+pub trait CacheOracleExt: CacheOracle + Sized {
+    /// Wrap `self` in the decorator described by `layer`.
+    fn layer<L: OracleLayer<Self>>(self, layer: L) -> L::Output {
+        layer.layer(self)
+    }
+}
+
+impl<O: CacheOracle + Sized> CacheOracleExt for O {}
 
 /// A noise-free software oracle over a single simulated cache.
 ///
@@ -59,16 +102,53 @@ impl CacheOracle for SimOracle {
     }
 }
 
+/// Layer marker: count measurements and accesses into local counters
+/// (produces [`Counted`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counting;
+
+/// Layer marker: keep a transcript of every measurement (produces
+/// [`Recorded`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Recording;
+
+/// Layer marker: publish per-measurement counters to the global
+/// `cachekit-obs` registry (produces [`MeteredOracle`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metered;
+
+impl<O: CacheOracle> OracleLayer<O> for Counting {
+    type Output = Counted<O>;
+    fn layer(self, inner: O) -> Counted<O> {
+        Counted::new(inner)
+    }
+}
+
+impl<O: CacheOracle> OracleLayer<O> for Recording {
+    type Output = Recorded<O>;
+    fn layer(self, inner: O) -> Recorded<O> {
+        Recorded::new(inner)
+    }
+}
+
+impl<O: CacheOracle> OracleLayer<O> for Metered {
+    type Output = MeteredOracle<O>;
+    fn layer(self, inner: O) -> MeteredOracle<O> {
+        MeteredOracle::new(inner)
+    }
+}
+
 /// Decorator that counts measurements and accesses — the "cost of the
-/// attack" metric of Table 3.
-#[derive(Debug)]
-pub struct CountingOracle<O> {
+/// attack" metric of Table 3. Counters are local to the wrapper (see
+/// [`MeteredOracle`] for the global-registry variant).
+#[derive(Debug, Clone)]
+pub struct Counted<O> {
     inner: O,
     measurements: u64,
     accesses: u64,
 }
 
-impl<O: CacheOracle> CountingOracle<O> {
+impl<O: CacheOracle> Counted<O> {
     /// Wrap an oracle with counters starting at zero.
     pub fn new(inner: O) -> Self {
         Self {
@@ -88,13 +168,18 @@ impl<O: CacheOracle> CountingOracle<O> {
         self.accesses
     }
 
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
     /// Unwrap the inner oracle.
     pub fn into_inner(self) -> O {
         self.inner
     }
 }
 
-impl<O: CacheOracle> CacheOracle for CountingOracle<O> {
+impl<O: CacheOracle> CacheOracle for Counted<O> {
     fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
         self.measurements += 1;
         self.accesses += (warmup.len() + probe.len()) as u64;
@@ -102,7 +187,7 @@ impl<O: CacheOracle> CacheOracle for CountingOracle<O> {
     }
 }
 
-/// One recorded experiment of a [`RecordingOracle`].
+/// One recorded experiment of a [`Recorded`] oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentRecord {
     /// Number of warm-up accesses.
@@ -117,13 +202,13 @@ pub struct ExperimentRecord {
 /// trail a reverse-engineering campaign leaves behind, useful for
 /// debugging a failed inference or for publishing the raw evidence
 /// alongside a claimed policy.
-#[derive(Debug)]
-pub struct RecordingOracle<O> {
+#[derive(Debug, Clone)]
+pub struct Recorded<O> {
     inner: O,
     records: Vec<ExperimentRecord>,
 }
 
-impl<O: CacheOracle> RecordingOracle<O> {
+impl<O: CacheOracle> Recorded<O> {
     /// Wrap an oracle with an empty transcript.
     pub fn new(inner: O) -> Self {
         Self {
@@ -142,13 +227,18 @@ impl<O: CacheOracle> RecordingOracle<O> {
         self.records.clear();
     }
 
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
     /// Unwrap the inner oracle.
     pub fn into_inner(self) -> O {
         self.inner
     }
 }
 
-impl<O: CacheOracle> CacheOracle for RecordingOracle<O> {
+impl<O: CacheOracle> CacheOracle for Recorded<O> {
     fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
         let misses = self.inner.measure(warmup, probe);
         self.records.push(ExperimentRecord {
@@ -160,9 +250,63 @@ impl<O: CacheOracle> CacheOracle for RecordingOracle<O> {
     }
 }
 
+/// Decorator that publishes `oracle.measurements` / `oracle.accesses`
+/// counters to the global `cachekit-obs` registry, attributed to the
+/// span open at each `measure` call.
+///
+/// The inference pipeline already meters every *voted* measurement
+/// through [`VotePlan`](crate::infer::VotePlan); use this layer for
+/// oracles driven outside the voting funnel (custom campaigns, raw
+/// `measure` loops) so their cost shows up in `run_report.metrics` too.
+/// Wrapping an oracle that is also measured through `VotePlan` counts
+/// those queries twice — pick one funnel per oracle.
+#[derive(Debug, Clone)]
+pub struct MeteredOracle<O> {
+    inner: O,
+}
+
+impl<O: CacheOracle> MeteredOracle<O> {
+    /// Wrap an oracle; the global registry is the only state.
+    pub fn new(inner: O) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: CacheOracle> CacheOracle for MeteredOracle<O> {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        cachekit_obs::add("oracle.measurements", 1);
+        cachekit_obs::add("oracle.accesses", (warmup.len() + probe.len()) as u64);
+        self.inner.measure(warmup, probe)
+    }
+}
+
+/// Former name of [`Counted`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `oracle.layer(Counting)` or `Counted` instead"
+)]
+pub type CountingOracle<O> = Counted<O>;
+
+/// Former name of [`Recorded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `oracle.layer(Recording)` or `Recorded` instead"
+)]
+pub type RecordingOracle<O> = Recorded<O>;
+
 /// Take the median of `repetitions` measurements of the same experiment —
 /// the voting primitive that makes the pipeline robust to sporadic
-/// counter noise.
+/// counter noise. Thin wrapper over [`VotePlan`].
 ///
 /// # Panics
 ///
@@ -173,12 +317,7 @@ pub fn measure_voted<O: CacheOracle>(
     probe: &[u64],
     repetitions: usize,
 ) -> usize {
-    assert!(repetitions >= 1, "need at least one repetition");
-    let mut results: Vec<usize> = (0..repetitions)
-        .map(|_| oracle.measure(warmup, probe))
-        .collect();
-    results.sort_unstable();
-    results[results.len() / 2]
+    VotePlan::of(repetitions).measure(oracle, warmup, probe)
 }
 
 /// Estimate the channel's counter-noise rate: the probability that a
@@ -190,9 +329,10 @@ pub fn measure_voted<O: CacheOracle>(
 /// on a clean channel it returns exactly 0.
 pub fn estimate_counter_noise<O: CacheOracle>(oracle: &mut O, samples: usize) -> f64 {
     assert!(samples >= 1, "need at least one sample");
+    let _span = cachekit_obs::span("estimate_noise");
     let addr = 0u64;
     let probe = vec![addr; samples];
-    let misses = oracle.measure(&[addr], &probe);
+    let misses = VotePlan::single().measure(oracle, &[addr], &probe);
     misses as f64 / samples as f64
 }
 
@@ -224,8 +364,8 @@ mod tests {
     }
 
     #[test]
-    fn counting_oracle_tracks_cost() {
-        let mut o = CountingOracle::new(oracle());
+    fn counting_layer_tracks_cost() {
+        let mut o = oracle().layer(Counting);
         o.measure(&[0, 64], &[128]);
         o.measure(&[], &[0]);
         assert_eq!(o.measurements(), 2);
@@ -233,8 +373,8 @@ mod tests {
     }
 
     #[test]
-    fn recording_oracle_keeps_the_transcript() {
-        let mut o = RecordingOracle::new(oracle());
+    fn recording_layer_keeps_the_transcript() {
+        let mut o = oracle().layer(Recording);
         o.measure(&[0, 64], &[0, 128]);
         o.measure(&[], &[0]);
         assert_eq!(
@@ -254,6 +394,27 @@ mod tests {
         );
         o.clear();
         assert!(o.records().is_empty());
+    }
+
+    #[test]
+    fn layers_compose_and_unwrap_in_either_order() {
+        let mut o = oracle().layer(Counting).layer(Recording).layer(Metered);
+        o.measure(&[0], &[0, 64]);
+        assert_eq!(o.inner().records().len(), 1);
+        assert_eq!(o.inner().inner().measurements(), 1);
+        let counted = o.into_inner().into_inner();
+        assert_eq!(counted.accesses(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_name_the_same_types() {
+        let mut c: CountingOracle<SimOracle> = CountingOracle::new(oracle());
+        c.measure(&[], &[0]);
+        assert_eq!(c.measurements(), 1);
+        let mut r: RecordingOracle<SimOracle> = RecordingOracle::new(oracle());
+        r.measure(&[], &[0]);
+        assert_eq!(r.records().len(), 1);
     }
 
     #[test]

@@ -151,6 +151,7 @@ fn read_out<O: CacheOracle>(
     repetitions: usize,
     search: ReadoutSearch,
 ) -> Result<Vec<usize>, InferenceError> {
+    let _span = cachekit_obs::span("read_out");
     let assoc = addrs.assoc;
     let mut order: Vec<Option<usize>> = vec![None; assoc];
     for b in 0..assoc {
@@ -187,6 +188,7 @@ pub fn infer_insertion_position<O: CacheOracle>(
     geometry: &Geometry,
     config: &InferenceConfig,
 ) -> Result<usize, InferenceError> {
+    let _span = cachekit_obs::span("infer_insertion_position");
     let addrs = SetAddrs::new(geometry);
     let marked = addrs.marked();
     let k = eviction_k(
@@ -222,6 +224,7 @@ pub fn infer_policy<O: CacheOracle>(
     geometry: &Geometry,
     config: &InferenceConfig,
 ) -> Result<PolicyReport, InferenceError> {
+    let _span = cachekit_obs::span("infer_policy");
     let assoc = geometry.associativity;
     let addrs = SetAddrs::new(geometry);
 
@@ -312,6 +315,7 @@ pub fn infer_policy_parallel<O>(
 where
     O: CacheOracle + Clone + Send + Sync,
 {
+    let _span = cachekit_obs::span("infer_policy");
     let jobs = effective_jobs(jobs);
     let assoc = geometry.associativity;
     let addrs = SetAddrs::new(geometry);
@@ -426,6 +430,7 @@ fn validate<O: CacheOracle>(
     config: &InferenceConfig,
     noise: f64,
 ) -> (usize, usize) {
+    let _span = cachekit_obs::span("validate");
     let mismatches = validation_tails(addrs, config)
         .iter()
         .filter(|tail| tail_diverges(oracle, addrs, base_order, spec, tail, config, noise))
@@ -464,6 +469,7 @@ fn tail_diverges<O: CacheOracle>(
     config: &InferenceConfig,
     noise: f64,
 ) -> bool {
+    let _span = cachekit_obs::span("validate_script");
     // Abstract prediction from the read-out base state.
     let mut state: Vec<u64> = base_order.iter().map(|&b| addrs.base(b)).collect();
     let mut predicted = 0usize;

@@ -84,6 +84,7 @@ pub fn find_eviction_set<O: CacheOracle>(
     repetitions: usize,
 ) -> Result<Vec<u64>, EvictionSetError> {
     assert!(groups >= 2, "need at least two groups");
+    let _span = cachekit_obs::span("find_eviction_set");
     if !evicts(oracle, target, pool, repetitions) {
         return Err(EvictionSetError::PoolDoesNotConflict);
     }

@@ -1,0 +1,104 @@
+//! The voting primitive shared by every measurement site.
+//!
+//! Both the serial helpers (`measure_voted`) and the parallel campaign
+//! layer ([`Measurement`](crate::infer::Measurement)) used to carry
+//! their own copy of the repeat-and-take-the-median logic; [`VotePlan`]
+//! is the single implementation both now delegate to. It is also the
+//! funnel through which every pipeline oracle query flows, so it is
+//! where the observability counters (`oracle.measurements`,
+//! `oracle.accesses`, `oracle.votes_discarded`) are incremented —
+//! attributed to whatever phase span is open at the call site.
+
+use crate::infer::oracle::CacheOracle;
+
+/// How many readings to take of one experiment and how to reduce them:
+/// the median, which suppresses sporadic counter noise as long as fewer
+/// than half the readings are corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VotePlan {
+    repetitions: usize,
+}
+
+impl VotePlan {
+    /// Trust a single reading (no voting).
+    pub const fn single() -> Self {
+        Self { repetitions: 1 }
+    }
+
+    /// Take the median of `repetitions` readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is zero.
+    pub fn of(repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "need at least one repetition");
+        Self { repetitions }
+    }
+
+    /// Number of readings taken per measurement.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Run the experiment `repetitions` times and return the median
+    /// miss count. Readings that disagree with the median are counted
+    /// as `oracle.votes_discarded` in the metrics registry.
+    pub fn measure<O: CacheOracle>(&self, oracle: &mut O, warmup: &[u64], probe: &[u64]) -> usize {
+        let reps = self.repetitions;
+        cachekit_obs::add("oracle.measurements", reps as u64);
+        cachekit_obs::add(
+            "oracle.accesses",
+            (reps * (warmup.len() + probe.len())) as u64,
+        );
+        if reps == 1 {
+            return oracle.measure(warmup, probe);
+        }
+        let mut results: Vec<usize> = (0..reps).map(|_| oracle.measure(warmup, probe)).collect();
+        results.sort_unstable();
+        let median = results[results.len() / 2];
+        let discarded = results.iter().filter(|&&r| r != median).count();
+        cachekit_obs::add("oracle.votes_discarded", discarded as u64);
+        median
+    }
+}
+
+impl Default for VotePlan {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::SimOracle;
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle() -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(1024, 2, 64).unwrap(),
+            PolicyKind::Lru,
+        ))
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one repetition")]
+    fn zero_repetitions_is_rejected() {
+        let _ = VotePlan::of(0);
+    }
+
+    #[test]
+    fn single_is_one_repetition() {
+        assert_eq!(VotePlan::single().repetitions(), 1);
+        assert_eq!(VotePlan::default(), VotePlan::single());
+    }
+
+    #[test]
+    fn median_matches_a_direct_measurement_on_a_clean_oracle() {
+        let mut o = oracle();
+        let direct = o.measure(&[0], &[0, 64]);
+        let voted = VotePlan::of(5).measure(&mut o, &[0], &[0, 64]);
+        assert_eq!(voted, direct);
+    }
+}

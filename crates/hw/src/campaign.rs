@@ -8,8 +8,8 @@
 
 use crate::{CacheLevel, LevelOracle, MeasureMode, VirtualCpu};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CountingOracle, Geometry, InferenceConfig, InferenceError,
-    PolicyReport,
+    infer_geometry, infer_policy, CacheOracleExt, Counting, Geometry, InferenceConfig,
+    InferenceError, PolicyReport,
 };
 use std::fmt;
 
@@ -86,7 +86,8 @@ pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode)
     let results = levels
         .into_iter()
         .map(|level| {
-            let mut oracle = CountingOracle::new(LevelOracle::new(cpu, level).with_mode(mode));
+            let _span = cachekit_obs::span(&format!("survey.{level:?}"));
+            let mut oracle = LevelOracle::new(cpu, level).with_mode(mode).layer(Counting);
             let geometry = infer_geometry(&mut oracle, config);
             let policy = geometry
                 .as_ref()

@@ -186,6 +186,9 @@ impl CacheOracle for LevelOracle<'_> {
         let flush_upper = !matches!(self.level, CacheLevel::L1)
             && self.flushers_enabled
             && self.is_same_set_experiment(warmup, probe);
+        if flush_upper {
+            cachekit_obs::add("hw.flushed_measurements", 1);
+        }
         for &a in warmup {
             self.one(a, flush_upper);
         }

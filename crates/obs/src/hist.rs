@@ -1,0 +1,65 @@
+//! Log2 bucketing for histograms.
+//!
+//! Bucket 0 holds the value 0; bucket `k >= 1` holds the half-open
+//! power-of-two range `[2^(k-1), 2^k - 1]`. Equivalently, a value's
+//! bucket index is its bit length, so boundaries are exact: `2^k - 1`
+//! lands in bucket `k` and `2^k` lands in bucket `k + 1`.
+
+/// Bucket index for a value: 0 for 0, otherwise the bit length of `v`.
+pub fn bucket_index(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// Inclusive `(lo, hi)` bounds of a bucket index (the inverse of
+/// [`bucket_index`]). Bucket 0 is `(0, 0)`; bucket 64 is capped at
+/// `u64::MAX`.
+pub fn bucket_bounds(index: u32) -> (u64, u64) {
+    assert!(index <= 64, "log2 bucket index out of range: {index}");
+    if index == 0 {
+        return (0, 0);
+    }
+    let lo = 1u64 << (index - 1);
+    let hi = if index == 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_gets_its_own_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn boundaries_are_exact_at_every_power_of_two() {
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k + 1, "2^{k} must open bucket {}", k + 1);
+            if p > 1 {
+                assert_eq!(bucket_index(p - 1), k, "2^{k}-1 must close bucket {k}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_round_trip_through_the_index() {
+        for index in 0..=64u32 {
+            let (lo, hi) = bucket_bounds(index);
+            assert_eq!(bucket_index(lo), index);
+            assert_eq!(bucket_index(hi), index);
+            assert!(lo <= hi);
+        }
+    }
+}

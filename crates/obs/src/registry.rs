@@ -1,0 +1,225 @@
+//! Global registry: an enable flag, a per-thread shard (store + span
+//! stack), and the process-wide merge target.
+//!
+//! Writes go to the current thread's shard without locking; the shard is
+//! folded into the global store when the outermost span on that thread
+//! closes (and again when the thread exits), so worker threads spawned
+//! by the parallel engine contribute exactly once and never contend on
+//! the global mutex mid-measurement.
+
+use crate::store::{Snapshot, Store};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Environment variable that disables collection when set to `0` (or
+/// `false`/`off`). Collection defaults to on.
+pub const METRICS_ENV: &str = "CACHEKIT_METRICS";
+
+/// Environment variable that turns on the live stderr span renderer
+/// when set to `1` (or `true`/`on`).
+pub const TRACE_ENV: &str = "CACHEKIT_TRACE";
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_INIT: Once = Once::new();
+static GLOBAL: Mutex<Option<Store>> = Mutex::new(None);
+static TRACE: OnceLock<bool> = OnceLock::new();
+
+struct ThreadShard {
+    store: Store,
+    /// Open span names; the current path is their `/`-join.
+    stack: Vec<String>,
+}
+
+impl ThreadShard {
+    fn path(&self) -> String {
+        self.stack.join("/")
+    }
+
+    fn key_for(&self, name: &str) -> String {
+        if self.stack.is_empty() {
+            name.to_owned()
+        } else {
+            let mut key = self.path();
+            key.push('/');
+            key.push_str(name);
+            key
+        }
+    }
+
+    fn flush_to_global(&mut self) {
+        if self.store.is_empty() {
+            return;
+        }
+        let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        global
+            .get_or_insert_with(Store::default)
+            .merge_from(&mut self.store);
+    }
+}
+
+impl Drop for ThreadShard {
+    fn drop(&mut self) {
+        // Thread exit: contribute whatever was recorded outside spans
+        // (e.g. worker-pool histograms) before the shard disappears.
+        self.flush_to_global();
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<ThreadShard> = const {
+        RefCell::new(ThreadShard { store: Store::new(), stack: Vec::new() })
+    };
+}
+
+fn apply_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var(METRICS_ENV) {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "false" || v == "off" {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Whether collection is currently on. A single atomic load; every
+/// recording entry point checks this first, so disabled runs pay no
+/// allocation, no TLS borrow, and no lock.
+#[inline]
+pub fn enabled() -> bool {
+    apply_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off at runtime (overrides [`METRICS_ENV`]).
+pub fn set_enabled(on: bool) {
+    apply_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn trace_enabled() -> bool {
+    *TRACE.get_or_init(|| {
+        std::env::var(TRACE_ENV).is_ok_and(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "true" || v == "on"
+        })
+    })
+}
+
+/// Add `n` to the counter `name`, attributed to the current thread's
+/// open span path (`"<path>/<name>"`, or bare `name` outside any span).
+pub fn add(name: &str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    SHARD.with(|shard| {
+        let mut shard = shard.borrow_mut();
+        let key = shard.key_for(name);
+        shard.store.add_counter(key, n);
+    });
+}
+
+/// Record `value` into the log2 histogram `name`. Histogram names are
+/// global (not span-path prefixed): they describe distributions, not
+/// phase attribution.
+pub fn record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    SHARD.with(|shard| shard.borrow_mut().store.record_hist(name, value));
+}
+
+/// Depth of the current thread's open-span stack (0 when balanced and
+/// idle); used by tests to prove nesting survives panics.
+pub fn current_depth() -> usize {
+    SHARD.with(|shard| shard.borrow().stack.len())
+}
+
+/// RAII guard for one span entry: created by [`span`], records the
+/// elapsed time and pops the span when dropped — including during a
+/// panic unwind, which is what keeps nesting balanced when a worker
+/// thread dies mid-span.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: Option<Instant>,
+}
+
+/// Open a named span on the current thread. Nested spans extend the
+/// path (`outer/inner`); counters added while the span is open are
+/// attributed to that path. Returns an inert guard when collection is
+/// disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: None };
+    }
+    SHARD.with(|shard| {
+        let mut shard = shard.borrow_mut();
+        shard.stack.push(name.to_owned());
+        if trace_enabled() {
+            let indent = "  ".repeat(shard.stack.len() - 1);
+            eprintln!("[obs] {indent}> {}", shard.path());
+        }
+    });
+    SpanGuard {
+        armed: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.armed.take() else {
+            return;
+        };
+        let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SHARD.with(|shard| {
+            let mut shard = shard.borrow_mut();
+            // The stack can only be shorter than expected if `reset`
+            // ran while this span was open (test-only); skip quietly.
+            if shard.stack.is_empty() {
+                return;
+            }
+            let path = shard.path();
+            if trace_enabled() {
+                let indent = "  ".repeat(shard.stack.len() - 1);
+                eprintln!("[obs] {indent}< {path} ({:.3} ms)", dur_ns as f64 / 1e6);
+            }
+            shard.stack.pop();
+            shard.store.observe_span(path, dur_ns);
+            if shard.stack.is_empty() {
+                // Outermost close: publish this thread's shard.
+                shard.flush_to_global();
+            }
+        });
+    }
+}
+
+/// Fold the current thread's shard into the global store without
+/// waiting for a span close or thread exit.
+pub fn flush() {
+    SHARD.with(|shard| shard.borrow_mut().flush_to_global());
+}
+
+/// Snapshot everything collected so far (flushes the calling thread's
+/// shard first; other threads' unflushed shards are not visible until
+/// their outermost span closes or they exit).
+pub fn snapshot() -> Snapshot {
+    flush();
+    let global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    global.as_ref().map(Store::snapshot).unwrap_or_default()
+}
+
+/// Discard everything collected so far, globally and on the calling
+/// thread (open spans on the calling thread are abandoned). Meant for
+/// tests.
+pub fn reset() {
+    SHARD.with(|shard| {
+        let mut shard = shard.borrow_mut();
+        shard.store = Store::default();
+        shard.stack.clear();
+    });
+    let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    *global = None;
+}

@@ -1,0 +1,228 @@
+//! The accumulating store and its read-only [`Snapshot`] view.
+
+use crate::hist::{bucket_bounds, bucket_index};
+use std::collections::BTreeMap;
+
+/// Aggregate timing statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// How many times the span was entered and exited.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Shortest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn observe(&mut self, dur_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = dur_ns;
+            self.max_ns = dur_ns;
+        } else {
+            self.min_ns = self.min_ns.min(dur_ns);
+            self.max_ns = self.max_ns.max(dur_ns);
+        }
+        self.count += 1;
+        self.total_ns += dur_ns;
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One non-empty log2 bucket of a [`Histogram`]: the inclusive value
+/// range it covers and how many recordings fell in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Smallest value that falls in this bucket.
+    pub lo: u64,
+    /// Largest value that falls in this bucket.
+    pub hi: u64,
+    /// Number of recorded values in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A log2-bucketed distribution (only non-empty buckets are kept,
+/// sorted by value range).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Non-empty buckets in ascending value order.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl Histogram {
+    /// Total number of recorded values across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+}
+
+/// Mutable accumulation state; lives per-thread (the shard) and once
+/// globally (the merge target).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Store {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) spans: BTreeMap<String, SpanStats>,
+    pub(crate) hists: BTreeMap<String, BTreeMap<u32, u64>>,
+}
+
+impl Store {
+    pub(crate) const fn new() -> Self {
+        Store {
+            counters: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn add_counter(&mut self, key: String, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    pub(crate) fn observe_span(&mut self, path: String, dur_ns: u64) {
+        self.spans.entry(path).or_default().observe(dur_ns);
+    }
+
+    pub(crate) fn record_hist(&mut self, name: &str, value: u64) {
+        *self
+            .hists
+            .entry(name.to_owned())
+            .or_default()
+            .entry(bucket_index(value))
+            .or_insert(0) += 1;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty() && self.hists.is_empty()
+    }
+
+    /// Fold `other` into `self`, leaving `other` empty.
+    pub(crate) fn merge_from(&mut self, other: &mut Store) {
+        for (key, n) in std::mem::take(&mut other.counters) {
+            *self.counters.entry(key).or_insert(0) += n;
+        }
+        for (path, stats) in std::mem::take(&mut other.spans) {
+            self.spans.entry(path).or_default().merge(&stats);
+        }
+        for (name, buckets) in std::mem::take(&mut other.hists) {
+            let target = self.hists.entry(name).or_default();
+            for (index, count) in buckets {
+                *target.entry(index).or_insert(0) += count;
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let histograms = self
+            .hists
+            .iter()
+            .map(|(name, buckets)| {
+                let buckets = buckets
+                    .iter()
+                    .map(|(&index, &count)| {
+                        let (lo, hi) = bucket_bounds(index);
+                        HistBucket { lo, hi, count }
+                    })
+                    .collect();
+                (name.clone(), Histogram { buckets })
+            })
+            .collect();
+        Snapshot {
+            counters: self.counters.clone(),
+            spans: self.spans.clone(),
+            histograms,
+        }
+    }
+}
+
+/// An immutable view of everything collected so far.
+///
+/// Counter keys are span-path prefixed (`"infer_geometry/infer_capacity/
+/// oracle.measurements"`); [`Snapshot::counter_totals`] re-aggregates
+/// them by leaf name when the per-phase breakdown is not needed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotonic counters, keyed by `span-path/counter-name`.
+    pub counters: BTreeMap<String, u64>,
+    /// Span timing statistics, keyed by span path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Log2-bucketed histograms, keyed by histogram name (not
+    /// path-prefixed).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// True when nothing at all was collected.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counters summed across span paths: the leaf name (after the last
+    /// `/`) keyed to the total over every phase it was incremented in.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for (key, &n) in &self.counters {
+            let leaf = key.rsplit('/').next().unwrap_or(key);
+            *totals.entry(leaf.to_owned()).or_insert(0) += n;
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_drains_the_source_and_sums_everything() {
+        let mut a = Store::default();
+        let mut b = Store::default();
+        a.add_counter("x".into(), 2);
+        b.add_counter("x".into(), 3);
+        b.add_counter("y".into(), 1);
+        a.observe_span("s".into(), 10);
+        b.observe_span("s".into(), 30);
+        b.record_hist("h", 5);
+        a.merge_from(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.counters["x"], 5);
+        assert_eq!(a.counters["y"], 1);
+        let s = a.spans["s"];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 40, 10, 30));
+        assert_eq!(a.snapshot().histograms["h"].total(), 1);
+    }
+
+    #[test]
+    fn counter_totals_aggregate_by_leaf_name() {
+        let mut s = Store::default();
+        s.add_counter("phase_a/oracle.measurements".into(), 4);
+        s.add_counter("phase_b/oracle.measurements".into(), 6);
+        s.add_counter("oracle.measurements".into(), 1);
+        let totals = s.snapshot().counter_totals();
+        assert_eq!(totals["oracle.measurements"], 11);
+    }
+
+    #[test]
+    fn span_min_max_track_extremes_not_defaults() {
+        let mut s = Store::default();
+        s.observe_span("p".into(), 7);
+        s.observe_span("p".into(), 3);
+        s.observe_span("p".into(), 9);
+        let st = s.spans["p"];
+        assert_eq!((st.min_ns, st.max_ns, st.count), (3, 9, 3));
+    }
+}

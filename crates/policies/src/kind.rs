@@ -157,6 +157,15 @@ impl PolicyKind {
         kinds.push(PolicyKind::Random { seed: 0x5eed });
         kinds
     }
+
+    /// The kinds exercised by the parallel/serial differential tests:
+    /// the evaluation set plus SLRU, which the figures leave out but the
+    /// execution engine must still replay bit-identically.
+    pub fn differential_kinds() -> Vec<PolicyKind> {
+        let mut kinds = Self::evaluation_kinds();
+        kinds.push(PolicyKind::Slru { protected: 2 });
+        kinds
+    }
 }
 
 /// Cheap seed mixer (splitmix64 finalizer) so per-set RNG streams differ.

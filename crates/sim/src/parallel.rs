@@ -27,14 +27,26 @@
 //! deterministic functions of their input for full run-to-run
 //! reproducibility — which holds for all simulator work, where stochastic
 //! policies carry their own seeded PRNG.
+//!
+//! ## Observability
+//!
+//! When `cachekit-obs` collection is enabled (the default), every pooled
+//! [`par_map`] call publishes per-worker stats: `par_map.items` /
+//! `par_map.busy_ns` counters (items per second is their ratio),
+//! `par_map.worker_items` / `par_map.worker_busy_us` /
+//! `par_map.worker_queue_wait_us` histograms, and a
+//! `par_map.imbalance_items` histogram (max − min items across the
+//! workers of one call). The instrumentation never changes claiming or
+//! output order, so parallel results remain bit-identical to serial.
 
 use crate::sweep::{simulate, SweepCell};
 use crate::CacheConfig;
 use cachekit_policies::PolicyKind;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// Name of the environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "CACHEKIT_JOBS";
@@ -90,23 +102,56 @@ where
     if jobs <= 1 {
         return items.iter().map(f).collect();
     }
+    // Per-worker stats go to cachekit-obs when collection is on; the
+    // instrumentation is strictly passive (work claiming, execution
+    // order, and output placement are untouched), so results stay
+    // bit-identical either way.
+    let obs_on = cachekit_obs::enabled();
+    let started_call = Instant::now();
+    let per_worker_items: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+    let total_busy_ns = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, thread::Result<R>)>();
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     thread::scope(|scope| {
-        for _ in 0..jobs {
+        for w in 0..jobs {
             let tx = tx.clone();
             let (next, f) = (&next, &f);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            let (per_worker_items, total_busy_ns) = (&per_worker_items, &total_busy_ns);
+            scope.spawn(move || {
+                let started_worker = Instant::now();
+                let mut items_done = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let item_started = obs_on.then(Instant::now);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
+                    if let Some(t) = item_started {
+                        busy_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        items_done += 1;
+                    }
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 }
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
-                if tx.send((i, r)).is_err() {
-                    break;
+                if obs_on {
+                    per_worker_items[w].store(items_done, Ordering::Relaxed);
+                    total_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                    let wall_ns =
+                        u64::try_from(started_worker.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    // Queue wait = worker wall time not spent inside `f`
+                    // (claiming, channel sends, waiting for stragglers).
+                    cachekit_obs::record("par_map.worker_items", items_done);
+                    cachekit_obs::record("par_map.worker_busy_us", busy_ns / 1_000);
+                    cachekit_obs::record(
+                        "par_map.worker_queue_wait_us",
+                        wall_ns.saturating_sub(busy_ns) / 1_000,
+                    );
                 }
             });
         }
@@ -118,6 +163,24 @@ where
             }
         }
     });
+    if obs_on {
+        cachekit_obs::add("par_map.calls", 1);
+        cachekit_obs::add("par_map.items", items.len() as u64);
+        cachekit_obs::add(
+            "par_map.busy_ns",
+            total_busy_ns.load(Ordering::Relaxed).max(1),
+        );
+        cachekit_obs::add(
+            "par_map.wall_ns",
+            u64::try_from(started_call.elapsed().as_nanos())
+                .unwrap_or(u64::MAX)
+                .max(1),
+        );
+        let counts = per_worker_items.iter().map(|c| c.load(Ordering::Relaxed));
+        let max = counts.clone().max().unwrap_or(0);
+        let min = counts.min().unwrap_or(0);
+        cachekit_obs::record("par_map.imbalance_items", max - min);
+    }
     if let Some(payload) = panic {
         std::panic::resume_unwind(payload);
     }

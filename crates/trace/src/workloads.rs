@@ -53,6 +53,7 @@ impl Workload {
 pub fn suite(capacity: u64, line: u64, seed: u64) -> Vec<Workload> {
     let cap_lines = capacity / line;
     assert!(cap_lines >= 16, "capacity must hold at least 16 lines");
+    let _span = cachekit_obs::span("workloads.suite");
 
     let seq = gen::sequential_scan(4 * capacity, 2, line);
 

@@ -1,0 +1,52 @@
+//! Observability: compose oracle layers, validate a config with the
+//! builder, and read back the per-phase cost of an inference campaign
+//! from the `cachekit-obs` snapshot.
+//!
+//! Run with: `cargo run --release --example observability`
+//! (set `CACHEKIT_TRACE=1` to watch the span tree live on stderr)
+
+use cachekit::core::infer::{
+    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, SimOracle,
+};
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{Cache, CacheConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A validated config: invalid knob combinations fail here, not
+    // halfway through a campaign.
+    let config = InferenceConfig::builder()
+        .repetitions(3)
+        .max_capacity(1024 * 1024)
+        .max_associativity(16)
+        .build()?;
+
+    // Layers compose fluently; `Counting` keeps local cost counters.
+    let cache = Cache::new(CacheConfig::new(32 * 1024, 8, 64)?, PolicyKind::TreePlru);
+    let mut oracle = SimOracle::new(cache).layer(Counting);
+
+    let geometry = infer_geometry(&mut oracle, &config)?;
+    let report = infer_policy(&mut oracle, &geometry, &config)?;
+    println!("inferred: {}", report.summary());
+    println!(
+        "local layer counters: {} measurements, {} accesses\n",
+        oracle.measurements(),
+        oracle.accesses()
+    );
+
+    // The global registry has the same totals, broken down by phase —
+    // the inference pipeline meters every voted measurement itself.
+    let snap = cachekit::obs::snapshot();
+    println!("{:<48} {:>12}", "phase counter", "value");
+    for (key, value) in &snap.counters {
+        println!("{key:<48} {value:>12}");
+    }
+    println!("\n{:<48} {:>9} {:>12}", "span", "count", "total_ms");
+    for (path, stats) in &snap.spans {
+        println!(
+            "{path:<48} {:>9} {:>12.3}",
+            stats.count,
+            stats.total_ns as f64 / 1e6
+        );
+    }
+    Ok(())
+}

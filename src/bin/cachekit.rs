@@ -187,7 +187,10 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         return Err(format!("{name} has no L3"));
     }
     let reps = parse_u64(&flags, "reps", Some(3))? as usize;
-    let config = InferenceConfig::with_repetitions(reps);
+    let config = InferenceConfig::builder()
+        .repetitions(reps)
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut oracle = LevelOracle::new(&mut cpu, level);
     if flags.contains_key("timing") {
         oracle = oracle.with_mode(MeasureMode::Timing);

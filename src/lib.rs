@@ -15,7 +15,10 @@
 //!   measurement-based reverse-engineering pipeline;
 //! * [`hw`] — the simulated hardware substrate (virtual CPUs with hidden
 //!   policies and noisy measurement channels) standing in for the paper's
-//!   Intel Atom / Core 2 machines.
+//!   Intel Atom / Core 2 machines;
+//! * [`obs`] — the zero-dependency tracing/metrics layer (spans, counters,
+//!   log2 histograms) threaded through the pipeline; see
+//!   `docs/observability.md`.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 
 pub use cachekit_core as core;
 pub use cachekit_hw as hw;
+pub use cachekit_obs as obs;
 pub use cachekit_policies as policies;
 pub use cachekit_sim as sim;
 pub use cachekit_trace as trace;

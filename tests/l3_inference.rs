@@ -64,11 +64,11 @@ fn middle_level_is_still_measurable_on_a_three_level_machine() {
 #[test]
 fn sliced_l3_defeats_the_arithmetic_campaign_and_is_flagged() {
     let mut cpu = mini_sliced();
-    let config = InferenceConfig {
-        max_capacity: 1024 * 1024,
-        max_associativity: 32,
-        ..InferenceConfig::default()
-    };
+    let config = InferenceConfig::builder()
+        .max_capacity(1024 * 1024)
+        .max_associativity(32)
+        .build()
+        .expect("valid config");
 
     // The arithmetic geometry campaign must NOT return the true geometry:
     // conflict construction by capacity-stride never lands in one set.
@@ -116,13 +116,12 @@ fn l3_policy_inference_works_in_timing_mode_too() {
 
 #[test]
 fn recording_oracle_transcript_matches_the_measurement_count() {
-    use cachekit::core::infer::{CountingOracle, RecordingOracle};
+    use cachekit::core::infer::{CacheOracleExt, Counting, Recording};
     let mut cpu = mini_3level();
     let config = InferenceConfig::default();
-    let mut oracle = RecordingOracle::new(CountingOracle::new(LevelOracle::new(
-        &mut cpu,
-        CacheLevel::L2,
-    )));
+    let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L2)
+        .layer(Counting)
+        .layer(Recording);
     let g = infer_geometry(&mut oracle, &config).unwrap();
     let _ = infer_policy(&mut oracle, &g, &config).unwrap();
     let transcript_len = oracle.records().len() as u64;

@@ -11,16 +11,6 @@ use cachekit::sim::sweep::sweep;
 use cachekit::sim::{sweep_parallel, sweep_parallel_jobs, Cache, CacheConfig};
 use cachekit::trace::gen;
 
-/// Every `PolicyKind` variant, including the stochastic ones (their
-/// per-set RNG streams are seeded from the kind, not from the worker, so
-/// parallel execution must still reproduce them exactly) and SLRU, which
-/// the evaluation set leaves out.
-fn all_kinds() -> Vec<PolicyKind> {
-    let mut kinds = PolicyKind::evaluation_kinds();
-    kinds.push(PolicyKind::Slru { protected: 2 });
-    kinds
-}
-
 #[test]
 fn sweep_parallel_is_bit_identical_to_sweep_for_every_kind() {
     let trace = gen::zipf(4096, 1.05, 20_000, 64, 0xD1FF);
@@ -32,7 +22,7 @@ fn sweep_parallel_is_bit_identical_to_sweep_for_every_kind() {
     ]
     .into_iter()
     .collect();
-    let kinds = all_kinds();
+    let kinds = PolicyKind::differential_kinds();
 
     let serial = sweep(&configs, &kinds, &trace);
     for jobs in [1, 2, 3, 8, 32] {
@@ -54,7 +44,7 @@ fn sweep_parallel_is_bit_identical_to_sweep_for_every_kind() {
 fn sweep_parallel_env_entry_point_matches_too() {
     let trace = gen::zipf(1024, 1.1, 5_000, 64, 7);
     let configs = [CacheConfig::new(8 * 1024, 8, 64).unwrap()];
-    let kinds = all_kinds();
+    let kinds = PolicyKind::differential_kinds();
     let serial = sweep(&configs, &kinds, &trace);
     let parallel = sweep_parallel(&configs, &kinds, &trace);
     assert_eq!(serial.len(), parallel.len());
