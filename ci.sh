@@ -26,6 +26,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 run cargo build --release
 run cargo test -q
 
+# The fault-injection kit at release optimisation (the differential
+# matrix and the vote-engine edge cases are sized for release), plus a
+# fault-matrix smoke of the robustness figure: small rates, 3 policy
+# kinds, and the confident-wrong == 0 assertion built into the binary.
+run cargo test -q --release --test fault_differential --test vote_plan
+run cargo run --release -q -p cachekit-bench --bin fig11_robustness -- --smoke
+
 # Offline build of the umbrella package specifically (regression guard
 # for the seed's original failure: manifests referencing crates.io).
 run cargo build --release -p cachekit --offline

@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig8_amat",
     "fig9_promotion",
     "fig10_competitive",
+    "fig11_robustness",
     "ablation_readout",
     "ablation_interference",
 ];

@@ -23,7 +23,7 @@ use cachekit_sim::parallel::{effective_jobs, par_map};
 /// One independent experiment of a measurement campaign: flush, access
 /// `warmup`, then count the misses of `probe`, reduced by the
 /// measurement's [`VotePlan`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Warm-up access sequence (run after the flush, not counted).
     pub warmup: Vec<u64>,

@@ -25,6 +25,19 @@ pub enum ReadoutSearch {
 pub struct InferenceConfig {
     /// Votes per boolean measurement (median). 1 = trust every reading.
     pub repetitions: usize,
+    /// Ceiling the adaptive retry engine may escalate the per-query
+    /// repetition count to (doubling on disagreement). Equal to
+    /// `repetitions` disables escalation. Only the robust entry points
+    /// ([`infer_policy_robust`](crate::infer::infer_policy_robust))
+    /// escalate; the classic pipeline always uses `repetitions`.
+    pub max_repetitions: usize,
+    /// Hard ceiling on raw oracle attempts for one robust campaign;
+    /// `None` = unlimited. When the budget runs dry the campaign
+    /// returns a degraded partial result instead of guessing.
+    pub measurement_budget: Option<u64>,
+    /// Per-query agreement (fraction of readings equal to the median)
+    /// the adaptive engine escalates towards, in `(0, 1]`.
+    pub min_confidence: f64,
     /// Largest line size considered (bytes, power of two).
     pub max_line_size: u64,
     /// Smallest capacity considered (bytes).
@@ -48,6 +61,9 @@ impl Default for InferenceConfig {
     fn default() -> Self {
         Self {
             repetitions: 3,
+            max_repetitions: 12,
+            measurement_budget: None,
+            min_confidence: 2.0 / 3.0,
             max_line_size: 4096,
             min_capacity: 1024,
             max_capacity: 64 * 1024 * 1024,
@@ -61,11 +77,31 @@ impl Default for InferenceConfig {
 }
 
 impl InferenceConfig {
-    /// A configuration with `repetitions` votes and defaults elsewhere.
+    /// A configuration with `repetitions` votes and defaults elsewhere
+    /// (the escalation ceiling is raised to keep `max_repetitions ≥
+    /// repetitions`).
     pub fn with_repetitions(repetitions: usize) -> Self {
+        let defaults = Self::default();
         Self {
             repetitions,
-            ..Self::default()
+            max_repetitions: defaults.max_repetitions.max(repetitions),
+            ..defaults
+        }
+    }
+
+    /// The vote plan the robust pipeline derives from this
+    /// configuration: adaptive between `repetitions` and
+    /// `max_repetitions`, escalating towards `min_confidence`.
+    pub fn vote_plan(&self) -> crate::infer::VotePlan {
+        crate::infer::VotePlan::adaptive(self.repetitions, self.max_repetitions)
+            .with_confidence(self.min_confidence)
+    }
+
+    /// The measurement budget the robust pipeline starts from.
+    pub fn budget(&self) -> crate::infer::MeasurementBudget {
+        match self.measurement_budget {
+            Some(limit) => crate::infer::MeasurementBudget::of(limit),
+            None => crate::infer::MeasurementBudget::unlimited(),
         }
     }
 
@@ -89,6 +125,7 @@ impl InferenceConfig {
     pub fn builder() -> InferenceConfigBuilder {
         InferenceConfigBuilder {
             config: Self::default(),
+            max_repetitions_set: false,
         }
     }
 }
@@ -116,6 +153,19 @@ pub enum ConfigError {
     /// `validation_rounds` was zero; a spec validated against nothing
     /// proves nothing.
     ZeroValidationRounds,
+    /// `max_repetitions` was below `repetitions`; the escalation range
+    /// would be empty.
+    MaxRepetitionsBelowInitial {
+        /// Configured escalation ceiling.
+        max: usize,
+        /// Configured initial repetition count.
+        initial: usize,
+    },
+    /// `measurement_budget` was `Some(0)`; a campaign that may not
+    /// measure at all can only degrade.
+    ZeroMeasurementBudget,
+    /// `min_confidence` must lie in `(0, 1]`.
+    ConfidenceOutOfRange(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -135,6 +185,18 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroValidationRounds => {
                 write!(f, "validation_rounds must be at least 1")
             }
+            ConfigError::MaxRepetitionsBelowInitial { max, initial } => {
+                write!(
+                    f,
+                    "max_repetitions ({max}) must be at least repetitions ({initial})"
+                )
+            }
+            ConfigError::ZeroMeasurementBudget => {
+                write!(f, "measurement_budget must be at least 1 when set")
+            }
+            ConfigError::ConfidenceOutOfRange(v) => {
+                write!(f, "min_confidence must be in (0, 1], got {v}")
+            }
         }
     }
 }
@@ -146,12 +208,34 @@ impl Error for ConfigError {}
 #[derive(Debug, Clone)]
 pub struct InferenceConfigBuilder {
     config: InferenceConfig,
+    max_repetitions_set: bool,
 }
 
 impl InferenceConfigBuilder {
     /// Votes per boolean measurement (median).
     pub fn repetitions(mut self, repetitions: usize) -> Self {
         self.config.repetitions = repetitions;
+        self
+    }
+
+    /// Ceiling for adaptive repetition escalation. When not set
+    /// explicitly, [`build`](Self::build) raises the default ceiling to
+    /// at least `repetitions`.
+    pub fn max_repetitions(mut self, max: usize) -> Self {
+        self.config.max_repetitions = max;
+        self.max_repetitions_set = true;
+        self
+    }
+
+    /// Hard ceiling on raw oracle attempts for a robust campaign.
+    pub fn measurement_budget(mut self, budget: u64) -> Self {
+        self.config.measurement_budget = Some(budget);
+        self
+    }
+
+    /// Per-query agreement the adaptive engine escalates towards.
+    pub fn min_confidence(mut self, confidence: f64) -> Self {
+        self.config.min_confidence = confidence;
         self
     }
 
@@ -206,9 +290,26 @@ impl InferenceConfigBuilder {
 
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<InferenceConfig, ConfigError> {
-        let c = self.config;
+        let mut c = self.config;
         if c.repetitions == 0 {
             return Err(ConfigError::ZeroRepetitions);
+        }
+        if !self.max_repetitions_set {
+            // The default ceiling tracks an explicitly raised initial
+            // count so `.repetitions(27)` alone stays valid.
+            c.max_repetitions = c.max_repetitions.max(c.repetitions);
+        }
+        if c.max_repetitions < c.repetitions {
+            return Err(ConfigError::MaxRepetitionsBelowInitial {
+                max: c.max_repetitions,
+                initial: c.repetitions,
+            });
+        }
+        if c.measurement_budget == Some(0) {
+            return Err(ConfigError::ZeroMeasurementBudget);
+        }
+        if !(c.min_confidence > 0.0 && c.min_confidence <= 1.0) {
+            return Err(ConfigError::ConfidenceOutOfRange(c.min_confidence));
         }
         if !c.max_line_size.is_power_of_two() {
             return Err(ConfigError::LineSizeNotPowerOfTwo(c.max_line_size));
@@ -263,6 +364,16 @@ pub enum InferenceError {
         /// Total validation scripts.
         rounds: usize,
     },
+    /// The campaign's measurement budget ran dry before the pipeline
+    /// finished; the accompanying
+    /// [`InferenceResult`](crate::infer::InferenceResult) carries
+    /// whatever partial evidence was gathered (`degraded: true`).
+    BudgetExhausted {
+        /// Raw oracle attempts spent.
+        used: u64,
+        /// The configured ceiling.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for InferenceError {
@@ -286,6 +397,10 @@ impl fmt::Display for InferenceError {
                 f,
                 "validation rejected the permutation-policy hypothesis \
                  ({mismatches}/{rounds} scripts diverged)"
+            ),
+            InferenceError::BudgetExhausted { used, budget } => write!(
+                f,
+                "measurement budget exhausted ({used}/{budget} attempts spent)"
             ),
         }
     }
@@ -324,6 +439,9 @@ mod tests {
     fn builder_applies_every_knob() {
         let c = InferenceConfig::builder()
             .repetitions(7)
+            .max_repetitions(28)
+            .measurement_budget(5000)
+            .min_confidence(0.9)
             .max_line_size(256)
             .min_capacity(2048)
             .max_capacity(1024 * 1024)
@@ -336,6 +454,9 @@ mod tests {
             .unwrap();
         let expect = InferenceConfig {
             repetitions: 7,
+            max_repetitions: 28,
+            measurement_budget: Some(5000),
+            min_confidence: 0.9,
             max_line_size: 256,
             min_capacity: 2048,
             max_capacity: 1024 * 1024,
@@ -346,6 +467,44 @@ mod tests {
             readout_search: ReadoutSearch::Linear,
         };
         assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn default_ceiling_tracks_a_raised_repetition_count() {
+        // Not setting max_repetitions must never make a plain
+        // `.repetitions(n)` config invalid.
+        let c = InferenceConfig::builder().repetitions(27).build().unwrap();
+        assert_eq!(c.max_repetitions, 27);
+        assert_eq!(InferenceConfig::with_repetitions(27).max_repetitions, 27);
+        let plan = c.vote_plan();
+        assert_eq!(plan.repetitions(), 27);
+        assert_eq!(plan.max_repetitions(), 27);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_robustness_knobs() {
+        use ConfigError::*;
+        let b = InferenceConfig::builder;
+        assert_eq!(
+            b().repetitions(5).max_repetitions(3).build(),
+            Err(MaxRepetitionsBelowInitial { max: 3, initial: 5 })
+        );
+        assert_eq!(
+            b().measurement_budget(0).build(),
+            Err(ZeroMeasurementBudget)
+        );
+        assert_eq!(
+            b().min_confidence(0.0).build(),
+            Err(ConfidenceOutOfRange(0.0))
+        );
+        assert_eq!(
+            b().min_confidence(1.5).build(),
+            Err(ConfidenceOutOfRange(1.5))
+        );
+        assert!(matches!(
+            b().min_confidence(f64::NAN).build(),
+            Err(ConfidenceOutOfRange(v)) if v.is_nan()
+        ));
     }
 
     #[test]

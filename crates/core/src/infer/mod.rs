@@ -31,6 +31,7 @@ mod geometry;
 pub mod mapping;
 mod oracle;
 mod policy;
+mod robust;
 pub mod sets;
 mod vote;
 
@@ -43,9 +44,11 @@ pub use geometry::{
 };
 pub use oracle::{
     estimate_counter_noise, measure_voted, CacheOracle, CacheOracleExt, Counted, Counting,
-    ExperimentRecord, Metered, MeteredOracle, OracleLayer, Recorded, Recording, SimOracle,
+    ExperimentRecord, MeasureFault, Metered, MeteredOracle, OracleLayer, Recorded, Recording,
+    SimOracle,
 };
 #[allow(deprecated)]
 pub use oracle::{CountingOracle, RecordingOracle};
 pub use policy::{infer_insertion_position, infer_policy, infer_policy_parallel, PolicyReport};
-pub use vote::VotePlan;
+pub use robust::{infer_policy_robust, InferenceResult};
+pub use vote::{MeasurementBudget, VoteOutcome, VotePlan};

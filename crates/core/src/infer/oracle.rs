@@ -20,6 +20,35 @@
 
 use crate::infer::vote::VotePlan;
 use cachekit_sim::Cache;
+use std::fmt;
+
+/// A transient measurement failure: the channel produced no usable
+/// readout for this attempt, but retrying the same experiment may
+/// succeed.
+///
+/// Real measurement harnesses see both kinds constantly — CacheQuery and
+/// nanoBench both discard and repeat such runs. The distinction matters
+/// to the retry engine: a [`Timeout`](Self::Timeout) signals contention
+/// and is answered with exponential backoff, a
+/// [`Dropped`](Self::Dropped) reading is simply retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureFault {
+    /// The measurement timed out before producing a readout (scheduler
+    /// preemption, vcpu migration mid-run, lost perf-counter read).
+    Timeout,
+    /// The readout was dropped or truncated (short read); no usable miss
+    /// count came back.
+    Dropped,
+}
+
+impl fmt::Display for MeasureFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureFault::Timeout => write!(f, "measurement timed out"),
+            MeasureFault::Dropped => write!(f, "measurement dropped"),
+        }
+    }
+}
 
 /// Black-box access to a cache under measurement — the only interface the
 /// reverse-engineering pipeline is allowed to use.
@@ -35,11 +64,28 @@ pub trait CacheOracle {
     /// Flush, run `warmup`, then run `probe`; return how many of the
     /// `probe` accesses missed.
     fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize;
+
+    /// Fallible variant of [`measure`](Self::measure): channels that can
+    /// lose a reading outright (timeouts, dropped readouts) report the
+    /// loss as a [`MeasureFault`] instead of a fabricated count.
+    ///
+    /// The default implementation never faults — it simply delegates to
+    /// `measure`, so infallible oracles stay bit-identical whichever
+    /// entry point the caller uses. Decorators must forward this method
+    /// to their inner oracle, or faults would be silently flattened into
+    /// zeros on the way through the stack.
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        Ok(self.measure(warmup, probe))
+    }
 }
 
 impl<O: CacheOracle + ?Sized> CacheOracle for &mut O {
     fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
         (**self).measure(warmup, probe)
+    }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        (**self).try_measure(warmup, probe)
     }
 }
 
@@ -185,6 +231,12 @@ impl<O: CacheOracle> CacheOracle for Counted<O> {
         self.accesses += (warmup.len() + probe.len()) as u64;
         self.inner.measure(warmup, probe)
     }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        self.measurements += 1;
+        self.accesses += (warmup.len() + probe.len()) as u64;
+        self.inner.try_measure(warmup, probe)
+    }
 }
 
 /// One recorded experiment of a [`Recorded`] oracle.
@@ -248,6 +300,20 @@ impl<O: CacheOracle> CacheOracle for Recorded<O> {
         });
         misses
     }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        // Only successful readings enter the transcript: a faulted
+        // attempt produced no evidence worth publishing.
+        let result = self.inner.try_measure(warmup, probe);
+        if let Ok(misses) = result {
+            self.records.push(ExperimentRecord {
+                warmup_len: warmup.len(),
+                probe_len: probe.len(),
+                misses,
+            });
+        }
+        result
+    }
 }
 
 /// Decorator that publishes `oracle.measurements` / `oracle.accesses`
@@ -287,6 +353,12 @@ impl<O: CacheOracle> CacheOracle for MeteredOracle<O> {
         cachekit_obs::add("oracle.measurements", 1);
         cachekit_obs::add("oracle.accesses", (warmup.len() + probe.len()) as u64);
         self.inner.measure(warmup, probe)
+    }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        cachekit_obs::add("oracle.measurements", 1);
+        cachekit_obs::add("oracle.accesses", (warmup.len() + probe.len()) as u64);
+        self.inner.try_measure(warmup, probe)
     }
 }
 

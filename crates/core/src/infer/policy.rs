@@ -58,33 +58,33 @@ impl fmt::Display for PolicyReport {
 
 /// Address planner for one cache set: the base blocks, a marked block and
 /// a fresh pool, all mapping to set 0 with distinct tags.
-struct SetAddrs {
+pub(crate) struct SetAddrs {
     way_size: u64,
-    assoc: usize,
+    pub(crate) assoc: usize,
 }
 
 impl SetAddrs {
-    fn new(geometry: &Geometry) -> Self {
+    pub(crate) fn new(geometry: &Geometry) -> Self {
         Self {
             way_size: geometry.way_size(),
             assoc: geometry.associativity,
         }
     }
 
-    fn base(&self, i: usize) -> u64 {
+    pub(crate) fn base(&self, i: usize) -> u64 {
         debug_assert!(i < self.assoc);
         i as u64 * self.way_size
     }
 
-    fn base_fill(&self) -> Vec<u64> {
+    pub(crate) fn base_fill(&self) -> Vec<u64> {
         (0..self.assoc).map(|i| self.base(i)).collect()
     }
 
-    fn marked(&self) -> u64 {
+    pub(crate) fn marked(&self) -> u64 {
         999 * self.way_size
     }
 
-    fn fresh(&self, k: usize) -> Vec<u64> {
+    pub(crate) fn fresh(&self, k: usize) -> Vec<u64> {
         (0..k as u64).map(|i| (1000 + i) * self.way_size).collect()
     }
 
@@ -440,7 +440,7 @@ fn validate<O: CacheOracle>(
 
 /// The seeded random validation scripts — generated up front so serial
 /// and parallel validation measure the identical script set.
-fn validation_tails(addrs: &SetAddrs, config: &InferenceConfig) -> Vec<Vec<u64>> {
+pub(crate) fn validation_tails(addrs: &SetAddrs, config: &InferenceConfig) -> Vec<Vec<u64>> {
     let assoc = addrs.assoc;
     let mut rng = Prng::seed_from_u64(config.seed);
     (0..config.validation_rounds)
@@ -470,7 +470,20 @@ fn tail_diverges<O: CacheOracle>(
     noise: f64,
 ) -> bool {
     let _span = cachekit_obs::span("validate_script");
-    // Abstract prediction from the read-out base state.
+    let predicted = predict_tail_misses(addrs, base_order, spec, tail);
+    let warmup = addrs.base_fill();
+    let measured = measure_voted(oracle, &warmup, tail, config.repetitions);
+    prediction_diverges(predicted, measured, tail.len(), noise)
+}
+
+/// Abstract model prediction: miss count of `tail` run from the read-out
+/// base state under `spec`.
+pub(crate) fn predict_tail_misses(
+    addrs: &SetAddrs,
+    base_order: &[usize],
+    spec: &PermutationSpec,
+    tail: &[u64],
+) -> usize {
     let mut state: Vec<u64> = base_order.iter().map(|&b| addrs.base(b)).collect();
     let mut predicted = 0usize;
     for &a in tail {
@@ -482,9 +495,14 @@ fn tail_diverges<O: CacheOracle>(
             }
         }
     }
-    let warmup = addrs.base_fill();
-    let measured = measure_voted(oracle, &warmup, tail, config.repetitions);
-    let n = tail.len() as f64;
+    predicted
+}
+
+/// Noise-adjusted divergence check shared by the strict and robust
+/// validation paths: a channel with false-event rate `p` turns a true
+/// count `m` out of `n` into `m + p(n - 2m)` in expectation.
+pub(crate) fn prediction_diverges(predicted: usize, measured: usize, n: usize, noise: f64) -> bool {
+    let n = n as f64;
     let expected = predicted as f64 + noise * (n - 2.0 * predicted as f64);
     let tolerance = if noise < 0.005 {
         0.0

@@ -1,0 +1,511 @@
+//! Budgeted, fault-tolerant policy inference with graceful degradation.
+//!
+//! [`infer_policy`](crate::infer::infer_policy) assumes a well-behaved
+//! oracle: it panics on nothing, but a pathological channel can make it
+//! spend unbounded measurements, and its only confidence signal is the
+//! binary validated/rejected verdict. This module is the serving-stack
+//! twin demanded by the ROADMAP: the same read-out pipeline, driven
+//! through [`VotePlan::measure_budgeted`] so that
+//!
+//! * every raw oracle attempt is charged against one shared
+//!   [`MeasurementBudget`],
+//! * transient faults ([`MeasureFault`](crate::infer::MeasureFault))
+//!   are absorbed with retry/backoff instead of corrupting readings,
+//! * each hit-position read-out carries a per-query confidence score,
+//!   and
+//! * a campaign that runs its budget dry returns a *partial*
+//!   [`InferenceResult`] — `degraded: true`, the confidences gathered so
+//!   far, and an [`InferenceError::BudgetExhausted`] outcome — instead
+//!   of panicking or silently guessing.
+
+use crate::infer::oracle::CacheOracle;
+use crate::infer::policy::{
+    predict_tail_misses, prediction_diverges, validation_tails, PolicyReport, SetAddrs,
+};
+use crate::infer::vote::{MeasurementBudget, VotePlan};
+use crate::infer::{Geometry, InferenceConfig, InferenceError, ReadoutSearch};
+use crate::perm::{match_spec, Permutation, PermutationSpec};
+
+/// The outcome of a robust inference campaign. Unlike the strict
+/// pipeline this is not a `Result`: even a failed campaign carries the
+/// accounting a caller needs to render a run report (how much budget was
+/// spent, what confidence was reached, whether the answer is partial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResult {
+    /// The inferred policy, or why inference stopped.
+    pub outcome: Result<PolicyReport, InferenceError>,
+    /// `true` when the campaign exhausted its measurement budget (or
+    /// the per-measurement attempt cap) and the result is therefore
+    /// partial. Genuine findings — wrong insertion position,
+    /// non-permutation behaviour — are *not* degradation.
+    pub degraded: bool,
+    /// Overall confidence: the minimum agreement score over every voted
+    /// query that completed (0.0 when nothing completed).
+    pub confidence: f64,
+    /// Per-hit-position read-out confidence, in position order; shorter
+    /// than the associativity when the budget ran dry mid-campaign.
+    pub position_confidences: Vec<f64>,
+    /// Raw oracle attempts charged, faulted attempts included.
+    pub measurements_used: u64,
+    /// The configured budget ceiling (`None` = unlimited).
+    pub measurement_budget: Option<u64>,
+    /// Transient timeouts absorbed across the whole campaign.
+    pub timeouts: u64,
+    /// Dropped/short readings absorbed across the whole campaign.
+    pub dropped: u64,
+}
+
+impl InferenceResult {
+    /// Did the campaign produce a full answer at or above `threshold`
+    /// confidence? This is the bar the differential fault tests hold
+    /// the pipeline to: `is_confident` must imply *correct*.
+    pub fn is_confident(&self, threshold: f64) -> bool {
+        self.outcome.is_ok() && !self.degraded && self.confidence >= threshold
+    }
+}
+
+/// Control-flow marker: the budget (or attempt cap) ran dry mid-query.
+struct Exhausted;
+
+/// Read-out failure: either the budget died or the readings are
+/// inconsistent (the latter is retried, the former never is).
+enum ReadOutFail {
+    Exhausted,
+    Inconsistent(InferenceError),
+}
+
+/// The campaign engine: one oracle, one budget, running fault and
+/// confidence accounting.
+struct Engine<'a, O> {
+    oracle: &'a mut O,
+    plan: VotePlan,
+    budget: MeasurementBudget,
+    timeouts: u64,
+    dropped: u64,
+    min_confidence_seen: f64,
+    any_query_completed: bool,
+}
+
+impl<'a, O: CacheOracle> Engine<'a, O> {
+    fn new(oracle: &'a mut O, config: &InferenceConfig) -> Self {
+        Self {
+            oracle,
+            plan: config.vote_plan(),
+            budget: config.budget(),
+            timeouts: 0,
+            dropped: 0,
+            min_confidence_seen: 1.0,
+            any_query_completed: false,
+        }
+    }
+
+    /// One adaptively voted query; `Err(Exhausted)` when the budget ran
+    /// dry before the plan was satisfied.
+    fn vote(&mut self, warmup: &[u64], probe: &[u64]) -> Result<(usize, f64), Exhausted> {
+        let out = self
+            .plan
+            .measure_budgeted(self.oracle, warmup, probe, &mut self.budget);
+        self.timeouts = self.timeouts.saturating_add(out.timeouts);
+        self.dropped = self.dropped.saturating_add(out.dropped);
+        if out.exhausted {
+            return Err(Exhausted);
+        }
+        self.any_query_completed = true;
+        self.min_confidence_seen = self.min_confidence_seen.min(out.confidence);
+        Ok((out.value, out.confidence))
+    }
+
+    /// Was `target` evicted after `base ++ prepare` and `k` fresh
+    /// misses? Returns the answer plus the query's confidence.
+    fn evicted_within(
+        &mut self,
+        addrs: &SetAddrs,
+        prepare: &[u64],
+        target: u64,
+        k: usize,
+    ) -> Result<(bool, f64), Exhausted> {
+        let mut warmup = addrs.base_fill();
+        warmup.extend_from_slice(prepare);
+        warmup.extend(addrs.fresh(k));
+        let (misses, confidence) = self.vote(&warmup, &[target])?;
+        Ok((misses > 0, confidence))
+    }
+
+    /// Smallest `k` evicting `target`, with the minimum confidence over
+    /// the boolean queries resolved along the way.
+    fn eviction_k(
+        &mut self,
+        addrs: &SetAddrs,
+        prepare: &[u64],
+        target: u64,
+        search: ReadoutSearch,
+    ) -> Result<(Option<usize>, f64), Exhausted> {
+        let mut confidence = 1.0f64;
+        let mut ask = |eng: &mut Self, k: usize| -> Result<bool, Exhausted> {
+            let (evicted, c) = eng.evicted_within(addrs, prepare, target, k)?;
+            confidence = confidence.min(c);
+            Ok(evicted)
+        };
+        let k = match search {
+            ReadoutSearch::Binary => {
+                if !ask(self, addrs.assoc)? {
+                    None
+                } else {
+                    let (mut lo, mut hi) = (1usize, addrs.assoc);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        if ask(self, mid)? {
+                            hi = mid;
+                        } else {
+                            lo = mid + 1;
+                        }
+                    }
+                    Some(lo)
+                }
+            }
+            ReadoutSearch::Linear => {
+                let mut found = None;
+                for k in 1..=addrs.assoc {
+                    if ask(self, k)? {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        Ok((k, confidence))
+    }
+
+    /// Budgeted read-out of the priority order after `base ++ prepare`,
+    /// with the read-out's aggregate (minimum) confidence.
+    fn read_out(
+        &mut self,
+        addrs: &SetAddrs,
+        prepare: &[u64],
+        search: ReadoutSearch,
+    ) -> Result<(Vec<usize>, f64), ReadOutFail> {
+        let _span = cachekit_obs::span("read_out");
+        let assoc = addrs.assoc;
+        let mut order: Vec<Option<usize>> = vec![None; assoc];
+        let mut confidence = 1.0f64;
+        for b in 0..assoc {
+            let target = addrs.base(b);
+            let (k, c) = self
+                .eviction_k(addrs, prepare, target, search)
+                .map_err(|_| ReadOutFail::Exhausted)?;
+            confidence = confidence.min(c);
+            let k = k.ok_or_else(|| {
+                ReadOutFail::Inconsistent(InferenceError::InconsistentReadout(format!(
+                    "base block {b} survives {assoc} fresh misses"
+                )))
+            })?;
+            let pos = assoc - k;
+            if let Some(other) = order[pos] {
+                return Err(ReadOutFail::Inconsistent(
+                    InferenceError::InconsistentReadout(format!(
+                        "blocks {other} and {b} both read out at position {pos}"
+                    )),
+                ));
+            }
+            order[pos] = Some(b);
+        }
+        let order = order.into_iter().map(|o| o.expect("all filled")).collect();
+        Ok((order, confidence))
+    }
+
+    /// Retry inconsistent read-outs (independent measurements make a
+    /// retry worthwhile); a dry budget aborts immediately.
+    fn read_out_retry(
+        &mut self,
+        addrs: &SetAddrs,
+        prepare: &[u64],
+        search: ReadoutSearch,
+    ) -> Result<(Vec<usize>, f64), ReadOutFail> {
+        let mut last = None;
+        for _ in 0..3 {
+            match self.read_out(addrs, prepare, search) {
+                Ok(out) => return Ok(out),
+                Err(ReadOutFail::Exhausted) => return Err(ReadOutFail::Exhausted),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Estimate the channel's false-event rate on warm hits: re-probe a
+    /// freshly warmed line, which a clean channel always reports as a
+    /// hit. Budgeted like every other query.
+    fn estimate_noise(&mut self, rounds: usize) -> Result<f64, Exhausted> {
+        let single = VotePlan::single();
+        let mut events = 0usize;
+        for _ in 0..rounds {
+            let out = self.single_vote(&single, &[0], &[0]).ok_or(Exhausted)?;
+            events += out.min(1);
+        }
+        Ok(events as f64 / rounds as f64)
+    }
+
+    /// One single-reading query under `plan` (noise probes and
+    /// validation use their own plans, but share the budget and fault
+    /// accounting).
+    fn single_vote(&mut self, plan: &VotePlan, warmup: &[u64], probe: &[u64]) -> Option<usize> {
+        let out = plan.measure_budgeted(self.oracle, warmup, probe, &mut self.budget);
+        self.timeouts = self.timeouts.saturating_add(out.timeouts);
+        self.dropped = self.dropped.saturating_add(out.dropped);
+        if out.exhausted {
+            return None;
+        }
+        Some(out.value)
+    }
+
+    fn exhausted_error(&self) -> InferenceError {
+        let used = self.budget.used();
+        InferenceError::BudgetExhausted {
+            used,
+            budget: self.budget.limit().unwrap_or(used),
+        }
+    }
+}
+
+/// Robust, budgeted twin of [`crate::infer::infer_policy`].
+///
+/// The pipeline is identical — insertion position, base read-out, one
+/// hit read-out per position, predicted-vs-measured validation, catalog
+/// match — but every measurement flows through the adaptive retry
+/// engine, and the function *never panics*: structural failures and
+/// budget exhaustion both come back inside the [`InferenceResult`].
+pub fn infer_policy_robust<O: CacheOracle>(
+    oracle: &mut O,
+    geometry: &Geometry,
+    config: &InferenceConfig,
+) -> InferenceResult {
+    let _span = cachekit_obs::span("infer_policy_robust");
+    let assoc = geometry.associativity;
+    let addrs = SetAddrs::new(geometry);
+    let mut eng = Engine::new(oracle, config);
+    let mut position_confidences: Vec<f64> = Vec::with_capacity(assoc);
+
+    let finish = |eng: &Engine<'_, O>,
+                  position_confidences: Vec<f64>,
+                  outcome: Result<PolicyReport, InferenceError>,
+                  degraded: bool| {
+        let confidence = if eng.any_query_completed {
+            eng.min_confidence_seen
+        } else {
+            0.0
+        };
+        InferenceResult {
+            outcome,
+            degraded,
+            confidence,
+            position_confidences,
+            measurements_used: eng.budget.used(),
+            measurement_budget: eng.budget.limit(),
+            timeouts: eng.timeouts,
+            dropped: eng.dropped,
+        }
+    };
+
+    macro_rules! degrade {
+        ($eng:expr, $confs:expr) => {{
+            let err = $eng.exhausted_error();
+            return finish(&$eng, $confs, Err(err), true);
+        }};
+    }
+
+    let noise = match eng.estimate_noise(100) {
+        Ok(n) => n,
+        Err(Exhausted) => degrade!(eng, position_confidences),
+    };
+
+    // Insertion position: marked block among fresh misses.
+    let marked = addrs.marked();
+    let position = match eng.eviction_k(&addrs, &[marked], marked, config.readout_search) {
+        Ok((Some(k), _)) => assoc - k,
+        Ok((None, _)) => {
+            let err = InferenceError::InconsistentReadout(
+                "marked block never evicted by fresh misses".to_owned(),
+            );
+            return finish(&eng, position_confidences, Err(err), false);
+        }
+        Err(Exhausted) => degrade!(eng, position_confidences),
+    };
+    if position != 0 {
+        let err = InferenceError::NotFrontInsertion { position };
+        return finish(&eng, position_confidences, Err(err), false);
+    }
+
+    let (base_order, _) = match eng.read_out_retry(&addrs, &[], config.readout_search) {
+        Ok(out) => out,
+        Err(ReadOutFail::Exhausted) => degrade!(eng, position_confidences),
+        Err(ReadOutFail::Inconsistent(e)) => {
+            return finish(&eng, position_confidences, Err(e), false)
+        }
+    };
+
+    // One hit read-out per position; each contributes its confidence to
+    // the per-permutation report even when a later position degrades.
+    let mut hits = Vec::with_capacity(assoc);
+    for i in 0..assoc {
+        let prepare = [addrs.base(base_order[i])];
+        let (new_order, confidence) =
+            match eng.read_out_retry(&addrs, &prepare, config.readout_search) {
+                Ok(out) => out,
+                Err(ReadOutFail::Exhausted) => degrade!(eng, position_confidences),
+                Err(ReadOutFail::Inconsistent(e)) => {
+                    return finish(&eng, position_confidences, Err(e), false)
+                }
+            };
+        let mut map = Vec::with_capacity(assoc);
+        for &old_block in base_order.iter() {
+            let new_pos = new_order
+                .iter()
+                .position(|&b| b == old_block)
+                .expect("read_out returns a permutation of base indices");
+            map.push(new_pos);
+        }
+        match Permutation::new(map) {
+            Ok(perm) => hits.push(perm),
+            Err(e) => {
+                let err = InferenceError::InconsistentReadout(e.to_string());
+                return finish(&eng, position_confidences, Err(err), false);
+            }
+        }
+        position_confidences.push(confidence);
+    }
+
+    let spec = match PermutationSpec::new(hits, 0) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let err = InferenceError::InconsistentReadout(e.to_string());
+            return finish(&eng, position_confidences, Err(err), false);
+        }
+    };
+
+    // Budgeted validation: same seeded script set as the strict path.
+    let validation_plan = VotePlan::of(config.repetitions);
+    let mut mismatches = 0usize;
+    let rounds = config.validation_rounds;
+    for tail in validation_tails(&addrs, config) {
+        let predicted = predict_tail_misses(&addrs, &base_order, &spec, &tail);
+        let warmup = addrs.base_fill();
+        let measured = match eng.single_vote(&validation_plan, &warmup, &tail) {
+            Some(m) => m,
+            None => degrade!(eng, position_confidences),
+        };
+        if prediction_diverges(predicted, measured, tail.len(), noise) {
+            mismatches += 1;
+        }
+    }
+    let rejected = if noise < 0.005 {
+        mismatches > 0
+    } else {
+        mismatches * 4 > rounds
+    };
+    if rejected {
+        let err = InferenceError::NotAPermutationPolicy { mismatches, rounds };
+        return finish(&eng, position_confidences, Err(err), false);
+    }
+
+    let matched = match_spec(&spec);
+    let report = PolicyReport {
+        geometry: *geometry,
+        spec,
+        matched,
+        insertion_position: 0,
+        validation_rounds: rounds,
+        validation_mismatches: mismatches,
+    };
+    finish(&eng, position_confidences, Ok(report), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_geometry, InferenceConfig, SimOracle};
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle_for(kind: PolicyKind, capacity: u64, assoc: usize) -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(capacity, assoc, 64).unwrap(),
+            kind,
+        ))
+    }
+
+    #[test]
+    fn clean_oracle_is_confident_and_correct() {
+        let mut oracle = oracle_for(PolicyKind::Lru, 16 * 1024, 4);
+        let config = InferenceConfig::default();
+        let geometry = infer_geometry(&mut oracle, &config).unwrap();
+        let result = infer_policy_robust(&mut oracle, &geometry, &config);
+        let report = result.outcome.as_ref().expect("clean LRU infers");
+        assert_eq!(report.matched, Some("LRU"));
+        assert!(!result.degraded);
+        assert_eq!(result.confidence, 1.0);
+        assert_eq!(result.position_confidences, vec![1.0; 4]);
+        assert!(result.is_confident(0.99));
+        assert!(result.measurements_used > 0);
+        assert_eq!(result.measurement_budget, None);
+        assert_eq!(result.timeouts, 0);
+        assert_eq!(result.dropped, 0);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_without_panicking() {
+        let mut oracle = oracle_for(PolicyKind::Lru, 16 * 1024, 4);
+        let config = InferenceConfig::builder()
+            .measurement_budget(40)
+            .build()
+            .unwrap();
+        let geometry = Geometry {
+            line_size: 64,
+            capacity: 16 * 1024,
+            associativity: 4,
+            num_sets: 64,
+        };
+        let result = infer_policy_robust(&mut oracle, &geometry, &config);
+        assert!(result.degraded);
+        assert!(!result.is_confident(0.5));
+        assert_eq!(result.measurement_budget, Some(40));
+        assert_eq!(result.measurements_used, 40);
+        match result.outcome {
+            Err(InferenceError::BudgetExhausted { used, budget }) => {
+                assert_eq!(used, 40);
+                assert_eq!(budget, 40);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!(result.position_confidences.len() < 4, "partial at best");
+    }
+
+    #[test]
+    fn non_front_insertion_is_a_finding_not_degradation() {
+        let mut oracle = oracle_for(PolicyKind::Lip, 16 * 1024, 4);
+        let config = InferenceConfig::default();
+        let geometry = infer_geometry(&mut oracle, &config).unwrap();
+        let result = infer_policy_robust(&mut oracle, &geometry, &config);
+        assert!(!result.degraded);
+        assert_eq!(
+            result.outcome,
+            Err(InferenceError::NotFrontInsertion { position: 3 })
+        );
+    }
+
+    #[test]
+    fn matches_the_strict_pipeline_on_a_clean_oracle() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::TreePlru] {
+            let config = InferenceConfig::default();
+            let mut oracle = oracle_for(kind, 32 * 1024, 8);
+            let geometry = infer_geometry(&mut oracle, &config).unwrap();
+            let strict = crate::infer::infer_policy(&mut oracle.clone(), &geometry, &config);
+            let robust = infer_policy_robust(&mut oracle, &geometry, &config);
+            match (strict, robust.outcome) {
+                (Ok(a), Ok(b)) => assert_eq!(a.spec, b.spec),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("strict {a:?} vs robust {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! Deterministic fault injection for the oracle path.
+//!
+//! [`Faults`] is an [`OracleLayer`]: `oracle.layer(Faults::from_seed(s))`
+//! wraps any [`CacheOracle`] in a [`FaultInjected`] decorator that
+//! corrupts measurements according to a *seeded, fully deterministic
+//! fault schedule*. The fault (if any) at measurement index `i` is a
+//! pure function of `(seed, i)` — independent of the measurement's
+//! operands and of every other index — which buys three properties the
+//! test kit depends on:
+//!
+//! * **replayability** — the same seed replays the same fault schedule
+//!   bit-identically, on any oracle;
+//! * **shrinkability** — a failing schedule can be restricted to any
+//!   subset of its fault indices ([`Faults::restricted_to`]) without
+//!   perturbing the faults that remain, so delta debugging converges;
+//! * **composability** — clones of a [`FaultInjected`] oracle replay
+//!   the same schedule from index 0, exactly like the noise streams of
+//!   [`VirtualCpu`](crate::VirtualCpu) clones.
+//!
+//! The taxonomy mirrors what real measurement harnesses fight
+//! (CacheQuery, nanoBench): flipped hit/miss readouts, dropped/short
+//! readings, transient timeouts, prefetcher interference bursts, and
+//! vcpu-migration latency shifts. Faults are ranked — when several fire
+//! at one index the most disruptive wins: timeout > dropped > migration
+//! > prefetch > flip.
+
+use cachekit_core::infer::{CacheOracle, MeasureFault, OracleLayer};
+use cachekit_policies::rng::Prng;
+
+/// Independent per-measurement fault rates (probabilities in `0..=1`)
+/// and burst lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability that one probe readout of the measurement is flipped
+    /// (reported miss count off by one).
+    pub flip: f64,
+    /// Probability that the measurement's readout is dropped (short
+    /// read): the attempt returns [`MeasureFault::Dropped`].
+    pub drop: f64,
+    /// Probability of a transient timeout: the attempt returns
+    /// [`MeasureFault::Timeout`].
+    pub timeout: f64,
+    /// Probability that a prefetcher interference burst *starts* at a
+    /// given index, inflating readouts with spurious misses.
+    pub prefetch: f64,
+    /// Length (in measurements) of a prefetcher burst.
+    pub prefetch_len: u64,
+    /// Probability that a vcpu migration *starts* at a given index: the
+    /// latency shift makes every probe read as a miss.
+    pub migration: f64,
+    /// Length (in measurements) of a migration latency shift.
+    pub migration_len: u64,
+}
+
+impl FaultRates {
+    /// All rates zero: the layer is a transparent pass-through.
+    pub const fn none() -> Self {
+        Self {
+            flip: 0.0,
+            drop: 0.0,
+            timeout: 0.0,
+            prefetch: 0.0,
+            prefetch_len: 4,
+            migration: 0.0,
+            migration_len: 8,
+        }
+    }
+
+    fn assert_valid(&self) {
+        for (name, p) in [
+            ("flip", self.flip),
+            ("drop", self.drop),
+            ("timeout", self.timeout),
+            ("prefetch", self.prefetch),
+            ("migration", self.migration),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} rate must be a probability in 0..=1, got {p}"
+            );
+        }
+        assert!(self.prefetch_len >= 1, "prefetch bursts span >= 1 index");
+        assert!(self.migration_len >= 1, "migrations span >= 1 index");
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the schedule holds for one measurement index, most disruptive
+/// fault first in the precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Attempt times out ([`MeasureFault::Timeout`]).
+    Timeout,
+    /// Readout dropped ([`MeasureFault::Dropped`]).
+    Dropped,
+    /// Migration latency shift: every probe reads as a miss.
+    Migration,
+    /// Prefetcher burst: spurious extra misses.
+    Prefetch,
+    /// One probe readout flipped (miss count off by one).
+    Flip,
+}
+
+/// Layer marker describing a deterministic fault schedule; applying it
+/// via [`CacheOracleExt::layer`](cachekit_core::infer::CacheOracleExt)
+/// produces a [`FaultInjected`] oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Faults {
+    seed: u64,
+    rates: FaultRates,
+    /// When set, the schedule is suppressed everywhere except these
+    /// indices (sorted) — the shrinking harness's handle.
+    only: Option<Vec<u64>>,
+}
+
+impl Faults {
+    /// A schedule derived from `seed` with all rates zero; compose rates
+    /// with the builder methods.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: FaultRates::none(),
+            only: None,
+        }
+    }
+
+    /// A schedule derived from `seed` with explicit `rates`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `0..=1` or a burst length is zero.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        rates.assert_valid();
+        Self {
+            seed,
+            rates,
+            only: None,
+        }
+    }
+
+    /// Unify with the [`NoiseModel`](crate::NoiseModel) vocabulary: map
+    /// the model's per-access `counter_noise` onto per-measurement
+    /// readout flips (a conflict-style probe touches a handful of
+    /// lines, so a measurement is flip-corrupted roughly `4×` as often
+    /// as a single access is miscounted) and its `background_eviction`
+    /// onto prefetcher-style interference bursts.
+    pub fn from_noise(noise: &crate::NoiseModel, seed: u64) -> Self {
+        Self::from_seed(seed)
+            .flips((noise.counter_noise * 4.0).min(1.0))
+            .prefetch_bursts((noise.background_eviction * 2.0).min(1.0), 2)
+    }
+
+    /// Set the readout-flip rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0..=1`.
+    pub fn flips(mut self, rate: f64) -> Self {
+        self.rates.flip = rate;
+        self.rates.assert_valid();
+        self
+    }
+
+    /// Set the dropped/short-read rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0..=1`.
+    pub fn drops(mut self, rate: f64) -> Self {
+        self.rates.drop = rate;
+        self.rates.assert_valid();
+        self
+    }
+
+    /// Set the transient-timeout rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0..=1`.
+    pub fn timeouts(mut self, rate: f64) -> Self {
+        self.rates.timeout = rate;
+        self.rates.assert_valid();
+        self
+    }
+
+    /// Set the prefetcher-burst start rate and burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0..=1` or `len` is zero.
+    pub fn prefetch_bursts(mut self, rate: f64, len: u64) -> Self {
+        self.rates.prefetch = rate;
+        self.rates.prefetch_len = len;
+        self.rates.assert_valid();
+        self
+    }
+
+    /// Set the vcpu-migration start rate and shift length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0..=1` or `len` is zero.
+    pub fn migrations(mut self, rate: f64, len: u64) -> Self {
+        self.rates.migration = rate;
+        self.rates.migration_len = len;
+        self.rates.assert_valid();
+        self
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Restrict the schedule to fire only at `indices` (measurement
+    /// indices, 0-based): every other index behaves as fault-free. The
+    /// faults that remain are unchanged — this is the subset operation
+    /// delta debugging shrinks over.
+    pub fn restricted_to(mut self, mut indices: Vec<u64>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        self.only = Some(indices);
+        self
+    }
+
+    /// The schedule for indices `0..n`: `None` where the measurement is
+    /// clean, the (precedence-resolved) fault kind where it is not.
+    pub fn schedule_prefix(&self, n: u64) -> Vec<Option<FaultKind>> {
+        (0..n).map(|i| self.fault_at(i)).collect()
+    }
+
+    /// The fault indices within `0..n` — the search space handed to the
+    /// shrinking harness.
+    pub fn fault_indices(&self, n: u64) -> Vec<u64> {
+        (0..n).filter(|&i| self.fault_at(i).is_some()).collect()
+    }
+
+    /// A fresh deterministic stream for `(seed, index, salt)`. Distinct
+    /// salts give independent streams, so e.g. burst-start decisions do
+    /// not perturb the direct-fault draws at the same index.
+    fn stream(&self, index: u64, salt: u64) -> Prng {
+        // SplitMix-style avalanche over the tuple; Prng::seed_from_u64
+        // re-mixes, so correlated inputs still give decorrelated streams.
+        let mut x = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        Prng::seed_from_u64(x)
+    }
+
+    fn burst_starts(&self, index: u64, salt: u64, rate: f64) -> bool {
+        rate > 0.0 && self.stream(index, salt).gen_bool(rate)
+    }
+
+    /// Is a burst with the given start-`rate` and `len` active at
+    /// `index`? Pure per-index: scans the `len` possible start points.
+    fn in_burst(&self, index: u64, salt: u64, rate: f64, len: u64) -> bool {
+        let lo = index.saturating_sub(len - 1);
+        (lo..=index).any(|j| self.burst_starts(j, salt, rate))
+    }
+
+    const SALT_DIRECT: u64 = 1;
+    const SALT_MIGRATION: u64 = 2;
+    const SALT_PREFETCH: u64 = 3;
+    const SALT_PAYLOAD: u64 = 4;
+
+    /// The (precedence-resolved) scheduled fault at measurement `index`,
+    /// honouring any [`restricted_to`](Self::restricted_to) subset.
+    pub fn fault_at(&self, index: u64) -> Option<FaultKind> {
+        if let Some(only) = &self.only {
+            if only.binary_search(&index).is_err() {
+                return None;
+            }
+        }
+        let mut direct = self.stream(index, Self::SALT_DIRECT);
+        if self.rates.timeout > 0.0 && direct.gen_bool(self.rates.timeout) {
+            return Some(FaultKind::Timeout);
+        }
+        if self.rates.drop > 0.0 && direct.gen_bool(self.rates.drop) {
+            return Some(FaultKind::Dropped);
+        }
+        if self.in_burst(
+            index,
+            Self::SALT_MIGRATION,
+            self.rates.migration,
+            self.rates.migration_len,
+        ) {
+            return Some(FaultKind::Migration);
+        }
+        if self.in_burst(
+            index,
+            Self::SALT_PREFETCH,
+            self.rates.prefetch,
+            self.rates.prefetch_len,
+        ) {
+            return Some(FaultKind::Prefetch);
+        }
+        if self.rates.flip > 0.0 && direct.gen_bool(self.rates.flip) {
+            return Some(FaultKind::Flip);
+        }
+        None
+    }
+}
+
+impl<O: CacheOracle> OracleLayer<O> for Faults {
+    type Output = FaultInjected<O>;
+    fn layer(self, inner: O) -> FaultInjected<O> {
+        FaultInjected::new(inner, self)
+    }
+}
+
+/// Decorator applying a [`Faults`] schedule to an inner oracle.
+///
+/// Clones replay the schedule from index 0, so parallel campaigns over
+/// clones see the same fault stream per worker — statistically
+/// equivalent to a serial run, like the noise model.
+#[derive(Debug, Clone)]
+pub struct FaultInjected<O> {
+    inner: O,
+    plan: Faults,
+    index: u64,
+}
+
+impl<O: CacheOracle> FaultInjected<O> {
+    /// Wrap `inner` under `plan`'s schedule, starting at index 0.
+    pub fn new(inner: O, plan: Faults) -> Self {
+        Self {
+            inner,
+            plan,
+            index: 0,
+        }
+    }
+
+    /// The schedule.
+    pub fn plan(&self) -> &Faults {
+        &self.plan
+    }
+
+    /// The next measurement index (== measurements attempted so far).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Corrupt `true_count` (of `n` probes) per the payload stream of
+    /// `index`.
+    fn corrupt(&self, index: u64, kind: FaultKind, true_count: usize, n: usize) -> usize {
+        let mut payload = self.plan.stream(index, Faults::SALT_PAYLOAD);
+        match kind {
+            FaultKind::Migration => n,
+            FaultKind::Prefetch => {
+                let extra = payload.gen_range(1..=3) as usize;
+                (true_count + extra).min(n)
+            }
+            FaultKind::Flip => {
+                // One probe readout misreported: count off by one, the
+                // direction picked among the feasible ones.
+                if true_count == 0 {
+                    (n > 0) as usize
+                } else if true_count >= n {
+                    n.saturating_sub(1)
+                } else if payload.gen_bool(0.5) {
+                    true_count + 1
+                } else {
+                    true_count - 1
+                }
+            }
+            FaultKind::Timeout | FaultKind::Dropped => unreachable!("handled before corrupt"),
+        }
+    }
+}
+
+impl<O: CacheOracle> CacheOracle for FaultInjected<O> {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        // Legacy single-shot path: a lost reading has no channel to
+        // report through, so it reads as 0 misses — exactly how a
+        // harness that ignores fault status would misbehave. Robust
+        // consumers go through `try_measure`.
+        self.try_measure(warmup, probe).unwrap_or(0)
+    }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        let index = self.index;
+        self.index += 1;
+        match self.plan.fault_at(index) {
+            None => self.inner.try_measure(warmup, probe),
+            Some(FaultKind::Timeout) => {
+                cachekit_obs::add("fault.timeouts", 1);
+                Err(MeasureFault::Timeout)
+            }
+            Some(FaultKind::Dropped) => {
+                cachekit_obs::add("fault.drops", 1);
+                Err(MeasureFault::Dropped)
+            }
+            Some(kind) => {
+                let name = match kind {
+                    FaultKind::Migration => "fault.migrations",
+                    FaultKind::Prefetch => "fault.prefetch_bursts",
+                    FaultKind::Flip => "fault.flips",
+                    _ => unreachable!(),
+                };
+                cachekit_obs::add(name, 1);
+                let true_count = self.inner.try_measure(warmup, probe)?;
+                Ok(self.corrupt(index, kind, true_count, probe.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekit_core::infer::{CacheOracleExt, SimOracle};
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle() -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(4096, 4, 64).unwrap(),
+            PolicyKind::Lru,
+        ))
+    }
+
+    fn stream<O: CacheOracle>(o: &mut O, n: u64) -> Vec<usize> {
+        (0..n)
+            .map(|i| o.measure(&[i * 64], &[i * 64, (i + 1) * 64, 0]))
+            .collect()
+    }
+
+    #[test]
+    fn zero_rates_are_a_transparent_layer() {
+        let mut plain = oracle();
+        let mut layered = oracle().layer(Faults::from_seed(42));
+        assert_eq!(stream(&mut plain, 200), stream(&mut layered, 200));
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let plan = Faults::from_seed(7)
+            .flips(0.1)
+            .drops(0.05)
+            .timeouts(0.05)
+            .prefetch_bursts(0.02, 3)
+            .migrations(0.01, 5);
+        assert_eq!(plan.schedule_prefix(500), plan.schedule_prefix(500));
+        let mut a = oracle().layer(plan.clone());
+        let mut b = oracle().layer(plan.clone());
+        assert_eq!(stream(&mut a, 300), stream(&mut b, 300));
+        let other = Faults::new(8, *plan.rates());
+        assert_ne!(plan.schedule_prefix(500), other.schedule_prefix(500));
+    }
+
+    #[test]
+    fn fault_at_is_a_pure_per_index_function() {
+        let plan = Faults::from_seed(3).flips(0.2).timeouts(0.1);
+        let forward = plan.schedule_prefix(100);
+        let backward: Vec<_> = (0..100).rev().map(|i| plan.fault_at(i)).collect();
+        let backward: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn restriction_suppresses_all_other_indices() {
+        let plan = Faults::from_seed(11).flips(0.3).drops(0.1);
+        let faulty = plan.fault_indices(200);
+        assert!(!faulty.is_empty(), "rates this high must fire in 200");
+        let keep: Vec<u64> = faulty.iter().copied().take(2).collect();
+        let restricted = plan.clone().restricted_to(keep.clone());
+        for i in 0..200 {
+            if keep.contains(&i) {
+                assert_eq!(restricted.fault_at(i), plan.fault_at(i), "index {i}");
+            } else {
+                assert_eq!(restricted.fault_at(i), None, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_and_drops_surface_as_faults_not_counts() {
+        let plan = Faults::from_seed(5).timeouts(1.0);
+        let mut o = oracle().layer(plan);
+        assert_eq!(o.try_measure(&[], &[0]), Err(MeasureFault::Timeout));
+        let mut o = oracle().layer(Faults::from_seed(5).drops(1.0));
+        assert_eq!(o.try_measure(&[], &[0]), Err(MeasureFault::Dropped));
+        // The legacy entry point flattens lost readings to zero.
+        assert_eq!(o.measure(&[], &[0]), 0);
+    }
+
+    #[test]
+    fn migration_reads_all_probes_as_misses() {
+        let plan = Faults::from_seed(5).migrations(1.0, 1);
+        let mut o = oracle().layer(plan);
+        // Warm probe lines: true count is 0, migration reports all 3.
+        assert_eq!(o.measure(&[0, 64, 128], &[0, 64, 128]), 3);
+    }
+
+    #[test]
+    fn flips_move_the_count_by_exactly_one() {
+        let plan = Faults::from_seed(9).flips(1.0);
+        let mut o = oracle().layer(plan);
+        for i in 0..50u64 {
+            let true_count = 1; // one cold line among two warm ones
+            let base = i * 0x10000;
+            let got = o.measure(&[base, base + 64], &[base, base + 64, base + 128]);
+            assert!(
+                (got as i64 - true_count as i64).abs() == 1,
+                "flip must be off by one, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_lengths_cover_consecutive_indices() {
+        let plan = Faults::from_seed(13).migrations(0.05, 6);
+        let schedule = plan.schedule_prefix(400);
+        // Every migration run in the schedule must be at least 6 long
+        // (overlapping bursts can make them longer), except a run cut
+        // short by the prefix boundary.
+        let mut i = 0;
+        while i < schedule.len() {
+            if schedule[i] == Some(FaultKind::Migration) {
+                let start = i;
+                while i < schedule.len() && schedule[i] == Some(FaultKind::Migration) {
+                    i += 1;
+                }
+                assert!(
+                    i - start >= 6 || i == schedule.len(),
+                    "migration run of {} at {start}",
+                    i - start
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_rates_are_rejected() {
+        let _ = Faults::from_seed(0).flips(1.5);
+    }
+
+    #[test]
+    fn from_noise_maps_counter_noise_to_flips() {
+        let noise = crate::NoiseModel::counter(0.05);
+        let plan = Faults::from_noise(&noise, 3);
+        assert!((plan.rates().flip - 0.2).abs() < 1e-12);
+        assert_eq!(plan.rates().timeout, 0.0);
+    }
+
+    #[test]
+    fn clones_replay_from_index_zero() {
+        let plan = Faults::from_seed(21).flips(0.2).timeouts(0.1);
+        let mut a = oracle().layer(plan);
+        let b = a.clone();
+        let first = stream(&mut a, 100);
+        let mut b = b;
+        assert_eq!(first, stream(&mut b, 100));
+    }
+}

@@ -122,7 +122,12 @@ pub fn by_name(name: &str) -> Option<VirtualCpu> {
 
 /// Rebuild a fleet member with a different noise model (same geometry and
 /// hidden policies) — used by the noise-robustness experiment (Fig. 2).
-pub fn with_noise(name: &str, noise: NoiseModel) -> Option<VirtualCpu> {
+///
+/// The noise stream is seeded from `seed`, the *run* seed, so a noisy
+/// campaign replays bit-identically under the same `--seed` — the fix
+/// for the old behaviour of always seeding from a fixed internal
+/// constant, which made `--seed` a no-op for noise.
+pub fn with_noise(name: &str, noise: NoiseModel, seed: u64) -> Option<VirtualCpu> {
     let template = by_name(name)?;
     let l1_kind = hidden_kind(template.hidden_l1_policy())?;
     let l2_kind = hidden_kind(template.hidden_l2_policy())?;
@@ -130,7 +135,7 @@ pub fn with_noise(name: &str, noise: NoiseModel) -> Option<VirtualCpu> {
         .l1(*template.l1_config(), l1_kind)
         .l2(*template.l2_config(), l2_kind)
         .noise(noise)
-        .seed(0xF1632);
+        .seed(seed);
     if let (Some(l3_policy), Some(l3_cfg)) = (template.hidden_l3_policy(), template.l3_config()) {
         builder = builder.l3(*l3_cfg, hidden_kind(l3_policy)?);
     }
@@ -177,7 +182,7 @@ mod tests {
 
     #[test]
     fn with_noise_preserves_geometry_and_policies() {
-        let noisy = with_noise("core2_e6300", NoiseModel::counter(0.05)).unwrap();
+        let noisy = with_noise("core2_e6300", NoiseModel::counter(0.05), 7).unwrap();
         let clean = core2_e6300();
         assert_eq!(noisy.l2_config(), clean.l2_config());
         assert_eq!(noisy.hidden_l2_policy(), clean.hidden_l2_policy());
@@ -186,10 +191,26 @@ mod tests {
 
     #[test]
     fn with_noise_keeps_the_l3() {
-        let noisy = with_noise("nehalem_3level", NoiseModel::counter(0.01)).unwrap();
+        let noisy = with_noise("nehalem_3level", NoiseModel::counter(0.01), 7).unwrap();
         let clean = nehalem_3level();
         assert_eq!(noisy.l3_config(), clean.l3_config());
         assert_eq!(noisy.hidden_l3_policy(), clean.hidden_l3_policy());
+    }
+
+    #[test]
+    fn with_noise_seeds_the_noise_stream_from_the_run_seed() {
+        use crate::oracle::{CacheLevel, LevelOracle};
+        use cachekit_core::infer::CacheOracle;
+        let noise = NoiseModel::counter(0.2);
+        let stream = |seed: u64| -> Vec<usize> {
+            let mut cpu = with_noise("atom_d525", noise, seed).unwrap();
+            let mut o = LevelOracle::new(&mut cpu, CacheLevel::L1);
+            (0..64u64)
+                .map(|i| o.measure(&[i * 64], &[i * 64, 0]))
+                .collect()
+        };
+        assert_eq!(stream(1), stream(1), "same seed replays bit-identically");
+        assert_ne!(stream(1), stream(2), "different seeds differ");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+mod fault;
 pub mod fleet;
 mod latency;
 mod noise;
@@ -51,6 +52,7 @@ mod tlb;
 mod vcpu;
 
 pub use campaign::{survey, survey_fleet, LevelSurvey, MachineSurvey};
+pub use fault::{FaultInjected, FaultKind, FaultRates, Faults};
 pub use latency::LatencyModel;
 pub use noise::NoiseModel;
 pub use oracle::{CacheLevel, LevelOracle, MeasureMode};

@@ -10,6 +10,14 @@
 ///   the accessed set first. Unlike counter noise this perturbs the real
 ///   cache state, so no amount of re-reading one run fixes it — only
 ///   repeating the whole measurement does.
+///
+/// This model perturbs *per-access* behaviour inside a
+/// [`VirtualCpu`](crate::VirtualCpu) stream; the fault-injection layer ([`Faults`](crate::Faults))
+/// perturbs *per-measurement* readouts on top of any oracle. The two
+/// vocabularies are unified by [`Faults::from_noise`](crate::Faults::from_noise),
+/// which maps a `NoiseModel` onto an equivalent per-measurement fault
+/// schedule — use it when a test needs noise-like corruption with the
+/// replay/shrink guarantees of the fault layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// Per-access probability of a miscounted event.

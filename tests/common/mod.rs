@@ -1,0 +1,6 @@
+//! Shared helpers for the integration-test suites. Each test binary
+//! compiles this module independently, so not every helper is used by
+//! every binary.
+#![allow(dead_code)]
+
+pub mod shrink;

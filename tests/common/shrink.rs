@@ -1,0 +1,175 @@
+//! Failing-case shrinking and replay for the seeded fuzz suites.
+//!
+//! The deterministic test kit phrases every randomized check as a pure
+//! function of a *seed* (or `(seed, index-set)` pair for fault
+//! schedules). When a case fails, the harness here
+//!
+//! * shrinks index-set failures to a **minimal failing subsequence**
+//!   with delta debugging ([`shrink_indices`]), and
+//! * prints one replayable line of the form
+//!   `CACHEKIT_REPLAY=<seed>:<idx,idx,...>` ([`replay_line`]), which a
+//!   developer exports as an environment variable to re-run exactly the
+//!   failing cases ([`replay_from_env`] / [`check_cases`]).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The environment variable the replay hooks read.
+pub const REPLAY_ENV: &str = "CACHEKIT_REPLAY";
+
+/// Render the replayable failure line: `CACHEKIT_REPLAY=<seed>:<i,i,...>`.
+pub fn replay_line(seed: u64, indices: &[u64]) -> String {
+    let list: Vec<String> = indices.iter().map(u64::to_string).collect();
+    format!("{REPLAY_ENV}={seed}:{}", list.join(","))
+}
+
+/// Parse a replay payload (`<seed>:<i,i,...>`, with or without the
+/// leading `CACHEKIT_REPLAY=`). Returns `None` on malformed input.
+pub fn parse_replay(s: &str) -> Option<(u64, Vec<u64>)> {
+    let s = s
+        .strip_prefix(REPLAY_ENV)
+        .map_or(s, |rest| rest.strip_prefix('=').unwrap_or(rest));
+    let (seed, rest) = s.split_once(':')?;
+    let seed = seed.trim().parse().ok()?;
+    let indices = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|i| i.trim().parse().ok())
+            .collect::<Option<Vec<u64>>>()?
+    };
+    Some((seed, indices))
+}
+
+/// The replay request from the environment, if any.
+pub fn replay_from_env() -> Option<(u64, Vec<u64>)> {
+    parse_replay(&std::env::var(REPLAY_ENV).ok()?)
+}
+
+/// Delta-debug `initial` down to a (1-)minimal subsequence on which
+/// `fails` still returns `true` — the classic ddmin loop, binary-search
+/// first, then ever finer chunks.
+///
+/// `fails` must be deterministic (the fault schedules and seeded cases
+/// it is used with are); it is never called on an empty subset. Returns
+/// `initial` unchanged when it does not fail to begin with.
+pub fn shrink_indices<F>(initial: &[u64], fails: F) -> Vec<u64>
+where
+    F: Fn(&[u64]) -> bool,
+{
+    let mut current: Vec<u64> = initial.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Try the complement of [start, end): can the rest still fail?
+            let candidate: Vec<u64> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no single element can be removed
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Run `cases` seeded cases of property `property`, catching panics and
+/// reporting every failing case in one replayable line.
+///
+/// With `CACHEKIT_REPLAY=<property>:<i,j>` set in the environment (and
+/// matching this property id), only the listed cases run, without panic
+/// catching — failures surface with their full message and backtrace.
+pub fn check_cases<F>(property: u64, cases: u64, check: F)
+where
+    F: Fn(u64),
+{
+    if let Some((seed, indices)) = replay_from_env() {
+        if seed == property {
+            eprintln!("replaying property {property}, cases {indices:?}");
+            for case in indices {
+                check(case);
+            }
+            return;
+        }
+    }
+    let mut failing = Vec::new();
+    let mut first_message = None;
+    for case in 0..cases {
+        let result = catch_unwind(AssertUnwindSafe(|| check(case)));
+        if let Err(payload) = result {
+            if first_message.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+                first_message = Some(msg);
+            }
+            failing.push(case);
+        }
+    }
+    if !failing.is_empty() {
+        panic!(
+            "{}/{cases} cases failed; first: {}\nreplay with: {}",
+            failing.len(),
+            first_message.as_deref().unwrap_or("?"),
+            replay_line(property, &failing),
+        );
+    }
+}
+
+#[cfg(test)]
+mod self_tests {
+    use super::*;
+
+    #[test]
+    fn replay_lines_round_trip() {
+        let line = replay_line(42, &[3, 17, 90]);
+        assert_eq!(line, "CACHEKIT_REPLAY=42:3,17,90");
+        assert_eq!(parse_replay(&line), Some((42, vec![3, 17, 90])));
+        assert_eq!(parse_replay("7:1,2"), Some((7, vec![1, 2])));
+        assert_eq!(parse_replay("9:"), Some((9, vec![])));
+        assert_eq!(parse_replay("bogus"), None);
+        assert_eq!(parse_replay("1:2,x"), None);
+    }
+
+    #[test]
+    fn ddmin_finds_the_minimal_pair() {
+        // Failure needs indices 5 AND 21 present, nothing else.
+        let initial: Vec<u64> = (0..64).collect();
+        let fails = |s: &[u64]| s.contains(&5) && s.contains(&21);
+        let minimal = shrink_indices(&initial, fails);
+        assert_eq!(minimal, vec![5, 21]);
+    }
+
+    #[test]
+    fn ddmin_keeps_a_non_failing_input_unchanged() {
+        let initial = vec![1, 2, 3];
+        assert_eq!(shrink_indices(&initial, |_| false), initial);
+    }
+
+    #[test]
+    fn ddmin_reduces_single_culprit_from_large_input() {
+        let initial: Vec<u64> = (0..997).collect();
+        let minimal = shrink_indices(&initial, |s| s.contains(&613));
+        assert_eq!(minimal, vec![613]);
+    }
+}

@@ -2,7 +2,12 @@
 //! invariants of the reproduction: each property is checked against many
 //! seeded-random cases (deterministic across runs — the vendored
 //! `cachekit::policies::rng::Prng` replaces proptest's case generation,
-//! and a failing case prints its seed for replay).
+//! and a failing case prints a `CACHEKIT_REPLAY` line for replay — see
+//! `common::shrink::check_cases`).
+
+mod common;
+
+use common::shrink::check_cases;
 
 use cachekit::core::perm::{
     derive_permutation_spec, Permutation, PermutationPolicy, PermutationSpec,
@@ -45,7 +50,7 @@ fn random_kind(rng: &mut Prng) -> PolicyKind {
 
 #[test]
 fn permutation_inverse_round_trips() {
-    for case in 0..CASES {
+    check_cases(1, CASES, |case| {
         let mut r = rng(1, case);
         let p = random_permutation(8, &mut r);
         let items: Vec<usize> = (100..108).collect();
@@ -53,12 +58,12 @@ fn permutation_inverse_round_trips() {
         let back = p.inverse().apply(&there);
         assert_eq!(back, items, "case {case}");
         assert!(p.then(&p.inverse()).is_identity(), "case {case}");
-    }
+    });
 }
 
 #[test]
 fn permutation_composition_is_application_order() {
-    for case in 0..CASES {
+    check_cases(2, CASES, |case| {
         let mut r = rng(2, case);
         let f = random_permutation(6, &mut r);
         let g = random_permutation(6, &mut r);
@@ -68,12 +73,12 @@ fn permutation_composition_is_application_order() {
             g.apply(&f.apply(&items)),
             "case {case}"
         );
-    }
+    });
 }
 
 #[test]
 fn policies_only_evict_what_they_hold() {
-    for case in 0..CASES {
+    check_cases(3, CASES, |case| {
         let mut r = rng(3, case);
         let kind = random_kind(&mut r);
         let script = random_script(12, 200, &mut r);
@@ -100,12 +105,12 @@ fn policies_only_evict_what_they_hold() {
             }
         }
         assert_eq!(cache.occupancy(), resident.len(), "case {case}");
-    }
+    });
 }
 
 #[test]
 fn lru_respects_stack_distances() {
-    for case in 0..CASES {
+    check_cases(4, CASES, |case| {
         let mut r = rng(4, case);
         let script = random_script(32, 300, &mut r);
         // The inclusion property: under LRU with A ways (single set),
@@ -126,12 +131,12 @@ fn lru_respects_stack_distances() {
             }
             stack.insert(0, block);
         }
-    }
+    });
 }
 
 #[test]
 fn derive_round_trips_arbitrary_specs() {
-    for case in 0..CASES {
+    check_cases(5, CASES, |case| {
         let mut r = rng(5, case);
         let spec = random_spec(4, &mut r);
         // The read-out algorithm must recover ANY front-insertion
@@ -140,21 +145,21 @@ fn derive_round_trips_arbitrary_specs() {
         let policy = PermutationPolicy::new(spec.clone());
         let derived = derive_permutation_spec(Box::new(policy)).expect("in class");
         assert_eq!(derived, spec, "case {case}");
-    }
+    });
 }
 
 #[test]
 fn permutation_policy_conforms() {
-    for case in 0..CASES {
+    check_cases(6, CASES, |case| {
         let mut r = rng(6, case);
         let spec = random_spec(6, &mut r);
         cachekit::policies::conformance::assert_conformance(Box::new(PermutationPolicy::new(spec)));
-    }
+    });
 }
 
 #[test]
 fn policies_are_replay_deterministic() {
-    for case in 0..CASES {
+    check_cases(7, CASES, |case| {
         let mut r = rng(7, case);
         let kind = random_kind(&mut r);
         let script = random_script(16, 100, &mut r);
@@ -170,24 +175,24 @@ fn policies_are_replay_deterministic() {
             a.on_fill(va);
             b.on_fill(vb);
         }
-    }
+    });
 }
 
 #[test]
 fn stack_distance_histogram_mass_equals_accesses() {
-    for case in 0..CASES {
+    check_cases(8, CASES, |case| {
         let mut r = rng(8, case);
         let script = random_script(64, 400, &mut r);
         let trace: Vec<u64> = script.iter().map(|b| b * 64).collect();
         let (hist, cold) = measure(&trace, 64);
         let total: u64 = hist.iter().sum::<u64>() + cold;
         assert_eq!(total, trace.len() as u64, "case {case}");
-    }
+    });
 }
 
 #[test]
 fn generated_traces_never_exceed_profile_support() {
-    for case in 0..CASES {
+    check_cases(9, CASES, |case| {
         let mut r = rng(9, case);
         let p = 0.05 + 0.85 * r.gen::<f64>();
         let accesses = r.gen_range(1usize..2000);
@@ -201,7 +206,7 @@ fn generated_traces_never_exceed_profile_support() {
                 assert_eq!(count, 0, "case {case}: distance {d} appeared");
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -209,7 +214,7 @@ fn quotient_and_generic_distance_solvers_agree() {
     use cachekit::core::analysis::{
         evict_distance, evict_distance_spec, minimal_lifespan, minimal_lifespan_spec,
     };
-    for case in 0..CASES {
+    check_cases(10, CASES, |case| {
         let mut r = rng(10, case);
         let spec = random_spec(3, &mut r);
         let policy = PermutationPolicy::new(spec.clone());
@@ -224,13 +229,13 @@ fn quotient_and_generic_distance_solvers_agree() {
             minimal_lifespan(&policy, budget),
             "case {case}"
         );
-    }
+    });
 }
 
 #[test]
 fn query_display_parse_round_trips() {
     use cachekit::core::query::Query;
-    for case in 0..CASES {
+    check_cases(11, CASES, |case| {
         let mut r = rng(11, case);
         let len = r.gen_range(1usize..20);
         let text: String = (0..len)
@@ -243,13 +248,13 @@ fn query_display_parse_round_trips() {
         let q: Query = text.parse().unwrap();
         let reparsed: Query = q.to_string().parse().unwrap();
         assert_eq!(q, reparsed, "case {case}");
-    }
+    });
 }
 
 #[test]
 fn trace_io_round_trips() {
     use cachekit::trace::io::{read_trace, write_trace, MemOp};
-    for case in 0..CASES {
+    check_cases(12, CASES, |case| {
         let mut r = rng(12, case);
         let len = r.gen_range(0usize..200);
         let ops: Vec<MemOp> = (0..len)
@@ -262,12 +267,12 @@ fn trace_io_round_trips() {
         write_trace(&ops, &mut buf).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
         assert_eq!(back, ops, "case {case}");
-    }
+    });
 }
 
 #[test]
 fn writeback_accounting_is_conservative() {
-    for case in 0..CASES {
+    check_cases(13, CASES, |case| {
         let mut r = rng(13, case);
         let kind = random_kind(&mut r);
         let len = r.gen_range(1usize..400);
@@ -281,12 +286,12 @@ fn writeback_accounting_is_conservative() {
         let stats = cache.run_ops(script.iter().map(|&(b, w)| (b * 64, w)));
         assert!(stats.writebacks <= stats.writes, "case {case}");
         assert_eq!(stats.accesses as usize, script.len(), "case {case}");
-    }
+    });
 }
 
 #[test]
 fn miss_ratio_is_between_zero_and_one() {
-    for case in 0..CASES {
+    check_cases(14, CASES, |case| {
         let mut r = rng(14, case);
         let kind = random_kind(&mut r);
         let script = random_script(256, 500, &mut r);
@@ -299,5 +304,5 @@ fn miss_ratio_is_between_zero_and_one() {
         );
         assert_eq!(stats.accesses, trace.len() as u64, "case {case}");
         assert_eq!(stats.hits + stats.misses, stats.accesses, "case {case}");
-    }
+    });
 }

@@ -1,0 +1,227 @@
+//! Edge-case tests for the adaptive vote/retry engine: tie-breaking,
+//! escalation, backoff accounting and exact budget boundaries, driven
+//! by a scripted oracle that replays a fixed event sequence.
+
+mod common;
+
+use cachekit::core::infer::{
+    CacheOracle, ConfigError, InferenceConfig, MeasureFault, MeasurementBudget, VotePlan,
+};
+
+/// An oracle that replays a fixed script of readings and faults, then
+/// repeats the final event forever. Lets every test pin the exact
+/// channel behaviour the engine sees.
+struct Scripted {
+    events: Vec<Result<usize, MeasureFault>>,
+    cursor: usize,
+}
+
+impl Scripted {
+    fn new(events: Vec<Result<usize, MeasureFault>>) -> Self {
+        assert!(!events.is_empty(), "script needs at least one event");
+        Self { events, cursor: 0 }
+    }
+
+    fn attempts(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl CacheOracle for Scripted {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        self.try_measure(warmup, probe).unwrap_or(0)
+    }
+
+    fn try_measure(&mut self, _: &[u64], _: &[u64]) -> Result<usize, MeasureFault> {
+        let event = self.events[self.cursor.min(self.events.len() - 1)];
+        self.cursor += 1;
+        event
+    }
+}
+
+fn budgeted(
+    plan: VotePlan,
+    script: Vec<Result<usize, MeasureFault>>,
+    budget: &mut MeasurementBudget,
+) -> (cachekit::core::infer::VoteOutcome, usize) {
+    let mut oracle = Scripted::new(script);
+    let out = plan.measure_budgeted(&mut oracle, &[], &[0], budget);
+    (out, oracle.attempts())
+}
+
+#[test]
+fn even_vote_ties_take_the_upper_median() {
+    // Two readings, no agreement: the engine must still pick
+    // deterministically — the upper median — and report the honest 50%
+    // confidence, not silently prefer either reading.
+    let (out, _) = budgeted(
+        VotePlan::of(2),
+        vec![Ok(1), Ok(2)],
+        &mut MeasurementBudget::unlimited(),
+    );
+    assert_eq!(out.value, 2);
+    assert_eq!(out.confidence, 0.5);
+    assert_eq!(out.readings, 2);
+    assert!(!out.exhausted);
+}
+
+#[test]
+fn adaptive_escalation_doubles_until_the_bar_or_the_cap() {
+    // Alternating readings never reach 90% agreement, so an adaptive
+    // 3→24 plan must escalate 3 → 6 → 12 → 24 and stop at the cap with
+    // the readings it has.
+    let script: Vec<_> = (0..64)
+        .map(|i| Ok(if i % 2 == 0 { 1 } else { 2 }))
+        .collect();
+    let mut budget = MeasurementBudget::unlimited();
+    let (out, attempts) = budgeted(
+        VotePlan::adaptive(3, 24).with_confidence(0.9),
+        script,
+        &mut budget,
+    );
+    assert_eq!(attempts, 24, "escalation stops exactly at the cap");
+    assert_eq!(out.readings, 24);
+    assert!(out.confidence < 0.9);
+    assert!(!out.exhausted, "hitting the cap is not budget exhaustion");
+    assert_eq!(budget.used(), 24);
+}
+
+#[test]
+fn adaptive_plan_stops_early_once_readings_agree() {
+    // A clean channel satisfies the default 2/3 bar with the initial
+    // repetitions — no escalation, no extra charge.
+    let script: Vec<_> = (0..32).map(|_| Ok(7)).collect();
+    let mut budget = MeasurementBudget::of(100);
+    let (out, attempts) = budgeted(VotePlan::adaptive(3, 24), script, &mut budget);
+    assert_eq!(attempts, 3);
+    assert_eq!((out.value, out.confidence), (7, 1.0));
+    assert_eq!(budget.remaining(), Some(97));
+}
+
+#[test]
+fn budget_exactly_covering_the_work_is_not_exhaustion() {
+    // 3 readings wanted, budget of exactly 3: the plan completes and the
+    // outcome must not be flagged exhausted. One attempt less flips it.
+    let script: Vec<_> = (0..8).map(|_| Ok(4)).collect();
+    let mut exact = MeasurementBudget::of(3);
+    let (out, _) = budgeted(VotePlan::of(3), script.clone(), &mut exact);
+    assert!(!out.exhausted);
+    assert_eq!(out.readings, 3);
+    assert!(exact.is_exhausted(), "budget is spent, outcome is complete");
+
+    let mut short = MeasurementBudget::of(2);
+    let (out, _) = budgeted(VotePlan::of(3), script, &mut short);
+    assert!(out.exhausted);
+    assert_eq!(out.readings, 2, "partial readings are kept");
+    assert_eq!((out.value, out.confidence), (4, 1.0));
+}
+
+#[test]
+fn faulted_attempts_charge_the_budget_too() {
+    // timeout, drop, then readings: a budget of 5 covers exactly
+    // 2 faults + 3 readings; a budget of 4 runs dry one reading short.
+    let script = vec![
+        Err(MeasureFault::Timeout),
+        Err(MeasureFault::Dropped),
+        Ok(2),
+        Ok(2),
+        Ok(2),
+    ];
+    let mut budget = MeasurementBudget::of(5);
+    let (out, _) = budgeted(VotePlan::of(3), script.clone(), &mut budget);
+    assert!(!out.exhausted);
+    assert_eq!((out.timeouts, out.dropped, out.readings), (1, 1, 3));
+
+    let mut short = MeasurementBudget::of(4);
+    let (out, _) = budgeted(VotePlan::of(3), script, &mut short);
+    assert!(out.exhausted);
+    assert_eq!(out.readings, 2);
+}
+
+#[test]
+fn timeout_backoff_grows_exponentially_and_resets_on_success() {
+    // 4 timeouts in a row consume 1+2+4+8 backoff slots; after the
+    // success resets the backoff, a further timeout costs 1 slot again.
+    let script = vec![
+        Err(MeasureFault::Timeout),
+        Err(MeasureFault::Timeout),
+        Err(MeasureFault::Timeout),
+        Err(MeasureFault::Timeout),
+        Ok(3),
+        Err(MeasureFault::Timeout),
+        Ok(3),
+        Ok(3),
+    ];
+    let (out, _) = budgeted(VotePlan::of(3), script, &mut MeasurementBudget::unlimited());
+    assert_eq!(out.timeouts, 5);
+    assert_eq!(out.backoff_slots, 1 + 2 + 4 + 8 + 1);
+    assert_eq!((out.value, out.confidence), (3, 1.0));
+}
+
+#[test]
+fn timeout_backoff_is_truncated_at_the_slot_cap() {
+    // A long timeout burst: per-wait slots double but must clamp at 64,
+    // so 10 consecutive timeouts cost 1+2+4+8+16+32+64+64+64+64 slots.
+    let mut script: Vec<_> = (0..10).map(|_| Err(MeasureFault::Timeout)).collect();
+    script.push(Ok(1));
+    let (out, _) = budgeted(
+        VotePlan::single(),
+        script,
+        &mut MeasurementBudget::unlimited(),
+    );
+    assert_eq!(out.timeouts, 10);
+    assert_eq!(out.backoff_slots, 1 + 2 + 4 + 8 + 16 + 32 + 64 * 4);
+}
+
+#[test]
+fn dropped_readings_are_retried_without_backoff() {
+    let script = vec![
+        Err(MeasureFault::Dropped),
+        Err(MeasureFault::Dropped),
+        Ok(9),
+    ];
+    let (out, attempts) = budgeted(
+        VotePlan::single(),
+        script,
+        &mut MeasurementBudget::unlimited(),
+    );
+    assert_eq!(attempts, 3);
+    assert_eq!((out.dropped, out.backoff_slots), (2, 0));
+    assert_eq!(out.value, 9);
+}
+
+#[test]
+fn all_faulted_channel_exhausts_with_an_empty_vote() {
+    // Nothing but timeouts: the engine must stop at the budget, report
+    // exhaustion and the honest zero-confidence empty outcome.
+    let script = vec![Err(MeasureFault::Timeout)];
+    let mut budget = MeasurementBudget::of(50);
+    let (out, attempts) = budgeted(VotePlan::of(3), script, &mut budget);
+    assert_eq!(attempts, 50);
+    assert!(out.exhausted);
+    assert_eq!((out.readings, out.value), (0, 0));
+    assert_eq!(out.confidence, 0.0);
+    assert_eq!(out.timeouts, 50);
+}
+
+#[test]
+fn discarded_vote_accounting_is_overflow_safe() {
+    // planned_accesses on absurd sizes saturates instead of wrapping —
+    // the overflow-safety contract behind the votes_discarded counters.
+    let plan = VotePlan::of(usize::MAX);
+    assert_eq!(plan.planned_accesses(usize::MAX, 1), u64::MAX);
+    assert_eq!(plan.planned_accesses(0, 0), 0);
+    assert_eq!(VotePlan::of(4).planned_accesses(3, 2), 20);
+}
+
+#[test]
+fn zero_repetition_configs_are_rejected_by_the_builder() {
+    let err = InferenceConfig::builder().repetitions(0).build();
+    assert!(matches!(err, Err(ConfigError::ZeroRepetitions)));
+}
+
+#[test]
+#[should_panic(expected = "need at least one repetition")]
+fn zero_repetition_vote_plans_are_rejected() {
+    let _ = VotePlan::of(0);
+}
