@@ -33,6 +33,12 @@ run cargo test -q
 run cargo test -q --release --test fault_differential --test vote_plan
 run cargo run --release -q -p cachekit-bench --bin fig11_robustness -- --smoke
 
+# Serving-layer smoke: bench-client hosts a server on an ephemeral
+# port, runs the cold/warm/load/saturation phases for ~2 s, and fails
+# on any degraded answer, missing 429 under saturation, sub-100x cache
+# speedup, or dropped job at drain.
+run cargo run --release -q -p cachekit-serve --bin bench-client -- --smoke
+
 # Offline build of the umbrella package specifically (regression guard
 # for the seed's original failure: manifests referencing crates.io).
 run cargo build --release -p cachekit --offline

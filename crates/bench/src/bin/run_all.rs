@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p cachekit-bench --bin run_all [-- --jobs N]`
 //! (`CACHEKIT_JOBS` is honoured when `--jobs` is not given.)
 
-use cachekit_bench::exec::run_experiments;
+use cachekit_bench::exec::{clean_stale_logs, run_experiments};
 
 const EXPERIMENTS: &[&str] = &[
     "table1_geometry",
@@ -65,6 +65,17 @@ fn main() {
     // The experiment binaries live next to this one.
     let mut bin_dir = std::env::current_exe().expect("own path");
     bin_dir.pop();
+
+    // Logs of removed/renamed binaries would otherwise sit in
+    // results/logs/ forever looking like fresh output.
+    let removed = clean_stale_logs(EXPERIMENTS);
+    if !removed.is_empty() {
+        println!(
+            "removed {} stale log(s) from results/logs/: {}",
+            removed.len(),
+            removed.join(", ")
+        );
+    }
 
     println!(
         "running {} experiments on {jobs} worker(s); logs in results/logs/",

@@ -65,6 +65,40 @@ pub fn logs_dir() -> PathBuf {
     dir.canonicalize().unwrap_or(dir)
 }
 
+/// Remove `*.log` files in `dir` whose stem is not one of `known`,
+/// returning the removed names (sorted). `run_all` calls this at
+/// startup so logs of removed or renamed experiment binaries do not
+/// linger and masquerade as fresh output. Non-log files and unreadable
+/// entries are left alone.
+pub fn clean_stale_logs_in(dir: &std::path::Path, known: &[&str]) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut removed = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("log") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if known.contains(&stem) {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            removed.push(stem.to_owned());
+        }
+    }
+    removed.sort();
+    removed
+}
+
+/// [`clean_stale_logs_in`] on the shared `results/logs/` directory.
+pub fn clean_stale_logs(known: &[&str]) -> Vec<String> {
+    clean_stale_logs_in(&logs_dir(), known)
+}
+
 /// Run one experiment binary, streaming stdout to
 /// `results/logs/<name>.log` as it is produced and appending stderr
 /// (also kept for the tail) when the child exits.
@@ -164,6 +198,32 @@ mod tests {
         assert!(!outcome.ok);
         assert_eq!(outcome.exit_code, None);
         assert!(outcome.stderr_tail[0].contains("spawn failed"));
+    }
+
+    #[test]
+    fn stale_logs_are_removed_and_known_ones_kept() {
+        let dir = std::env::temp_dir().join(format!(
+            "cachekit_stale_logs_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("known.log"), "keep").unwrap();
+        std::fs::write(dir.join("zombie.log"), "stale").unwrap();
+        std::fs::write(dir.join("ancient.log"), "stale").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a log").unwrap();
+        let removed = clean_stale_logs_in(&dir, &["known"]);
+        assert_eq!(removed, vec!["ancient".to_owned(), "zombie".to_owned()]);
+        assert!(dir.join("known.log").exists());
+        assert!(dir.join("notes.txt").exists(), "non-logs untouched");
+        assert!(!dir.join("zombie.log").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cleaning_a_missing_dir_is_a_noop() {
+        let dir = std::env::temp_dir().join("cachekit_no_such_log_dir");
+        assert!(clean_stale_logs_in(&dir, &["x"]).is_empty());
     }
 
     #[test]

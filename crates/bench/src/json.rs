@@ -1,12 +1,22 @@
-//! Minimal JSON value type and serializer (no external dependencies).
+//! Minimal JSON value type, serializer, and parser (no external
+//! dependencies).
 //!
 //! The experiment harness must emit machine-readable `results/*.json`
 //! records on machines without access to crates.io, so instead of
 //! `serde_json` it builds [`Json`] values by hand (or with the
 //! [`jobj!`](crate::jobj) macro) and pretty-prints them. Object key
 //! order is insertion order, so records are stable across runs.
+//!
+//! [`Json::parse`] is the inverse: a recursive-descent parser used by
+//! the serving layer (`cachekit-serve`) to decode request bodies and by
+//! tooling that reads the result records back. It accepts standard JSON
+//! (objects, arrays, strings with escapes, numbers, booleans, `null`)
+//! and rejects trailing garbage; duplicate object keys keep their last
+//! value.
 
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -41,6 +51,74 @@ impl Json {
         match self {
             Json::Obj(pairs) => pairs.push((key.into(), value.into())),
             other => panic!("insert on non-object Json: {other:?}"),
+        }
+    }
+
+    /// Parse a JSON document. The whole input must be one value
+    /// (surrounding whitespace is allowed); see the module docs for the
+    /// accepted grammar.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object by key (`None` for missing keys and
+    /// non-objects). The *last* entry wins when a key repeats, matching
+    /// the parser.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if this is a number
+    /// holding one exactly (no fraction, no sign, at most 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.trunc() == *x && *x <= 9.0e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -159,6 +237,246 @@ fn write_string(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Why [`Json::parse`] rejected its input, with the byte offset of the
+/// offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Error for JsonParseError {}
+
+/// Nesting depth beyond which the parser refuses to recurse (guards the
+/// stack against adversarial request bodies).
+const MAX_PARSE_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?;
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape \\{:?}", other as char))),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("raw control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence starting one byte back is valid — decode
+                    // it via the str machinery.
+                    let start = self.pos - 1;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = text.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ascii");
+        let x: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("bad number {text:?}")))?;
+        if !x.is_finite() {
+            return Err(self.err(format!("number out of range {text:?}")));
+        }
+        Ok(Json::Num(x))
+    }
 }
 
 impl From<bool> for Json {
@@ -283,5 +601,84 @@ mod tests {
     fn empty_containers_stay_on_one_line() {
         assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
         assert_eq!(Json::Obj(vec![]).to_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_values() {
+        let original = jobj! {
+            "null": Json::Null,
+            "flag": true,
+            "n": 42u64,
+            "x": -0.125,
+            "s": "a\"b\\c\nd\te\u{1}π",
+            "arr": vec![1, 2, 3],
+            "obj": jobj! { "inner": "v" },
+            "empty_arr": Json::Arr(vec![]),
+            "empty_obj": Json::Obj(vec![]),
+        };
+        for text in [original.to_compact(), original.to_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_surrogate_pairs() {
+        let j = Json::parse(r#""a\u00e9\ud83d\ude00\/b""#).unwrap();
+        assert_eq!(j.as_str(), Some("aé😀/b"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nan",
+            "\"\\ud800\"",
+            "01x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "input {bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_surrounding_whitespace_and_numbers() {
+        assert_eq!(Json::parse(" \n 7 ").unwrap(), Json::Num(7.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("-2.5e-1").unwrap(), Json::Num(-0.25));
+    }
+
+    #[test]
+    fn accessors_view_the_expected_variants() {
+        let j = Json::parse(r#"{"s":"x","n":3,"b":true,"a":[1],"n2":-1,"f":1.5}"#).unwrap();
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("n2").and_then(Json::as_u64), None, "negative");
+        assert_eq!(j.get("f").and_then(Json::as_u64), None, "fractional");
+        assert_eq!(j.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(j.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            j.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("s"), None);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let j = Json::parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(j.get("k").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
     }
 }

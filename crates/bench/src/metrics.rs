@@ -17,10 +17,16 @@ use cachekit_obs::Snapshot;
 ///   "counter_totals": { "oracle.measurements": 421 },
 ///   "spans": { "infer_geometry": { "count": 1, "total_ns": 12000,
 ///              "min_ns": 12000, "max_ns": 12000 } },
-///   "histograms": { "par_map.worker_items": { "total": 8, "buckets":
+///   "histograms": { "par_map.worker_items": { "total": 8,
+///              "p50": 5, "p95": 7, "p99": 7, "buckets":
 ///              [ { "lo": 4, "hi": 7, "count": 8 } ] } }
 /// }
 /// ```
+///
+/// The `p50`/`p95`/`p99` fields are
+/// [`Histogram::quantile`](cachekit_obs::Histogram::quantile) estimates
+/// (exact up to log2-bucket resolution), so every artifact's worker-pool
+/// and latency distributions carry their tail percentiles directly.
 pub fn metrics_to_json(snapshot: &Snapshot) -> Json {
     let counters = Json::object(
         snapshot
@@ -73,6 +79,9 @@ pub fn metrics_to_json(snapshot: &Snapshot) -> Json {
                     name.clone(),
                     Json::object(vec![
                         ("total", Json::from(h.total())),
+                        ("p50", Json::from(h.quantile(0.50))),
+                        ("p95", Json::from(h.quantile(0.95))),
+                        ("p99", Json::from(h.quantile(0.99))),
                         ("buckets", Json::Arr(buckets)),
                     ]),
                 )
@@ -132,7 +141,26 @@ mod tests {
             compact.contains("\"phase\":{\"count\":1,\"total_ns\":10,\"min_ns\":10,\"max_ns\":10}")
         );
         assert!(compact.contains(
-            "\"par_map.worker_items\":{\"total\":2,\"buckets\":[{\"lo\":4,\"hi\":7,\"count\":2}]}"
+            "\"par_map.worker_items\":{\"total\":2,\"p50\":4,\"p95\":7,\"p99\":7,\
+             \"buckets\":[{\"lo\":4,\"hi\":7,\"count\":2}]}"
         ));
+    }
+
+    #[test]
+    fn histogram_percentiles_match_quantile() {
+        let mut snap = Snapshot::default();
+        snap.histograms.insert(
+            "h".to_owned(),
+            Histogram {
+                buckets: vec![HistBucket {
+                    lo: 8,
+                    hi: 15,
+                    count: 1,
+                }],
+            },
+        );
+        let compact = metrics_to_json(&snap).to_compact();
+        // A single recording reports its bucket lo at every percentile.
+        assert!(compact.contains("\"p50\":8,\"p95\":8,\"p99\":8"));
     }
 }

@@ -17,6 +17,33 @@ pub enum ReadoutSearch {
     Linear,
 }
 
+impl fmt::Display for ReadoutSearch {
+    /// The canonical lowercase name (`"binary"` / `"linear"`) used by
+    /// the serving protocol and CLI.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReadoutSearch::Binary => "binary",
+            ReadoutSearch::Linear => "linear",
+        })
+    }
+}
+
+impl std::str::FromStr for ReadoutSearch {
+    type Err = String;
+
+    /// Parse `"binary"` / `"linear"` (case-insensitive) — the inverse
+    /// of [`Display`](ReadoutSearch#impl-Display-for-ReadoutSearch).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "binary" => Ok(ReadoutSearch::Binary),
+            "linear" => Ok(ReadoutSearch::Linear),
+            other => Err(format!(
+                "unknown readout search {other:?} (expected \"binary\" or \"linear\")"
+            )),
+        }
+    }
+}
+
 /// Tuning knobs for the reverse-engineering pipeline.
 ///
 /// The defaults work for the virtual CPUs of `cachekit-hw`; on a noisier
@@ -540,6 +567,16 @@ mod tests {
             Err(ThresholdOutOfRange(t)) if t.is_nan()
         ));
         assert_eq!(b().validation_rounds(0).build(), Err(ZeroValidationRounds));
+    }
+
+    #[test]
+    fn readout_search_round_trips_through_strings() {
+        for search in [ReadoutSearch::Binary, ReadoutSearch::Linear] {
+            let name = search.to_string();
+            assert_eq!(name.parse::<ReadoutSearch>(), Ok(search));
+            assert_eq!(name.to_uppercase().parse::<ReadoutSearch>(), Ok(search));
+        }
+        assert!("quadratic".parse::<ReadoutSearch>().is_err());
     }
 
     #[test]

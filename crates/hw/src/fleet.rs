@@ -106,6 +106,20 @@ pub fn all() -> Vec<VirtualCpu> {
     ]
 }
 
+/// The names [`by_name`] accepts, in the order of the paper's tables —
+/// for validating a name without paying to construct the machine.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "atom_d525",
+        "core2_e6300",
+        "core2_e6750",
+        "core2_e8400",
+        "mystery_rand",
+        "nehalem_3level",
+        "sliced_llc",
+    ]
+}
+
 /// A fleet member by name.
 pub fn by_name(name: &str) -> Option<VirtualCpu> {
     match name {

@@ -69,6 +69,42 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.buckets.iter().map(|b| b.count).sum()
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) of the recorded
+    /// distribution, or `None` when nothing was recorded.
+    ///
+    /// The estimate is exact up to bucket resolution: the rank
+    /// `max(1, ceil(q * total))` is located in its bucket, and the value
+    /// is linearly interpolated across the bucket's inclusive `[lo, hi]`
+    /// range (a bucket holding one value reports its `lo`). Quantiles of
+    /// singleton buckets (`lo == hi`, e.g. exact powers of two at the
+    /// bucket boundary) are therefore exact — the property the boundary
+    /// tests below pin down. `q <= 0` reports the smallest bucket's `lo`;
+    /// `q >= 1` the largest bucket's `hi`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        if q >= 1.0 {
+            return self.buckets.last().map(|b| b.hi);
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut before = 0u64;
+        for b in &self.buckets {
+            if before + b.count >= rank {
+                let k = rank - before; // 1-based position within the bucket
+                let est = if b.count <= 1 {
+                    b.lo
+                } else {
+                    b.lo + (b.hi - b.lo) * (k - 1) / (b.count - 1)
+                };
+                return Some(est);
+            }
+            before += b.count;
+        }
+        self.buckets.last().map(|b| b.hi)
+    }
 }
 
 /// Mutable accumulation state; lives per-thread (the shard) and once
@@ -214,6 +250,62 @@ mod tests {
         s.add_counter("oracle.measurements".into(), 1);
         let totals = s.snapshot().counter_totals();
         assert_eq!(totals["oracle.measurements"], 11);
+    }
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut s = Store::default();
+        for &v in values {
+            s.record_hist("h", v);
+        }
+        s.snapshot().histograms["h"].clone()
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_boundaries() {
+        // 1..=8 fills buckets [1,1]:1, [2,3]:2, [4,7]:4, [8,15]:1.
+        let h = hist_of(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        // rank 1 lands in the singleton [1,1] bucket: exact.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.125), Some(1));
+        // rank 4 is the first value of the [4,7] bucket: its lo, exact.
+        assert_eq!(h.quantile(0.5), Some(4));
+        // rank 7 is the last value of [4,7]: its hi, exact.
+        assert_eq!(h.quantile(0.875), Some(7));
+        // rank 8 is the only value of [8,15]: its lo, exact.
+        assert_eq!(h.quantile(0.9375), Some(8));
+        assert_eq!(h.quantile(1.0), Some(15), "q=1 reports the bucket hi");
+    }
+
+    #[test]
+    fn quantile_interpolates_inside_a_bucket() {
+        // Four values in the [4,7] bucket interpolate 4, 5, 6, 7.
+        let h = hist_of(&[4, 5, 6, 7]);
+        assert_eq!(h.quantile(0.25), Some(4));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(0.75), Some(6));
+        assert_eq!(h.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn quantile_of_a_single_recording_reports_its_bucket_lo() {
+        let h = hist_of(&[0]);
+        assert_eq!(h.quantile(0.5), Some(0));
+        let h = hist_of(&[64]);
+        for q in [0.0, 0.5, 0.99] {
+            assert_eq!(h.quantile(q), Some(64), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = hist_of(&[16, 32]);
+        assert_eq!(h.quantile(-1.0), Some(16));
+        assert_eq!(h.quantile(2.0), Some(63), "hi of the [32,63] bucket");
     }
 
     #[test]

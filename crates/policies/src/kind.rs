@@ -166,6 +166,62 @@ impl PolicyKind {
         kinds.push(PolicyKind::Slru { protected: 2 });
         kinds
     }
+
+    /// Parse a policy name back into a kind — the inverse of
+    /// [`label`](Self::label), shared by the CLI and the serving
+    /// protocol so both accept the same spellings.
+    ///
+    /// Accepts the canonical labels (`"SLRU-2"`, `"BIP-1/32"`,
+    /// `"SRRIP-2"`, `"BRRIP-2-1/32"`), case-insensitively, plus the
+    /// plain aliases `PLRU`/`TREEPLRU`, `BITPLRU`/`MRU`, and bare
+    /// `BIP`/`BRRIP`/`SRRIP` (default parameters: throttle 32, 2 RRPV
+    /// bits). `"Random"` carries no seed in its label, so it parses to
+    /// the evaluation seed `0x5eed`; every kind in
+    /// [`differential_kinds`](Self::differential_kinds) round-trips
+    /// through `label` → `parse_label` exactly.
+    pub fn parse_label(name: &str) -> Option<PolicyKind> {
+        let upper = name.trim().to_ascii_uppercase();
+        let parsed = match upper.as_str() {
+            "LRU" => PolicyKind::Lru,
+            "FIFO" => PolicyKind::Fifo,
+            "PLRU" | "TREEPLRU" => PolicyKind::TreePlru,
+            "BITPLRU" | "MRU" => PolicyKind::BitPlru,
+            "NRU" => PolicyKind::Nru,
+            "CLOCK" => PolicyKind::Clock,
+            "LIP" => PolicyKind::Lip,
+            "BIP" => PolicyKind::Bip { throttle: 32 },
+            "SRRIP" => PolicyKind::Srrip { bits: 2 },
+            "BRRIP" => PolicyKind::Brrip {
+                bits: 2,
+                throttle: 32,
+            },
+            "RANDOM" => PolicyKind::Random { seed: 0x5eed },
+            "LAZYLRU" => PolicyKind::LazyLru,
+            _ => {
+                if let Some(rest) = upper.strip_prefix("SLRU-") {
+                    let protected: usize = rest.parse().ok()?;
+                    PolicyKind::Slru { protected }
+                } else if let Some(rest) = upper.strip_prefix("BIP-1/") {
+                    let throttle: u32 = rest.parse().ok()?;
+                    (throttle > 0).then_some(PolicyKind::Bip { throttle })?
+                } else if let Some(rest) = upper.strip_prefix("SRRIP-") {
+                    let bits: u8 = rest.parse().ok()?;
+                    (1..=7)
+                        .contains(&bits)
+                        .then_some(PolicyKind::Srrip { bits })?
+                } else if let Some(rest) = upper.strip_prefix("BRRIP-") {
+                    let (bits, throttle) = rest.split_once("-1/")?;
+                    let bits: u8 = bits.parse().ok()?;
+                    let throttle: u32 = throttle.parse().ok()?;
+                    ((1..=7).contains(&bits) && throttle > 0)
+                        .then_some(PolicyKind::Brrip { bits, throttle })?
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(parsed)
+    }
 }
 
 /// Cheap seed mixer (splitmix64 finalizer) so per-set RNG streams differ.
@@ -204,6 +260,42 @@ mod tests {
         let va: Vec<usize> = (0..32).map(|_| a.victim()).collect();
         let vb: Vec<usize> = (0..32).map(|_| b.victim()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse_label() {
+        for kind in PolicyKind::differential_kinds() {
+            assert_eq!(
+                PolicyKind::parse_label(&kind.label()),
+                Some(kind),
+                "label {:?}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_label_accepts_aliases_and_rejects_junk() {
+        assert_eq!(
+            PolicyKind::parse_label("treeplru"),
+            Some(PolicyKind::TreePlru)
+        );
+        assert_eq!(PolicyKind::parse_label("MRU"), Some(PolicyKind::BitPlru));
+        assert_eq!(
+            PolicyKind::parse_label("bip"),
+            Some(PolicyKind::Bip { throttle: 32 })
+        );
+        assert_eq!(
+            PolicyKind::parse_label(" slru-3 "),
+            Some(PolicyKind::Slru { protected: 3 })
+        );
+        assert_eq!(
+            PolicyKind::parse_label("SRRIP-9"),
+            None,
+            "bits out of range"
+        );
+        assert_eq!(PolicyKind::parse_label("BIP-1/0"), None, "zero throttle");
+        assert_eq!(PolicyKind::parse_label("NOPE"), None);
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! `bench-client`: the load generator for `cachekit-serve`.
+//!
+//! Runs a three-phase measurement against a server — by default one it
+//! hosts in-process on an ephemeral port, so a single command is a
+//! self-contained benchmark (that is what the CI smoke stage runs):
+//!
+//! 1. **cold** — a seeded mix of distinct queries, all cache misses;
+//! 2. **warm** — the same mix replayed closed-loop: asserts cache hits,
+//!    byte-identical bodies, and the ≥100× service-time speedup of a
+//!    hit over cold inference;
+//! 3. **load** — open- or closed-loop traffic for `--duration`
+//!    seconds, reporting throughput and latency percentiles;
+//! 4. **saturation** (self-hosted only) — a deliberately tiny server
+//!    (one worker, queue depth 2) bombarded concurrently: expects
+//!    `429 Retry-After` refusals, tolerates `503` sheds, and requires
+//!    a drain with zero dropped jobs.
+//!
+//! The report lands in `results/serve_load.json`
+//! (`results/serve_load_smoke.json` with `--smoke`).
+//!
+//! ```text
+//! bench-client [--smoke] [--addr HOST:PORT] [--duration SECS]
+//!              [--conns N] [--mode open|closed] [--rate REQ_PER_SEC]
+//!              [--seed N]
+//! ```
+
+use cachekit_bench::json::Json;
+use cachekit_bench::{Runner, Table};
+use cachekit_serve::http::client::Connection;
+use cachekit_serve::server::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One query in the seeded mix.
+#[derive(Clone)]
+struct MixEntry {
+    body: String,
+    /// `true` for `infer` queries — the subset the speedup gate uses.
+    is_infer: bool,
+}
+
+/// What one issued request came back as.
+struct Sample {
+    status: u16,
+    service_us: u64,
+    latency_us: u64,
+    cache: Option<String>,
+    body: Vec<u8>,
+    mix_index: usize,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seeded request mix: a few cheap shapes plus distinct `infer`
+/// queries (the expensive, cache-benefiting kind).
+fn build_mix(seed: u64, smoke: bool) -> Vec<MixEntry> {
+    let mut entries = Vec::new();
+    let mut state = seed;
+    let infer_cpus: &[(&str, &str)] = if smoke {
+        &[("atom_d525", "l1")]
+    } else {
+        &[
+            ("atom_d525", "l1"),
+            ("atom_d525", "l2"),
+            ("core2_e6300", "l1"),
+        ]
+    };
+    for (cpu, level) in infer_cpus {
+        let salt = splitmix(&mut state) % 1000;
+        entries.push(MixEntry {
+            body: format!(r#"{{"type":"infer","cpu":"{cpu}","level":"{level}","seed":{salt}}}"#),
+            is_infer: true,
+        });
+    }
+    for policy in ["LRU", "FIFO", "PLRU", "NRU"] {
+        entries.push(MixEntry {
+            body: format!(r#"{{"type":"distances","policy":"{policy}","assoc":8}}"#),
+            is_infer: false,
+        });
+    }
+    for (policy, workload) in [
+        ("LRU", "seq_stream"),
+        ("PLRU", "zipf_hot"),
+        ("LIP", "thrash_loop"),
+    ] {
+        let salt = splitmix(&mut state) % 1000;
+        entries.push(MixEntry {
+            body: format!(
+                r#"{{"type":"simulate","policy":"{policy}","capacity":65536,"assoc":8,
+                    "workload":"{workload}","seed":{salt}}}"#
+            )
+            .replace(char::is_whitespace, ""),
+            is_infer: false,
+        });
+    }
+    entries.push(MixEntry {
+        body: r#"{"type":"workloads","capacity":65536}"#.to_owned(),
+        is_infer: false,
+    });
+    entries
+}
+
+fn issue(conn: &mut Connection, mix: &[MixEntry], index: usize) -> std::io::Result<Sample> {
+    let started = Instant::now();
+    let resp = conn.post_json("/v1/query", &mix[index].body)?;
+    let latency_us = started.elapsed().as_micros() as u64;
+    Ok(Sample {
+        status: resp.status,
+        service_us: resp
+            .header("x-service-us")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(latency_us),
+        latency_us,
+        cache: resp.header("x-cache").map(str::to_owned),
+        body: resp.body,
+        mix_index: index,
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn latency_json(samples_us: &mut [u64]) -> Json {
+    samples_us.sort_unstable();
+    Json::object(vec![
+        ("count", Json::from(samples_us.len())),
+        ("p50_us", Json::from(percentile(samples_us, 0.50))),
+        ("p95_us", Json::from(percentile(samples_us, 0.95))),
+        ("p99_us", Json::from(percentile(samples_us, 0.99))),
+        (
+            "max_us",
+            Json::from(samples_us.last().copied().unwrap_or(0)),
+        ),
+    ])
+}
+
+struct Flags {
+    smoke: bool,
+    addr: Option<String>,
+    duration: Duration,
+    conns: usize,
+    open_loop: bool,
+    rate: f64,
+    seed: u64,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        smoke: false,
+        addr: None,
+        duration: Duration::from_secs(10),
+        conns: 4,
+        open_loop: false,
+        rate: 200.0,
+        seed: 42,
+    };
+    let mut duration_set = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--addr" => flags.addr = Some(value("--addr")?),
+            "--duration" => {
+                flags.duration = Duration::from_secs_f64(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|_| "--duration: bad number")?,
+                );
+                duration_set = true;
+            }
+            "--conns" => {
+                flags.conns = value("--conns")?
+                    .parse()
+                    .map_err(|_| "--conns: bad number")?
+            }
+            "--mode" => {
+                flags.open_loop = match value("--mode")?.as_str() {
+                    "open" => true,
+                    "closed" => false,
+                    other => return Err(format!("--mode: {other:?} is not open|closed")),
+                }
+            }
+            "--rate" => flags.rate = value("--rate")?.parse().map_err(|_| "--rate: bad number")?,
+            "--seed" => flags.seed = value("--seed")?.parse().map_err(|_| "--seed: bad number")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if flags.smoke && !duration_set {
+        flags.duration = Duration::from_secs(2);
+    }
+    if flags.conns == 0 {
+        return Err("--conns must be at least 1".to_owned());
+    }
+    Ok(flags)
+}
+
+/// Issue every mix entry once per connection, split round-robin.
+fn run_phase_once(addr: &str, mix: &[MixEntry], conns: usize) -> Result<Vec<Sample>, String> {
+    let results: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for conn_index in 0..conns {
+            let results = &results;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut conn = Connection::open(addr).map_err(|e| e.to_string())?;
+                let mut mine = Vec::new();
+                for index in (conn_index..mix.len()).step_by(conns) {
+                    mine.push(issue(&mut conn, mix, index).map_err(|e| e.to_string())?);
+                }
+                results.lock().unwrap().extend(mine);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().map_err(|_| "phase thread panicked")??;
+        }
+        Ok(())
+    })?;
+    Ok(results.into_inner().unwrap())
+}
+
+/// Sustained traffic for `duration`: closed-loop (back-to-back) or
+/// open-loop (paced at `rate` requests/second split across
+/// connections).
+fn run_load_phase(
+    addr: &str,
+    mix: &[MixEntry],
+    flags: &Flags,
+) -> Result<(Vec<Sample>, f64, u64), String> {
+    let results: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    let lagged = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for conn_index in 0..flags.conns {
+            let results = &results;
+            let lagged = &lagged;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut conn = Connection::open(addr).map_err(|e| e.to_string())?;
+                let mut state = flags.seed ^ (conn_index as u64).wrapping_mul(0xdead_beef);
+                let per_conn_rate = flags.rate / flags.conns as f64;
+                let pace = Duration::from_secs_f64(1.0 / per_conn_rate.max(0.001));
+                let mut next_fire = Instant::now();
+                let mut mine = Vec::new();
+                while started.elapsed() < flags.duration {
+                    if flags.open_loop {
+                        let now = Instant::now();
+                        if now < next_fire {
+                            std::thread::sleep(next_fire - now);
+                        } else if now > next_fire + pace {
+                            // A blocked connection can't keep an open
+                            // loop's schedule; count the slip instead
+                            // of silently becoming closed-loop.
+                            lagged.fetch_add(1, Ordering::Relaxed);
+                        }
+                        next_fire += pace;
+                    }
+                    let index = (splitmix(&mut state) as usize) % mix.len();
+                    mine.push(issue(&mut conn, mix, index).map_err(|e| e.to_string())?);
+                }
+                results.lock().unwrap().extend(mine);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().map_err(|_| "load thread panicked")??;
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok((
+        results.into_inner().unwrap(),
+        elapsed,
+        lagged.load(Ordering::Relaxed),
+    ))
+}
+
+/// The saturation phase: a tiny dedicated server, hammered with more
+/// concurrency than it admits.
+fn run_saturation_phase(seed: u64) -> Result<Json, String> {
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 1,
+        queue_depth: 2,
+        cache_capacity: 0, // every request must reach admission
+        deadline: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("saturation server: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    let statuses: Mutex<Vec<(u16, Option<u64>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for lane in 0..8u64 {
+            let addr = &addr;
+            let statuses = &statuses;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut conn = Connection::open(addr).map_err(|e| e.to_string())?;
+                // Distinct seeds defeat caching and make every request
+                // a real ~90 ms inference job.
+                let body = format!(
+                    r#"{{"type":"infer","cpu":"atom_d525","level":"l2","seed":{}}}"#,
+                    seed.wrapping_add(lane)
+                );
+                let resp = conn
+                    .post_json("/v1/query", &body)
+                    .map_err(|e| e.to_string())?;
+                let retry_after = resp.header("retry-after").and_then(|v| v.parse().ok());
+                statuses.lock().unwrap().push((resp.status, retry_after));
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().map_err(|_| "saturation thread panicked")??;
+        }
+        Ok(())
+    })?;
+
+    let report = handle.shutdown();
+    let statuses = statuses.into_inner().unwrap();
+    let ok = statuses.iter().filter(|(s, _)| *s == 200).count();
+    let throttled = statuses.iter().filter(|(s, _)| *s == 429).count();
+    let shed = statuses.iter().filter(|(s, _)| *s == 503).count();
+    let unexpected = statuses.len() - ok - throttled - shed;
+
+    if throttled == 0 {
+        return Err("saturation produced no 429s".to_owned());
+    }
+    if statuses
+        .iter()
+        .any(|(s, retry)| *s == 429 && retry.is_none())
+    {
+        return Err("a 429 arrived without Retry-After".to_owned());
+    }
+    if unexpected > 0 {
+        return Err(format!("unexpected statuses: {statuses:?}"));
+    }
+    if report.submitted != report.completed {
+        return Err(format!(
+            "drain dropped jobs: submitted {}, completed {}",
+            report.submitted, report.completed
+        ));
+    }
+    Ok(Json::object(vec![
+        ("requests", Json::from(statuses.len())),
+        ("ok", Json::from(ok)),
+        ("throttled_429", Json::from(throttled)),
+        ("shed_503", Json::from(shed)),
+        ("drain_submitted", Json::from(report.submitted)),
+        ("drain_completed", Json::from(report.completed)),
+    ]))
+}
+
+fn run(flags: &Flags) -> Result<(), String> {
+    let self_hosted = flags.addr.is_none();
+    let handle = if self_hosted {
+        Some(Server::start(ServeConfig::default()).map_err(|e| format!("server: {e}"))?)
+    } else {
+        None
+    };
+    let addr = match &flags.addr {
+        Some(addr) => addr.clone(),
+        None => handle
+            .as_ref()
+            .expect("self-hosted handle")
+            .addr()
+            .to_string(),
+    };
+    let mix = build_mix(flags.seed, flags.smoke);
+    println!(
+        "bench-client: {} queries/mix against {addr} ({})",
+        mix.len(),
+        if self_hosted {
+            "self-hosted"
+        } else {
+            "external"
+        },
+    );
+
+    // Phase 1: cold.
+    let cold = run_phase_once(&addr, &mix, flags.conns)?;
+    for sample in &cold {
+        if sample.status != 200 {
+            return Err(format!(
+                "cold query {:?} got status {}",
+                mix[sample.mix_index].body, sample.status
+            ));
+        }
+    }
+    let cold_bodies: HashMap<usize, Vec<u8>> =
+        cold.iter().map(|s| (s.mix_index, s.body.clone())).collect();
+    let cold_infer_service: Vec<u64> = cold
+        .iter()
+        .filter(|s| mix[s.mix_index].is_infer && s.cache.as_deref() == Some("miss"))
+        .map(|s| s.service_us)
+        .collect();
+
+    // Phase 2: warm replay.
+    let warm = run_phase_once(&addr, &mix, flags.conns)?;
+    let mut warm_hits = 0usize;
+    let mut warm_infer_service = Vec::new();
+    for sample in &warm {
+        if sample.status != 200 {
+            return Err(format!("warm query got status {}", sample.status));
+        }
+        if sample.cache.as_deref() == Some("hit") {
+            warm_hits += 1;
+            if sample.body != cold_bodies[&sample.mix_index] {
+                return Err(format!(
+                    "cache hit body differs from cold body for {:?}",
+                    mix[sample.mix_index].body
+                ));
+            }
+            if mix[sample.mix_index].is_infer {
+                warm_infer_service.push(sample.service_us);
+            }
+        }
+    }
+    if self_hosted && warm_hits < mix.len() {
+        return Err(format!("warm phase hit {warm_hits}/{} queries", mix.len()));
+    }
+
+    // The acceptance gate: a cache hit beats cold inference ≥100× on
+    // server-side service time (medians; headers, so cached bodies
+    // stay bit-identical).
+    let speedup = if !cold_infer_service.is_empty() && !warm_infer_service.is_empty() {
+        let mut cold_sorted = cold_infer_service.clone();
+        let mut warm_sorted = warm_infer_service.clone();
+        cold_sorted.sort_unstable();
+        warm_sorted.sort_unstable();
+        let cold_p50 = percentile(&cold_sorted, 0.5).max(1);
+        let warm_p50 = percentile(&warm_sorted, 0.5).max(1);
+        let ratio = cold_p50 as f64 / warm_p50 as f64;
+        println!(
+            "speedup: cold infer p50 {cold_p50} µs / warm hit p50 {warm_p50} µs = {ratio:.0}x"
+        );
+        if self_hosted && ratio < 100.0 {
+            return Err(format!("cache speedup {ratio:.1}x is below the 100x gate"));
+        }
+        Some(ratio)
+    } else {
+        None
+    };
+
+    // Phase 3: sustained load.
+    let (load, elapsed, lagged) = run_load_phase(&addr, &mix, flags)?;
+    let throughput = load.len() as f64 / elapsed.max(1e-9);
+    let bad = load
+        .iter()
+        .filter(|s| !matches!(s.status, 200 | 429 | 503))
+        .count();
+    if bad > 0 {
+        return Err(format!("{bad} load responses outside 200/429/503"));
+    }
+    let load_ok = load.iter().filter(|s| s.status == 200).count();
+    let load_429 = load.iter().filter(|s| s.status == 429).count();
+    println!(
+        "load: {} requests in {elapsed:.2}s = {throughput:.0} req/s \
+         ({load_ok} ok, {load_429} throttled)",
+        load.len()
+    );
+
+    // Phase 4: saturation (needs its own tiny server).
+    let saturation = if self_hosted {
+        let result = run_saturation_phase(flags.seed)?;
+        println!("saturation: {}", result.to_compact());
+        Some(result)
+    } else {
+        None
+    };
+
+    // Drain the main server.
+    let drain = match handle {
+        Some(handle) => {
+            let report = handle.shutdown();
+            if report.submitted != report.completed {
+                return Err(format!(
+                    "main server drain dropped jobs: {} submitted, {} completed",
+                    report.submitted, report.completed
+                ));
+            }
+            Some(report)
+        }
+        None => None,
+    };
+
+    // Report.
+    let mut runner = Runner::new(if flags.smoke {
+        "serve_load_smoke"
+    } else {
+        "serve_load"
+    })
+    .with_seed(flags.seed)
+    .with_jobs(flags.conns);
+    runner.count("cold_requests", cold.len() as u64);
+    runner.count("warm_requests", warm.len() as u64);
+    runner.count("warm_hits", warm_hits as u64);
+    runner.count("load_requests", load.len() as u64);
+    runner.count("load_throttled", load_429 as u64);
+
+    let mut table = Table::new(
+        "serve load phases",
+        &["phase", "requests", "p50 µs", "p95 µs", "p99 µs"],
+    );
+    let mut phase_rows = vec![
+        (
+            "cold",
+            cold.iter().map(|s| s.latency_us).collect::<Vec<_>>(),
+        ),
+        ("warm", warm.iter().map(|s| s.latency_us).collect()),
+        ("load", load.iter().map(|s| s.latency_us).collect()),
+    ];
+    let mut extra_phases = Vec::new();
+    for (name, samples) in &mut phase_rows {
+        samples.sort_unstable();
+        table.row(vec![
+            (*name).to_owned(),
+            samples.len().to_string(),
+            percentile(samples, 0.50).to_string(),
+            percentile(samples, 0.95).to_string(),
+            percentile(samples, 0.99).to_string(),
+        ]);
+        extra_phases.push(((*name).to_owned(), latency_json(samples)));
+    }
+
+    let extra = Json::object(vec![
+        (
+            "mode",
+            Json::from(if flags.open_loop { "open" } else { "closed" }),
+        ),
+        ("self_hosted", Json::from(self_hosted)),
+        ("duration_s", Json::Num(elapsed)),
+        ("throughput_rps", Json::Num(throughput)),
+        ("open_loop_lagged", Json::from(lagged)),
+        ("phases", Json::Obj(extra_phases.into_iter().collect())),
+        (
+            "cache_speedup",
+            Json::from(speedup.map(|s| s.round() as u64)),
+        ),
+        ("saturation", saturation.unwrap_or(Json::Null)),
+        (
+            "drain",
+            match drain {
+                Some(r) => Json::object(vec![
+                    ("submitted", Json::from(r.submitted)),
+                    ("completed", Json::from(r.completed)),
+                    ("rejected", Json::from(r.rejected)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    let path = runner.finish(&table, extra);
+    println!("report: {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench-client: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Request execution: the bridge from a validated [`Request`] to a
+//! deterministic JSON result body.
+//!
+//! The server talks to executors through the [`Executor`] trait so
+//! tests can substitute scripted ones (a fixed-latency executor turns
+//! backpressure tests deterministic). Production uses
+//! [`PipelineExecutor`], which drives the same library entry points as
+//! the `cachekit` CLI: the budgeted robust inference pipeline, the
+//! trace-driven simulator, the permutation-spec distance analyses, and
+//! the synthetic workload suite.
+//!
+//! Result bodies are **bit-deterministic**: for a given canonical
+//! request they contain no timestamps, durations, or other
+//! run-dependent values. That property is what lets the result cache
+//! return stored bytes and still be indistinguishable from a cold
+//! execution (asserted by the backpressure test suite).
+
+use crate::proto::{DistancesRequest, InferRequest, Request, SimulateRequest, WorkloadsRequest};
+use cachekit_bench::json::Json;
+use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
+use cachekit_core::infer::{infer_geometry, infer_policy_robust};
+use cachekit_core::perm::derive_permutation_spec;
+use cachekit_hw::{fleet, CacheLevel, LevelOracle};
+use cachekit_sim::{Cache, CacheConfig};
+use cachekit_trace::{io, workloads};
+
+/// Search budget (oracle steps) for the distance analyses — matches the
+/// CLI's `distances` command.
+const DISTANCE_BUDGET: usize = 8_000_000;
+
+/// Executes validated requests, producing deterministic JSON bodies.
+///
+/// Implementations must be cheap to share across worker threads; the
+/// server holds one instance behind an `Arc`.
+pub trait Executor: Send + Sync + 'static {
+    /// Run `request` to completion and render its result body.
+    ///
+    /// The returned JSON must be fully determined by the request's
+    /// canonical form (no clocks, no global state) — it may be stored
+    /// in the result cache and replayed byte-for-byte.
+    fn execute(&self, request: &Request) -> Json;
+}
+
+/// The production executor: runs the real cachekit pipelines.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PipelineExecutor;
+
+impl Executor for PipelineExecutor {
+    fn execute(&self, request: &Request) -> Json {
+        match request {
+            Request::Infer(r) => run_infer(r),
+            Request::Simulate(r) => run_simulate(r),
+            Request::Distances(r) => run_distances(r),
+            Request::Workloads(r) => run_workloads(r),
+        }
+    }
+}
+
+/// A result body for a request that failed *inside* the pipeline
+/// (e.g. a CPU level outside the permutation class). These are valid,
+/// cacheable answers — the request itself was well-formed.
+fn error_body(kind: &str, message: String) -> Json {
+    Json::object(vec![
+        ("type", Json::from(kind)),
+        ("ok", Json::from(false)),
+        ("degraded", Json::from(false)),
+        ("error", Json::from(message)),
+    ])
+}
+
+fn run_infer(req: &InferRequest) -> Json {
+    let config = match req.inference_config() {
+        Ok(c) => c,
+        Err(e) => return error_body("infer", e.to_string()),
+    };
+    let Some(mut cpu) = fleet::by_name(&req.cpu) else {
+        return error_body("infer", format!("unknown cpu {:?}", req.cpu));
+    };
+    let level = match req.level.as_str() {
+        "l1" => CacheLevel::L1,
+        "l2" => CacheLevel::L2,
+        _ => CacheLevel::L3,
+    };
+    if matches!(level, CacheLevel::L3) && cpu.l3_config().is_none() {
+        return error_body("infer", format!("{} has no L3", req.cpu));
+    }
+    let mut oracle = LevelOracle::new(&mut cpu, level);
+    let geometry = match infer_geometry(&mut oracle, &config) {
+        Ok(g) => g,
+        Err(e) => return error_body("infer", format!("geometry inference failed: {e}")),
+    };
+    let result = infer_policy_robust(&mut oracle, &geometry, &config);
+
+    let mut fields = vec![
+        ("type", Json::from("infer")),
+        ("ok", Json::from(result.outcome.is_ok())),
+        ("degraded", Json::from(result.degraded)),
+        (
+            "geometry",
+            Json::object(vec![
+                ("line_size", Json::from(geometry.line_size)),
+                ("capacity", Json::from(geometry.capacity)),
+                ("associativity", Json::from(geometry.associativity)),
+                ("num_sets", Json::from(geometry.num_sets)),
+            ]),
+        ),
+        ("confidence", Json::Num(result.confidence)),
+        (
+            "position_confidences",
+            Json::from(result.position_confidences.clone()),
+        ),
+        ("measurements_used", Json::from(result.measurements_used)),
+        ("measurement_budget", Json::from(result.measurement_budget)),
+        ("timeouts", Json::from(result.timeouts)),
+        ("dropped", Json::from(result.dropped)),
+    ];
+    match &result.outcome {
+        Ok(report) => {
+            fields.push((
+                "policy",
+                match report.matched {
+                    Some(name) => Json::from(name),
+                    None => Json::Null,
+                },
+            ));
+            fields.push(("insertion_position", Json::from(report.insertion_position)));
+            fields.push((
+                "validation",
+                Json::object(vec![
+                    ("rounds", Json::from(report.validation_rounds)),
+                    ("mismatches", Json::from(report.validation_mismatches)),
+                ]),
+            ));
+            fields.push(("spec", Json::from(report.spec.render())));
+        }
+        Err(e) => fields.push(("error", Json::from(e.to_string()))),
+    }
+    Json::object(fields)
+}
+
+fn run_simulate(req: &SimulateRequest) -> Json {
+    let config = match CacheConfig::new(req.capacity, req.assoc, req.line) {
+        Ok(c) => c,
+        Err(e) => return error_body("simulate", format!("invalid geometry: {e}")),
+    };
+    let suite = workloads::suite(req.capacity, req.line, req.seed);
+    let Some(workload) = suite.iter().find(|w| w.name == req.workload) else {
+        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        return error_body(
+            "simulate",
+            format!("unknown workload {:?}; available: {names:?}", req.workload),
+        );
+    };
+    let ops = io::with_writes(&workload.trace, req.writes, req.seed);
+    let mut cache = Cache::new(config, req.policy);
+    let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+    Json::object(vec![
+        ("type", Json::from("simulate")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("policy", Json::from(req.policy.label())),
+        ("workload", Json::from(workload.name)),
+        ("accesses", Json::from(stats.accesses)),
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("evictions", Json::from(stats.evictions)),
+        ("writes", Json::from(stats.writes)),
+        ("writebacks", Json::from(stats.writebacks)),
+        ("miss_ratio", Json::Num(stats.miss_ratio())),
+    ])
+}
+
+fn run_distances(req: &DistancesRequest) -> Json {
+    let spec = match derive_permutation_spec(req.policy.build(req.assoc, 0)) {
+        Ok(s) => s,
+        Err(e) => {
+            return error_body(
+                "distances",
+                format!(
+                    "{} is not a (front-insertion) permutation policy: {e}",
+                    req.policy.label()
+                ),
+            )
+        }
+    };
+    let show = |r: Result<usize, DistanceError>| match r {
+        Ok(v) => Json::from(v),
+        Err(DistanceError::Unbounded) => Json::from("unbounded"),
+        Err(e) => Json::from(format!("({e})")),
+    };
+    Json::object(vec![
+        ("type", Json::from("distances")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("policy", Json::from(req.policy.label())),
+        ("assoc", Json::from(req.assoc)),
+        (
+            "evict_distance",
+            show(evict_distance_spec(&spec, DISTANCE_BUDGET)),
+        ),
+        (
+            "minimal_lifespan",
+            show(minimal_lifespan_spec(&spec, DISTANCE_BUDGET)),
+        ),
+    ])
+}
+
+fn run_workloads(req: &WorkloadsRequest) -> Json {
+    let suite = workloads::suite(req.capacity, req.line, req.seed);
+    let entries: Vec<Json> = suite
+        .iter()
+        .map(|w| {
+            Json::object(vec![
+                ("name", Json::from(w.name)),
+                ("description", Json::from(w.description)),
+                ("accesses", Json::from(w.trace.len())),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("type", Json::from("workloads")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("capacity", Json::from(req.capacity)),
+        ("line", Json::from(req.line)),
+        ("workloads", Json::Arr(entries)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Request {
+        Request::parse(body).unwrap()
+    }
+
+    #[test]
+    fn infer_results_are_bit_deterministic() {
+        let req = parse(r#"{"type":"infer","cpu":"atom_d525","level":"l1"}"#);
+        let a = PipelineExecutor.execute(&req).to_compact();
+        let b = PipelineExecutor.execute(&req).to_compact();
+        assert_eq!(a, b);
+        assert!(a.contains("\"ok\":true"), "body: {a}");
+        assert!(a.contains("\"policy\":"), "body: {a}");
+    }
+
+    #[test]
+    fn simulate_reports_stats() {
+        let req = parse(
+            r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8,
+                "workload":"seq_stream"}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"ok\":true"), "body: {body}");
+        assert!(body.contains("\"miss_ratio\":"), "body: {body}");
+        assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+    }
+
+    #[test]
+    fn distances_match_known_lru_values() {
+        let req = parse(r#"{"type":"distances","policy":"LRU","assoc":4}"#);
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"evict_distance\":4"), "body: {body}");
+        assert!(body.contains("\"minimal_lifespan\":4"), "body: {body}");
+    }
+
+    #[test]
+    fn workloads_lists_the_suite() {
+        let req = parse(r#"{"type":"workloads","capacity":65536}"#);
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"workloads\":["), "body: {body}");
+        assert!(body.contains("seq_stream"), "body: {body}");
+    }
+
+    #[test]
+    fn pipeline_errors_become_cacheable_error_bodies() {
+        // RANDOM is outside the permutation class at the spec level.
+        let req = parse(r#"{"type":"distances","policy":"RANDOM","assoc":4}"#);
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"ok\":false"), "body: {body}");
+        assert!(body.contains("\"error\":"), "body: {body}");
+    }
+}

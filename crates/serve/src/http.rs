@@ -1,0 +1,494 @@
+//! A minimal HTTP/1.1 layer: exactly what the service needs, nothing
+//! it does not.
+//!
+//! In the spirit of the workspace's vendored `Json`, this is a
+//! dependency-free subset, not a general web server: `Content-Length`
+//! framed bodies only (a `Transfer-Encoding` request gets `501`),
+//! bounded head and body sizes (`431`/`413` on overflow), and
+//! keep-alive per the HTTP/1.1 default. The [`client`] submodule
+//! implements the matching caller side for the load generator and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the request line plus headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body, bytes (a canonical query is < 1 KiB;
+/// this leaves generous room without inviting memory abuse).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request head plus its fully-read body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/v1/query` (query strings are kept
+    /// verbatim; the service routes on the full target).
+    pub path: String,
+    /// Header name/value pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection must close after responding.
+    pub close: bool,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a connection could not yield a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a request line arrived —
+    /// the normal end of a keep-alive session.
+    Closed,
+    /// A socket error mid-request.
+    Io(std::io::Error),
+    /// The request was syntactically unusable; respond with the
+    /// embedded status and close.
+    Malformed {
+        /// Status code to answer with (400, 413, 431, 501, 505).
+        status: u16,
+        /// Human-readable reason for the response body.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => f.write_str("connection closed"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed { status, message } => write!(f, "{status}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(status: u16, message: impl Into<String>) -> HttpError {
+    HttpError::Malformed {
+        status,
+        message: message.into(),
+    }
+}
+
+/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
+/// what remains of the head budget.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(malformed(400, "connection closed mid-line"));
+            }
+            _ => {
+                if *budget == 0 {
+                    return Err(malformed(431, "request head too large"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| malformed(400, "non-UTF-8 request head"));
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Read and parse one request from a keep-alive connection.
+///
+/// Returns [`HttpError::Closed`] when the peer hung up cleanly between
+/// requests, and [`HttpError::Malformed`] (with a response status) for
+/// anything the server refuses to process.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(malformed(400, format!("bad request line {request_line:?}")));
+    };
+    if parts.next().is_some() {
+        return Err(malformed(400, "bad request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(malformed(505, format!("unsupported version {version}"))),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed(400, format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(malformed(501, "transfer-encoding is not supported"));
+    }
+    let content_length = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| malformed(400, format!("bad content-length {v:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(malformed(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| malformed(400, "connection closed mid-body"))?;
+
+    let connection = header("connection").map(str::to_ascii_lowercase);
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => !http11, // HTTP/1.1 defaults to keep-alive, 1.0 to close
+    };
+
+    Ok(HttpRequest {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+        close,
+    })
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `429`, …).
+    pub status: u16,
+    /// Extra headers beyond the framing ones the writer adds.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status and body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("Content-Type".to_owned(), "application/json".to_owned())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status and body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("Content-Type".to_owned(), "text/plain".to_owned())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize and send `response`, flushing the stream. `close` selects
+/// the `Connection` header.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &HttpResponse,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// The caller side: a keep-alive connection issuing requests in
+/// sequence (used by `bench-client` and the integration tests).
+pub mod client {
+    use super::*;
+
+    /// A response as seen by the client.
+    #[derive(Debug, Clone)]
+    pub struct ClientResponse {
+        /// Status code.
+        pub status: u16,
+        /// Headers, names lower-cased.
+        pub headers: Vec<(String, String)>,
+        /// Body bytes (UTF-8 for every endpoint this service has).
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// First value of header `name` (lower-case), if present.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        }
+
+        /// The body as UTF-8 (lossy).
+        pub fn body_str(&self) -> String {
+            String::from_utf8_lossy(&self.body).into_owned()
+        }
+    }
+
+    /// A keep-alive HTTP/1.1 connection to one server address.
+    #[derive(Debug)]
+    pub struct Connection {
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Connection {
+        /// Connect to `addr` (e.g. `"127.0.0.1:8459"`).
+        pub fn open(addr: &str) -> std::io::Result<Connection> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+            // Head and body go out as separate writes; without nodelay,
+            // Nagle + delayed ACK cost ~40 ms per request.
+            stream.set_nodelay(true)?;
+            Ok(Connection {
+                reader: BufReader::new(stream),
+            })
+        }
+
+        /// Issue one request and read the full response. Extra
+        /// `headers` are sent verbatim after the framing ones.
+        pub fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            headers: &[(&str, &str)],
+            body: &[u8],
+        ) -> std::io::Result<ClientResponse> {
+            let mut head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: cachekit\r\nContent-Length: {}\r\n",
+                body.len()
+            );
+            for (name, value) in headers {
+                head.push_str(name);
+                head.push_str(": ");
+                head.push_str(value);
+                head.push_str("\r\n");
+            }
+            head.push_str("\r\n");
+            let stream = self.reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+            self.read_response()
+        }
+
+        /// Shorthand: `POST` a JSON body.
+        pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+            self.request(
+                "POST",
+                path,
+                &[("Content-Type", "application/json")],
+                body.as_bytes(),
+            )
+        }
+
+        /// Shorthand: `GET` with no body.
+        pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+            self.request("GET", path, &[], &[])
+        }
+
+        fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+            let bad =
+                |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+            let mut status_line = String::new();
+            if self.reader.read_line(&mut status_line)? == 0 {
+                return Err(bad("server closed before responding"));
+            }
+            let mut parts = status_line.split_whitespace();
+            let _version = parts.next().ok_or_else(|| bad("empty status line"))?;
+            let status = parts
+                .next()
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(|| bad("bad status code"))?;
+
+            let mut headers = Vec::new();
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(bad("server closed mid-headers"));
+                }
+                let line = line.trim_end_matches(['\r', '\n']);
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    let name = name.trim().to_ascii_lowercase();
+                    let value = value.trim().to_owned();
+                    if name == "content-length" {
+                        content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                    }
+                    headers.push((name, value));
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            Ok(ClientResponse {
+                status,
+                headers,
+                body,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_close_and_http10_close() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn refusals_carry_response_statuses() {
+        let cases = [
+            ("BROKEN\r\n\r\n", 400),
+            ("GET / HTTP/2.0\r\n\r\n", 505),
+            ("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            ("GET / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n", 413),
+            ("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+        ];
+        for (raw, expected) in cases {
+            match parse(raw) {
+                Err(HttpError::Malformed { status, .. }) => {
+                    assert_eq!(status, expected, "request {raw:?}")
+                }
+                other => panic!("request {raw:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_heads_are_refused() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        match parse(&raw) {
+            Err(HttpError::Malformed { status, .. }) => assert_eq!(status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_writer() {
+        let response = HttpResponse::json(200, "{\"ok\":true}")
+            .with_header("X-Cache", "hit")
+            .with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &response, false).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "wire: {text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

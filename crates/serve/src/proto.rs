@@ -1,0 +1,527 @@
+//! The typed request/response protocol and its canonicalization.
+//!
+//! Every request arriving at `/v1/query` is a JSON object with a
+//! `"type"` discriminator (`infer`, `simulate`, `distances`,
+//! `workloads`) and type-specific fields; elided fields take documented
+//! defaults. Parsing validates everything up front — unknown CPUs,
+//! unparsable policies, out-of-range geometries are a `400`, never a
+//! worker-pool job.
+//!
+//! Canonicalization is what makes the result cache sound: a parsed
+//! [`Request`] renders back to a *canonical* JSON form (fixed field
+//! order, all defaults filled in, policy names normalized to their
+//! [`PolicyKind::label`]) so that semantically equal requests — fields
+//! reordered, defaults elided, names case-shifted — produce the same
+//! [cache key](Request::cache_key), while any semantic difference
+//! changes the canonical bytes and therefore the key.
+
+use cachekit_bench::json::Json;
+use cachekit_core::infer::{ConfigError, InferenceConfig, ReadoutSearch};
+use cachekit_policies::PolicyKind;
+
+/// Largest capacity (bytes) a `simulate` request may ask for; keeps one
+/// request's trace generation and simulation time bounded.
+pub const MAX_SIMULATE_CAPACITY: u64 = 16 * 1024 * 1024;
+
+/// Largest associativity a `distances` request may ask for; the
+/// reachable-state search grows quickly with the way count.
+pub const MAX_DISTANCE_ASSOC: usize = 24;
+
+/// A validated query, ready for execution and canonicalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Reverse engineer the replacement policy of a virtual CPU level
+    /// through the budgeted robust pipeline.
+    Infer(InferRequest),
+    /// Simulate one (policy, geometry) cell on a named synthetic
+    /// workload.
+    Simulate(SimulateRequest),
+    /// Eviction distance and minimal lifespan of a permutation policy.
+    Distances(DistancesRequest),
+    /// List the synthetic workload suite for a geometry.
+    Workloads(WorkloadsRequest),
+}
+
+/// Parameters of an `infer` request (defaults match
+/// [`InferenceConfig::default`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Virtual CPU name (must exist in `cachekit_hw::fleet`).
+    pub cpu: String,
+    /// Cache level: `"l1"`, `"l2"`, or `"l3"`.
+    pub level: String,
+    /// Votes per boolean measurement.
+    pub repetitions: usize,
+    /// Adaptive escalation ceiling.
+    pub max_repetitions: usize,
+    /// Measurement budget (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Target per-query agreement in `(0, 1]`.
+    pub min_confidence: f64,
+    /// Validation-script seed.
+    pub seed: u64,
+    /// Read-out search strategy.
+    pub readout: ReadoutSearch,
+}
+
+/// Parameters of a `simulate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// Replacement policy (canonical label).
+    pub policy: PolicyKind,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Workload name from the synthetic suite.
+    pub workload: String,
+    /// Fraction of accesses turned into writes, `[0, 1]`.
+    pub writes: f64,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+/// Parameters of a `distances` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistancesRequest {
+    /// Replacement policy (canonical label).
+    pub policy: PolicyKind,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+/// Parameters of a `workloads` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadsRequest {
+    /// Cache capacity the suite is sized for, bytes.
+    pub capacity: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Why a request body was rejected (always a client error: HTTP 400).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError(pub String);
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<ConfigError> for RequestError {
+    fn from(e: ConfigError) -> Self {
+        RequestError(e.to_string())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> RequestError {
+    RequestError(msg.into())
+}
+
+fn field_u64(obj: &Json, key: &str, default: u64) -> Result<u64, RequestError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn field_usize(obj: &Json, key: &str, default: usize) -> Result<usize, RequestError> {
+    Ok(field_u64(obj, key, default as u64)? as usize)
+}
+
+fn field_f64(obj: &Json, key: &str, default: f64) -> Result<f64, RequestError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn field_str<'a>(obj: &'a Json, key: &str) -> Result<Option<&'a str>, RequestError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
+    }
+}
+
+fn parse_policy(obj: &Json) -> Result<PolicyKind, RequestError> {
+    let name = field_str(obj, "policy")?.ok_or_else(|| bad("missing field \"policy\""))?;
+    PolicyKind::parse_label(name).ok_or_else(|| bad(format!("unknown policy {name:?}")))
+}
+
+impl Request {
+    /// Parse and validate a request body. Field order and elided
+    /// defaults do not matter; everything checkable without running the
+    /// pipeline is checked here.
+    pub fn parse(body: &str) -> Result<Request, RequestError> {
+        let json = Json::parse(body).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        Request::from_json(&json)
+    }
+
+    /// [`parse`](Self::parse) on an already decoded [`Json`] value.
+    pub fn from_json(json: &Json) -> Result<Request, RequestError> {
+        if !matches!(json, Json::Obj(_)) {
+            return Err(bad("request body must be a JSON object"));
+        }
+        let kind = field_str(json, "type")?.ok_or_else(|| bad("missing field \"type\""))?;
+        match kind {
+            "infer" => Ok(Request::Infer(InferRequest::from_json(json)?)),
+            "simulate" => Ok(Request::Simulate(SimulateRequest::from_json(json)?)),
+            "distances" => Ok(Request::Distances(DistancesRequest::from_json(json)?)),
+            "workloads" => Ok(Request::Workloads(WorkloadsRequest::from_json(json)?)),
+            other => Err(bad(format!(
+                "unknown request type {other:?} \
+                 (expected infer, simulate, distances, or workloads)"
+            ))),
+        }
+    }
+
+    /// The canonical JSON form: compact, fixed field order, every
+    /// default filled in. Semantically equal requests are byte-equal
+    /// here; semantically different ones never are.
+    pub fn canonical_json(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// The canonical form as a [`Json`] value (fixed field order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Infer(r) => r.to_json(),
+            Request::Simulate(r) => r.to_json(),
+            Request::Distances(r) => r.to_json(),
+            Request::Workloads(r) => r.to_json(),
+        }
+    }
+
+    /// The result-cache key: an FNV-1a hash of the canonical JSON
+    /// bytes.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+
+    /// Short label of the request type (metrics attribution).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Infer(_) => "infer",
+            Request::Simulate(_) => "simulate",
+            Request::Distances(_) => "distances",
+            Request::Workloads(_) => "workloads",
+        }
+    }
+}
+
+impl InferRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let cpu = field_str(obj, "cpu")?
+            .ok_or_else(|| bad("missing field \"cpu\""))?
+            .to_owned();
+        if !cachekit_hw::fleet::names().contains(&cpu.as_str()) {
+            return Err(bad(format!("unknown cpu {cpu:?}")));
+        }
+        let level = field_str(obj, "level")?
+            .unwrap_or("l1")
+            .to_ascii_lowercase();
+        if !matches!(level.as_str(), "l1" | "l2" | "l3") {
+            return Err(bad(format!("unknown level {level:?}")));
+        }
+        let defaults = InferenceConfig::default();
+        let repetitions = field_usize(obj, "repetitions", defaults.repetitions)?;
+        let max_repetitions = field_usize(
+            obj,
+            "max_repetitions",
+            defaults.max_repetitions.max(repetitions),
+        )?;
+        let budget = match obj.get("budget") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| bad("field \"budget\" must be a non-negative integer"))?,
+            ),
+        };
+        let min_confidence = field_f64(obj, "min_confidence", defaults.min_confidence)?;
+        let seed = field_u64(obj, "seed", defaults.seed)?;
+        let readout = match field_str(obj, "readout")? {
+            None => ReadoutSearch::default(),
+            Some(s) => s.parse::<ReadoutSearch>().map_err(bad)?,
+        };
+        let parsed = Self {
+            cpu,
+            level,
+            repetitions,
+            max_repetitions,
+            budget,
+            min_confidence,
+            seed,
+            readout,
+        };
+        parsed.inference_config()?; // builder-validate the tuning knobs
+        Ok(parsed)
+    }
+
+    /// Map the request onto a validated [`InferenceConfig`].
+    pub fn inference_config(&self) -> Result<InferenceConfig, RequestError> {
+        let mut builder = InferenceConfig::builder()
+            .repetitions(self.repetitions)
+            .max_repetitions(self.max_repetitions)
+            .min_confidence(self.min_confidence)
+            .seed(self.seed)
+            .readout(self.readout);
+        if let Some(budget) = self.budget {
+            builder = builder.measurement_budget(budget);
+        }
+        Ok(builder.build()?)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("infer")),
+            ("cpu", Json::from(self.cpu.as_str())),
+            ("level", Json::from(self.level.as_str())),
+            ("repetitions", Json::from(self.repetitions)),
+            ("max_repetitions", Json::from(self.max_repetitions)),
+            ("budget", Json::from(self.budget)),
+            ("min_confidence", Json::Num(self.min_confidence)),
+            ("seed", Json::from(self.seed)),
+            ("readout", Json::from(self.readout.to_string())),
+        ])
+    }
+}
+
+impl SimulateRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let policy = parse_policy(obj)?;
+        let capacity = field_u64(obj, "capacity", 0)?;
+        if capacity == 0 {
+            return Err(bad("missing or zero field \"capacity\""));
+        }
+        if capacity > MAX_SIMULATE_CAPACITY {
+            return Err(bad(format!(
+                "capacity {capacity} exceeds the serving cap of {MAX_SIMULATE_CAPACITY} bytes"
+            )));
+        }
+        let assoc = field_usize(obj, "assoc", 0)?;
+        let line = field_u64(obj, "line", 64)?;
+        let workload = field_str(obj, "workload")?
+            .ok_or_else(|| bad("missing field \"workload\""))?
+            .to_owned();
+        let writes = field_f64(obj, "writes", 0.0)?;
+        if !(0.0..=1.0).contains(&writes) {
+            return Err(bad(format!("writes fraction {writes} outside [0, 1]")));
+        }
+        let seed = field_u64(obj, "seed", 7)?;
+        // Geometry validity (power-of-two line, capacity divisible by
+        // line * assoc, 16-line minimum for the workload suite).
+        cachekit_sim::CacheConfig::new(capacity, assoc, line)
+            .map_err(|e| bad(format!("invalid geometry: {e}")))?;
+        if capacity / line < 16 {
+            return Err(bad("capacity must hold at least 16 lines"));
+        }
+        Ok(Self {
+            policy,
+            capacity,
+            assoc,
+            line,
+            workload,
+            writes,
+            seed,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("simulate")),
+            ("policy", Json::from(self.policy.label())),
+            ("capacity", Json::from(self.capacity)),
+            ("assoc", Json::from(self.assoc)),
+            ("line", Json::from(self.line)),
+            ("workload", Json::from(self.workload.as_str())),
+            ("writes", Json::Num(self.writes)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+impl DistancesRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let policy = parse_policy(obj)?;
+        let assoc = field_usize(obj, "assoc", 0)?;
+        if assoc == 0 {
+            return Err(bad("missing or zero field \"assoc\""));
+        }
+        if assoc > MAX_DISTANCE_ASSOC {
+            return Err(bad(format!(
+                "assoc {assoc} exceeds the serving cap of {MAX_DISTANCE_ASSOC}"
+            )));
+        }
+        Ok(Self { policy, assoc })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("distances")),
+            ("policy", Json::from(self.policy.label())),
+            ("assoc", Json::from(self.assoc)),
+        ])
+    }
+}
+
+impl WorkloadsRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let capacity = field_u64(obj, "capacity", 0)?;
+        if capacity == 0 {
+            return Err(bad("missing or zero field \"capacity\""));
+        }
+        if capacity > MAX_SIMULATE_CAPACITY {
+            return Err(bad(format!(
+                "capacity {capacity} exceeds the serving cap of {MAX_SIMULATE_CAPACITY} bytes"
+            )));
+        }
+        let line = field_u64(obj, "line", 64)?;
+        if line == 0 || !line.is_power_of_two() {
+            return Err(bad(format!("line size {line} must be a power of two")));
+        }
+        if capacity / line < 16 {
+            return Err(bad("capacity must hold at least 16 lines"));
+        }
+        let seed = field_u64(obj, "seed", 7)?;
+        Ok(Self {
+            capacity,
+            line,
+            seed,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("workloads")),
+            ("capacity", Json::from(self.capacity)),
+            ("line", Json::from(self.line)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the canonical-key hash of the result
+/// cache. Stable across platforms and runs (no per-process seeding), so
+/// keys can be logged and compared between sessions.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_order_and_elided_defaults_do_not_change_the_key() {
+        let explicit = Request::parse(
+            r#"{"type":"infer","cpu":"atom_d525","level":"l1","repetitions":3,
+                "max_repetitions":12,"budget":null,"min_confidence":0.6666666666666666,
+                "seed":3390155550,"readout":"binary"}"#,
+        )
+        .unwrap();
+        let elided = Request::parse(r#"{"cpu":"atom_d525","type":"infer"}"#).unwrap();
+        assert_eq!(explicit, elided);
+        assert_eq!(explicit.canonical_json(), elided.canonical_json());
+        assert_eq!(explicit.cache_key(), elided.cache_key());
+    }
+
+    #[test]
+    fn semantic_differences_change_the_key() {
+        let base = Request::parse(r#"{"type":"infer","cpu":"atom_d525"}"#).unwrap();
+        for variant in [
+            r#"{"type":"infer","cpu":"atom_d525","level":"l2"}"#,
+            r#"{"type":"infer","cpu":"core2_e6300"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","seed":1}"#,
+            r#"{"type":"infer","cpu":"atom_d525","budget":1000}"#,
+            r#"{"type":"infer","cpu":"atom_d525","readout":"linear"}"#,
+        ] {
+            let other = Request::parse(variant).unwrap();
+            assert_ne!(base.cache_key(), other.cache_key(), "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn policy_names_normalize_to_canonical_labels() {
+        let lower = Request::parse(
+            r#"{"type":"simulate","policy":"treeplru","capacity":65536,"assoc":8,
+                "workload":"zipf_hot"}"#,
+        )
+        .unwrap();
+        let upper = Request::parse(
+            r#"{"type":"simulate","policy":"PLRU","capacity":65536,"assoc":8,
+                "workload":"zipf_hot","line":64,"writes":0,"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(lower.cache_key(), upper.cache_key());
+        assert!(lower.canonical_json().contains("\"policy\":\"PLRU\""));
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_parse_time() {
+        for body in [
+            "",
+            "[]",
+            r#"{"type":"launch"}"#,
+            r#"{"type":"infer"}"#,
+            r#"{"type":"infer","cpu":"warp_core"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","level":"l9"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","repetitions":0}"#,
+            r#"{"type":"infer","cpu":"atom_d525","budget":0}"#,
+            r#"{"type":"infer","cpu":"atom_d525","min_confidence":2.0}"#,
+            r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8}"#,
+            r#"{"type":"simulate","policy":"NOPE","capacity":65536,"assoc":8,"workload":"w"}"#,
+            r#"{"type":"simulate","policy":"LRU","capacity":999,"assoc":8,"workload":"w"}"#,
+            r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8,"workload":"w",
+                "writes":1.5}"#,
+            r#"{"type":"distances","policy":"LRU","assoc":0}"#,
+            r#"{"type":"distances","policy":"LRU","assoc":64}"#,
+            r#"{"type":"workloads"}"#,
+            r#"{"type":"workloads","capacity":65536,"line":48}"#,
+        ] {
+            assert!(Request::parse(body).is_err(), "body {body:?} must fail");
+        }
+    }
+
+    #[test]
+    fn infer_request_maps_onto_the_inference_config() {
+        let Request::Infer(req) = Request::parse(
+            r#"{"type":"infer","cpu":"atom_d525","repetitions":5,"budget":9000,
+                "min_confidence":0.9,"seed":11,"readout":"linear"}"#,
+        )
+        .unwrap() else {
+            panic!("not an infer request")
+        };
+        let config = req.inference_config().unwrap();
+        assert_eq!(config.repetitions, 5);
+        assert_eq!(config.measurement_budget, Some(9000));
+        assert_eq!(config.min_confidence, 0.9);
+        assert_eq!(config.seed, 11);
+        assert_eq!(config.readout_search, ReadoutSearch::Linear);
+        assert!(config.max_repetitions >= 5);
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,259 @@
+//! The sharded bounded job queue: admission control in front of
+//! persistent worker pools.
+//!
+//! Each shard owns one [`WorkerPool`] (from `cachekit_sim::parallel`,
+//! the same pool the sweep engine uses) and an atomic depth counter.
+//! Admission is decided *before* a job is enqueued: when a shard's
+//! depth has reached its capacity the job is refused with a
+//! retry-after hint and never occupies memory — that refusal is what
+//! the HTTP layer turns into `429 Too Many Requests`.
+//!
+//! The invariant the backpressure tests lean on: **every admitted job
+//! runs to completion**, even through shutdown. [`JobQueue::drain`]
+//! closes the pools and joins their workers, and `WorkerPool`'s drop
+//! path runs every job still queued, so accepted work is never
+//! silently dropped — at worst it completes as a deadline-shed
+//! response.
+
+use cachekit_sim::{PoolClosed, WorkerPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The admission decision for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job was enqueued and will run.
+    Accepted,
+    /// The shard is saturated; retry after roughly this many
+    /// milliseconds (a drain-time heuristic, not a promise).
+    Saturated {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The queue is shutting down and takes no new work.
+    Closed,
+}
+
+struct QueueShard {
+    pool: WorkerPool,
+    depth: Arc<AtomicUsize>,
+}
+
+/// A sharded bounded queue of `FnOnce` jobs with per-shard worker
+/// pools.
+pub struct JobQueue {
+    shards: Vec<QueueShard>,
+    capacity_per_shard: usize,
+    workers_per_shard: usize,
+    retry_unit_ms: u64,
+    submitted: AtomicU64,
+    completed: Arc<AtomicU64>,
+    rejected: AtomicU64,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("workers_per_shard", &self.workers_per_shard)
+            .finish()
+    }
+}
+
+/// What [`JobQueue::drain`] observed while winding down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs admitted over the queue's lifetime.
+    pub submitted: u64,
+    /// Jobs that ran to completion (equals `submitted` after a clean
+    /// drain — the queue never drops admitted work).
+    pub completed: u64,
+    /// Jobs refused at admission with a retry hint.
+    pub rejected: u64,
+}
+
+impl JobQueue {
+    /// A queue with `shards` shards, each backed by `workers_per_shard`
+    /// worker threads and accepting at most `capacity_per_shard`
+    /// outstanding jobs (queued + running). All three are clamped to at
+    /// least 1. `retry_unit_ms` scales the retry-after hint (a rough
+    /// per-job service-time estimate).
+    pub fn new(
+        shards: usize,
+        workers_per_shard: usize,
+        capacity_per_shard: usize,
+        retry_unit_ms: u64,
+    ) -> Self {
+        let shards = shards.max(1);
+        let workers_per_shard = workers_per_shard.max(1);
+        JobQueue {
+            shards: (0..shards)
+                .map(|_| QueueShard {
+                    pool: WorkerPool::new(workers_per_shard),
+                    depth: Arc::new(AtomicUsize::new(0)),
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            workers_per_shard,
+            retry_unit_ms: retry_unit_ms.max(1),
+            submitted: AtomicU64::new(0),
+            completed: Arc::new(AtomicU64::new(0)),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Total outstanding jobs (queued + running) across all shards.
+    pub fn depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Try to enqueue `job` on the shard selected by `key`.
+    ///
+    /// On [`Admission::Accepted`] the job is guaranteed to run exactly
+    /// once, even if the queue is drained before a worker reaches it.
+    pub fn admit(&self, key: u64, job: impl FnOnce() + Send + 'static) -> Admission {
+        let shard = &self.shards[(key as usize) % self.shards.len()];
+        // Optimistically claim a slot; back out if over capacity. The
+        // claim-then-check order makes overshoot impossible: two racing
+        // admits can both bump the counter, but only depths ≤ capacity
+        // keep their slot.
+        let prior = shard.depth.fetch_add(1, Ordering::AcqRel);
+        if prior >= self.capacity_per_shard {
+            shard.depth.fetch_sub(1, Ordering::AcqRel);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            cachekit_obs::add("serve.queue.rejected", 1);
+            // Rough drain time: jobs ahead of us divided across the
+            // shard's workers, one retry unit each.
+            let waves = (prior as u64).div_ceil(self.workers_per_shard as u64);
+            return Admission::Saturated {
+                retry_after_ms: waves.max(1) * self.retry_unit_ms,
+            };
+        }
+        let depth = Arc::clone(&shard.depth);
+        let completed = Arc::clone(&self.completed);
+        let wrapped = move || {
+            job();
+            depth.fetch_sub(1, Ordering::AcqRel);
+            completed.fetch_add(1, Ordering::Relaxed);
+        };
+        match shard.pool.submit(wrapped) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                cachekit_obs::add("serve.queue.admitted", 1);
+                Admission::Accepted
+            }
+            Err(PoolClosed) => {
+                shard.depth.fetch_sub(1, Ordering::AcqRel);
+                Admission::Closed
+            }
+        }
+    }
+
+    /// Snapshot the lifetime counters without draining.
+    pub fn report(&self) -> DrainReport {
+        DrainReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting work, run every already-admitted job, join all
+    /// workers, and report the final counters.
+    pub fn drain(self) -> DrainReport {
+        for shard in self.shards {
+            shard.pool.shutdown();
+        }
+        DrainReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn admitted_jobs_all_complete_on_drain() {
+        let queue = JobQueue::new(2, 2, 64, 10);
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut accepted = 0;
+        for key in 0..50u64 {
+            let counter = Arc::clone(&counter);
+            if queue.admit(key, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }) == Admission::Accepted
+            {
+                accepted += 1;
+            }
+        }
+        let report = queue.drain();
+        assert_eq!(accepted, 50);
+        assert_eq!(report.submitted, 50);
+        assert_eq!(report.completed, 50, "drain must run every admitted job");
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn saturation_refuses_with_retry_hint() {
+        // One shard, one worker, depth 2. Block the worker so depth
+        // can't drain, then overfill.
+        let queue = JobQueue::new(1, 1, 2, 25);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        assert_eq!(
+            queue.admit(0, move || {
+                started_tx.send(()).ok();
+                release_rx.recv().ok();
+            }),
+            Admission::Accepted
+        );
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker must pick up the blocking job");
+        assert_eq!(queue.admit(0, || {}), Admission::Accepted);
+        match queue.admit(0, || {}) {
+            Admission::Saturated { retry_after_ms } => {
+                assert!(retry_after_ms >= 25, "hint: {retry_after_ms}")
+            }
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        assert_eq!(queue.report().rejected, 1);
+        release_tx.send(()).unwrap();
+        let report = queue.drain();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let queue = JobQueue::new(4, 1, 1, 10);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+        // Occupy each shard's single slot with a blocking job.
+        for key in 0..4u64 {
+            let rx = Arc::clone(&release_rx);
+            assert_eq!(
+                queue.admit(key, move || {
+                    rx.lock().unwrap().recv().ok();
+                }),
+                Admission::Accepted,
+                "shard {key} has its own capacity"
+            );
+        }
+        assert!(matches!(queue.admit(0, || {}), Admission::Saturated { .. }));
+        for _ in 0..4 {
+            release_tx.send(()).unwrap();
+        }
+        queue.drain();
+    }
+}

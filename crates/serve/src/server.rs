@@ -1,0 +1,554 @@
+//! The threaded HTTP service: routing, admission control, caching,
+//! metrics, and graceful drain.
+//!
+//! One acceptor thread hands each connection to its own handler
+//! thread; handlers parse requests and block cheaply while the real
+//! work runs on the bounded worker pools of a [`JobQueue`]. The unit
+//! of admission control is the *job*, not the connection — connections
+//! are cheap, pipeline executions are not.
+//!
+//! ## Request life cycle (`POST /v1/query`)
+//!
+//! 1. Parse and validate ⇒ `400` with a reason on failure.
+//! 2. Canonicalize; probe the [`ResultCache`] ⇒ `200` with
+//!    `X-Cache: hit` and the stored bytes on a hit.
+//! 3. Admission: saturated shard ⇒ `429` with `Retry-After`; draining
+//!    server ⇒ `503`.
+//! 4. A worker executes the pipeline — unless the job waited past the
+//!    configured deadline, in which case it is shed (`503`,
+//!    `X-Shed: deadline`) without running.
+//! 5. The deterministic result body is cached and returned with
+//!    `X-Cache: miss`.
+//!
+//! Timing lives in headers (`X-Service-Us`) and the latency
+//! histograms, never in bodies, so cached replays are byte-identical
+//! to cold executions.
+
+use crate::cache::ResultCache;
+use crate::exec::{Executor, PipelineExecutor};
+use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResponse};
+use crate::proto::Request;
+use crate::queue::{Admission, DrainReport, JobQueue};
+use cachekit_bench::json::Json;
+use cachekit_bench::metrics::metrics_to_json;
+use cachekit_obs::{bucket_bounds, bucket_index, HistBucket, Histogram};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// How long an idle keep-alive connection sleeps per poll of the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Capacity and behaviour knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads **per queue shard**.
+    pub workers_per_shard: usize,
+    /// Number of queue shards (each with its own worker pool and
+    /// admission budget).
+    pub queue_shards: usize,
+    /// Outstanding jobs a shard admits before answering `429`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in stored bodies (0 disables caching).
+    pub cache_capacity: usize,
+    /// Queue-wait deadline: a job that waited longer is shed with
+    /// `503` instead of executing. `None` disables shedding.
+    pub deadline: Option<Duration>,
+    /// Scale of the `429` retry hint (rough per-job milliseconds).
+    pub retry_unit_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers_per_shard: 2,
+            queue_shards: 2,
+            queue_depth: 32,
+            cache_capacity: 1024,
+            deadline: Some(Duration::from_secs(10)),
+            retry_unit_ms: 50,
+        }
+    }
+}
+
+/// Per-endpoint latency accumulator: log2 buckets of microseconds,
+/// lock-free on the record path.
+struct EndpointLatency {
+    counts: Vec<AtomicU64>, // one per log2 bucket index, 0..=64
+    requests: AtomicU64,
+}
+
+impl EndpointLatency {
+    fn new() -> Self {
+        EndpointLatency {
+            counts: (0..=64).map(|_| AtomicU64::new(0)).collect(),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        self.counts[bucket_index(micros) as usize].fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot into the obs [`Histogram`] type so `/metrics` can use
+    /// [`Histogram::quantile`].
+    fn histogram(&self) -> Histogram {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(index, count)| {
+                let count = count.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    let (lo, hi) = bucket_bounds(index as u32);
+                    HistBucket { lo, hi, count }
+                })
+            })
+            .collect();
+        Histogram { buckets }
+    }
+
+    fn to_json(&self) -> Json {
+        let hist = self.histogram();
+        Json::object(vec![
+            (
+                "requests",
+                Json::from(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("p50_us", Json::from(hist.quantile(0.50))),
+            ("p95_us", Json::from(hist.quantile(0.95))),
+            ("p99_us", Json::from(hist.quantile(0.99))),
+        ])
+    }
+}
+
+struct ServerState {
+    executor: Arc<dyn Executor>,
+    cache: ResultCache,
+    queue: RwLock<Option<JobQueue>>,
+    deadline: Option<Duration>,
+    shutting_down: AtomicBool,
+    shutdown_requested: AtomicBool,
+    active_requests: AtomicUsize,
+    query_latency: EndpointLatency,
+    healthz_latency: EndpointLatency,
+    metrics_latency: EndpointLatency,
+}
+
+enum JobOutcome {
+    Done(String),
+    Shed,
+}
+
+/// The running service. Start with [`Server::start`]; stop with
+/// [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Control handle of a started server: its bound address plus the
+/// drain path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pools, and return the
+    /// control handle. Uses the production [`PipelineExecutor`].
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        Server::start_with_executor(config, Arc::new(PipelineExecutor))
+    }
+
+    /// [`start`](Self::start) with a caller-supplied executor (tests
+    /// inject scripted ones to make saturation deterministic).
+    pub fn start_with_executor(
+        config: ServeConfig,
+        executor: Arc<dyn Executor>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            executor,
+            cache: ResultCache::new(config.cache_capacity),
+            queue: RwLock::new(Some(JobQueue::new(
+                config.queue_shards,
+                config.workers_per_shard,
+                config.queue_depth,
+                config.retry_unit_ms,
+            ))),
+            deadline: config.deadline,
+            shutting_down: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            active_requests: AtomicUsize::new(0),
+            query_latency: EndpointLatency::new(),
+            healthz_latency: EndpointLatency::new(),
+            metrics_latency: EndpointLatency::new(),
+        });
+
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-acceptor".to_owned())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if acceptor_state.shutting_down.load(Ordering::Acquire) {
+                        break; // the drain's wake-up connection lands here
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let connection_state = Arc::clone(&acceptor_state);
+                    let _ = std::thread::Builder::new()
+                        .name("serve-conn".to_owned())
+                        .spawn(move || handle_connection(&connection_state, stream));
+                }
+            })?;
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            acceptor,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until a client asked for shutdown via `POST /shutdown`
+    /// (the `cachekit serve` command sits here).
+    pub fn wait_until_shutdown_requested(&self) {
+        while !self.state.shutdown_requested.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Graceful drain: stop admissions, let every in-flight and queued
+    /// job finish, join the worker pools, and report the final
+    /// counters. Admitted work is never dropped.
+    pub fn shutdown(self) -> DrainReport {
+        self.state.shutting_down.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+
+        // Let handlers finish writing responses for jobs in flight.
+        let wait_started = Instant::now();
+        while self.state.active_requests.load(Ordering::Acquire) > 0
+            && wait_started.elapsed() < Duration::from_secs(60)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let queue = self
+            .state
+            .queue
+            .write()
+            .expect("queue lock poisoned")
+            .take();
+        match queue {
+            Some(queue) => queue.drain(),
+            None => DrainReport {
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+            },
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    // Bounded reads let idle keep-alive handlers poll the shutdown
+    // flag instead of blocking forever; nodelay because responses are
+    // written head-then-body and a Nagle stall dwarfs a cache hit.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let span = cachekit_obs::span("serve.request");
+                state.active_requests.fetch_add(1, Ordering::AcqRel);
+                let started = Instant::now();
+                let (response, latency) = route(state, &request);
+                let service_us = started.elapsed().as_micros() as u64;
+                if let Some(latency) = latency {
+                    latency.record(service_us);
+                }
+                let close = request.close
+                    || state.shutting_down.load(Ordering::Acquire)
+                    || request.path == "/shutdown";
+                let response = response.with_header("X-Service-Us", service_us.to_string());
+                let result = write_response(reader.get_mut(), &response, close);
+                state.active_requests.fetch_sub(1, Ordering::AcqRel);
+                drop(span);
+                if result.is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle between requests: poll the flag, keep waiting.
+                if state.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed { status, message }) => {
+                let body = Json::object(vec![("error", Json::from(message))]).to_compact();
+                let _ = write_response(reader.get_mut(), &HttpResponse::json(status, body), true);
+                return;
+            }
+        }
+    }
+}
+
+fn route<'a>(
+    state: &'a Arc<ServerState>,
+    request: &HttpRequest,
+) -> (HttpResponse, Option<&'a EndpointLatency>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/query") => (handle_query(state, request), Some(&state.query_latency)),
+        ("GET", "/healthz") => (handle_healthz(state), Some(&state.healthz_latency)),
+        ("GET", "/metrics") => (handle_metrics(state), Some(&state.metrics_latency)),
+        ("POST", "/shutdown") => (handle_shutdown(state), None),
+        ("POST" | "GET", "/v1/query" | "/healthz" | "/metrics" | "/shutdown") => (
+            HttpResponse::json(405, r#"{"error":"method not allowed"}"#),
+            None,
+        ),
+        _ => (
+            HttpResponse::json(404, r#"{"error":"no such endpoint"}"#),
+            None,
+        ),
+    }
+}
+
+fn handle_query(state: &Arc<ServerState>, http: &HttpRequest) -> HttpResponse {
+    let body = String::from_utf8_lossy(&http.body);
+    let request = match Request::parse(&body) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = Json::object(vec![("error", Json::from(e.to_string()))]).to_compact();
+            return HttpResponse::json(400, body);
+        }
+    };
+    let key = request.cache_key();
+    if let Some(stored) = state.cache.get(key) {
+        return HttpResponse::json(200, stored)
+            .with_header("X-Cache", "hit")
+            .with_header("X-Request-Kind", request.kind());
+    }
+    if state.shutting_down.load(Ordering::Acquire) {
+        return draining_response();
+    }
+
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    let admission = {
+        let guard = state.queue.read().expect("queue lock poisoned");
+        let Some(queue) = guard.as_ref() else {
+            return draining_response();
+        };
+        let job_state = Arc::clone(state);
+        let job_request = request.clone();
+        let enqueued = Instant::now();
+        let deadline = state.deadline;
+        queue.admit(key, move || {
+            if deadline.is_some_and(|d| enqueued.elapsed() > d) {
+                cachekit_obs::add("serve.shed", 1);
+                let _ = tx.send(JobOutcome::Shed);
+                return;
+            }
+            let result = job_state.executor.execute(&job_request);
+            let body = result.to_compact();
+            job_state.cache.insert(key, body.clone());
+            let _ = tx.send(JobOutcome::Done(body));
+        })
+    };
+
+    match admission {
+        Admission::Accepted => match rx.recv() {
+            Ok(JobOutcome::Done(body)) => HttpResponse::json(200, body)
+                .with_header("X-Cache", "miss")
+                .with_header("X-Request-Kind", request.kind()),
+            Ok(JobOutcome::Shed) => HttpResponse::json(
+                503,
+                r#"{"error":"shed: queue deadline exceeded","degraded":true}"#,
+            )
+            .with_header("Retry-After", "1")
+            .with_header("X-Shed", "deadline"),
+            // The worker pool contains job panics; the dropped sender
+            // is the only trace.
+            Err(_) => HttpResponse::json(500, r#"{"error":"job failed"}"#),
+        },
+        Admission::Saturated { retry_after_ms } => {
+            let retry_secs = retry_after_ms.div_ceil(1000).max(1);
+            let body = Json::object(vec![
+                ("error", Json::from("saturated")),
+                ("retry_after_ms", Json::from(retry_after_ms)),
+            ])
+            .to_compact();
+            HttpResponse::json(429, body).with_header("Retry-After", retry_secs.to_string())
+        }
+        Admission::Closed => draining_response(),
+    }
+}
+
+fn draining_response() -> HttpResponse {
+    HttpResponse::json(503, r#"{"error":"draining"}"#).with_header("Retry-After", "1")
+}
+
+fn handle_healthz(state: &Arc<ServerState>) -> HttpResponse {
+    let draining = state.shutting_down.load(Ordering::Acquire);
+    let depth = state
+        .queue
+        .read()
+        .expect("queue lock poisoned")
+        .as_ref()
+        .map_or(0, JobQueue::depth);
+    let body = Json::object(vec![
+        (
+            "status",
+            Json::from(if draining { "draining" } else { "ok" }),
+        ),
+        ("queue_depth", Json::from(depth)),
+    ])
+    .to_compact();
+    HttpResponse::json(if draining { 503 } else { 200 }, body)
+}
+
+fn handle_metrics(state: &Arc<ServerState>) -> HttpResponse {
+    let cache = state.cache.stats();
+    let (queue_report, depth) = {
+        let guard = state.queue.read().expect("queue lock poisoned");
+        match guard.as_ref() {
+            Some(queue) => (Some(queue.report()), queue.depth()),
+            None => (None, 0),
+        }
+    };
+    let queue_json = match queue_report {
+        Some(r) => Json::object(vec![
+            ("submitted", Json::from(r.submitted)),
+            ("completed", Json::from(r.completed)),
+            ("rejected", Json::from(r.rejected)),
+            ("depth", Json::from(depth)),
+        ]),
+        None => Json::Null,
+    };
+    let body = Json::object(vec![
+        (
+            "cache",
+            Json::object(vec![
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("insertions", Json::from(cache.insertions)),
+            ]),
+        ),
+        ("queue", queue_json),
+        (
+            "endpoints",
+            Json::object(vec![
+                ("/v1/query", state.query_latency.to_json()),
+                ("/healthz", state.healthz_latency.to_json()),
+                ("/metrics", state.metrics_latency.to_json()),
+            ]),
+        ),
+        ("obs", metrics_to_json(&cachekit_obs::snapshot())),
+    ])
+    .to_compact();
+    HttpResponse::json(200, body)
+}
+
+fn handle_shutdown(state: &Arc<ServerState>) -> HttpResponse {
+    state.shutting_down.store(true, Ordering::Release);
+    state.shutdown_requested.store(true, Ordering::Release);
+    HttpResponse::json(200, r#"{"draining":true}"#)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client::Connection;
+
+    fn tiny_server() -> ServerHandle {
+        Server::start(ServeConfig {
+            queue_shards: 1,
+            workers_per_shard: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn healthz_and_routing() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        let health = conn.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_str().contains("\"status\":\"ok\""));
+        assert_eq!(conn.get("/nope").unwrap().status, 404);
+        assert_eq!(conn.post_json("/healthz", "{}").unwrap().status, 405);
+        assert_eq!(conn.post_json("/v1/query", "not json").unwrap().status, 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn query_cold_then_cached() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        let body = r#"{"type":"distances","policy":"FIFO","assoc":4}"#;
+        let cold = conn.post_json("/v1/query", body).unwrap();
+        assert_eq!(cold.status, 200, "body: {}", cold.body_str());
+        assert_eq!(cold.header("x-cache"), Some("miss"));
+        let warm = conn.post_json("/v1/query", body).unwrap();
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.header("x-cache"), Some("hit"));
+        assert_eq!(cold.body, warm.body, "cached replay must be bit-identical");
+        let report = handle.shutdown();
+        assert_eq!(report.submitted, report.completed);
+    }
+
+    #[test]
+    fn metrics_render_percentiles() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        conn.get("/healthz").unwrap();
+        let metrics = conn.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = metrics.body_str();
+        assert!(text.contains("\"/healthz\""), "body: {text}");
+        assert!(text.contains("\"p50_us\""), "body: {text}");
+        assert!(text.contains("\"cache\""), "body: {text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_requests_drain() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        let resp = conn.post_json("/shutdown", "").unwrap();
+        assert_eq!(resp.status, 200);
+        handle.wait_until_shutdown_requested();
+        let report = handle.shutdown();
+        assert_eq!(report.submitted, report.completed);
+    }
+}

@@ -44,6 +44,8 @@ pub mod sweep;
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError, IndexFunction};
 pub use hierarchy::{Hierarchy, HierarchyOutcome, LevelSpec};
-pub use parallel::{effective_jobs, par_map, sweep_parallel, sweep_parallel_jobs};
+pub use parallel::{
+    effective_jobs, par_map, sweep_parallel, sweep_parallel_jobs, PoolClosed, WorkerPool,
+};
 pub use set::CacheSet;
 pub use stats::CacheStats;

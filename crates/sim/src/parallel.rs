@@ -189,6 +189,132 @@ where
         .collect()
 }
 
+/// A persistent worker pool: `workers` threads that stay resident and
+/// execute submitted jobs until the pool is dropped.
+///
+/// [`par_map`] spawns a fresh scoped pool per call, which is the right
+/// shape for batch sweeps but wrong for a long-running service — a
+/// server must keep its workers warm across requests instead of paying
+/// thread spawn/join on every query. `WorkerPool` is that reusable
+/// handle: `cachekit-serve` creates one at startup and feeds it jobs
+/// for the lifetime of the process.
+///
+/// Jobs are executed in submission order by whichever worker frees up
+/// first. A panicking job is contained: the panic is caught, counted
+/// (`worker_pool.job_panics` in `cachekit-obs`), and the worker keeps
+/// serving. Dropping the pool closes the queue, lets every already
+/// submitted job finish, and joins the workers — the graceful-drain
+/// guarantee the serving layer's shutdown path relies on.
+///
+/// ```
+/// use cachekit_sim::parallel::WorkerPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(2);
+/// let done = Arc::new(AtomicU64::new(0));
+/// for _ in 0..8 {
+///     let done = Arc::clone(&done);
+///     pool.submit(move || {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     })
+///     .unwrap();
+/// }
+/// drop(pool); // drain: all 8 jobs complete before the workers join
+/// assert_eq!(done.load(Ordering::Relaxed), 8);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool's queue was closed before the job could be accepted (only
+/// possible mid-drop; a live pool always accepts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` resident threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = std::sync::Arc::new(std::sync::Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = std::sync::Arc::clone(&receiver);
+                thread::spawn(move || loop {
+                    // Hold the lock only while picking a job: jobs run
+                    // concurrently, the queue pop is serialized.
+                    let job = {
+                        let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    let Ok(job) = job else {
+                        return; // queue closed and drained: the pool is dropping
+                    };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    if cachekit_obs::enabled() {
+                        cachekit_obs::add("worker_pool.jobs", 1);
+                        if result.is_err() {
+                            cachekit_obs::add("worker_pool.job_panics", 1);
+                        }
+                        cachekit_obs::flush();
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers: handles,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job for execution. Returns [`PoolClosed`] only when the
+    /// pool is already shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
+        match &self.sender {
+            Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Close the queue, run every already submitted job to completion,
+    /// and join the workers. Equivalent to dropping the pool, but
+    /// callable when the caller wants the drain to be explicit.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 /// Cross every policy with every geometry on one trace, in parallel.
 ///
 /// Equivalent to [`sweep`](crate::sweep::sweep) — same cells, same
@@ -288,5 +414,45 @@ mod tests {
     fn effective_jobs_prefers_explicit_request() {
         assert_eq!(effective_jobs(Some(3)), 3);
         assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job_before_drop_returns() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicU64::new(0));
+        pool.submit(|| panic!("job boom")).unwrap();
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1, "worker kept serving");
+    }
+
+    #[test]
+    fn worker_pool_clamps_zero_workers_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
     }
 }

@@ -9,6 +9,7 @@
 //! cachekit query     "A B C A? B?" --policy FIFO --assoc 4
 //! cachekit distances --policy PLRU --assoc 8
 //! cachekit workloads --capacity 262144 --out traces/
+//! cachekit serve     --port 8459 --workers 2 --shards 2
 //! ```
 
 use cachekit::core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
@@ -17,6 +18,7 @@ use cachekit::core::perm::derive_permutation_spec;
 use cachekit::core::query::Query;
 use cachekit::hw::{fleet, CacheLevel, LevelOracle, MeasureMode};
 use cachekit::policies::PolicyKind;
+use cachekit::serve::{ServeConfig, Server};
 use cachekit::sim::{Cache, CacheConfig};
 use cachekit::trace::{io, workloads};
 use std::collections::HashMap;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "distances" => cmd_distances(rest),
         "mapping" => cmd_mapping(rest),
         "workloads" => cmd_workloads(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -60,7 +63,9 @@ fn usage() {
          \x20 query     \"A B C A?\" (--policy NAME --assoc N | --cpu NAME [--level lX])\n\
          \x20 distances --policy NAME --assoc N\n\
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
-         \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\n\
+         \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\
+         \x20 serve     [--port 8459] [--host 127.0.0.1] [--workers N] [--shards N]\n\
+         \x20           [--queue-depth N] [--cache N] [--deadline-ms N]\n\n\
          policies: LRU FIFO PLRU BitPLRU NRU CLOCK LIP BIP SRRIP BRRIP Random LazyLRU\n\
          cpus: atom_d525 core2_e6300 core2_e6750 core2_e8400 mystery_rand\n\
          \x20     nehalem_3level sliced_llc"
@@ -111,24 +116,7 @@ fn parse_u64(
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
-    Ok(match name.to_ascii_uppercase().as_str() {
-        "LRU" => PolicyKind::Lru,
-        "FIFO" => PolicyKind::Fifo,
-        "PLRU" | "TREEPLRU" => PolicyKind::TreePlru,
-        "BITPLRU" | "MRU" => PolicyKind::BitPlru,
-        "NRU" => PolicyKind::Nru,
-        "CLOCK" => PolicyKind::Clock,
-        "LIP" => PolicyKind::Lip,
-        "BIP" => PolicyKind::Bip { throttle: 32 },
-        "SRRIP" => PolicyKind::Srrip { bits: 2 },
-        "BRRIP" => PolicyKind::Brrip {
-            bits: 2,
-            throttle: 32,
-        },
-        "RANDOM" => PolicyKind::Random { seed: 0x5eed },
-        "LAZYLRU" => PolicyKind::LazyLru,
-        other => return Err(format!("unknown policy {other:?}")),
-    })
+    PolicyKind::parse_label(name).ok_or_else(|| format!("unknown policy {name:?}"))
 }
 
 fn parse_level(flags: &HashMap<String, String>) -> Result<CacheLevel, String> {
@@ -303,6 +291,36 @@ fn cmd_mapping(args: &[String]) -> Result<(), String> {
             "contiguous split ({line} B lines, {sets} sets) CONTRADICTS the              datasheet geometry — non-standard indexing"
         ),
         None => println!("no contiguous offset/index/tag split — hashed/sliced indexing"),
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let host = flags.get("host").map_or("127.0.0.1", String::as_str);
+    let port = parse_u64(&flags, "port", Some(8459))?;
+    let deadline_ms = parse_u64(&flags, "deadline-ms", Some(10_000))?;
+    let config = ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers_per_shard: parse_u64(&flags, "workers", Some(2))? as usize,
+        queue_shards: parse_u64(&flags, "shards", Some(2))? as usize,
+        queue_depth: parse_u64(&flags, "queue-depth", Some(32))? as usize,
+        cache_capacity: parse_u64(&flags, "cache", Some(1024))? as usize,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        retry_unit_ms: parse_u64(&flags, "retry-ms", Some(50))?,
+    };
+    let handle = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("cachekit-serve listening on http://{}", handle.addr());
+    println!("endpoints: POST /v1/query, GET /healthz, GET /metrics, POST /shutdown");
+    handle.wait_until_shutdown_requested();
+    println!("shutdown requested; draining...");
+    let report = handle.shutdown();
+    println!(
+        "drained: {} jobs submitted, {} completed, {} rejected at admission",
+        report.submitted, report.completed, report.rejected
+    );
+    if report.submitted != report.completed {
+        return Err("drain dropped admitted jobs".to_owned());
     }
     Ok(())
 }

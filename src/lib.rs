@@ -18,7 +18,10 @@
 //!   Intel Atom / Core 2 machines;
 //! * [`obs`] — the zero-dependency tracing/metrics layer (spans, counters,
 //!   log2 histograms) threaded through the pipeline; see
-//!   `docs/observability.md`.
+//!   `docs/observability.md`;
+//! * [`serve`] — the JSON-over-HTTP serving layer (typed queries, bounded
+//!   job queues with backpressure, an LRU result cache); see
+//!   `docs/serving.md`.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +44,6 @@ pub use cachekit_core as core;
 pub use cachekit_hw as hw;
 pub use cachekit_obs as obs;
 pub use cachekit_policies as policies;
+pub use cachekit_serve as serve;
 pub use cachekit_sim as sim;
 pub use cachekit_trace as trace;

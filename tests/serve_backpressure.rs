@@ -1,0 +1,262 @@
+//! Backpressure and drain semantics of the serving layer, made
+//! deterministic with a scripted (gate-blocked) executor:
+//!
+//! * a saturated queue answers `429` with a `Retry-After` hint;
+//! * graceful drain completes every admitted job — nothing is dropped;
+//! * a job that out-waits the deadline is shed with `503`, not run;
+//! * a cache hit replays the cold path's bytes exactly.
+
+use cachekit::serve::http::client::Connection;
+use cachekit::serve::{Executor, Json, Request, ServeConfig, Server, ServerHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// An executor that blocks every execution until [`Gate::release`] —
+/// saturation becomes a scripted certainty instead of a race.
+struct GatedExecutor {
+    gate: Arc<Gate>,
+}
+
+struct Gate {
+    released: Mutex<bool>,
+    condvar: Condvar,
+    executions: AtomicU64,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            released: Mutex::new(false),
+            condvar: Condvar::new(),
+            executions: AtomicU64::new(0),
+        })
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.condvar.notify_all();
+    }
+
+    fn wait(&self) {
+        let guard = self.released.lock().unwrap();
+        let _guard = self
+            .condvar
+            .wait_while(guard, |released| !*released)
+            .unwrap();
+    }
+}
+
+impl Executor for GatedExecutor {
+    fn execute(&self, request: &Request) -> Json {
+        self.gate.wait();
+        self.gate.executions.fetch_add(1, Ordering::SeqCst);
+        Json::object(vec![
+            ("ok", Json::from(true)),
+            ("echo", Json::from(request.canonical_json())),
+        ])
+    }
+}
+
+fn gated_server(queue_depth: usize, deadline: Option<Duration>) -> (ServerHandle, Arc<Gate>) {
+    let gate = Gate::new();
+    let handle = Server::start_with_executor(
+        ServeConfig {
+            queue_shards: 1,
+            workers_per_shard: 1,
+            queue_depth,
+            cache_capacity: 0, // every request must reach admission
+            deadline,
+            retry_unit_ms: 20,
+            ..ServeConfig::default()
+        },
+        Arc::new(GatedExecutor {
+            gate: Arc::clone(&gate),
+        }),
+    )
+    .expect("bind ephemeral port");
+    (handle, gate)
+}
+
+fn body_for(seed: u64) -> String {
+    format!(
+        r#"{{"type":"distances","policy":"LRU","assoc":{}}}"#,
+        2 + seed % 8
+    )
+}
+
+/// Fire `count` distinct queries concurrently; return (status,
+/// retry-after header, body) triples.
+fn fire_concurrent(addr: &str, count: u64) -> Vec<(u16, Option<String>, String)> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for lane in 0..count {
+            let results = &results;
+            scope.spawn(move || {
+                let mut conn = Connection::open(addr).expect("connect");
+                let resp = conn
+                    .post_json("/v1/query", &body_for(lane))
+                    .expect("request");
+                results.lock().unwrap().push((
+                    resp.status,
+                    resp.header("retry-after").map(str::to_owned),
+                    resp.body_str(),
+                ));
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}
+
+#[test]
+fn saturation_answers_429_with_retry_after_and_drops_nothing() {
+    // Depth 2, one blocked worker: of 8 distinct concurrent queries at
+    // most 2 are admitted; the rest must bounce with 429.
+    let (handle, gate) = gated_server(2, None);
+    let addr = handle.addr().to_string();
+
+    let puncher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || fire_concurrent(&addr, 8))
+    };
+    // Admissions settle fast (the worker is gated); then open the gate
+    // so accepted jobs can finish.
+    std::thread::sleep(Duration::from_millis(300));
+    gate.release();
+    let results = puncher.join().expect("client threads");
+
+    let ok = results.iter().filter(|(s, _, _)| *s == 200).count();
+    let throttled: Vec<_> = results.iter().filter(|(s, _, _)| *s == 429).collect();
+    assert_eq!(ok + throttled.len(), 8, "results: {results:?}");
+    assert!(
+        (1..=6).contains(&throttled.len()),
+        "8 queries at depth 2 must see refusals and admissions: {results:?}"
+    );
+    for (_, retry_after, body) in &throttled {
+        let secs: u64 = retry_after
+            .as_deref()
+            .expect("429 carries Retry-After")
+            .parse()
+            .expect("Retry-After is integral seconds");
+        assert!(secs >= 1);
+        assert!(body.contains("\"retry_after_ms\":"), "body: {body}");
+    }
+
+    let report = handle.shutdown();
+    assert_eq!(
+        report.submitted, report.completed,
+        "admitted jobs must all run"
+    );
+    assert_eq!(report.submitted, ok as u64);
+    assert_eq!(report.rejected, throttled.len() as u64);
+    assert_eq!(gate.executions.load(Ordering::SeqCst), ok as u64);
+}
+
+#[test]
+fn graceful_drain_completes_every_inflight_job() {
+    let (handle, gate) = gated_server(16, None);
+    let addr = handle.addr().to_string();
+
+    let puncher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || fire_concurrent(&addr, 4))
+    };
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Shutdown while all four jobs are admitted and the worker is still
+    // gated; release the gate from a helper so drain can finish.
+    let releaser = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            gate.release();
+        })
+    };
+    let report = handle.shutdown();
+    releaser.join().unwrap();
+
+    let results = puncher.join().expect("client threads");
+    assert!(
+        results.iter().all(|(status, _, _)| *status == 200),
+        "in-flight jobs must complete with real responses: {results:?}"
+    );
+    assert_eq!(report.submitted, 4);
+    assert_eq!(report.completed, 4, "drain dropped jobs: {report:?}");
+    assert_eq!(gate.executions.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn jobs_past_the_deadline_are_shed_not_executed() {
+    let (handle, gate) = gated_server(8, Some(Duration::from_millis(50)));
+    let addr = handle.addr().to_string();
+
+    // Plug the single worker: this job passes its deadline check fresh,
+    // then blocks on the gate mid-execution.
+    let plug = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut conn = Connection::open(&addr).expect("connect");
+            conn.post_json("/v1/query", r#"{"type":"workloads","capacity":65536}"#)
+                .expect("plug request")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+
+    // These three queue behind the plug and out-wait the 50 ms
+    // deadline; on release each reaches its deadline check stale.
+    let puncher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || fire_concurrent(&addr, 3))
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    gate.release();
+    let results = puncher.join().expect("client threads");
+    assert_eq!(plug.join().expect("plug thread").status, 200);
+
+    let shed = results.iter().filter(|(s, _, _)| *s == 503).count();
+    assert_eq!(shed, 3, "stale jobs must shed: {results:?}");
+    for (_, retry_after, body) in &results {
+        assert!(retry_after.is_some(), "shed responses carry Retry-After");
+        assert!(body.contains("shed"), "body: {body}");
+    }
+    // Shed jobs still count as completed (their closure ran), but only
+    // the plug ever reached the executor.
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+    assert_eq!(
+        gate.executions.load(Ordering::SeqCst),
+        1,
+        "shed jobs must not execute the pipeline"
+    );
+}
+
+#[test]
+fn cache_hits_replay_cold_bytes_identically() {
+    // Real executor: a full pipeline inference, cold then cached.
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut conn = Connection::open(&handle.addr().to_string()).expect("connect");
+
+    let body = r#"{"type":"infer","cpu":"atom_d525","level":"l1"}"#;
+    let cold = conn.post_json("/v1/query", body).expect("cold");
+    assert_eq!(cold.status, 200, "body: {}", cold.body_str());
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert!(cold.body_str().contains("\"degraded\":false"));
+
+    // Same request, different field order: same canonical key.
+    let reordered = r#"{"cpu":"atom_d525","level":"l1","type":"infer"}"#;
+    let warm = conn.post_json("/v1/query", reordered).expect("warm");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(
+        cold.body, warm.body,
+        "cached replay must be byte-identical to the cold execution"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+}

@@ -1,0 +1,132 @@
+//! Protocol-level guarantees of the serving layer's canonicalization:
+//! semantically equal requests share a cache key, semantically
+//! different ones never collide across the full differential policy
+//! set.
+
+use cachekit::policies::PolicyKind;
+use cachekit::serve::Request;
+use std::collections::HashMap;
+
+fn key(body: &str) -> u64 {
+    Request::parse(body)
+        .unwrap_or_else(|e| panic!("body {body:?} must parse: {e}"))
+        .cache_key()
+}
+
+#[test]
+fn field_order_never_changes_the_key() {
+    let orderings = [
+        r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8,"line":64,
+            "workload":"zipf_hot","writes":0.25,"seed":9}"#,
+        r#"{"workload":"zipf_hot","writes":0.25,"seed":9,"type":"simulate",
+            "assoc":8,"line":64,"policy":"LRU","capacity":65536}"#,
+        r#"{"seed":9,"line":64,"capacity":65536,"writes":0.25,"assoc":8,
+            "workload":"zipf_hot","policy":"LRU","type":"simulate"}"#,
+    ];
+    let first = key(orderings[0]);
+    for body in &orderings[1..] {
+        assert_eq!(key(body), first, "body {body:?}");
+    }
+}
+
+#[test]
+fn elided_defaults_equal_explicit_defaults() {
+    let pairs = [
+        (
+            r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8,"workload":"fit_loop"}"#,
+            r#"{"type":"simulate","policy":"LRU","capacity":65536,"assoc":8,"workload":"fit_loop",
+                "line":64,"writes":0.0,"seed":7}"#,
+        ),
+        (
+            r#"{"type":"infer","cpu":"atom_d525"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","level":"l1","repetitions":3,
+                "max_repetitions":12,"budget":null,"min_confidence":0.6666666666666666,
+                "seed":3390155550,"readout":"binary"}"#,
+        ),
+        (
+            r#"{"type":"workloads","capacity":262144}"#,
+            r#"{"type":"workloads","capacity":262144,"line":64,"seed":7}"#,
+        ),
+    ];
+    for (elided, explicit) in pairs {
+        assert_eq!(key(elided), key(explicit), "pair {elided:?}");
+    }
+}
+
+#[test]
+fn policy_aliases_normalize_before_hashing() {
+    let canonical = key(r#"{"type":"distances","policy":"PLRU","assoc":8}"#);
+    for alias in ["plru", "TreePLRU", "treeplru", "Plru"] {
+        let body = format!(r#"{{"type":"distances","policy":"{alias}","assoc":8}}"#);
+        assert_eq!(key(&body), canonical, "alias {alias:?}");
+    }
+    // BitPLRU goes by MRU in some papers; both names, one key.
+    assert_eq!(
+        key(r#"{"type":"distances","policy":"MRU","assoc":8}"#),
+        key(r#"{"type":"distances","policy":"BitPLRU","assoc":8}"#),
+    );
+}
+
+/// Semantically different requests must produce distinct keys across
+/// the entire 13-policy differential set and several geometries — a
+/// collision would silently serve one policy's results for another.
+#[test]
+fn no_collisions_across_the_differential_policy_set() {
+    let mut seen: HashMap<u64, String> = HashMap::new();
+    let mut check = |body: String| {
+        let request = Request::parse(&body).unwrap_or_else(|e| panic!("{body:?}: {e}"));
+        let canonical = request.canonical_json();
+        if let Some(previous) = seen.insert(request.cache_key(), canonical.clone()) {
+            assert_eq!(
+                previous, canonical,
+                "distinct canonical requests collided on one key"
+            );
+        }
+    };
+
+    for kind in PolicyKind::differential_kinds() {
+        let label = kind.label();
+        for assoc in [2, 4, 8] {
+            check(format!(
+                r#"{{"type":"distances","policy":"{label}","assoc":{assoc}}}"#
+            ));
+            for workload in ["seq_stream", "zipf_hot", "thrash_loop"] {
+                check(format!(
+                    r#"{{"type":"simulate","policy":"{label}","capacity":65536,
+                        "assoc":{assoc},"workload":"{workload}"}}"#
+                ));
+            }
+        }
+    }
+    for seed in 0..50u64 {
+        check(format!(
+            r#"{{"type":"infer","cpu":"atom_d525","seed":{seed}}}"#
+        ));
+        check(format!(
+            r#"{{"type":"workloads","capacity":65536,"seed":{seed}}}"#
+        ));
+    }
+    assert!(
+        seen.len() > 13 * 3 * 4 + 90,
+        "expected full corpus, saw {} keys",
+        seen.len()
+    );
+}
+
+#[test]
+fn canonical_json_round_trips_to_the_same_request() {
+    let bodies = [
+        r#"{"type":"infer","cpu":"core2_e6300","level":"l2","budget":50000}"#,
+        r#"{"type":"simulate","policy":"SRRIP","capacity":131072,"assoc":16,
+            "workload":"ptr_chase","writes":0.5,"seed":3}"#,
+        r#"{"type":"distances","policy":"BIP","assoc":8}"#,
+        r#"{"type":"workloads","capacity":32768,"line":32,"seed":1}"#,
+    ];
+    for body in bodies {
+        let request = Request::parse(body).unwrap();
+        let canonical = request.canonical_json();
+        let reparsed = Request::parse(&canonical).unwrap();
+        assert_eq!(request, reparsed, "canonical form must be a fixed point");
+        assert_eq!(reparsed.canonical_json(), canonical);
+    }
+}
