@@ -99,6 +99,26 @@ impl PolicyKind {
         }
     }
 
+    /// Check the kind's parameters against an associativity without
+    /// building, returning a client-reportable message on mismatch.
+    ///
+    /// [`build`](Self::build) asserts these same constraints; callers
+    /// that construct policies from untrusted input (the serving
+    /// protocol, config files) should validate here first so a bad
+    /// request is an error, not a panic.
+    pub fn validate_for_assoc(self, assoc: usize) -> Result<(), String> {
+        if assoc == 0 || assoc > 128 {
+            return Err(format!("associativity {assoc} outside 1..=128"));
+        }
+        match self {
+            PolicyKind::Slru { protected } if protected >= assoc => Err(format!(
+                "SLRU protected segment {protected} must be below the associativity {assoc} \
+                 (at least one probationary position is required)"
+            )),
+            _ => Ok(()),
+        }
+    }
+
     /// Display name of the kind (matches the built policy's
     /// [`name`](ReplacementPolicy::name) for the default parameters).
     pub fn label(self) -> String {
@@ -296,6 +316,24 @@ mod tests {
         );
         assert_eq!(PolicyKind::parse_label("BIP-1/0"), None, "zero throttle");
         assert_eq!(PolicyKind::parse_label("NOPE"), None);
+    }
+
+    #[test]
+    fn validate_for_assoc_matches_build_panics() {
+        assert!(PolicyKind::Slru { protected: 2 }
+            .validate_for_assoc(4)
+            .is_ok());
+        assert!(PolicyKind::Slru { protected: 4 }
+            .validate_for_assoc(4)
+            .is_err());
+        assert!(PolicyKind::Slru { protected: 8 }
+            .validate_for_assoc(4)
+            .is_err());
+        assert!(PolicyKind::Lru.validate_for_assoc(0).is_err());
+        assert!(PolicyKind::Lru.validate_for_assoc(129).is_err());
+        for kind in PolicyKind::differential_kinds() {
+            assert!(kind.validate_for_assoc(4).is_ok(), "kind {kind:?}");
+        }
     }
 
     #[test]

@@ -355,6 +355,9 @@ fn run_saturation_phase(seed: u64) -> Result<Json, String> {
     if unexpected > 0 {
         return Err(format!("unexpected statuses: {statuses:?}"));
     }
+    if report.panicked > 0 {
+        return Err(format!("{} worker jobs panicked", report.panicked));
+    }
     if report.submitted != report.completed {
         return Err(format!(
             "drain dropped jobs: submitted {}, completed {}",
@@ -493,6 +496,9 @@ fn run(flags: &Flags) -> Result<(), String> {
     let drain = match handle {
         Some(handle) => {
             let report = handle.shutdown();
+            if report.panicked > 0 {
+                return Err(format!("{} worker jobs panicked", report.panicked));
+            }
             if report.submitted != report.completed {
                 return Err(format!(
                     "main server drain dropped jobs: {} submitted, {} completed",
@@ -564,6 +570,7 @@ fn run(flags: &Flags) -> Result<(), String> {
                 Some(r) => Json::object(vec![
                     ("submitted", Json::from(r.submitted)),
                     ("completed", Json::from(r.completed)),
+                    ("panicked", Json::from(r.panicked)),
                     ("rejected", Json::from(r.rejected)),
                 ]),
                 None => Json::Null,

@@ -11,7 +11,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard cap on the request line plus headers, bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -85,6 +85,76 @@ fn malformed(status: u16, message: impl Into<String>) -> HttpError {
     HttpError::Malformed {
         status,
         message: message.into(),
+    }
+}
+
+/// A [`BufRead`] adapter that retries timeout errors until a deadline.
+///
+/// The server sets a short socket read timeout so idle keep-alive
+/// handlers can poll the shutdown flag, but once the first byte of a
+/// request has arrived a slow client must *not* reset the parser:
+/// losing partially-read bytes on a `WouldBlock` would silently
+/// corrupt the stream. Wrapping the connection in a `PatientReader`
+/// for the duration of one [`read_request`] call turns those short
+/// timeouts into retries, up to `patience`; only when the deadline
+/// passes is the timeout error surfaced (and the caller then abandons
+/// the connection, typically with a `408`).
+pub struct PatientReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    deadline: Instant,
+}
+
+impl<'a, R: BufRead> PatientReader<'a, R> {
+    /// Wrap `inner`, retrying timeouts for up to `patience` from now.
+    pub fn new(inner: &'a mut R, patience: Duration) -> Self {
+        PatientReader {
+            inner,
+            deadline: Instant::now() + patience,
+        }
+    }
+
+    fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl<R: BufRead> Read for PatientReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e) if is_timeout(&e) && !self.expired() => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<R: BufRead> BufRead for PatientReader<'_, R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        // Probe with a retry loop first, then re-borrow: returning the
+        // buffer from inside the loop trips the borrow checker.
+        loop {
+            let timed_out = match self.inner.fill_buf() {
+                Ok(_) => break,
+                Err(e) if is_timeout(&e) => e,
+                Err(e) => return Err(e),
+            };
+            if self.expired() {
+                return Err(timed_out);
+            }
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
     }
 }
 
@@ -237,6 +307,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -474,6 +545,64 @@ mod tests {
         match parse(&raw) {
             Err(HttpError::Malformed { status, .. }) => assert_eq!(status, 431),
             other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    /// Yields the wrapped bytes one at a time, returning `WouldBlock`
+    /// before every byte — a client stalling mid-request.
+    struct Stutter {
+        bytes: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() {
+                return Ok(0);
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn patient_reader_survives_mid_request_stalls() {
+        let raw = "POST /v1/query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut inner = BufReader::new(Stutter {
+            bytes: raw.as_bytes().to_vec(),
+            pos: 0,
+            ready: false,
+        });
+        let mut patient = PatientReader::new(&mut inner, Duration::from_secs(5));
+        let req = read_request(&mut patient).expect("stalls must not corrupt the parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn patient_reader_gives_up_after_the_deadline() {
+        let mut inner = BufReader::new(Stutter {
+            bytes: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            pos: 0,
+            ready: false,
+        });
+        let mut patient = PatientReader::new(&mut inner, Duration::ZERO);
+        match read_request(&mut patient) {
+            Err(HttpError::Io(e)) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "kind: {e:?}"
+            ),
+            other => panic!("expected a surfaced timeout, got {other:?}"),
         }
     }
 

@@ -329,6 +329,10 @@ impl SimulateRequest {
         if capacity / line < 16 {
             return Err(bad("capacity must hold at least 16 lines"));
         }
+        // Policy parameters must fit the geometry (e.g. an SLRU
+        // protected segment below the associativity) — `build` would
+        // panic inside a worker job otherwise.
+        policy.validate_for_assoc(assoc).map_err(bad)?;
         Ok(Self {
             policy,
             capacity,
@@ -366,6 +370,7 @@ impl DistancesRequest {
                 "assoc {assoc} exceeds the serving cap of {MAX_DISTANCE_ASSOC}"
             )));
         }
+        policy.validate_for_assoc(assoc).map_err(bad)?;
         Ok(Self { policy, assoc })
     }
 
@@ -494,6 +499,9 @@ mod tests {
                 "writes":1.5}"#,
             r#"{"type":"distances","policy":"LRU","assoc":0}"#,
             r#"{"type":"distances","policy":"LRU","assoc":64}"#,
+            r#"{"type":"distances","policy":"SLRU-8","assoc":4}"#,
+            r#"{"type":"distances","policy":"SLRU-4","assoc":4}"#,
+            r#"{"type":"simulate","policy":"SLRU-8","capacity":65536,"assoc":8,"workload":"w"}"#,
             r#"{"type":"workloads"}"#,
             r#"{"type":"workloads","capacity":65536,"line":48}"#,
         ] {

@@ -9,11 +9,14 @@
 //! the HTTP layer turns into `429 Too Many Requests`.
 //!
 //! The invariant the backpressure tests lean on: **every admitted job
-//! runs to completion**, even through shutdown. [`JobQueue::drain`]
-//! closes the pools and joins their workers, and `WorkerPool`'s drop
-//! path runs every job still queued, so accepted work is never
-//! silently dropped — at worst it completes as a deadline-shed
-//! response.
+//! runs exactly once and releases its slot**, even through shutdown or
+//! a panic. [`JobQueue::drain`] closes the pools and joins their
+//! workers, and `WorkerPool`'s drop path runs every job still queued,
+//! so accepted work is never silently dropped — at worst it completes
+//! as a deadline-shed response. A job that panics is counted in
+//! `panicked` rather than `completed`, and its admission slot is
+//! released by a drop guard so capacity never leaks; after a clean
+//! drain `submitted == completed + panicked`.
 
 use cachekit_sim::{PoolClosed, WorkerPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -39,6 +42,29 @@ struct QueueShard {
     depth: Arc<AtomicUsize>,
 }
 
+/// Releases a job's admission slot when the job ends — including by
+/// panic. `WorkerPool` catches panics around the whole job closure, so
+/// without unwind-safe release a panicking job would permanently
+/// consume one unit of shard capacity.
+struct SlotGuard {
+    depth: Arc<AtomicUsize>,
+    completed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
+    finished: bool,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+        if self.finished {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+            cachekit_obs::add("serve.queue.panicked", 1);
+        }
+    }
+}
+
 /// A sharded bounded queue of `FnOnce` jobs with per-shard worker
 /// pools.
 pub struct JobQueue {
@@ -48,6 +74,7 @@ pub struct JobQueue {
     retry_unit_ms: u64,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
     rejected: AtomicU64,
 }
 
@@ -66,9 +93,12 @@ impl std::fmt::Debug for JobQueue {
 pub struct DrainReport {
     /// Jobs admitted over the queue's lifetime.
     pub submitted: u64,
-    /// Jobs that ran to completion (equals `submitted` after a clean
-    /// drain — the queue never drops admitted work).
+    /// Jobs that ran to completion (`submitted == completed + panicked`
+    /// after a clean drain — the queue never drops admitted work).
     pub completed: u64,
+    /// Jobs that unwound with a panic. Their admission slot is still
+    /// released (capacity never leaks), but they are not `completed`.
+    pub panicked: u64,
     /// Jobs refused at admission with a retry hint.
     pub rejected: u64,
 }
@@ -99,6 +129,7 @@ impl JobQueue {
             retry_unit_ms: retry_unit_ms.max(1),
             submitted: AtomicU64::new(0),
             completed: Arc::new(AtomicU64::new(0)),
+            panicked: Arc::new(AtomicU64::new(0)),
             rejected: AtomicU64::new(0),
         }
     }
@@ -135,10 +166,20 @@ impl JobQueue {
         }
         let depth = Arc::clone(&shard.depth);
         let completed = Arc::clone(&self.completed);
+        let panicked = Arc::clone(&self.panicked);
+        // The guard is built inside the closure body so that a job
+        // rejected by a closed pool (closure dropped, never run) does
+        // not release a slot it still holds via the manual back-out
+        // below.
         let wrapped = move || {
+            let mut guard = SlotGuard {
+                depth,
+                completed,
+                panicked,
+                finished: false,
+            };
             job();
-            depth.fetch_sub(1, Ordering::AcqRel);
-            completed.fetch_add(1, Ordering::Relaxed);
+            guard.finished = true;
         };
         match shard.pool.submit(wrapped) {
             Ok(()) => {
@@ -158,6 +199,7 @@ impl JobQueue {
         DrainReport {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
@@ -171,6 +213,7 @@ impl JobQueue {
         DrainReport {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
@@ -232,6 +275,42 @@ mod tests {
         let report = queue.drain();
         assert_eq!(report.submitted, 2);
         assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn panicking_jobs_release_their_slot() {
+        // One shard, depth 2: if a panic leaked its slot, two panics
+        // would wedge the shard at capacity forever.
+        let queue = JobQueue::new(1, 1, 2, 10);
+        for _ in 0..2 {
+            assert_eq!(queue.admit(0, || panic!("job boom")), Admission::Accepted);
+        }
+        // Wait for both panicking jobs to finish and release.
+        let settle_started = std::time::Instant::now();
+        while queue.report().panicked < 2 {
+            assert!(
+                settle_started.elapsed() < Duration::from_secs(5),
+                "panicked jobs never released: {:?}",
+                queue.report()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(queue.depth(), 0, "panics must not consume capacity");
+        // The shard still accepts and runs new work.
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran_clone = Arc::clone(&ran);
+        assert_eq!(
+            queue.admit(0, move || {
+                ran_clone.fetch_add(1, Ordering::Relaxed);
+            }),
+            Admission::Accepted
+        );
+        let report = queue.drain();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.panicked, 2);
+        assert_eq!(report.completed, 1, "panicked jobs are not completed");
+        assert_eq!(report.submitted, report.completed + report.panicked);
     }
 
     #[test]

@@ -26,13 +26,15 @@
 
 use crate::cache::ResultCache;
 use crate::exec::{Executor, PipelineExecutor};
-use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResponse};
+use crate::http::{
+    read_request, write_response, HttpError, HttpRequest, HttpResponse, PatientReader,
+};
 use crate::proto::Request;
 use crate::queue::{Admission, DrainReport, JobQueue};
 use cachekit_bench::json::Json;
 use cachekit_bench::metrics::metrics_to_json;
 use cachekit_obs::{bucket_bounds, bucket_index, HistBucket, Histogram};
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
@@ -41,6 +43,12 @@ use std::time::{Duration, Instant};
 /// How long an idle keep-alive connection sleeps per poll of the
 /// shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// How long a client may take to deliver one complete request head +
+/// body once its first byte has arrived. Stalls shorter than this are
+/// retried (the parse state is kept); longer ones get `408` and the
+/// connection is closed.
+const REQUEST_READ_PATIENCE: Duration = Duration::from_secs(30);
 
 /// Capacity and behaviour knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -266,6 +274,7 @@ impl ServerHandle {
             None => DrainReport {
                 submitted: 0,
                 completed: 0,
+                panicked: 0,
                 rejected: 0,
             },
         }
@@ -280,7 +289,31 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader) {
+        // Idle phase: wait for the first byte of the next request,
+        // polling the shutdown flag every IDLE_POLL. Only here is a
+        // timeout "idle"; once a byte has arrived the parse below must
+        // keep its partial state across stalls.
+        match reader.fill_buf() {
+            Ok([]) => return, // peer closed cleanly between requests
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let parsed = {
+            let mut patient = PatientReader::new(&mut reader, REQUEST_READ_PATIENCE);
+            read_request(&mut patient)
+        };
+        match parsed {
             Ok(request) => {
                 let span = cachekit_obs::span("serve.request");
                 state.active_requests.fetch_add(1, Ordering::AcqRel);
@@ -308,10 +341,11 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                // Idle between requests: poll the flag, keep waiting.
-                if state.shutting_down.load(Ordering::Acquire) {
-                    return;
-                }
+                // The client stalled mid-request past the patience
+                // deadline; the stream position is unrecoverable.
+                let body = r#"{"error":"timed out reading request"}"#;
+                let _ = write_response(reader.get_mut(), &HttpResponse::json(408, body), true);
+                return;
             }
             Err(HttpError::Io(_)) => return,
             Err(HttpError::Malformed { status, message }) => {
@@ -327,19 +361,32 @@ fn route<'a>(
     state: &'a Arc<ServerState>,
     request: &HttpRequest,
 ) -> (HttpResponse, Option<&'a EndpointLatency>) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/query") => (handle_query(state, request), Some(&state.query_latency)),
-        ("GET", "/healthz") => (handle_healthz(state), Some(&state.healthz_latency)),
-        ("GET", "/metrics") => (handle_metrics(state), Some(&state.metrics_latency)),
-        ("POST", "/shutdown") => (handle_shutdown(state), None),
-        ("POST" | "GET", "/v1/query" | "/healthz" | "/metrics" | "/shutdown") => (
-            HttpResponse::json(405, r#"{"error":"method not allowed"}"#),
+    // Resolve the path first so *any* wrong method on a known endpoint
+    // — PUT, DELETE, HEAD, … — is a 405 with an Allow header, and only
+    // unknown paths are 404.
+    let allowed = match request.path.as_str() {
+        "/v1/query" | "/shutdown" => "POST",
+        "/healthz" | "/metrics" => "GET",
+        _ => {
+            return (
+                HttpResponse::json(404, r#"{"error":"no such endpoint"}"#),
+                None,
+            )
+        }
+    };
+    if request.method != allowed {
+        return (
+            HttpResponse::json(405, r#"{"error":"method not allowed"}"#)
+                .with_header("Allow", allowed),
             None,
-        ),
-        _ => (
-            HttpResponse::json(404, r#"{"error":"no such endpoint"}"#),
-            None,
-        ),
+        );
+    }
+    match request.path.as_str() {
+        "/v1/query" => (handle_query(state, request), Some(&state.query_latency)),
+        "/healthz" => (handle_healthz(state), Some(&state.healthz_latency)),
+        "/metrics" => (handle_metrics(state), Some(&state.metrics_latency)),
+        "/shutdown" => (handle_shutdown(state), None),
+        _ => unreachable!("every path with an allowed method is dispatched above"),
     }
 }
 
@@ -396,8 +443,9 @@ fn handle_query(state: &Arc<ServerState>, http: &HttpRequest) -> HttpResponse {
             )
             .with_header("Retry-After", "1")
             .with_header("X-Shed", "deadline"),
-            // The worker pool contains job panics; the dropped sender
-            // is the only trace.
+            // The worker pool contains job panics; the queue counts
+            // them (`panicked`) and releases the admission slot, and
+            // the dropped sender surfaces here as a 500.
             Err(_) => HttpResponse::json(500, r#"{"error":"job failed"}"#),
         },
         Admission::Saturated { retry_after_ms } => {
@@ -449,6 +497,7 @@ fn handle_metrics(state: &Arc<ServerState>) -> HttpResponse {
         Some(r) => Json::object(vec![
             ("submitted", Json::from(r.submitted)),
             ("completed", Json::from(r.completed)),
+            ("panicked", Json::from(r.panicked)),
             ("rejected", Json::from(r.rejected)),
             ("depth", Json::from(depth)),
         ]),
@@ -508,6 +557,78 @@ mod tests {
         assert_eq!(conn.get("/nope").unwrap().status, 404);
         assert_eq!(conn.post_json("/healthz", "{}").unwrap().status, 405);
         assert_eq!(conn.post_json("/v1/query", "not json").unwrap().status, 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_methods_get_405_with_allow() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        let put = conn.request("PUT", "/healthz", &[], &[]).unwrap();
+        assert_eq!(put.status, 405);
+        assert_eq!(put.header("allow"), Some("GET"));
+        let delete = conn.request("DELETE", "/v1/query", &[], &[]).unwrap();
+        assert_eq!(delete.status, 405);
+        assert_eq!(delete.header("allow"), Some("POST"));
+        assert_eq!(conn.request("PUT", "/nope", &[], &[]).unwrap().status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn invalid_slru_geometry_is_a_400_not_a_panic() {
+        let handle = tiny_server();
+        let mut conn = Connection::open(&handle.addr().to_string()).unwrap();
+        let body = r#"{"type":"distances","policy":"SLRU-8","assoc":4}"#;
+        let resp = conn.post_json("/v1/query", body).unwrap();
+        assert_eq!(resp.status, 400, "body: {}", resp.body_str());
+        // The shard did not leak capacity: a valid request still works.
+        let ok = conn
+            .post_json(
+                "/v1/query",
+                r#"{"type":"distances","policy":"SLRU-2","assoc":4}"#,
+            )
+            .unwrap();
+        assert_eq!(ok.status, 200, "body: {}", ok.body_str());
+        let report = handle.shutdown();
+        assert_eq!(report.panicked, 0);
+        assert_eq!(report.submitted, report.completed);
+    }
+
+    #[test]
+    fn slow_request_delivery_is_not_corrupted() {
+        // A client pausing longer than IDLE_POLL mid-head must not
+        // reset the parser; the request completes normally.
+        let handle = tiny_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        use std::io::{Read, Write};
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (first, rest) = raw.split_at(10);
+        stream.write_all(first).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(IDLE_POLL + Duration::from_millis(150));
+        stream.write_all(rest).unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut response = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    response.extend_from_slice(&buf[..n]);
+                    if response.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 200"),
+            "stalled request must still parse, got: {text}"
+        );
         handle.shutdown();
     }
 

@@ -316,10 +316,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("shutdown requested; draining...");
     let report = handle.shutdown();
     println!(
-        "drained: {} jobs submitted, {} completed, {} rejected at admission",
-        report.submitted, report.completed, report.rejected
+        "drained: {} jobs submitted, {} completed, {} panicked, {} rejected at admission",
+        report.submitted, report.completed, report.panicked, report.rejected
     );
-    if report.submitted != report.completed {
+    if report.submitted != report.completed + report.panicked {
         return Err("drain dropped admitted jobs".to_owned());
     }
     Ok(())
