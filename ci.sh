@@ -33,6 +33,16 @@ run cargo test -q
 run cargo test -q --release --test fault_differential --test vote_plan
 run cargo run --release -q -p cachekit-bench --bin fig11_robustness -- --smoke
 
+# Engine differential at release optimisation: boxed / enum /
+# compiled-table bit-identity over all 13 differential kinds, plus the
+# catalog-spec -> table round trip.
+run cargo test -q --release --test engine_differential
+
+# Engine-throughput smoke: exercises all three engines end-to-end and
+# writes results/bench_access_smoke.json (the recorded numbers in
+# results/bench_access.json come from the full run).
+run cargo run --release -q -p cachekit-bench --bin bench_access -- --smoke
+
 # Serving-layer smoke: bench-client hosts a server on an ephemeral
 # port, runs the cold/warm/load/saturation phases for ~2 s, and fails
 # on any degraded answer, missing 429 under saturation, sub-100x cache

@@ -3,12 +3,12 @@
 //! DESIGN.md's "set-state representation" choice.
 
 use cachekit_bench::microbench::{bench, report};
-use cachekit_policies::PolicyKind;
+use cachekit_policies::{PolicyKind, ReplacementPolicy};
 use std::hint::black_box;
 
 fn main() {
     for kind in PolicyKind::evaluation_kinds() {
-        let mut p = kind.build(8, 0);
+        let mut p = kind.build_state(8, 0);
         for w in 0..8 {
             p.on_fill(w);
         }

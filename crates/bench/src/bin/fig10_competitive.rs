@@ -43,8 +43,8 @@ fn main() {
         let _span = cachekit_obs::span("competitive_matrix");
         cachekit_sim::par_map(&pairs, run.jobs(), |&(p, q)| {
             competitiveness(
-                p.build(assoc, 0).as_ref(),
-                q.build(assoc, 0).as_ref(),
+                &p.build_state(assoc, 0),
+                &q.build_state(assoc, 0),
                 trials,
                 0xF10,
             )

@@ -75,19 +75,16 @@ fn main() {
                 minimal_lifespan_spec(&spec, budget),
             ),
             None => {
-                let p = kind.build(a, 0);
-                (
-                    evict_distance(p.as_ref(), budget),
-                    minimal_lifespan(p.as_ref(), budget),
-                )
+                let p = kind.build_state(a, 0);
+                (evict_distance(&p, budget), minimal_lifespan(&p, budget))
             }
         };
         // Cross-check the quotient solver against the generic one
         // where the latter is tractable.
         if a <= 4 {
-            let p = kind.build(a, 0);
-            assert_eq!(e, evict_distance(p.as_ref(), budget), "{kind:?} A={a}");
-            assert_eq!(m, minimal_lifespan(p.as_ref(), budget), "{kind:?} A={a}");
+            let p = kind.build_state(a, 0);
+            assert_eq!(e, evict_distance(&p, budget), "{kind:?} A={a}");
+            assert_eq!(m, minimal_lifespan(&p, budget), "{kind:?} A={a}");
         }
         (e, m)
     });

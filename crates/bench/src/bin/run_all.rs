@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig11_robustness",
     "ablation_readout",
     "ablation_interference",
+    "bench_access",
 ];
 
 fn parse_jobs() -> Option<usize> {

@@ -15,7 +15,7 @@
 //! PLRU ≈ LRU, FIFO strictly worse than LRU somewhere, and vice versa).
 
 use cachekit_policies::rng::Prng;
-use cachekit_policies::ReplacementPolicy;
+use cachekit_policies::{PolicyState, ReplacementPolicy};
 use cachekit_sim::CacheSet;
 
 /// Result of an empirical competitiveness estimate.
@@ -64,7 +64,7 @@ pub fn adversarial_sequence(assoc: usize, len: usize, seed: u64) -> Vec<u64> {
 }
 
 fn misses_on(policy: &dyn ReplacementPolicy, seq: &[u64]) -> u64 {
-    let mut set = CacheSet::new(policy.boxed_clone());
+    let mut set = CacheSet::from_state(PolicyState::from_boxed(policy.boxed_clone()));
     seq.iter().filter(|&&b| set.access_tag(b).is_miss()).count() as u64
 }
 

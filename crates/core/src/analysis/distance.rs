@@ -93,21 +93,26 @@ pub fn evict_distance(
         });
     }
 
-    let mut memo: HashMap<(Vec<u8>, u128), Value> = HashMap::new();
+    // Memo keys are flat byte strings — the policy's state key (written
+    // without an intermediate allocation) followed by the mask — so
+    // hashing walks one contiguous buffer instead of a (Vec, u128) tuple.
+    let mut memo: HashMap<Vec<u8>, Value> = HashMap::new();
 
     fn solve(
         p: &dyn ReplacementPolicy,
         mask: u128,
         full: u128,
         assoc: usize,
-        memo: &mut HashMap<(Vec<u8>, u128), Value>,
+        memo: &mut HashMap<Vec<u8>, Value>,
         max_nodes: usize,
     ) -> Result<usize, DistanceError> {
         if mask == full {
             return Ok(0);
         }
-        let key = (p.state_key(), mask);
-        match memo.get(&key) {
+        let mut key = Vec::with_capacity(assoc + 16);
+        p.write_state_key(&mut key);
+        key.extend_from_slice(&mask.to_le_bytes());
+        match memo.get(key.as_slice()) {
             Some(Value::Done(v)) => return Ok(*v),
             Some(Value::OnStack) => return Err(DistanceError::Unbounded),
             None => {}
@@ -207,15 +212,38 @@ pub fn minimal_lifespan(
     // BFS over (policy state, target way, hit-exhausted ways) from every
     // "target just inserted" state; the first move that evicts the target
     // wins. BFS depth = number of adversary accesses.
+    //
+    // Visited keys are flat byte strings (state key ++ target ++ mask),
+    // composed in one scratch buffer that is only cloned when the node is
+    // genuinely new — revisits, the common case, allocate nothing.
     let mut queue: VecDeque<(Box<dyn ReplacementPolicy>, usize, u128, usize)> = VecDeque::new();
-    let mut seen: HashSet<(Vec<u8>, usize, u128)> = HashSet::new();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut scratch: Vec<u8> = Vec::new();
+
+    fn note_new(
+        p: &dyn ReplacementPolicy,
+        target: usize,
+        hit_used: u128,
+        scratch: &mut Vec<u8>,
+        seen: &mut HashSet<Vec<u8>>,
+    ) -> bool {
+        scratch.clear();
+        p.write_state_key(scratch);
+        scratch.push(target as u8);
+        scratch.extend_from_slice(&hit_used.to_le_bytes());
+        if seen.contains(scratch.as_slice()) {
+            false
+        } else {
+            seen.insert(scratch.clone());
+            true
+        }
+    }
 
     for s in &starts {
         let mut p = s.boxed_clone();
         let target = p.victim();
         p.on_fill(target);
-        let key = (p.state_key(), target, 0u128);
-        if seen.insert(key) {
+        if note_new(p.as_ref(), target, 0, &mut scratch, &mut seen) {
             queue.push_back((p, target, 0, 0));
         }
     }
@@ -235,8 +263,7 @@ pub fn minimal_lifespan(
             }
             q.on_fill(v);
             let hu = hit_used & !(1u128 << v); // refill re-arms the way
-            let key = (q.state_key(), target, hu);
-            if seen.insert(key) {
+            if note_new(q.as_ref(), target, hu, &mut scratch, &mut seen) {
                 queue.push_back((q, target, hu, depth + 1));
             }
         }
@@ -248,8 +275,7 @@ pub fn minimal_lifespan(
             let mut q = p.boxed_clone();
             q.on_hit(u);
             let hu = hit_used | (1u128 << u);
-            let key = (q.state_key(), target, hu);
-            if seen.insert(key) {
+            if note_new(q.as_ref(), target, hu, &mut scratch, &mut seen) {
                 queue.push_back((q, target, hu, depth + 1));
             }
         }

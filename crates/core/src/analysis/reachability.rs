@@ -57,6 +57,24 @@ pub fn reachable_states(
     let mut queue: Vec<Box<dyn ReplacementPolicy>> = vec![policy.boxed_clone()];
     seen.insert(policy.state_key());
 
+    // One scratch key reused across the whole walk; only keys of *new*
+    // states are cloned into `seen` (the hot path — an already-seen
+    // successor — allocates nothing).
+    let mut scratch: Vec<u8> = Vec::new();
+    fn note(
+        next: Box<dyn ReplacementPolicy>,
+        scratch: &mut Vec<u8>,
+        seen: &mut HashSet<Vec<u8>>,
+        queue: &mut Vec<Box<dyn ReplacementPolicy>>,
+    ) {
+        scratch.clear();
+        next.write_state_key(scratch);
+        if !seen.contains(scratch.as_slice()) {
+            seen.insert(scratch.clone());
+            queue.push(next);
+        }
+    }
+
     while let Some(p) = queue.pop() {
         if out.len() >= max_states {
             return Err(ReachabilityError::TooLarge {
@@ -66,16 +84,12 @@ pub fn reachable_states(
         for w in 0..assoc {
             let mut next = p.boxed_clone();
             next.on_hit(w);
-            if seen.insert(next.state_key()) {
-                queue.push(next);
-            }
+            note(next, &mut scratch, &mut seen, &mut queue);
         }
         let mut next = p.boxed_clone();
         let v = next.victim();
         next.on_fill(v);
-        if seen.insert(next.state_key()) {
-            queue.push(next);
-        }
+        note(next, &mut scratch, &mut seen, &mut queue);
         out.push(p);
     }
     Ok(out)

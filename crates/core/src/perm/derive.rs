@@ -15,7 +15,7 @@
 
 use crate::perm::{Permutation, PermutationSpec};
 use cachekit_policies::rng::Prng;
-use cachekit_policies::ReplacementPolicy;
+use cachekit_policies::{PolicyState, ReplacementPolicy};
 use cachekit_sim::CacheSet;
 use std::error::Error;
 use std::fmt;
@@ -72,7 +72,7 @@ const FRESH_BASE: u64 = 1 << 20;
 /// A fresh single set driven by a clone of `template` in its initial
 /// state, pre-filled with the base blocks `0..A`.
 fn based_set(template: &dyn ReplacementPolicy) -> CacheSet {
-    let mut set = CacheSet::new(template.boxed_clone());
+    let mut set = CacheSet::from_state(PolicyState::from_boxed(template.boxed_clone()));
     let assoc = template.associativity();
     for b in 0..assoc as u64 {
         set.access_tag(b);

@@ -7,7 +7,7 @@
 //! a finite universe), equivalence over all infinite sequences reduces to
 //! a product-state search — a bisimulation check.
 
-use cachekit_policies::ReplacementPolicy;
+use cachekit_policies::{PolicyState, ReplacementPolicy};
 use cachekit_sim::{AccessOutcome, CacheSet};
 use std::collections::HashSet;
 
@@ -95,8 +95,8 @@ pub fn equivalent(
     let mut visited = HashSet::new();
     // DFS stack of (setA, setB, access path so far).
     let mut stack = vec![(
-        CacheSet::new(a.boxed_clone()),
-        CacheSet::new(b.boxed_clone()),
+        CacheSet::from_state(PolicyState::from_boxed(a.boxed_clone())),
+        CacheSet::from_state(PolicyState::from_boxed(b.boxed_clone())),
         Vec::<u64>::new(),
     )];
     visited.insert(joint_key(&stack[0].0, &stack[0].1));
@@ -161,8 +161,8 @@ mod tests {
         match equivalent(&lru, &fifo, 3, 100_000) {
             EquivalenceResult::Diverges(cex) => {
                 // Replay the counterexample to confirm it is real.
-                let mut sa = CacheSet::new(Box::new(Lru::new(2)));
-                let mut sb = CacheSet::new(Box::new(Fifo::new(2)));
+                let mut sa = CacheSet::from_state(PolicyState::from(Lru::new(2)));
+                let mut sb = CacheSet::from_state(PolicyState::from(Fifo::new(2)));
                 let n = cex.accesses.len();
                 for (i, &blk) in cex.accesses.iter().enumerate() {
                     let oa = sa.access_tag(blk);

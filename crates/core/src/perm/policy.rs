@@ -345,6 +345,10 @@ impl ReplacementPolicy for PermutationPolicy {
         self.order.clone()
     }
 
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.order);
+    }
+
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
         Box::new(self.clone())
     }

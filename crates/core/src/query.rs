@@ -29,7 +29,7 @@
 //! ```
 
 use crate::infer::{measure_voted, CacheOracle, Geometry};
-use cachekit_policies::ReplacementPolicy;
+use cachekit_policies::{PolicyState, ReplacementPolicy};
 use cachekit_sim::CacheSet;
 use std::collections::HashMap;
 use std::error::Error;
@@ -186,7 +186,7 @@ impl Query {
 
     /// Run against a policy directly (single cache set, ground truth).
     pub fn run_policy(&self, policy: &dyn ReplacementPolicy) -> QueryOutcome {
-        let mut set = CacheSet::new(policy.boxed_clone());
+        let mut set = CacheSet::from_state(PolicyState::from_boxed(policy.boxed_clone()));
         let blocks = self.blocks();
         let id = |name: &str| blocks.iter().position(|&b| b == name).expect("known") as u64;
         let mut misses = Vec::with_capacity(self.measured_count());

@@ -59,14 +59,17 @@ impl ReplacementPolicy for Bip {
         format!("BIP-1/{}", self.throttle)
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         if self.rng.gen_ratio(1, self.throttle) {
             self.stack.most_recent(way);
@@ -75,6 +78,7 @@ impl ReplacementPolicy for Bip {
         }
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -90,6 +94,10 @@ impl ReplacementPolicy for Bip {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -72,20 +72,24 @@ impl ReplacementPolicy for BitPlru {
         "BitPLRU".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.touch(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         // The flash clear keeps at least one bit unset whenever assoc > 1;
         // for the degenerate 1-way set the single way is always the victim.
         self.bits.iter().position(|&b| !b).unwrap_or(0)
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         self.touch(way);
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         check_way(way, self.bits.len());
         self.bits[way] = false;
@@ -97,6 +101,10 @@ impl ReplacementPolicy for BitPlru {
 
     fn state_key(&self) -> Vec<u8> {
         self.bits.iter().map(|&b| b as u8).collect()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend(self.bits.iter().map(|&b| b as u8));
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -65,11 +65,13 @@ impl ReplacementPolicy for Clock {
         "CLOCK".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         check_way(way, self.referenced.len());
         self.referenced[way] = true;
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         loop {
             if self.referenced[self.hand] {
@@ -81,6 +83,7 @@ impl ReplacementPolicy for Clock {
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         check_way(way, self.referenced.len());
         self.referenced[way] = true;
@@ -90,6 +93,7 @@ impl ReplacementPolicy for Clock {
         }
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         check_way(way, self.referenced.len());
         self.referenced[way] = false;
@@ -104,6 +108,11 @@ impl ReplacementPolicy for Clock {
         let mut key: Vec<u8> = self.referenced.iter().map(|&b| b as u8).collect();
         key.push(self.hand as u8);
         key
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend(self.referenced.iter().map(|&b| b as u8));
+        out.push(self.hand as u8);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

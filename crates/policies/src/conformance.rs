@@ -90,6 +90,23 @@ pub fn assert_conformance(mut policy: Box<dyn ReplacementPolicy>) {
         "{}: state keys diverged after identical histories",
         policy.name()
     );
+
+    // write_state_key must append exactly the state_key bytes and leave
+    // existing buffer contents alone.
+    let mut buf = vec![0x5C, 0xA7];
+    policy.write_state_key(&mut buf);
+    assert_eq!(
+        &buf[..2],
+        &[0x5C, 0xA7],
+        "{}: write_state_key clobbered the buffer prefix",
+        policy.name()
+    );
+    assert_eq!(
+        buf[2..],
+        policy.state_key(),
+        "{}: write_state_key diverged from state_key",
+        policy.name()
+    );
 }
 
 /// Assert that a deterministic policy's behaviour is fully captured by its
@@ -150,7 +167,7 @@ mod tests {
     fn all_evaluation_kinds_conform() {
         for kind in PolicyKind::evaluation_kinds() {
             for assoc in [1usize, 2, 3, 4, 6, 8, 16] {
-                super::assert_conformance(kind.build(assoc, 7));
+                super::assert_conformance(Box::new(kind.build_state(assoc, 7)));
             }
         }
     }
@@ -158,7 +175,7 @@ mod tests {
     #[test]
     fn deterministic_state_keys_are_sound() {
         for kind in PolicyKind::deterministic_kinds() {
-            super::assert_state_key_soundness(|| kind.build(4, 0), 500);
+            super::assert_state_key_soundness(|| Box::new(kind.build_state(4, 0)), 500);
         }
     }
 }

@@ -176,14 +176,17 @@ impl ReplacementPolicy for Dip {
         format!("DIP-1/{}", self.throttle)
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         // A fill means this set just missed: leaders vote.
         match self.role {
@@ -198,6 +201,7 @@ impl ReplacementPolicy for Dip {
         }
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -213,6 +217,10 @@ impl ReplacementPolicy for Dip {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
@@ -290,14 +298,17 @@ impl ReplacementPolicy for Drrip {
         "DRRIP".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.inner.on_hit(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.inner.victim()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         match self.role {
             Role::BaselineLeader => self.duel.baseline_missed(),
@@ -318,6 +329,7 @@ impl ReplacementPolicy for Drrip {
         }
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.inner.on_invalidate(way);
     }
@@ -333,6 +345,10 @@ impl ReplacementPolicy for Drrip {
 
     fn state_key(&self) -> Vec<u8> {
         self.inner.state_key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.inner.write_state_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

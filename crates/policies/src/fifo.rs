@@ -48,18 +48,22 @@ impl ReplacementPolicy for Fifo {
         "FIFO".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, _way: usize) {
         // FIFO ignores hits.
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -70,6 +74,10 @@ impl ReplacementPolicy for Fifo {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -1,8 +1,9 @@
 //! Policy construction by name.
 
+use crate::rng::mix64;
 use crate::{
-    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, RandomPolicy, ReplacementPolicy,
-    Slru, Srrip, TreePlru,
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyState, RandomPolicy,
+    ReplacementPolicy, Slru, Srrip, TreePlru,
 };
 
 /// A constructible replacement-policy identity.
@@ -17,7 +18,7 @@ use crate::{
 /// ```
 /// use cachekit_policies::{PolicyKind, ReplacementPolicy};
 ///
-/// let mut p = PolicyKind::Lru.build(4, 0);
+/// let mut p = PolicyKind::Lru.build_state(4, 0);
 /// p.on_fill(1);
 /// assert_eq!(p.name(), "LRU");
 /// ```
@@ -70,7 +71,9 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Build a policy instance for a set with `assoc` ways.
+    /// Build the inline enum-dispatched policy state for a set with
+    /// `assoc` ways — the execution-engine form the simulator stores per
+    /// set (no heap allocation, no virtual dispatch).
     ///
     /// `salt` differentiates per-set RNG streams for stochastic policies
     /// (pass the set index); deterministic policies ignore it.
@@ -79,24 +82,48 @@ impl PolicyKind {
     ///
     /// Panics if `assoc` is 0 or greater than 128, or if a kind-specific
     /// parameter is invalid (zero throttle, RRPV width outside `1..=7`).
-    pub fn build(self, assoc: usize, salt: u64) -> Box<dyn ReplacementPolicy> {
+    pub fn build_state(self, assoc: usize, salt: u64) -> PolicyState {
         match self {
-            PolicyKind::Lru => Box::new(Lru::new(assoc)),
-            PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
-            PolicyKind::TreePlru => Box::new(TreePlru::new(assoc)),
-            PolicyKind::BitPlru => Box::new(BitPlru::new(assoc)),
-            PolicyKind::Nru => Box::new(Nru::new(assoc)),
-            PolicyKind::Clock => Box::new(Clock::new(assoc)),
-            PolicyKind::Lip => Box::new(Lip::new(assoc)),
-            PolicyKind::Slru { protected } => Box::new(Slru::new(assoc, protected)),
-            PolicyKind::Bip { throttle } => Box::new(Bip::new(assoc, throttle, mix(0xb1b0, salt))),
-            PolicyKind::Srrip { bits } => Box::new(Srrip::new(assoc, bits)),
-            PolicyKind::Brrip { bits, throttle } => {
-                Box::new(Brrip::new(assoc, bits, throttle, mix(0xbbb1, salt)))
+            PolicyKind::Lru => PolicyState::Lru(Lru::new(assoc)),
+            PolicyKind::Fifo => PolicyState::Fifo(Fifo::new(assoc)),
+            PolicyKind::TreePlru => PolicyState::TreePlru(TreePlru::new(assoc)),
+            PolicyKind::BitPlru => PolicyState::BitPlru(BitPlru::new(assoc)),
+            PolicyKind::Nru => PolicyState::Nru(Nru::new(assoc)),
+            PolicyKind::Clock => PolicyState::Clock(Clock::new(assoc)),
+            PolicyKind::Lip => PolicyState::Lip(Lip::new(assoc)),
+            PolicyKind::Slru { protected } => PolicyState::Slru(Slru::new(assoc, protected)),
+            PolicyKind::Bip { throttle } => {
+                PolicyState::Bip(Box::new(Bip::new(assoc, throttle, mix64(0xb1b0, salt))))
             }
-            PolicyKind::Random { seed } => Box::new(RandomPolicy::new(assoc, mix(seed, salt))),
-            PolicyKind::LazyLru => Box::new(LazyLru::new(assoc)),
+            PolicyKind::Srrip { bits } => PolicyState::Srrip(Srrip::new(assoc, bits)),
+            PolicyKind::Brrip { bits, throttle } => PolicyState::Brrip(Box::new(Brrip::new(
+                assoc,
+                bits,
+                throttle,
+                mix64(0xbbb1, salt),
+            ))),
+            PolicyKind::Random { seed } => {
+                PolicyState::Random(Box::new(RandomPolicy::new(assoc, mix64(seed, salt))))
+            }
+            PolicyKind::LazyLru => PolicyState::LazyLru(LazyLru::new(assoc)),
         }
+    }
+
+    /// Build a boxed policy instance for a set with `assoc` ways.
+    ///
+    /// Compatibility shim over [`build_state`](Self::build_state): the box
+    /// now holds the enum, so behaviour is bit-identical to the inline
+    /// engine, but every access pays an indirection. Prefer
+    /// `build_state`, boxing the result yourself where a trait object is
+    /// genuinely needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 128, or if a kind-specific
+    /// parameter is invalid (zero throttle, RRPV width outside `1..=7`).
+    #[deprecated(note = "use `build_state` (box the result if a trait object is needed)")]
+    pub fn build(self, assoc: usize, salt: u64) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.build_state(assoc, salt))
     }
 
     /// Check the kind's parameters against an associativity without
@@ -244,14 +271,6 @@ impl PolicyKind {
     }
 }
 
-/// Cheap seed mixer (splitmix64 finalizer) so per-set RNG streams differ.
-fn mix(seed: u64, salt: u64) -> u64 {
-    let mut z = seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,7 +278,7 @@ mod tests {
     #[test]
     fn build_produces_matching_names() {
         for kind in PolicyKind::evaluation_kinds() {
-            let p = kind.build(4, 0);
+            let p = kind.build_state(4, 0);
             assert_eq!(p.name(), kind.label(), "kind {kind:?}");
             assert_eq!(p.associativity(), 4);
         }
@@ -268,18 +287,38 @@ mod tests {
     #[test]
     fn determinism_flags_match_instances() {
         for kind in PolicyKind::evaluation_kinds() {
-            let p = kind.build(4, 0);
+            let p = kind.build_state(4, 0);
             assert_eq!(p.is_deterministic(), kind.is_deterministic());
         }
     }
 
     #[test]
     fn salt_differentiates_random_streams() {
-        let mut a = PolicyKind::Random { seed: 1 }.build(8, 0);
-        let mut b = PolicyKind::Random { seed: 1 }.build(8, 1);
+        let mut a = PolicyKind::Random { seed: 1 }.build_state(8, 0);
+        let mut b = PolicyKind::Random { seed: 1 }.build_state(8, 1);
         let va: Vec<usize> = (0..32).map(|_| a.victim()).collect();
         let vb: Vec<usize> = (0..32).map(|_| b.victim()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn boxed_shim_replays_the_enum_engine() {
+        for kind in PolicyKind::differential_kinds() {
+            let mut boxed = kind.build(8, 5);
+            let mut state = kind.build_state(8, 5);
+            for w in [0usize, 3, 1, 7, 3, 0, 6] {
+                boxed.on_fill(w);
+                state.on_fill(w);
+            }
+            for _ in 0..16 {
+                let (vb, vs) = (boxed.victim(), state.victim());
+                assert_eq!(vb, vs, "kind {kind:?}");
+                boxed.on_fill(vb);
+                state.on_fill(vs);
+            }
+            assert_eq!(boxed.state_key(), state.state_key(), "kind {kind:?}");
+        }
     }
 
     #[test]

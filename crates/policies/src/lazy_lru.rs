@@ -67,6 +67,7 @@ impl ReplacementPolicy for LazyLru {
         "LazyLRU".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         let pos = self.stack.position(way);
         if pos >= self.promotion_threshold() {
@@ -74,14 +75,17 @@ impl ReplacementPolicy for LazyLru {
         }
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -92,6 +96,10 @@ impl ReplacementPolicy for LazyLru {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -48,6 +48,7 @@ mod nru;
 mod random;
 mod slru;
 mod srrip;
+mod state;
 mod tree_plru;
 
 pub use bip::Bip;
@@ -63,6 +64,7 @@ pub use nru::Nru;
 pub use random::RandomPolicy;
 pub use slru::Slru;
 pub use srrip::{Brrip, Srrip};
+pub use state::{PolicyState, StateVisitor};
 pub use tree_plru::TreePlru;
 
 pub mod conformance;
@@ -110,6 +112,7 @@ pub trait ReplacementPolicy: fmt::Debug + Send + Sync {
     ///
     /// The default implementation does nothing; policies with an explicit
     /// recency order may demote the way.
+    #[inline]
     fn on_invalidate(&mut self, _way: usize) {}
 
     /// Return to the initial (power-on) state.
@@ -129,6 +132,19 @@ pub trait ReplacementPolicy: fmt::Debug + Send + Sync {
     /// deterministic part of the state.
     fn state_key(&self) -> Vec<u8>;
 
+    /// Append the [`state_key`](Self::state_key) bytes to `out` without
+    /// allocating.
+    ///
+    /// Exploration loops (reachability, eviction distances, table
+    /// compilation) call this once per explored state; the default
+    /// implementation falls back to `state_key()` and allocates, so every
+    /// in-tree policy overrides it to write its state bytes directly.
+    /// Implementations must append exactly the bytes `state_key()` would
+    /// return and must not otherwise touch `out`.
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.state_key());
+    }
+
     /// Clone into a boxed trait object.
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy>;
 }
@@ -146,15 +162,19 @@ impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
     fn name(&self) -> String {
         (**self).name()
     }
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         (**self).on_hit(way)
     }
+    #[inline]
     fn victim(&mut self) -> usize {
         (**self).victim()
     }
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         (**self).on_fill(way)
     }
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         (**self).on_invalidate(way)
     }
@@ -167,11 +187,15 @@ impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
     fn state_key(&self) -> Vec<u8> {
         (**self).state_key()
     }
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        (**self).write_state_key(out)
+    }
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
         (**self).boxed_clone()
     }
 }
 
+#[inline]
 pub(crate) fn check_way(way: usize, assoc: usize) {
     assert!(
         way < assoc,
@@ -179,6 +203,7 @@ pub(crate) fn check_way(way: usize, assoc: usize) {
     );
 }
 
+#[inline]
 pub(crate) fn check_assoc(assoc: usize) -> usize {
     assert!(assoc >= 1, "associativity must be at least 1");
     assert!(assoc <= 128, "associativity above 128 is not supported");

@@ -55,18 +55,22 @@ impl ReplacementPolicy for Lip {
         "LIP".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -77,6 +81,10 @@ impl ReplacementPolicy for Lip {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -56,11 +56,13 @@ impl ReplacementPolicy for Nru {
         "NRU".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         check_way(way, self.bits.len());
         self.bits[way] = true;
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         if self.bits.iter().all(|&b| b) {
             self.bits.iter_mut().for_each(|b| *b = false);
@@ -71,11 +73,13 @@ impl ReplacementPolicy for Nru {
             .expect("all bits were just cleared")
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         check_way(way, self.bits.len());
         self.bits[way] = true;
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         check_way(way, self.bits.len());
         self.bits[way] = false;
@@ -87,6 +91,10 @@ impl ReplacementPolicy for Nru {
 
     fn state_key(&self) -> Vec<u8> {
         self.bits.iter().map(|&b| b as u8).collect()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend(self.bits.iter().map(|&b| b as u8));
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -56,15 +56,18 @@ impl ReplacementPolicy for RandomPolicy {
         "Random".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         check_way(way, self.assoc);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.draws += 1;
         self.rng.gen_range(0..self.assoc)
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         check_way(way, self.assoc);
     }
@@ -80,6 +83,10 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn state_key(&self) -> Vec<u8> {
         self.draws.to_le_bytes().to_vec()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.draws.to_le_bytes());
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

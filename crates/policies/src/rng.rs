@@ -13,6 +13,20 @@
 //! `RunReport.seed` makes every experiment re-runnable). It is **not**
 //! cryptographically secure.
 
+/// Mix a base seed with a per-stream salt (the SplitMix64 finalizer) so
+/// closely related salts (0, 1, 2, …) yield uncorrelated seeds.
+///
+/// This is how [`PolicyKind::build_state`](crate::PolicyKind::build_state)
+/// derives per-set RNG streams for the stochastic policies (the salt is
+/// the set index); it is exported so tests and benchmarks can construct
+/// the same policy instances out-of-line.
+pub fn mix64(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64: expands a 64-bit seed into well-mixed stream of 64-bit
 /// values; used to initialize [`Prng`] state so that closely related
 /// seeds (0, 1, 2, …) still yield uncorrelated streams.

@@ -69,20 +69,24 @@ impl ReplacementPolicy for Slru {
         format!("SLRU-{}", self.protected)
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         // A hit promotes to the very top (protected MRU).
         self.stack.most_recent(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.stack.lru_way()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         // New lines enter at the head of the probationary segment.
         self.stack.move_to(way, self.protected);
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.stack.least_recent(way);
     }
@@ -93,6 +97,10 @@ impl ReplacementPolicy for Slru {
 
     fn state_key(&self) -> Vec<u8> {
         self.stack.key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.stack.write_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -86,20 +86,24 @@ impl ReplacementPolicy for Srrip {
         format!("SRRIP-{}", self.bits)
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         check_way(way, self.rrpv.len());
         self.rrpv[way] = 0;
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         Self::select_victim(&mut self.rrpv, self.max)
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         check_way(way, self.rrpv.len());
         self.rrpv[way] = self.max - 1;
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         check_way(way, self.rrpv.len());
         self.rrpv[way] = self.max;
@@ -111,6 +115,10 @@ impl ReplacementPolicy for Srrip {
 
     fn state_key(&self) -> Vec<u8> {
         self.rrpv.clone()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rrpv);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {
@@ -159,14 +167,17 @@ impl ReplacementPolicy for Brrip {
         format!("BRRIP-{}-1/{}", self.inner.bits, self.throttle)
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.inner.on_hit(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
         self.inner.victim()
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         check_way(way, self.inner.rrpv.len());
         if self.rng.gen_ratio(1, self.throttle) {
@@ -176,6 +187,7 @@ impl ReplacementPolicy for Brrip {
         }
     }
 
+    #[inline]
     fn on_invalidate(&mut self, way: usize) {
         self.inner.on_invalidate(way);
     }
@@ -191,6 +203,10 @@ impl ReplacementPolicy for Brrip {
 
     fn state_key(&self) -> Vec<u8> {
         self.inner.state_key()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        self.inner.write_state_key(out);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

@@ -1,6 +1,8 @@
 //! Tree-based pseudo-LRU replacement.
 
 use crate::{check_assoc, check_way, ReplacementPolicy};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Reference to a node in the PLRU tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,18 +44,86 @@ enum NodeRef {
 /// // After filling 0,1,2,3 the tree points at way 0.
 /// assert_eq!(p.victim(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct TreePlru {
     assoc: usize,
-    /// One bit per internal node; `false` = victim search goes left,
-    /// `true` = it goes right.
-    bits: Vec<bool>,
+    /// One bit per internal node (bit `i` = node `i`); `0` = victim
+    /// search goes left, `1` = it goes right. At most 127 internal nodes
+    /// exist (associativity is capped at 128), so the whole replacement
+    /// state is one inline word.
+    bits: u128,
+    /// The tree structure — a pure function of the associativity, built
+    /// once per associativity and shared by every instance.
+    shape: Arc<TreeShape>,
+}
+
+/// Immutable structure of the PLRU tree for one associativity: the
+/// victim-walk topology plus, per way, the path masks a touch applies.
+/// Shared (and memoized process-wide) because it never changes — only
+/// the bit word does — so thousands of sets running the same policy keep
+/// one hot copy in cache instead of a private one each.
+#[derive(Debug)]
+struct TreeShape {
     /// Children of each internal node.
-    #[doc(hidden)]
     children: Vec<(NodeRefRepr, NodeRefRepr)>,
-    /// Root-to-leaf path of every way: `(node index, went_left)`.
-    paths: Vec<Vec<(usize, bool)>>,
+    /// Every internal node on the way's root-to-leaf path.
+    path: Vec<u128>,
+    /// The path nodes whose bit a touch sets (way in the left subtree,
+    /// so the victim search must go right).
+    away: Vec<u128>,
     root: NodeRefRepr,
+}
+
+/// Build (or fetch the memoized) tree shape for `assoc` ways.
+fn shape_for(assoc: usize) -> Arc<TreeShape> {
+    type Memo = Mutex<HashMap<usize, Arc<TreeShape>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    let mut guard = memo
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard
+        .entry(assoc)
+        .or_insert_with(|| {
+            let mut children = Vec::new();
+            let root = TreePlru::build(0, assoc, &mut children);
+            let mut paths = vec![Vec::new(); assoc];
+            TreePlru::record_paths(root, &children, &mut Vec::new(), &mut paths);
+            let mut path = vec![0u128; assoc];
+            let mut away = vec![0u128; assoc];
+            for (way, p) in paths.iter().enumerate() {
+                for &(node, went_left) in p {
+                    path[way] |= 1u128 << node;
+                    if went_left {
+                        away[way] |= 1u128 << node;
+                    }
+                }
+            }
+            Arc::new(TreeShape {
+                children,
+                path,
+                away,
+                root,
+            })
+        })
+        .clone()
+}
+
+impl PartialEq for TreePlru {
+    fn eq(&self, other: &Self) -> bool {
+        // The shape is a function of the associativity, so two policies
+        // are equal iff their associativity and bit words agree.
+        self.assoc == other.assoc && self.bits == other.bits
+    }
+}
+
+impl Eq for TreePlru {}
+
+impl std::hash::Hash for TreePlru {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.assoc.hash(state);
+        self.bits.hash(state);
+    }
 }
 
 // A compact, hashable representation of NodeRef (usize with tag bit).
@@ -82,17 +152,10 @@ impl TreePlru {
     /// Panics if `assoc` is 0 or greater than 128.
     pub fn new(assoc: usize) -> Self {
         check_assoc(assoc);
-        let mut children = Vec::new();
-        let root = Self::build(0, assoc, &mut children);
-        let n_internal = children.len();
-        let mut paths = vec![Vec::new(); assoc];
-        Self::record_paths(root, &children, &mut Vec::new(), &mut paths);
         Self {
             assoc,
-            bits: vec![false; n_internal],
-            children,
-            paths,
-            root,
+            bits: 0,
+            shape: shape_for(assoc),
         }
     }
 
@@ -132,19 +195,19 @@ impl TreePlru {
         }
     }
 
-    /// Flip the bits on `way`'s path to point away from it.
+    /// Flip the bits on `way`'s path to point away from it: two mask
+    /// operations on the inline bit word.
+    #[inline]
     fn touch(&mut self, way: usize) {
         check_way(way, self.assoc);
-        for &(node, went_left) in &self.paths[way] {
-            // If the way lives in the left subtree, the victim search must
-            // go right (`true`), and vice versa.
-            self.bits[node] = went_left;
-        }
+        self.bits = (self.bits & !self.shape.path[way]) | self.shape.away[way];
     }
 
-    /// The current PLRU bits (for inspection and tests).
-    pub fn bits(&self) -> &[bool] {
-        &self.bits
+    /// The current PLRU bits (for inspection and tests), in node order.
+    pub fn bits(&self) -> Vec<bool> {
+        (0..self.shape.children.len())
+            .map(|i| (self.bits >> i) & 1 != 0)
+            .collect()
     }
 }
 
@@ -157,33 +220,44 @@ impl ReplacementPolicy for TreePlru {
         "PLRU".to_owned()
     }
 
+    #[inline]
     fn on_hit(&mut self, way: usize) {
         self.touch(way);
     }
 
+    #[inline]
     fn victim(&mut self) -> usize {
-        let mut node = self.root;
+        let mut node = self.shape.root;
         loop {
             match decode(node) {
                 NodeRef::Leaf(w) => return w,
                 NodeRef::Internal(i) => {
-                    let (l, r) = self.children[i];
-                    node = if self.bits[i] { r } else { l };
+                    let (l, r) = self.shape.children[i];
+                    node = if (self.bits >> i) & 1 != 0 { r } else { l };
                 }
             }
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, way: usize) {
         self.touch(way);
     }
 
     fn reset(&mut self) {
-        self.bits.iter_mut().for_each(|b| *b = false);
+        self.bits = 0;
     }
 
     fn state_key(&self) -> Vec<u8> {
-        self.bits.iter().map(|&b| b as u8).collect()
+        let mut out = Vec::new();
+        self.write_state_key(&mut out);
+        out
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        // Same bytes as the old `Vec<bool>` representation serialized:
+        // one 0/1 byte per internal node, in node order.
+        out.extend((0..self.shape.children.len()).map(|i| ((self.bits >> i) & 1) as u8));
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplacementPolicy> {

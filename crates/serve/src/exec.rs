@@ -19,7 +19,7 @@ use crate::proto::{DistancesRequest, InferRequest, Request, SimulateRequest, Wor
 use cachekit_bench::json::Json;
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
 use cachekit_core::infer::{infer_geometry, infer_policy_robust};
-use cachekit_core::perm::derive_permutation_spec;
+use cachekit_core::perm::{derive_permutation_spec, table_for_kind, TablePolicy};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use cachekit_sim::{Cache, CacheConfig};
 use cachekit_trace::{io, workloads};
@@ -152,13 +152,27 @@ fn run_simulate(req: &SimulateRequest) -> Json {
         );
     };
     let ops = io::with_writes(&workload.trace, req.writes, req.seed);
-    let mut cache = Cache::new(config, req.policy);
+    // Engine auto-pick: deterministic kinds whose reachable state space
+    // fits the table budget run on the compiled-table engine (one lookup
+    // per access); everything else runs on the inline enum engine. Both
+    // are bit-identical, and the choice is a pure function of
+    // (policy, assoc), so bodies stay cacheable.
+    let (mut cache, engine) = match table_for_kind(req.policy, config.associativity()) {
+        Some(table) => (
+            Cache::with_policy_factory(config, req.policy.label(), |_| {
+                Box::new(TablePolicy::new(table.clone()))
+            }),
+            "table",
+        ),
+        None => (Cache::new(config, req.policy), "enum"),
+    };
     let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
     Json::object(vec![
         ("type", Json::from("simulate")),
         ("ok", Json::from(true)),
         ("degraded", Json::from(false)),
         ("policy", Json::from(req.policy.label())),
+        ("engine", Json::from(engine)),
         ("workload", Json::from(workload.name)),
         ("accesses", Json::from(stats.accesses)),
         ("hits", Json::from(stats.hits)),
@@ -171,7 +185,7 @@ fn run_simulate(req: &SimulateRequest) -> Json {
 }
 
 fn run_distances(req: &DistancesRequest) -> Json {
-    let spec = match derive_permutation_spec(req.policy.build(req.assoc, 0)) {
+    let spec = match derive_permutation_spec(Box::new(req.policy.build_state(req.assoc, 0))) {
         Ok(s) => s,
         Err(e) => {
             return error_body(
@@ -255,6 +269,45 @@ mod tests {
         assert!(body.contains("\"ok\":true"), "body: {body}");
         assert!(body.contains("\"miss_ratio\":"), "body: {body}");
         assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+    }
+
+    #[test]
+    fn simulate_picks_the_table_engine_for_compilable_kinds() {
+        // PLRU at 8 ways has a small reachable space: table engine.
+        let req = parse(
+            r#"{"type":"simulate","policy":"PLRU","capacity":65536,"assoc":8,
+                "workload":"zipf_hot","writes":0.2}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"engine\":\"table\""), "body: {body}");
+        // BIP is stochastic: enum engine.
+        let req = parse(
+            r#"{"type":"simulate","policy":"BIP","capacity":65536,"assoc":8,
+                "workload":"zipf_hot"}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"engine\":\"enum\""), "body: {body}");
+    }
+
+    #[test]
+    fn table_engine_stats_are_bit_identical_to_the_enum_engine() {
+        use cachekit_policies::PolicyKind;
+        for kind in [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Fifo] {
+            let config = CacheConfig::new(16384, 8, 64).unwrap();
+            let table = table_for_kind(kind, 8).expect("kind should compile at 8 ways");
+            let mut tabled = Cache::with_policy_factory(config, kind.label(), |_| {
+                Box::new(TablePolicy::new(table.clone()))
+            });
+            let mut enumed = Cache::new(config, kind);
+            let suite = workloads::suite(16384, 64, 7);
+            for w in &suite {
+                let ops = io::with_writes(&w.trace, 0.3, 7);
+                let a = tabled.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+                let b = enumed.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+                assert_eq!(a, b, "{kind:?} diverged on workload {}", w.name);
+            }
+            assert_eq!(tabled.occupancy(), enumed.occupancy(), "{kind:?}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::set::SetOutcome;
 use crate::{CacheConfig, CacheSet, CacheStats};
-use cachekit_policies::{PolicyKind, ReplacementPolicy};
+use cachekit_policies::{PolicyKind, PolicyState, ReplacementPolicy};
 
 /// Outcome of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,15 +53,55 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Create a cache whose sets all use policies of `kind`.
+    /// Create a cache whose sets all use policies of `kind`, stored
+    /// inline as enum-dispatched [`PolicyState`]s.
     pub fn new(config: CacheConfig, kind: PolicyKind) -> Self {
-        Self::with_policy_factory(config, kind.label(), |set| {
-            kind.build(config.associativity(), set)
+        Self::with_state_factory(config, kind.label(), |set| {
+            kind.build_state(config.associativity(), set)
         })
     }
 
-    /// Create a cache with one policy instance per set produced by
+    /// Create a cache with one inline policy state per set produced by
+    /// `factory` (called with the set index) — the enum-engine sibling of
+    /// [`with_policy_factory`](Self::with_policy_factory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced policy's associativity does not match the
+    /// configuration.
+    pub fn with_state_factory(
+        config: CacheConfig,
+        policy_label: impl Into<String>,
+        mut factory: impl FnMut(u64) -> PolicyState,
+    ) -> Self {
+        let sets = (0..config.num_sets())
+            .map(|i| {
+                let p = factory(i);
+                assert_eq!(
+                    p.associativity(),
+                    config.associativity(),
+                    "policy associativity must match the cache configuration"
+                );
+                CacheSet::from_state(p)
+            })
+            .collect();
+        Self {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            policy_label: policy_label.into(),
+        }
+    }
+
+    /// Create a cache with one boxed policy instance per set produced by
     /// `factory` (called with the set index).
+    ///
+    /// This is the extension point for policies outside the
+    /// [`PolicyKind`] catalog (set-dueling families, derived permutation
+    /// policies); each box is wrapped in [`PolicyState::from_boxed`] and
+    /// keeps its dynamic-dispatch cost. Catalog policies should go
+    /// through [`new`](Self::new) or
+    /// [`with_state_factory`](Self::with_state_factory).
     ///
     /// # Panics
     ///
@@ -72,23 +112,9 @@ impl Cache {
         policy_label: impl Into<String>,
         mut factory: impl FnMut(u64) -> Box<dyn ReplacementPolicy>,
     ) -> Self {
-        let sets = (0..config.num_sets())
-            .map(|i| {
-                let p = factory(i);
-                assert_eq!(
-                    p.associativity(),
-                    config.associativity(),
-                    "policy associativity must match the cache configuration"
-                );
-                CacheSet::new(p)
-            })
-            .collect();
-        Self {
-            config,
-            sets,
-            stats: CacheStats::default(),
-            policy_label: policy_label.into(),
-        }
+        Self::with_state_factory(config, policy_label, |i| {
+            PolicyState::from_boxed(factory(i))
+        })
     }
 
     /// The cache geometry.
@@ -348,6 +374,6 @@ mod tests {
     #[should_panic(expected = "associativity must match")]
     fn factory_with_wrong_assoc_panics() {
         let cfg = CacheConfig::new(1024, 2, 64).unwrap();
-        let _ = Cache::with_policy_factory(cfg, "bad", |_| PolicyKind::Lru.build(4, 0));
+        let _ = Cache::with_state_factory(cfg, "bad", |_| PolicyKind::Lru.build_state(4, 0));
     }
 }

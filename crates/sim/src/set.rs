@@ -1,19 +1,77 @@
 //! A single cache set: tags, validity and replacement state.
 
-use cachekit_policies::ReplacementPolicy;
+use cachekit_policies::{PolicyState, ReplacementPolicy, StateVisitor};
 
 /// One set of a set-associative cache.
 ///
-/// Stores the tag of each way (or `None` when invalid) together with the
-/// set's replacement policy instance. All higher-level behaviour — address
-/// mapping, statistics, multi-level composition — lives in
-/// [`Cache`](crate::Cache); the set only answers "hit or miss, and whom do
-/// I evict".
+/// The representation is struct-of-arrays and fully inline: a dense tag
+/// array, validity and dirtiness as bitmasks (associativity is capped at
+/// 128 ways), and the replacement state as an enum-dispatched
+/// [`PolicyState`] — no heap box per set, no virtual call per access.
+/// All higher-level behaviour — address mapping, statistics, multi-level
+/// composition — lives in [`Cache`](crate::Cache); the set only answers
+/// "hit or miss, and whom do I evict".
 #[derive(Debug, Clone)]
 pub struct CacheSet {
-    tags: Vec<Option<u64>>,
-    dirty: Vec<bool>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Tag per way; only meaningful where the `valid` bit is set.
+    tags: TagArray,
+    valid: u128,
+    dirty: u128,
+    policy: PolicyState,
+}
+
+/// Largest associativity whose tag array is stored inline in the set.
+const INLINE_TAG_WAYS: usize = 8;
+
+/// Tag storage: catalog associativities up to [`INLINE_TAG_WAYS`] keep
+/// their tags inside the set itself, so a lookup loads no pointer before
+/// the tags — the set is one contiguous block whose loads all issue in
+/// parallel. Wider configurations fall back to a `Vec`; the indirection
+/// they pay is a constant per access, not a contract change.
+///
+/// Derefs to `[u64]` of length `assoc`, so all users index it like the
+/// `Vec<u64>` it replaced.
+#[derive(Debug, Clone)]
+enum TagArray {
+    Inline {
+        len: u8,
+        buf: [u64; INLINE_TAG_WAYS],
+    },
+    Heap(Vec<u64>),
+}
+
+impl TagArray {
+    fn new(assoc: usize) -> Self {
+        if assoc <= INLINE_TAG_WAYS {
+            TagArray::Inline {
+                len: assoc as u8,
+                buf: [0; INLINE_TAG_WAYS],
+            }
+        } else {
+            TagArray::Heap(vec![0; assoc])
+        }
+    }
+}
+
+impl std::ops::Deref for TagArray {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        match self {
+            TagArray::Inline { len, buf } => &buf[..*len as usize],
+            TagArray::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for TagArray {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            TagArray::Inline { len, buf } => &mut buf[..*len as usize],
+            TagArray::Heap(v) => v,
+        }
+    }
 }
 
 /// Result of a set lookup.
@@ -33,21 +91,133 @@ pub(crate) enum SetOutcome {
     },
 }
 
+/// Branchless resident-way lookup over a **fully valid** tag array.
+///
+/// The catalog associativities get fixed-width bodies so the compare
+/// loop fully unrolls (and vectorizes): a lookup costs no data-dependent
+/// branches, where an early-exit scan pays a misprediction on nearly
+/// every access because the hit way is essentially random.
+#[inline]
+fn find_way_full(tags: &[u64], tag: u64) -> Option<usize> {
+    #[inline]
+    fn fixed<const A: usize>(tags: &[u64; A], tag: u64) -> Option<usize> {
+        let mut mask = 0u32;
+        for (w, &t) in tags.iter().enumerate() {
+            mask |= u32::from(t == tag) << w;
+        }
+        (mask != 0).then(|| mask.trailing_zeros() as usize)
+    }
+    match tags.len() {
+        2 => fixed::<2>(tags.try_into().expect("len matches"), tag),
+        4 => fixed::<4>(tags.try_into().expect("len matches"), tag),
+        6 => fixed::<6>(tags.try_into().expect("len matches"), tag),
+        8 => fixed::<8>(tags.try_into().expect("len matches"), tag),
+        12 => fixed::<12>(tags.try_into().expect("len matches"), tag),
+        16 => fixed::<16>(tags.try_into().expect("len matches"), tag),
+        24 => fixed::<24>(tags.try_into().expect("len matches"), tag),
+        _ => tags.iter().position(|&t| t == tag),
+    }
+}
+
+/// Batched read-only access loop, monomorphized per concrete policy via
+/// [`PolicyState::visit_concrete`] so the policy update inlines into the
+/// tag-scan loop.
+struct BatchAccess<'a> {
+    tags: &'a mut [u64],
+    valid: &'a mut u128,
+    dirty: &'a mut u128,
+    stream: &'a [u64],
+}
+
+impl StateVisitor for BatchAccess<'_> {
+    type Output = (u64, u64);
+
+    fn visit<P: ReplacementPolicy + ?Sized>(self, policy: &mut P) -> (u64, u64) {
+        let assoc = self.tags.len();
+        let full: u128 = if assoc == 128 {
+            u128::MAX
+        } else {
+            (1u128 << assoc) - 1
+        };
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut rest = self.stream;
+        // Warm-up: invalid ways exist, so every lookup must test validity
+        // (stale tags survive invalidation) and fills target the lowest
+        // invalid way instead of a victim.
+        'warmup: while *self.valid != full {
+            let Some((&tag, tail)) = rest.split_first() else {
+                return (hits, misses);
+            };
+            rest = tail;
+            for way in 0..assoc {
+                if *self.valid & (1u128 << way) != 0 && self.tags[way] == tag {
+                    policy.on_hit(way);
+                    hits += 1;
+                    continue 'warmup;
+                }
+            }
+            let way = (!*self.valid).trailing_zeros() as usize;
+            self.tags[way] = tag;
+            *self.valid |= 1u128 << way;
+            *self.dirty &= !(1u128 << way);
+            policy.on_fill(way);
+            misses += 1;
+        }
+        // Steady state: every way is valid and stays valid, so the scan
+        // drops the validity test entirely and a miss goes straight to
+        // the policy's victim.
+        for &tag in rest {
+            if let Some(way) = find_way_full(self.tags, tag) {
+                policy.on_hit(way);
+                hits += 1;
+            } else {
+                let way = policy.victim();
+                self.tags[way] = tag;
+                *self.dirty &= !(1u128 << way);
+                policy.on_fill(way);
+                misses += 1;
+            }
+        }
+        (hits, misses)
+    }
+}
+
 impl CacheSet {
-    /// Create a set using the given policy instance.
+    /// Create a set around an inline policy state — the primary
+    /// constructor of the enum engine.
     ///
     /// # Panics
     ///
-    /// Panics if the policy's associativity is zero (excluded by policy
-    /// constructors).
-    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+    /// Panics if the policy's associativity is zero or above 128 (both
+    /// excluded by the catalog policy constructors; an `Other` policy
+    /// could claim anything).
+    pub fn from_state(policy: PolicyState) -> Self {
         let assoc = policy.associativity();
         assert!(assoc >= 1);
+        assert!(
+            assoc <= 128,
+            "associativity above 128 exceeds the set bitmasks"
+        );
         Self {
-            tags: vec![None; assoc],
-            dirty: vec![false; assoc],
+            tags: TagArray::new(assoc),
+            valid: 0,
+            dirty: 0,
             policy,
         }
+    }
+
+    /// Create a set using the given boxed policy instance.
+    ///
+    /// Compatibility shim: the box is wrapped in
+    /// [`PolicyState::from_boxed`] and keeps its dynamic-dispatch cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's associativity is zero or above 128.
+    #[deprecated(note = "use `from_state` (`PolicyState::from_boxed` wraps a boxed policy)")]
+    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        Self::from_state(PolicyState::from_boxed(policy))
     }
 
     /// Number of ways.
@@ -57,6 +227,7 @@ impl CacheSet {
 
     /// Look up `tag`; on a miss, install it (filling an invalid way if one
     /// exists, otherwise evicting the policy's victim).
+    #[inline]
     pub(crate) fn access(&mut self, tag: u64) -> SetOutcome {
         self.access_rw(tag, false).0
     }
@@ -64,29 +235,62 @@ impl CacheSet {
     /// Read or write `tag`. Writes mark the line dirty (write-allocate).
     /// The second return value is the tag of a *dirty* evicted line, if
     /// the fill displaced one (the write-back the next level must absorb).
+    #[inline]
     pub(crate) fn access_rw(&mut self, tag: u64, write: bool) -> (SetOutcome, Option<u64>) {
         if let Some(way) = self.way_of(tag) {
             self.policy.on_hit(way);
             if write {
-                self.dirty[way] = true;
+                self.dirty |= 1u128 << way;
             }
             return (SetOutcome::Hit { way }, None);
         }
-        let way = match self.tags.iter().position(Option::is_none) {
-            Some(invalid) => invalid,
-            None => self.policy.victim(),
+        let invalid = (!self.valid).trailing_zeros() as usize;
+        let way = if invalid < self.tags.len() {
+            invalid
+        } else {
+            self.policy.victim()
         };
-        let evicted = self.tags[way].take();
-        let writeback = if self.dirty[way] { evicted } else { None };
-        self.tags[way] = Some(tag);
-        self.dirty[way] = write;
+        let bit = 1u128 << way;
+        let evicted = (self.valid & bit != 0).then(|| self.tags[way]);
+        let writeback = if self.dirty & bit != 0 { evicted } else { None };
+        self.tags[way] = tag;
+        self.valid |= bit;
+        if write {
+            self.dirty |= bit;
+        } else {
+            self.dirty &= !bit;
+        }
         self.policy.on_fill(way);
         (SetOutcome::Miss { way, evicted }, writeback)
     }
 
+    /// Run a stream of read accesses through the set in one call,
+    /// returning `(hits, misses)`.
+    ///
+    /// Behaviour is access-for-access identical to calling
+    /// [`access_tag`](Self::access_tag) per element, but the loop is
+    /// monomorphized against the concrete policy variant, so the policy
+    /// update inlines instead of being re-dispatched per access. This is
+    /// the engine the throughput benchmarks drive.
+    pub fn access_many(&mut self, stream: &[u64]) -> (u64, u64) {
+        let CacheSet {
+            tags,
+            valid,
+            dirty,
+            policy,
+        } = self;
+        policy.visit_concrete(BatchAccess {
+            tags: &mut *tags,
+            valid,
+            dirty,
+            stream,
+        })
+    }
+
     /// Whether the line holding `tag` is dirty.
     pub fn is_dirty(&self, tag: u64) -> bool {
-        self.way_of(tag).is_some_and(|w| self.dirty[w])
+        self.way_of(tag)
+            .is_some_and(|w| self.dirty & (1u128 << w) != 0)
     }
 
     /// Public tag-level access for callers that drive a bare set without
@@ -94,6 +298,12 @@ impl CacheSet {
     /// as abstract block ids).
     ///
     /// In the returned outcome, `evicted` carries the displaced *tag*.
+    ///
+    /// Marked `#[inline]` (like the whole per-access chain below it):
+    /// callers in other crates drive this in per-access loops over many
+    /// sets, and the workspace builds without cross-crate LTO, so the
+    /// hint is what lets the policy dispatch inline into their loops.
+    #[inline]
     pub fn access_tag(&mut self, tag: u64) -> crate::AccessOutcome {
         match self.access(tag) {
             SetOutcome::Hit { .. } => crate::AccessOutcome::Hit,
@@ -112,19 +322,34 @@ impl CacheSet {
     ///
     /// Panics if `way` is out of range.
     pub fn tag_in_way(&self, way: usize) -> Option<u64> {
-        self.tags[way]
+        let tag = self.tags[way];
+        (self.valid & (1u128 << way) != 0).then_some(tag)
     }
 
     /// The way holding `tag`, if resident.
+    #[inline]
     pub fn way_of(&self, tag: u64) -> Option<usize> {
-        self.tags.iter().position(|&t| t == Some(tag))
+        let assoc = self.tags.len();
+        let full: u128 = if assoc == 128 {
+            u128::MAX
+        } else {
+            (1u128 << assoc) - 1
+        };
+        // A full set (the steady state of every pure access stream) takes
+        // the branchless scan; only sets with invalid ways — warm-up, or
+        // after invalidation — must test validity tag by tag.
+        if self.valid == full {
+            return find_way_full(&self.tags, tag);
+        }
+        (0..assoc).find(|&w| self.valid & (1u128 << w) != 0 && self.tags[w] == tag)
     }
 
     /// Invalidate `tag` if resident; returns whether a line was dropped.
     pub fn invalidate(&mut self, tag: u64) -> bool {
         if let Some(way) = self.way_of(tag) {
-            self.tags[way] = None;
-            self.dirty[way] = false;
+            let bit = 1u128 << way;
+            self.valid &= !bit;
+            self.dirty &= !bit;
             self.policy.on_invalidate(way);
             true
         } else {
@@ -137,8 +362,10 @@ impl CacheSet {
     /// LRU/PLRU bits alone.
     pub fn flush(&mut self) {
         for way in 0..self.tags.len() {
-            if self.tags[way].take().is_some() {
-                self.dirty[way] = false;
+            let bit = 1u128 << way;
+            if self.valid & bit != 0 {
+                self.valid &= !bit;
+                self.dirty &= !bit;
                 self.policy.on_invalidate(way);
             }
         }
@@ -147,27 +374,35 @@ impl CacheSet {
     /// Evict the line in `way` directly (used by interference models to
     /// emulate external evictions). Returns the evicted tag.
     pub fn force_evict(&mut self, way: usize) -> Option<u64> {
-        let t = self.tags[way].take();
-        if t.is_some() {
-            self.dirty[way] = false;
-            self.policy.on_invalidate(way);
-        }
-        t
+        let t = self.tag_in_way(way)?;
+        let bit = 1u128 << way;
+        self.valid &= !bit;
+        self.dirty &= !bit;
+        self.policy.on_invalidate(way);
+        Some(t)
     }
 
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_some()).count()
+        self.valid.count_ones() as usize
     }
 
     /// The resident tags in way order.
     pub fn resident_tags(&self) -> Vec<u64> {
-        self.tags.iter().filter_map(|&t| t).collect()
+        (0..self.tags.len())
+            .filter(|&w| self.valid & (1u128 << w) != 0)
+            .map(|w| self.tags[w])
+            .collect()
     }
 
     /// Access to the policy (for inspection in tests).
     pub fn policy(&self) -> &dyn ReplacementPolicy {
-        self.policy.as_ref()
+        &self.policy
+    }
+
+    /// The inline policy state (for engine-aware callers).
+    pub fn policy_state(&self) -> &PolicyState {
+        &self.policy
     }
 }
 
@@ -177,7 +412,7 @@ mod tests {
     use cachekit_policies::{Lru, PolicyKind};
 
     fn lru_set(assoc: usize) -> CacheSet {
-        CacheSet::new(Box::new(Lru::new(assoc)))
+        CacheSet::from_state(PolicyState::from(Lru::new(assoc)))
     }
 
     #[test]
@@ -239,7 +474,7 @@ mod tests {
 
     #[test]
     fn flush_drops_contents_but_not_policy_state() {
-        let mut s = CacheSet::new(PolicyKind::Fifo.build(2, 0));
+        let mut s = CacheSet::from_state(PolicyKind::Fifo.build_state(2, 0));
         s.access(1);
         s.access(2);
         s.flush();
@@ -288,5 +523,58 @@ mod tests {
         s.access(5);
         assert_eq!(s.force_evict(0), Some(5));
         assert_eq!(s.force_evict(0), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn boxed_constructor_still_works() {
+        let mut s = CacheSet::new(Box::new(Lru::new(2)));
+        s.access(1);
+        s.access(2);
+        assert!(matches!(
+            s.access(3),
+            SetOutcome::Miss {
+                evicted: Some(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn access_many_matches_per_access_calls() {
+        for kind in PolicyKind::differential_kinds() {
+            let mut batched = CacheSet::from_state(kind.build_state(4, 9));
+            let mut serial = CacheSet::from_state(kind.build_state(4, 9));
+            let stream: Vec<u64> = (0..200u64).map(|i| (i * 7 + i * i / 5) % 11).collect();
+            let (hits, misses) = batched.access_many(&stream);
+            let mut serial_hits = 0;
+            for &tag in &stream {
+                if serial.access_tag(tag).is_hit() {
+                    serial_hits += 1;
+                }
+            }
+            assert_eq!(hits, serial_hits, "kind {kind:?}");
+            assert_eq!(hits + misses, stream.len() as u64);
+            for w in 0..4 {
+                assert_eq!(batched.tag_in_way(w), serial.tag_in_way(w), "kind {kind:?}");
+            }
+            assert_eq!(
+                batched.policy().state_key(),
+                serial.policy().state_key(),
+                "kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn access_many_clears_dirty_bits_on_refill() {
+        let mut s = lru_set(2);
+        s.access_rw(1, true);
+        s.access_rw(2, false);
+        // Batched refill displaces dirty tag 1; the way must not stay
+        // dirty for the incoming tag.
+        s.access_many(&[3]);
+        assert!(!s.is_dirty(3));
+        assert!(!s.contains(1));
     }
 }

@@ -30,8 +30,8 @@ fn main() {
 
     println!("{:<10} outcome (M = miss, H = hit)", "policy");
     for kind in PolicyKind::deterministic_kinds() {
-        let policy = kind.build(4, 0);
-        let outcome = query.run_policy(policy.as_ref());
+        let policy = kind.build_state(4, 0);
+        let outcome = query.run_policy(&policy);
         println!("{:<10} {}", kind.label(), outcome.pattern());
     }
 

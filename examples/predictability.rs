@@ -33,9 +33,9 @@ fn main() {
     );
     for &kind in &kinds {
         for assoc in [2usize, 4, 8] {
-            let p = kind.build(assoc, 0);
-            let evict = evict_distance(p.as_ref(), budget);
-            let mls = minimal_lifespan(p.as_ref(), budget);
+            let p = kind.build_state(assoc, 0);
+            let evict = evict_distance(&p, budget);
+            let mls = minimal_lifespan(&p, budget);
             println!(
                 "{:<10} {:>6} {:>8} {:>8}",
                 kind.label(),

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "mapping" => cmd_mapping(rest),
         "workloads" => cmd_workloads(rest),
         "serve" => cmd_serve(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -65,7 +66,8 @@ fn usage() {
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
          \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\
          \x20 serve     [--port 8459] [--host 127.0.0.1] [--workers N] [--shards N]\n\
-         \x20           [--queue-depth N] [--cache N] [--deadline-ms N]\n\n\
+         \x20           [--queue-depth N] [--cache N] [--deadline-ms N]\n\
+         \x20 bench     access-throughput [--smoke]\n\n\
          policies: LRU FIFO PLRU BitPLRU NRU CLOCK LIP BIP SRRIP BRRIP Random LazyLRU\n\
          cpus: atom_d525 core2_e6300 core2_e6750 core2_e8400 mystery_rand\n\
          \x20     nehalem_3level sliced_llc"
@@ -80,7 +82,7 @@ fn parse(args: &[String]) -> Result<(Option<String>, HashMap<String, String>), S
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if key == "timing" {
+            if key == "timing" || key == "smoke" {
                 flags.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -217,7 +219,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else {
         let policy = parse_policy(flag(&flags, "policy")?)?;
         let assoc = parse_u64(&flags, "assoc", None)? as usize;
-        let outcome = query.run_policy(policy.build(assoc, 0).as_ref());
+        let outcome = query.run_policy(&policy.build_state(assoc, 0));
         println!("{}: {}", query, outcome.pattern());
     }
     Ok(())
@@ -227,7 +229,7 @@ fn cmd_distances(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse(args)?;
     let kind = parse_policy(flag(&flags, "policy")?)?;
     let assoc = parse_u64(&flags, "assoc", None)? as usize;
-    let spec = derive_permutation_spec(kind.build(assoc, 0)).map_err(|e| {
+    let spec = derive_permutation_spec(Box::new(kind.build_state(assoc, 0))).map_err(|e| {
         format!(
             "{} is not a (front-insertion) permutation policy: {e}",
             kind.label()
@@ -323,6 +325,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("drain dropped admitted jobs".to_owned());
     }
     Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    match positional.as_deref() {
+        Some("access-throughput") => {
+            let path = cachekit::bench::access::run_and_report(flags.contains_key("smoke"));
+            println!("record: {}", path.display());
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown benchmark {other:?}; available: access-throughput"
+        )),
+        None => Err("missing benchmark name, e.g. `cachekit bench access-throughput`".to_owned()),
+    }
 }
 
 fn cmd_workloads(args: &[String]) -> Result<(), String> {

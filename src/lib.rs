@@ -21,7 +21,10 @@
 //!   `docs/observability.md`;
 //! * [`serve`] — the JSON-over-HTTP serving layer (typed queries, bounded
 //!   job queues with backpressure, an LRU result cache); see
-//!   `docs/serving.md`.
+//!   `docs/serving.md`;
+//! * [`mod@bench`] — the experiment harness (result tables, run provenance,
+//!   the engine-throughput benchmark); see `docs/engine.md` for the
+//!   execution-engine architecture it measures.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 //! # Ok::<(), cachekit::core::infer::InferenceError>(())
 //! ```
 
+pub use cachekit_bench as bench;
 pub use cachekit_core as core;
 pub use cachekit_hw as hw;
 pub use cachekit_obs as obs;

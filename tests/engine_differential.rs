@@ -1,0 +1,221 @@
+//! Cross-engine differential suite: the three policy execution engines
+//! (boxed trait objects, the inline enum, compiled transition tables)
+//! must be **bit-identical** — same hits and misses, same victims, same
+//! final set contents — on every differential policy kind.
+//!
+//! The boxed engine here is a faithful local replica of the
+//! pre-refactor cache set (array-of-`Option` tags driving concrete
+//! policies behind `Box<dyn ReplacementPolicy>`), so the suite pins the
+//! refactor's semantics to the original substrate, not to itself.
+
+use cachekit::core::perm::{catalog_for, table_for_kind, PermTable, PermutationPolicy, TableSet};
+use cachekit::policies::conformance::{assert_conformance, assert_state_key_soundness};
+use cachekit::policies::rng::{mix64, Prng};
+use cachekit::policies::{
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, PolicyState,
+    RandomPolicy, ReplacementPolicy, Slru, Srrip, TreePlru,
+};
+use cachekit::sim::{AccessOutcome, CacheSet};
+use std::sync::Arc;
+
+const ASSOCS: [usize; 3] = [4, 8, 16];
+
+/// Replica of the pre-refactor set representation.
+struct BoxedSet {
+    tags: Vec<Option<u64>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl BoxedSet {
+    fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        let assoc = policy.associativity();
+        Self {
+            tags: vec![None; assoc],
+            policy,
+        }
+    }
+
+    fn access(&mut self, tag: u64) -> AccessOutcome {
+        if let Some(way) = self.tags.iter().position(|&t| t == Some(tag)) {
+            self.policy.on_hit(way);
+            return AccessOutcome::Hit;
+        }
+        let way = self
+            .tags
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| self.policy.victim());
+        let evicted = self.tags[way];
+        self.tags[way] = Some(tag);
+        self.policy.on_fill(way);
+        AccessOutcome::Miss { evicted }
+    }
+
+    fn tag_in_way(&self, way: usize) -> Option<u64> {
+        self.tags[way]
+    }
+}
+
+/// The concrete boxed policy the pre-refactor engine used, with the
+/// per-set seed derivation [`PolicyKind::build_state`] applies.
+fn boxed_policy(kind: PolicyKind, assoc: usize, salt: u64) -> Box<dyn ReplacementPolicy> {
+    match kind {
+        PolicyKind::Lru => Box::new(Lru::new(assoc)),
+        PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
+        PolicyKind::TreePlru => Box::new(TreePlru::new(assoc)),
+        PolicyKind::BitPlru => Box::new(BitPlru::new(assoc)),
+        PolicyKind::Nru => Box::new(Nru::new(assoc)),
+        PolicyKind::Clock => Box::new(Clock::new(assoc)),
+        PolicyKind::Lip => Box::new(Lip::new(assoc)),
+        PolicyKind::Slru { protected } => Box::new(Slru::new(assoc, protected)),
+        PolicyKind::Bip { throttle } => Box::new(Bip::new(assoc, throttle, mix64(0xb1b0, salt))),
+        PolicyKind::Srrip { bits } => Box::new(Srrip::new(assoc, bits)),
+        PolicyKind::Brrip { bits, throttle } => {
+            Box::new(Brrip::new(assoc, bits, throttle, mix64(0xbbb1, salt)))
+        }
+        PolicyKind::Random { seed } => Box::new(RandomPolicy::new(assoc, mix64(seed, salt))),
+        PolicyKind::LazyLru => Box::new(LazyLru::new(assoc)),
+    }
+}
+
+/// A mixed hot/cold tag stream exercising hits, cold fills and capacity
+/// evictions.
+fn stream(assoc: usize, len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Prng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0..assoc as u64)
+            } else {
+                rng.gen_range(0..6 * assoc as u64)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn boxed_and_enum_engines_are_bit_identical() {
+    for kind in PolicyKind::differential_kinds() {
+        for assoc in ASSOCS {
+            let salt = assoc as u64;
+            let mut boxed = BoxedSet::new(boxed_policy(kind, assoc, salt));
+            let mut enumed = CacheSet::from_state(kind.build_state(assoc, salt));
+            for (i, &tag) in stream(assoc, 4000, 0xD1FF ^ salt).iter().enumerate() {
+                let a = boxed.access(tag);
+                let b = enumed.access_tag(tag);
+                assert_eq!(a, b, "{kind:?} A={assoc} diverged at access {i}");
+            }
+            for w in 0..assoc {
+                assert_eq!(
+                    boxed.tag_in_way(w),
+                    enumed.tag_in_way(w),
+                    "{kind:?} A={assoc} final contents differ in way {w}"
+                );
+            }
+            assert_eq!(
+                boxed.policy.state_key(),
+                enumed.policy().state_key(),
+                "{kind:?} A={assoc} final replacement state differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_engine_is_bit_identical_where_it_compiles() {
+    // These kinds must compile within the budget at the listed
+    // associativities; their absence would silently weaken the suite.
+    let must_compile: &[(PolicyKind, &[usize])] = &[
+        (PolicyKind::Lru, &[4, 8]),
+        (PolicyKind::Fifo, &[4, 8, 16]),
+        (PolicyKind::TreePlru, &[4, 8]),
+        (PolicyKind::Lip, &[4, 8]),
+        (PolicyKind::Slru { protected: 2 }, &[4, 8]),
+        (PolicyKind::LazyLru, &[4, 8]),
+    ];
+    for &(kind, assocs) in must_compile {
+        for &assoc in assocs {
+            assert!(
+                table_for_kind(kind, assoc).is_some(),
+                "{kind:?} at {assoc} ways must be table-compilable"
+            );
+        }
+    }
+    for kind in PolicyKind::differential_kinds() {
+        for assoc in ASSOCS {
+            let Some(table) = table_for_kind(kind, assoc) else {
+                continue;
+            };
+            let mut tabled = TableSet::new(table);
+            let mut enumed = CacheSet::from_state(kind.build_state(assoc, 0));
+            for (i, &tag) in stream(assoc, 4000, 0x7AB1E).iter().enumerate() {
+                let a = tabled.access(tag);
+                let b = enumed.access_tag(tag);
+                assert_eq!(a, b, "{kind:?} A={assoc} diverged at access {i}");
+            }
+            for w in 0..assoc {
+                assert_eq!(
+                    tabled.tag_in_way(w),
+                    enumed.tag_in_way(w),
+                    "{kind:?} A={assoc} final contents differ in way {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_state_spaces_fall_back_to_the_enum_engine() {
+    // Full LRU at 16 ways has 16! priority orders — far over the u16
+    // budget. The memoized lookup must report that honestly (and the
+    // serving layer then falls back to the enum engine).
+    assert!(table_for_kind(PolicyKind::Lru, 16).is_none());
+    assert!(table_for_kind(PolicyKind::Lip, 16).is_none());
+}
+
+#[test]
+fn enum_engine_passes_policy_conformance_for_all_differential_kinds() {
+    for kind in PolicyKind::differential_kinds() {
+        for assoc in ASSOCS {
+            assert_conformance(Box::new(kind.build_state(assoc, 5)));
+        }
+    }
+}
+
+#[test]
+fn enum_engine_state_keys_are_sound_for_all_deterministic_kinds() {
+    // Soundness (equal key => equal future behaviour) is only defined
+    // for deterministic policies: stochastic kinds deliberately keep
+    // their RNG position out of the key.
+    for kind in PolicyKind::differential_kinds() {
+        if !kind.is_deterministic() {
+            continue;
+        }
+        assert_state_key_soundness(|| Box::new(kind.build_state(8, 5)), 300);
+    }
+}
+
+#[test]
+fn catalog_specs_round_trip_through_compiled_tables() {
+    // Every deterministic permutation kind in the catalog: compiling the
+    // spec must replay the spec interpreter's hit/miss trace exactly.
+    for assoc in [4usize, 8] {
+        for entry in catalog_for(assoc) {
+            let table = PermTable::from_spec(&entry.spec, 65_535)
+                .unwrap_or_else(|e| panic!("{} at {assoc} ways: {e}", entry.name));
+            let mut tabled = TableSet::new(Arc::new(table));
+            let mut interp = CacheSet::from_state(PolicyState::from_boxed(Box::new(
+                PermutationPolicy::new(entry.spec.clone()),
+            )));
+            for (i, &tag) in stream(assoc, 3000, 0xCA7A).iter().enumerate() {
+                let a = tabled.access(tag);
+                let b = interp.access_tag(tag);
+                assert_eq!(
+                    a, b,
+                    "catalog {} A={assoc} diverged at access {i}",
+                    entry.name
+                );
+            }
+        }
+    }
+}

@@ -164,8 +164,8 @@ fn policies_are_replay_deterministic() {
         let kind = random_kind(&mut r);
         let script = random_script(16, 100, &mut r);
         // Same seeded policy, same script, same victims.
-        let mut a = kind.build(4, 3);
-        let mut b = kind.build(4, 3);
+        let mut a = kind.build_state(4, 3);
+        let mut b = kind.build_state(4, 3);
         for &w in &script {
             let w = (w % 4) as usize;
             a.on_hit(w);
