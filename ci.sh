@@ -44,10 +44,20 @@ run cargo test -q --release --test engine_differential
 run cargo run --release -q -p cachekit-bench --bin bench_access -- --smoke
 
 # Serving-layer smoke: bench-client hosts a server on an ephemeral
-# port, runs the cold/warm/load/saturation phases for ~2 s, and fails
-# on any degraded answer, missing 429 under saturation, sub-100x cache
-# speedup, or dropped job at drain.
+# port and runs the cold/warm/pipelined/load/c10k/saturation phases
+# for ~2 s each. The binary exits nonzero on any degraded answer,
+# missing 429 under saturation, sub-100x cache speedup, dropped job at
+# drain, or unmet smoke-scale target (≥10k pipelined req/s, ≥1,000
+# concurrent connections) — so this stage is the c10k/throughput gate.
 run cargo run --release -q -p cachekit-serve --bin bench-client -- --smoke
+
+# The committed full-run record must not claim an unmet target: every
+# "met" flag in results/serve_load.json has to be true.
+echo "==> grep -c '\"met\": false' results/serve_load.json"
+if grep -q '"met": false' results/serve_load.json; then
+    echo "ci: results/serve_load.json records an unmet target" >&2
+    exit 1
+fi
 
 # Offline build of the umbrella package specifically (regression guard
 # for the seed's original failure: manifests referencing crates.io).

@@ -5,13 +5,21 @@
 //! dependency-free subset, not a general web server: `Content-Length`
 //! framed bodies only (a `Transfer-Encoding` request gets `501`),
 //! bounded head and body sizes (`431`/`413` on overflow), and
-//! keep-alive per the HTTP/1.1 default. The [`client`] submodule
-//! implements the matching caller side for the load generator and the
-//! integration tests.
+//! keep-alive per the HTTP/1.1 default.
+//!
+//! The server side is **incremental**: [`RequestDecoder`] accumulates
+//! whatever bytes the socket had ready and yields complete requests as
+//! they materialize, keeping partial parse state across readiness
+//! events. That shape is what lets the reactor serve a connection
+//! without a dedicated thread: a stalled client costs a few buffered
+//! bytes, not a parked stack, and a pipelining client's burst decodes
+//! into several requests from one readable event. The [`client`]
+//! submodule implements the matching caller side for the load
+//! generator and the integration tests.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Hard cap on the request line plus headers, bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -88,178 +96,185 @@ fn malformed(status: u16, message: impl Into<String>) -> HttpError {
     }
 }
 
-/// A [`BufRead`] adapter that retries timeout errors until a deadline.
+/// An incremental request parser for one connection.
 ///
-/// The server sets a short socket read timeout so idle keep-alive
-/// handlers can poll the shutdown flag, but once the first byte of a
-/// request has arrived a slow client must *not* reset the parser:
-/// losing partially-read bytes on a `WouldBlock` would silently
-/// corrupt the stream. Wrapping the connection in a `PatientReader`
-/// for the duration of one [`read_request`] call turns those short
-/// timeouts into retries, up to `patience`; only when the deadline
-/// passes is the timeout error surfaced (and the caller then abandons
-/// the connection, typically with a `408`).
-pub struct PatientReader<'a, R: BufRead> {
-    inner: &'a mut R,
-    deadline: Instant,
+/// Feed it whatever the socket had ready ([`feed`](Self::feed)), then
+/// pull complete requests ([`try_next`](Self::try_next)) until it
+/// returns `Ok(None)` — partial heads and bodies stay buffered across
+/// calls, so a slow or stalling client never corrupts the stream and a
+/// pipelining client's burst yields several requests back to back.
+/// The decoder enforces the same bounds the blocking parser did:
+/// oversized heads are `431`, oversized bodies `413`, unsupported
+/// framing `501`/`505`, and anything syntactically broken `400`.
+#[derive(Debug, Default)]
+pub struct RequestDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `pos` belong to already-yielded requests.
+    pos: usize,
+    /// Head-terminator search resumes here (absolute index), so a
+    /// byte-at-a-time client costs linear work, not quadratic.
+    scanned: usize,
 }
 
-impl<'a, R: BufRead> PatientReader<'a, R> {
-    /// Wrap `inner`, retrying timeouts for up to `patience` from now.
-    pub fn new(inner: &'a mut R, patience: Duration) -> Self {
-        PatientReader {
-            inner,
-            deadline: Instant::now() + patience,
+impl RequestDecoder {
+    /// A decoder with nothing buffered.
+    pub fn new() -> Self {
+        RequestDecoder::default()
+    }
+
+    /// Append freshly-read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a yielded request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a partially-delivered request is sitting in the buffer
+    /// (drives the reactor's stall timeout).
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// What an end-of-stream means right now: a clean close between
+    /// requests ([`HttpError::Closed`]) or a peer that hung up
+    /// mid-request (`400`).
+    pub fn on_eof(&self) -> HttpError {
+        if self.buffered() == 0 {
+            HttpError::Closed
+        } else {
+            malformed(400, "connection closed mid-request")
         }
     }
 
-    fn expired(&self) -> bool {
-        Instant::now() >= self.deadline
-    }
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-impl<R: BufRead> Read for PatientReader<'_, R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            match self.inner.read(buf) {
-                Err(e) if is_timeout(&e) && !self.expired() => continue,
-                other => return other,
-            }
-        }
-    }
-}
-
-impl<R: BufRead> BufRead for PatientReader<'_, R> {
-    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
-        // Probe with a retry loop first, then re-borrow: returning the
-        // buffer from inside the loop trips the borrow checker.
-        loop {
-            let timed_out = match self.inner.fill_buf() {
-                Ok(_) => break,
-                Err(e) if is_timeout(&e) => e,
-                Err(e) => return Err(e),
-            };
-            if self.expired() {
-                return Err(timed_out);
-            }
-        }
-        self.inner.fill_buf()
-    }
-
-    fn consume(&mut self, amt: usize) {
-        self.inner.consume(amt);
-    }
-}
-
-/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
-/// what remains of the head budget.
-fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 => {
-                if line.is_empty() {
-                    return Err(HttpError::Closed);
+    /// Find the end of the head (the byte index just past the blank
+    /// line), tolerating both `\r\n` and bare `\n` line endings.
+    fn find_head_end(&mut self) -> Option<usize> {
+        let buf = &self.buf;
+        let mut i = self.scanned.max(self.pos);
+        while i < buf.len() {
+            if buf[i] == b'\n' {
+                match (buf.get(i + 1), buf.get(i + 2)) {
+                    (Some(b'\n'), _) => return Some(i + 2),
+                    (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+                    // The terminator may be straddling the feed
+                    // boundary; re-scan from this newline next time.
+                    (None, _) | (Some(b'\r'), None) => break,
+                    _ => {}
                 }
-                return Err(malformed(400, "connection closed mid-line"));
             }
-            _ => {
-                if *budget == 0 {
-                    return Err(malformed(431, "request head too large"));
-                }
-                *budget -= 1;
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    return String::from_utf8(line)
-                        .map_err(|_| malformed(400, "non-UTF-8 request head"));
-                }
-                line.push(byte[0]);
+            i += 1;
+        }
+        self.scanned = i;
+        None
+    }
+
+    /// Yield the next complete request, `Ok(None)` if more bytes are
+    /// needed, or a [`HttpError::Malformed`] refusal. After an error
+    /// the stream position is unrecoverable — respond and close.
+    pub fn try_next(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        if self.buffered() == 0 {
+            self.buf.clear();
+            self.pos = 0;
+            self.scanned = 0;
+            return Ok(None);
+        }
+        let Some(head_end) = self.find_head_end() else {
+            if self.buffered() > MAX_HEAD_BYTES {
+                return Err(malformed(431, "request head too large"));
             }
-        }
-    }
-}
-
-/// Read and parse one request from a keep-alive connection.
-///
-/// Returns [`HttpError::Closed`] when the peer hung up cleanly between
-/// requests, and [`HttpError::Malformed`] (with a response status) for
-/// anything the server refuses to process.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpError> {
-    let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(malformed(400, format!("bad request line {request_line:?}")));
-    };
-    if parts.next().is_some() {
-        return Err(malformed(400, "bad request line"));
-    }
-    let http11 = match version {
-        "HTTP/1.1" => true,
-        "HTTP/1.0" => false,
-        _ => return Err(malformed(505, format!("unsupported version {version}"))),
-    };
-
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut budget)?;
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(malformed(400, format!("bad header line {line:?}")));
+            return Ok(None);
         };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
+        if head_end - self.pos > MAX_HEAD_BYTES {
+            return Err(malformed(431, "request head too large"));
+        }
+        let head = std::str::from_utf8(&self.buf[self.pos..head_end])
+            .map_err(|_| malformed(400, "non-UTF-8 request head"))?;
 
-    let header = |name: &str| {
-        headers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
-    };
-    if header("transfer-encoding").is_some() {
-        return Err(malformed(501, "transfer-encoding is not supported"));
-    }
-    let content_length = match header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| malformed(400, format!("bad content-length {v:?}")))?,
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Err(malformed(413, "request body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|_| malformed(400, "connection closed mid-body"))?;
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(malformed(400, format!("bad request line {request_line:?}")));
+        };
+        if parts.next().is_some() {
+            return Err(malformed(400, "bad request line"));
+        }
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return Err(malformed(505, format!("unsupported version {version}"))),
+        };
 
-    let connection = header("connection").map(str::to_ascii_lowercase);
-    let close = match connection.as_deref() {
-        Some("close") => true,
-        Some("keep-alive") => false,
-        _ => !http11, // HTTP/1.1 defaults to keep-alive, 1.0 to close
-    };
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(malformed(400, format!("bad header line {line:?}")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
 
-    Ok(HttpRequest {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        headers,
-        body,
-        close,
-    })
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        };
+        if header("transfer-encoding").is_some() {
+            return Err(malformed(501, "transfer-encoding is not supported"));
+        }
+        let content_length = match header("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| malformed(400, format!("bad content-length {v:?}")))?,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(malformed(413, "request body too large"));
+        }
+        if self.buf.len() < head_end + content_length {
+            // Head parsed but the body is still in flight; keep the
+            // bytes (and the scan position, which is ≤ the terminator)
+            // and re-run cheaply when more data lands.
+            return Ok(None);
+        }
+
+        let body = self.buf[head_end..head_end + content_length].to_vec();
+        let connection = header("connection").map(str::to_ascii_lowercase);
+        let close = match connection.as_deref() {
+            Some("close") => true,
+            Some("keep-alive") => false,
+            _ => !http11, // HTTP/1.1 defaults to keep-alive, 1.0 to close
+        };
+        let method = method.to_owned();
+        let path = path.to_owned();
+
+        self.pos = head_end + content_length;
+        self.scanned = self.pos;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.scanned = 0;
+        } else if self.pos > 8 * 1024 {
+            self.buf.drain(..self.pos);
+            self.scanned -= self.pos;
+            self.pos = 0;
+        }
+
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            headers,
+            body,
+            close,
+        }))
+    }
 }
 
 /// A response under construction.
@@ -320,7 +335,8 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Serialize and send `response`, flushing the stream. `close` selects
-/// the `Connection` header.
+/// the `Connection` header. (The reactor passes a `Vec<u8>` here to
+/// build its outgoing buffer; writes to memory cannot fail.)
 pub fn write_response<W: Write>(
     writer: &mut W,
     response: &HttpResponse,
@@ -437,7 +453,36 @@ pub mod client {
             self.request("GET", path, &[], &[])
         }
 
-        fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        /// `POST` several JSON bodies **pipelined**: all requests go
+        /// out in one write, then the responses are read back in
+        /// order — the HTTP/1.1 pipelining shape the reactor serves
+        /// from a single readable event.
+        pub fn post_json_pipelined(
+            &mut self,
+            path: &str,
+            bodies: &[&str],
+        ) -> std::io::Result<Vec<ClientResponse>> {
+            let mut wire = Vec::new();
+            for body in bodies {
+                wire.extend_from_slice(
+                    format!(
+                        "POST {path} HTTP/1.1\r\nHost: cachekit\r\n\
+                         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                wire.extend_from_slice(body.as_bytes());
+            }
+            let stream = self.reader.get_mut();
+            stream.write_all(&wire)?;
+            stream.flush()?;
+            bodies.iter().map(|_| self.read_response()).collect()
+        }
+
+        /// Read one framed response off the connection (public so
+        /// pipelining callers can batch writes themselves).
+        pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
             let bad =
                 |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
             let mut status_line = String::new();
@@ -485,10 +530,16 @@ pub mod client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
+    /// Feed the whole byte string at once and pull one request.
     fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
-        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(raw.as_bytes());
+        match decoder.try_next() {
+            Ok(Some(req)) => Ok(req),
+            Ok(None) => Err(decoder.on_eof()),
+            Err(e) => Err(e),
+        }
     }
 
     #[test]
@@ -534,6 +585,13 @@ mod tests {
     #[test]
     fn clean_eof_is_closed_not_malformed() {
         assert!(matches!(parse(""), Err(HttpError::Closed)));
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(b"GET / HT");
+        assert!(matches!(decoder.try_next(), Ok(None)));
+        assert!(matches!(
+            decoder.on_eof(),
+            HttpError::Malformed { status: 400, .. }
+        ));
     }
 
     #[test]
@@ -546,64 +604,66 @@ mod tests {
             Err(HttpError::Malformed { status, .. }) => assert_eq!(status, 431),
             other => panic!("expected 431, got {other:?}"),
         }
-    }
-
-    /// Yields the wrapped bytes one at a time, returning `WouldBlock`
-    /// before every byte — a client stalling mid-request.
-    struct Stutter {
-        bytes: Vec<u8>,
-        pos: usize,
-        ready: bool,
-    }
-
-    impl Read for Stutter {
-        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-            if self.pos >= self.bytes.len() {
-                return Ok(0);
-            }
-            if !self.ready {
-                self.ready = true;
-                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
-            }
-            self.ready = false;
-            buf[0] = self.bytes[self.pos];
-            self.pos += 1;
-            Ok(1)
+        // A head that never terminates is refused as soon as it
+        // overruns the budget, without waiting for more bytes.
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(&vec![b'a'; MAX_HEAD_BYTES + 1]);
+        match decoder.try_next() {
+            Err(HttpError::Malformed { status, .. }) => assert_eq!(status, 431),
+            other => panic!("expected 431, got {other:?}"),
         }
     }
 
     #[test]
-    fn patient_reader_survives_mid_request_stalls() {
+    fn byte_at_a_time_delivery_keeps_partial_state() {
+        // The decoder equivalent of a stalling client: every readiness
+        // event delivers one byte, and the parse must never reset.
         let raw = "POST /v1/query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
-        let mut inner = BufReader::new(Stutter {
-            bytes: raw.as_bytes().to_vec(),
-            pos: 0,
-            ready: false,
-        });
-        let mut patient = PatientReader::new(&mut inner, Duration::from_secs(5));
-        let req = read_request(&mut patient).expect("stalls must not corrupt the parse");
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.body, b"abcd");
+        let mut decoder = RequestDecoder::new();
+        for (i, byte) in raw.bytes().enumerate() {
+            decoder.feed(&[byte]);
+            let parsed = decoder.try_next().expect("no refusal mid-delivery");
+            if i + 1 < raw.len() {
+                assert!(parsed.is_none(), "complete request before byte {i}");
+                assert!(decoder.has_partial());
+            } else {
+                let req = parsed.expect("final byte completes the request");
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.body, b"abcd");
+            }
+        }
+        assert!(!decoder.has_partial());
     }
 
     #[test]
-    fn patient_reader_gives_up_after_the_deadline() {
-        let mut inner = BufReader::new(Stutter {
-            bytes: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
-            pos: 0,
-            ready: false,
-        });
-        let mut patient = PatientReader::new(&mut inner, Duration::ZERO);
-        match read_request(&mut patient) {
-            Err(HttpError::Io(e)) => assert!(
-                matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ),
-                "kind: {e:?}"
-            ),
-            other => panic!("expected a surfaced timeout, got {other:?}"),
-        }
+    fn pipelined_requests_decode_back_to_back() {
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+              GET /healthz HTTP/1.1\r\n\r\n\
+              POST /v1/query HTTP/1.1\r\nContent-Length: 3\r\n\r\nbye",
+        );
+        let first = decoder.try_next().unwrap().expect("first");
+        assert_eq!(first.body, b"hi");
+        let second = decoder.try_next().unwrap().expect("second");
+        assert_eq!(second.path, "/healthz");
+        let third = decoder.try_next().unwrap().expect("third");
+        assert_eq!(third.body, b"bye");
+        assert!(decoder.try_next().unwrap().is_none());
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn split_terminator_across_feeds_still_parses() {
+        // The \r\n\r\n terminator straddles two reads.
+        let mut decoder = RequestDecoder::new();
+        decoder.feed(b"GET /healthz HTTP/1.1\r\nHost: x\r\n");
+        assert!(decoder.try_next().unwrap().is_none());
+        decoder.feed(b"\r");
+        assert!(decoder.try_next().unwrap().is_none());
+        decoder.feed(b"\n");
+        let req = decoder.try_next().unwrap().expect("complete");
+        assert_eq!(req.path, "/healthz");
     }
 
     #[test]

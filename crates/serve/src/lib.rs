@@ -14,18 +14,27 @@
 //! ## Architecture
 //!
 //! ```text
-//! TCP ──► acceptor ──► handler threads (1/connection, cheap)
-//!                        │ parse + validate        → 400
-//!                        │ canonicalize → cache    → 200 X-Cache: hit
-//!                        ▼
-//!                      JobQueue (sharded, bounded)
-//!                        │ saturated               → 429 Retry-After
-//!                        │ draining                → 503
-//!                        ▼
-//!                      WorkerPool → deadline shed  → 503 X-Shed
-//!                                 → PipelineExecutor
-//!                                   → cache insert → 200 X-Cache: miss
+//! TCP ──► epoll reactors (1/core; connections are state machines)
+//!           │ parse + validate            → 400
+//!           │ canonicalize → cache        → 200 X-Cache: hit   (on-reactor)
+//!           │ single-flight registry      → follow the leader: coalesced
+//!           ▼
+//!         JobQueue (sharded, bounded)
+//!           │ saturated                   → 429 Retry-After
+//!           │ draining                    → 503
+//!           ▼
+//!         WorkerPool → deadline shed      → 503 X-Shed
+//!                    → PipelineExecutor
+//!                      → cache insert     → 200 X-Cache: miss
+//!                      → Completion::send → eventfd wakes the reactor
 //! ```
+//!
+//! The connection path is a hand-rolled nonblocking epoll event loop
+//! ([`reactor`], on raw bindings from [`sys`]): no thread per
+//! connection, no polling sleeps — idle connections are parked kernel
+//! registrations, job completion and shutdown arrive as eventfd
+//! readiness, and HTTP/1.1 pipelining is served in order from the
+//! per-connection [`http::RequestDecoder`].
 //!
 //! Result bodies are deterministic functions of the canonical request
 //! — timing lives in headers and `/metrics`, never in bodies — so a
@@ -47,7 +56,10 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the raw epoll/eventfd bindings in [`sys`] are
+// the one sanctioned exception and re-allow it locally; everything
+// else in the crate still refuses `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -55,11 +67,14 @@ pub mod exec;
 pub mod http;
 pub mod proto;
 pub mod queue;
+pub mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use cache::{CacheCounters, ResultCache};
 pub use cachekit_bench::json::Json;
 pub use exec::{Executor, PipelineExecutor};
 pub use proto::{Request, RequestError};
 pub use queue::{Admission, DrainReport, JobQueue};
+pub use reactor::{Completion, Outcome, ReactorPool, Service};
 pub use server::{ServeConfig, Server, ServerHandle};

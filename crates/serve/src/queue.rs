@@ -56,10 +56,13 @@ struct SlotGuard {
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         self.depth.fetch_sub(1, Ordering::AcqRel);
+        // Release so an observer that Acquire-loads this increment also
+        // sees the `submitted` increment that happened-before it (see
+        // `report`): `completed + panicked <= submitted`, always.
         if self.finished {
-            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.completed.fetch_add(1, Ordering::Release);
         } else {
-            self.panicked.fetch_add(1, Ordering::Relaxed);
+            self.panicked.fetch_add(1, Ordering::Release);
             cachekit_obs::add("serve.queue.panicked", 1);
         }
     }
@@ -181,13 +184,19 @@ impl JobQueue {
             job();
             guard.finished = true;
         };
+        // Count the admission *before* handing the job over: a fast
+        // worker can run it to completion before `submit` even returns,
+        // and a concurrent `report` must never observe
+        // `completed > submitted`. A refused submit backs the count out
+        // — the closure was dropped unrun, so no guard ever fires.
+        self.submitted.fetch_add(1, Ordering::Release);
         match shard.pool.submit(wrapped) {
             Ok(()) => {
-                self.submitted.fetch_add(1, Ordering::Relaxed);
                 cachekit_obs::add("serve.queue.admitted", 1);
                 Admission::Accepted
             }
             Err(PoolClosed) => {
+                self.submitted.fetch_sub(1, Ordering::Release);
                 shard.depth.fetch_sub(1, Ordering::AcqRel);
                 Admission::Closed
             }
@@ -195,11 +204,18 @@ impl JobQueue {
     }
 
     /// Snapshot the lifetime counters without draining.
+    ///
+    /// Loads `completed`/`panicked` **before** `submitted`: each job's
+    /// finish-counter increment happens-after its submission count, so
+    /// reading in this order guarantees the snapshot never shows
+    /// `completed + panicked > submitted` mid-flight.
     pub fn report(&self) -> DrainReport {
+        let completed = self.completed.load(Ordering::Acquire);
+        let panicked = self.panicked.load(Ordering::Acquire);
         DrainReport {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            panicked: self.panicked.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Acquire),
+            completed,
+            panicked,
             rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
@@ -310,6 +326,41 @@ mod tests {
         assert_eq!(report.submitted, 3);
         assert_eq!(report.panicked, 2);
         assert_eq!(report.completed, 1, "panicked jobs are not completed");
+        assert_eq!(report.submitted, report.completed + report.panicked);
+    }
+
+    /// Regression: `submitted` used to be incremented only after
+    /// `pool.submit` returned, so a fast worker could finish the job
+    /// first and a racing `report` observed `completed > submitted`.
+    /// Hammer instant jobs while pollers check the invariant at every
+    /// observation.
+    #[test]
+    fn metrics_never_observe_completed_ahead_of_submitted() {
+        use std::sync::atomic::AtomicBool;
+        let queue = JobQueue::new(2, 2, 1024, 10);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Acquire) {
+                        let r = queue.report();
+                        assert!(
+                            r.completed + r.panicked <= r.submitted,
+                            "invariant violated mid-flight: {r:?}"
+                        );
+                    }
+                });
+            }
+            for key in 0..5000u64 {
+                // Instant jobs maximize the submit-vs-complete race.
+                while queue.admit(key, || {}) != Admission::Accepted {
+                    std::thread::yield_now();
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        let report = queue.drain();
+        assert_eq!(report.submitted, 5000);
         assert_eq!(report.submitted, report.completed + report.panicked);
     }
 

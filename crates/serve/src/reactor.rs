@@ -1,0 +1,757 @@
+//! The nonblocking connection engine: a handful of epoll reactors
+//! instead of a thread per connection.
+//!
+//! Each reactor owns one `epoll` instance and a set of connections.
+//! A connection is not a thread — it is a small state machine
+//! (`Conn`): an incremental [`RequestDecoder`] holding partial parse
+//! state across readiness events, an outgoing byte buffer, and at most
+//! one in-flight job. Ten thousand idle keep-alive connections are ten
+//! thousand parked entries in a hash map, not ten thousand stacks.
+//!
+//! ## Division of labour
+//!
+//! The reactor does transport: accept, read, parse framing, write,
+//! close. Everything above framing — routing, admission, caching —
+//! lives behind the [`Service`] trait. A service answers a request
+//! either immediately ([`Outcome::Ready`], the cache-hit/metrics hot
+//! path, served entirely on the reactor thread) or later
+//! ([`Outcome::Pending`]): it keeps the [`Completion`] handle, hands
+//! the real work to a worker pool, and the eventual
+//! [`Completion::send`] posts the response to the owning reactor's
+//! inbox and rings its eventfd doorbell. No self-connect tricks, no
+//! sleep/poll loops — every wakeup is a kernel readiness event.
+//!
+//! ## Pipelining
+//!
+//! One readable event may carry several requests; the decoder yields
+//! them back to back and the reactor answers `Ready` ones in arrival
+//! order into the same write buffer. A `Pending` request pauses
+//! dispatch (one in-flight job per connection, so responses stay in
+//! order); the bytes of requests queued behind it stay buffered and
+//! are dispatched when the completion lands. Past a high-water mark
+//! the reactor stops reading from a connection with a pending job so
+//! a pipelining firehose cannot balloon memory.
+//!
+//! ## Drain
+//!
+//! [`ReactorPool::shutdown`] flips the teardown flag and rings every
+//! doorbell. Reactor 0 then accepts whatever the listener backlog
+//! already holds — those late arrivals get real responses (the service
+//! is draining, so queries answer `503`) instead of a silent RST —
+//! and closes the listener. Connections with an in-flight job stay
+//! until its completion is flushed (bounded by a hard cap); idle and
+//! mid-request connections get a short grace, then close. A reactor
+//! exits when its connection map is empty.
+
+use crate::http::{write_response, HttpError, HttpRequest, HttpResponse, RequestDecoder};
+use crate::sys::{self, Epoll, EpollEvent, EventFd};
+use cachekit_bench::json::Json;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a client may take to deliver one complete request once its
+/// first byte has arrived. Stalls shorter than this keep their parse
+/// state; longer ones get `408` and the connection closes.
+pub const REQUEST_READ_PATIENCE: Duration = Duration::from_secs(30);
+
+/// During teardown, how long idle or mid-request connections may
+/// still deliver a request (and collect its 503) before closing.
+const TEARDOWN_GRACE: Duration = Duration::from_millis(250);
+
+/// During teardown, the hard cap on waiting for in-flight jobs'
+/// responses to flush.
+const TEARDOWN_HARD_CAP: Duration = Duration::from_secs(60);
+
+/// With a job in flight, stop reading a connection once this many
+/// bytes of not-yet-dispatched requests are buffered.
+const HIGH_WATER: usize = 256 * 1024;
+
+/// Per readiness event, read at most this much from one connection
+/// before giving others a turn (level-triggered epoll re-reports).
+const READ_BUDGET: usize = 64 * 1024;
+
+const WAKER: u64 = 0;
+const LISTENER: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+/// What a [`Service`] did with a request.
+pub enum Outcome {
+    /// Answered on the spot; the reactor writes it immediately.
+    Ready(HttpResponse),
+    /// Work was handed off; the kept [`Completion`] will deliver the
+    /// response. Dispatch on this connection pauses until then.
+    Pending,
+}
+
+/// The application layer the reactor drives: everything above HTTP
+/// framing.
+pub trait Service: Send + Sync + 'static {
+    /// Handle one request. Return [`Outcome::Ready`] to answer now
+    /// (the call runs on the reactor thread — keep it cheap) or park
+    /// the [`Completion`] and return [`Outcome::Pending`].
+    fn handle(&self, request: &HttpRequest, completion: Completion) -> Outcome;
+
+    /// Whether the service is draining; the reactor closes connections
+    /// after their current response once this reads true.
+    fn draining(&self) -> bool;
+}
+
+/// A one-shot handle that delivers a deferred response to the
+/// connection that asked for it. Safe to send across threads; if the
+/// connection died in the meantime the response is quietly discarded.
+pub struct Completion {
+    shared: Arc<ReactorShared>,
+    token: u64,
+}
+
+impl Completion {
+    /// Post `response` to the owning reactor and ring its doorbell.
+    pub fn send(self, response: HttpResponse) {
+        {
+            let mut inbox = self.shared.inbox.lock().expect("reactor inbox poisoned");
+            inbox.completions.push((self.token, response));
+        }
+        self.shared.waker.signal();
+    }
+}
+
+/// Cross-thread mailbox of one reactor: freshly accepted connections
+/// (from reactor 0's round-robin) and completed job responses.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<(u64, HttpResponse)>,
+}
+
+struct ReactorShared {
+    waker: EventFd,
+    inbox: Mutex<Inbox>,
+}
+
+struct PendingJob {
+    /// The request asked for `Connection: close`.
+    close: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: RequestDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: Option<PendingJob>,
+    /// When the currently-buffered partial request started arriving.
+    partial_since: Option<Instant>,
+    /// The epoll interest set currently registered for this stream.
+    interest: u32,
+    close_after_flush: bool,
+    saw_eof: bool,
+}
+
+/// The running reactor threads plus their shutdown path.
+pub struct ReactorPool {
+    shareds: Vec<Arc<ReactorShared>>,
+    teardown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReactorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorPool")
+            .field("reactors", &self.threads.len())
+            .finish()
+    }
+}
+
+impl ReactorPool {
+    /// Spawn `reactors` event-loop threads (clamped to ≥ 1) serving
+    /// `listener` through `service`. Reactor 0 owns the listener and
+    /// deals accepted connections round-robin across the pool.
+    pub fn start(
+        listener: TcpListener,
+        reactors: usize,
+        service: Arc<dyn Service>,
+    ) -> io::Result<ReactorPool> {
+        let reactors = reactors.max(1);
+        listener.set_nonblocking(true)?;
+        let teardown = Arc::new(AtomicBool::new(false));
+        let shareds = (0..reactors)
+            .map(|_| {
+                Ok(Arc::new(ReactorShared {
+                    waker: EventFd::new()?,
+                    inbox: Mutex::new(Inbox::default()),
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let mut listener = Some(listener);
+        let mut threads = Vec::with_capacity(reactors);
+        for index in 0..reactors {
+            let epoll = Epoll::new()?;
+            let shared = Arc::clone(&shareds[index]);
+            epoll.add(shared.waker.raw(), sys::EPOLLIN, WAKER)?;
+            let own_listener = if index == 0 { listener.take() } else { None };
+            if let Some(l) = &own_listener {
+                epoll.add(l.as_raw_fd(), sys::EPOLLIN, LISTENER)?;
+            }
+            let reactor = Reactor {
+                index,
+                epoll,
+                shared,
+                peers: shareds.clone(),
+                listener: own_listener,
+                service: Arc::clone(&service),
+                teardown: Arc::clone(&teardown),
+                conns: HashMap::new(),
+                next_token: FIRST_CONN,
+                next_peer: 0,
+                teardown_seen: None,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-reactor-{index}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        Ok(ReactorPool {
+            shareds,
+            teardown,
+            threads,
+        })
+    }
+
+    /// How many reactor threads are running.
+    pub fn reactors(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Flip the teardown flag, ring every doorbell, and join the
+    /// reactors once their connection maps empty out (in-flight jobs'
+    /// responses are flushed first; see the module docs for grace
+    /// periods).
+    pub fn shutdown(self) {
+        self.teardown.store(true, Ordering::Release);
+        for shared in &self.shareds {
+            shared.waker.signal();
+        }
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn error_response(status: u16, message: &str) -> HttpResponse {
+    let body = Json::object(vec![("error", Json::from(message.to_owned()))]).to_compact();
+    HttpResponse::json(status, body)
+}
+
+struct Reactor {
+    index: usize,
+    epoll: Epoll,
+    shared: Arc<ReactorShared>,
+    peers: Vec<Arc<ReactorShared>>,
+    listener: Option<TcpListener>,
+    service: Arc<dyn Service>,
+    teardown: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    next_peer: usize,
+    teardown_seen: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            if self.teardown.load(Ordering::Acquire) && self.teardown_seen.is_none() {
+                self.begin_teardown();
+            }
+            if self.teardown_seen.is_some() && self.conns.is_empty() {
+                return;
+            }
+            let timeout_ms = if self.teardown_seen.is_some() {
+                25 // poll grace/hard-cap expirations while winding down
+            } else if self
+                .conns
+                .values()
+                .any(|c| c.partial_since.is_some() && c.pending.is_none())
+            {
+                1000 // only sweep for 408s while a request is stalled
+            } else {
+                -1 // otherwise nothing to do until the kernel says so
+            };
+            let count = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(count) => count,
+                Err(_) => return,
+            };
+            for slot in &events[..count] {
+                let token = slot.data;
+                let flags = slot.events;
+                match token {
+                    WAKER => {
+                        self.shared.waker.drain();
+                        self.drain_inbox();
+                    }
+                    LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, flags),
+                }
+            }
+            self.sweep();
+        }
+    }
+
+    /// Accept everything the backlog holds right now.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.adopt(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // EMFILE and friends: shed this round; level-triggered
+                // epoll re-reports while the backlog is non-empty.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Deal a fresh connection to a reactor, round-robin.
+    fn adopt(&mut self, stream: TcpStream) {
+        let target = self.next_peer % self.peers.len();
+        self.next_peer += 1;
+        if target == self.index {
+            self.register(stream);
+        } else {
+            let peer = &self.peers[target];
+            peer.inbox
+                .lock()
+                .expect("reactor inbox poisoned")
+                .conns
+                .push(stream);
+            peer.waker.signal();
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        // Responses go out as one buffered write, but nodelay still
+        // matters for a response split across two flushes.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            return;
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                decoder: RequestDecoder::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                pending: None,
+                partial_since: None,
+                interest,
+                close_after_flush: false,
+                saw_eof: false,
+            },
+        );
+    }
+
+    fn drain_inbox(&mut self) {
+        let (conns, completions) = {
+            let mut inbox = self.shared.inbox.lock().expect("reactor inbox poisoned");
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.completions),
+            )
+        };
+        for stream in conns {
+            self.register(stream);
+        }
+        for (token, response) in completions {
+            self.complete(token, response);
+        }
+    }
+
+    /// A deferred response landed: write it, then resume dispatching
+    /// whatever pipelined requests were buffered behind it.
+    fn complete(&mut self, token: u64, response: HttpResponse) {
+        let close_now = self.service.draining() || self.teardown.load(Ordering::Acquire);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died while the job ran; discard
+        };
+        let Some(pending) = conn.pending.take() else {
+            return;
+        };
+        Self::enqueue(conn, &response, pending.close || close_now);
+        self.advance(token);
+    }
+
+    fn conn_ready(&mut self, token: u64, flags: u32) {
+        if flags & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.drop_conn(token);
+            return;
+        }
+        if flags & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            let alive = match self.conns.get_mut(&token) {
+                Some(conn) => Self::read_into(conn),
+                None => return,
+            };
+            if !alive {
+                self.drop_conn(token);
+                return;
+            }
+        }
+        self.advance(token);
+    }
+
+    /// Pull whatever the socket has ready into the decoder, bounded by
+    /// the per-event budget and the pending-job high-water mark.
+    /// Returns false if the connection is dead.
+    fn read_into(conn: &mut Conn) -> bool {
+        if conn.saw_eof {
+            return true;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let mut taken = 0;
+        loop {
+            if conn.pending.is_some() && conn.decoder.buffered() >= HIGH_WATER {
+                return true; // interest update below parks EPOLLIN
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.saw_eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.decoder.feed(&buf[..n]);
+                    taken += n;
+                    if taken >= READ_BUDGET {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Serialize `response` into the connection's write buffer.
+    fn enqueue(conn: &mut Conn, response: &HttpResponse, close: bool) {
+        write_response(&mut conn.out, response, close).expect("Vec writes are infallible");
+        if close {
+            conn.close_after_flush = true;
+        }
+    }
+
+    /// Dispatch buffered requests (while no job is pending), then
+    /// flush and refresh epoll interest.
+    fn advance(&mut self, token: u64) {
+        loop {
+            // Scope the connection borrow: the service call below must
+            // not hold it (a Ready outcome re-borrows to write).
+            let request = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.pending.is_some() || conn.close_after_flush {
+                    break;
+                }
+                match conn.decoder.try_next() {
+                    Ok(Some(request)) => {
+                        conn.partial_since = None;
+                        request
+                    }
+                    Ok(None) => {
+                        conn.partial_since = if conn.decoder.has_partial() {
+                            conn.partial_since.or_else(|| Some(Instant::now()))
+                        } else {
+                            None
+                        };
+                        if conn.saw_eof {
+                            match conn.decoder.on_eof() {
+                                // Clean close between requests: flush
+                                // anything outstanding, then drop.
+                                HttpError::Closed => conn.close_after_flush = true,
+                                HttpError::Malformed { status, message } => {
+                                    let response = error_response(status, &message);
+                                    Self::enqueue(conn, &response, true);
+                                }
+                                HttpError::Io(_) => conn.close_after_flush = true,
+                            }
+                        }
+                        break;
+                    }
+                    Err(HttpError::Malformed { status, message }) => {
+                        let response = error_response(status, &message);
+                        Self::enqueue(conn, &response, true);
+                        break;
+                    }
+                    // The decoder itself never does IO.
+                    Err(HttpError::Closed | HttpError::Io(_)) => {
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                }
+            };
+            let completion = Completion {
+                shared: Arc::clone(&self.shared),
+                token,
+            };
+            let wants_close = request.close;
+            match self.service.handle(&request, completion) {
+                Outcome::Ready(response) => {
+                    // Re-read the flags *after* the handler: handling
+                    // POST /shutdown flips draining, and its own
+                    // response should already say Connection: close.
+                    let close = wants_close
+                        || self.service.draining()
+                        || self.teardown.load(Ordering::Acquire);
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    Self::enqueue(conn, &response, close);
+                    if close {
+                        break;
+                    }
+                }
+                Outcome::Pending => {
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    conn.pending = Some(PendingJob { close: wants_close });
+                    break;
+                }
+            }
+        }
+        self.flush_and_update(token);
+    }
+
+    /// Write out as much as the socket takes, drop the connection if
+    /// it is finished, otherwise reconcile epoll interest.
+    fn flush_and_update(&mut self, token: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while conn.out_pos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.out_pos == conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                if conn.close_after_flush {
+                    dead = true;
+                }
+            }
+            if !dead {
+                let paused = conn.pending.is_some() && conn.decoder.buffered() >= HIGH_WATER;
+                let mut want = 0;
+                if !conn.saw_eof && !conn.close_after_flush && !paused {
+                    want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+                }
+                if conn.out_pos < conn.out.len() {
+                    want |= sys::EPOLLOUT;
+                }
+                if want != conn.interest {
+                    let _ = self.epoll.modify(conn.stream.as_raw_fd(), want, token);
+                    conn.interest = want;
+                }
+            }
+        }
+        if dead {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        }
+    }
+
+    /// First iteration after the teardown flag flips: adopt the
+    /// listener backlog so racing clients get real (503) responses
+    /// instead of a silent close, then tear the listener down.
+    fn begin_teardown(&mut self) {
+        self.teardown_seen = Some(Instant::now());
+        if self.listener.is_some() {
+            self.accept_ready();
+            if let Some(listener) = self.listener.take() {
+                let _ = self.epoll.delete(listener.as_raw_fd());
+            }
+        }
+    }
+
+    /// Time-driven bookkeeping: 408 stalled requests; during teardown,
+    /// expire graces.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        if let Some(teardown_at) = self.teardown_seen {
+            let elapsed = now.duration_since(teardown_at);
+            let doomed: Vec<u64> = self
+                .conns
+                .iter()
+                .filter_map(|(&token, conn)| {
+                    let busy = conn.pending.is_some() || conn.out_pos < conn.out.len();
+                    let expired = if busy {
+                        elapsed >= TEARDOWN_HARD_CAP
+                    } else {
+                        elapsed >= TEARDOWN_GRACE
+                    };
+                    expired.then_some(token)
+                })
+                .collect();
+            for token in doomed {
+                self.drop_conn(token);
+            }
+        }
+        let stalled: Vec<u64> = self
+            .conns
+            .iter()
+            .filter_map(|(&token, conn)| {
+                (conn.pending.is_none()
+                    && !conn.close_after_flush
+                    && conn
+                        .partial_since
+                        .is_some_and(|t| now.duration_since(t) >= REQUEST_READ_PATIENCE))
+                .then_some(token)
+            })
+            .collect();
+        for token in stalled {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let response = error_response(408, "timed out reading request");
+                Self::enqueue(conn, &response, true);
+            }
+            self.flush_and_update(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client::Connection;
+
+    /// A toy service: `/now` echoes the body immediately, `/later`
+    /// echoes it from a helper thread via the completion handle.
+    struct Echo {
+        draining: AtomicBool,
+    }
+
+    impl Service for Echo {
+        fn handle(&self, request: &HttpRequest, completion: Completion) -> Outcome {
+            let body = String::from_utf8_lossy(&request.body).into_owned();
+            match request.path.as_str() {
+                "/now" => Outcome::Ready(HttpResponse::text(200, body)),
+                "/later" => {
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(20));
+                        completion.send(HttpResponse::text(200, body));
+                    });
+                    Outcome::Pending
+                }
+                "/drain" => {
+                    self.draining.store(true, Ordering::Release);
+                    Outcome::Ready(HttpResponse::text(200, "draining"))
+                }
+                _ => Outcome::Ready(HttpResponse::text(404, "nope")),
+            }
+        }
+
+        fn draining(&self) -> bool {
+            self.draining.load(Ordering::Acquire)
+        }
+    }
+
+    fn echo_pool(reactors: usize) -> (ReactorPool, String) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(Echo {
+            draining: AtomicBool::new(false),
+        });
+        (
+            ReactorPool::start(listener, reactors, service).unwrap(),
+            addr,
+        )
+    }
+
+    #[test]
+    fn ready_and_pending_responses_round_trip() {
+        let (pool, addr) = echo_pool(2);
+        let mut conn = Connection::open(&addr).unwrap();
+        let now = conn.post_json("/now", "abc").unwrap();
+        assert_eq!((now.status, now.body_str().as_str()), (200, "abc"));
+        let later = conn.post_json("/later", "xyz").unwrap();
+        assert_eq!((later.status, later.body_str().as_str()), (200, "xyz"));
+        // Keep-alive: the same connection serves a second round.
+        let again = conn.post_json("/now", "2nd").unwrap();
+        assert_eq!(again.body_str(), "2nd");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pipelined_bursts_answer_in_order_even_across_pending_jobs() {
+        let (pool, addr) = echo_pool(1);
+        let mut conn = Connection::open(&addr).unwrap();
+        // Mixed immediate/deferred work must still respond in request
+        // order: the pending job pauses dispatch, it does not reorder.
+        let responses = conn
+            .post_json_pipelined("/later", &["a", "b", "c"])
+            .unwrap();
+        let bodies: Vec<String> = responses.iter().map(|r| r.body_str()).collect();
+        assert_eq!(bodies, ["a", "b", "c"]);
+        let responses = conn.post_json_pipelined("/now", &["1", "2", "3"]).unwrap();
+        let bodies: Vec<String> = responses.iter().map(|r| r.body_str()).collect();
+        assert_eq!(bodies, ["1", "2", "3"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_refusal_then_close() {
+        use std::io::{Read, Write};
+        let (pool, addr) = echo_pool(1);
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        raw.write_all(b"BROKEN\r\n\r\n").unwrap();
+        let mut text = String::new();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.read_to_string(&mut text).unwrap(); // EOF proves the close
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn draining_closes_connections_after_the_response() {
+        let (pool, addr) = echo_pool(1);
+        let mut conn = Connection::open(&addr).unwrap();
+        let resp = conn.post_json("/drain", "").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("close"));
+        pool.shutdown();
+    }
+}

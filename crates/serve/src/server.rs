@@ -1,24 +1,31 @@
-//! The threaded HTTP service: routing, admission control, caching,
-//! metrics, and graceful drain.
+//! The HTTP service behind the reactor: routing, admission control,
+//! caching, single-flight coalescing, metrics, and graceful drain.
 //!
-//! One acceptor thread hands each connection to its own handler
-//! thread; handlers parse requests and block cheaply while the real
-//! work runs on the bounded worker pools of a [`JobQueue`]. The unit
-//! of admission control is the *job*, not the connection — connections
-//! are cheap, pipeline executions are not.
+//! Connections live on the epoll reactors of [`crate::reactor`]; this
+//! module is the [`Service`] they drive. Cheap answers — cache hits,
+//! health, metrics, refusals — are produced on the reactor thread
+//! itself ([`Outcome::Ready`]). Pipeline executions go through the
+//! bounded [`JobQueue`] and answer later through a [`Completion`]
+//! ([`Outcome::Pending`]); the unit of admission control is the *job*,
+//! not the connection.
 //!
 //! ## Request life cycle (`POST /v1/query`)
 //!
-//! 1. Parse and validate ⇒ `400` with a reason on failure.
-//! 2. Canonicalize; probe the [`ResultCache`] ⇒ `200` with
+//! 1. Reject non-UTF-8 bodies (`400`) — never repaired, a lossy
+//!    rewrite could parse as a *different* valid request.
+//! 2. Parse and validate ⇒ `400` with a reason on failure.
+//! 3. Canonicalize; probe the [`ResultCache`] ⇒ `200` with
 //!    `X-Cache: hit` and the stored bytes on a hit.
-//! 3. Admission: saturated shard ⇒ `429` with `Retry-After`; draining
+//! 4. Single-flight: if an identical query is already executing, park
+//!    this one on the in-flight entry (`X-Cache: coalesced`) instead
+//!    of running the pipeline again.
+//! 5. Admission: saturated shard ⇒ `429` with `Retry-After`; draining
 //!    server ⇒ `503`.
-//! 4. A worker executes the pipeline — unless the job waited past the
+//! 6. A worker executes the pipeline — unless the job waited past the
 //!    configured deadline, in which case it is shed (`503`,
 //!    `X-Shed: deadline`) without running.
-//! 5. The deterministic result body is cached and returned with
-//!    `X-Cache: miss`.
+//! 7. The deterministic result body is cached and delivered to the
+//!    leader (`X-Cache: miss`) and every coalesced follower.
 //!
 //! Timing lives in headers (`X-Service-Us`) and the latency
 //! histograms, never in bodies, so cached replays are byte-identical
@@ -26,29 +33,18 @@
 
 use crate::cache::ResultCache;
 use crate::exec::{Executor, PipelineExecutor};
-use crate::http::{
-    read_request, write_response, HttpError, HttpRequest, HttpResponse, PatientReader,
-};
+use crate::http::{HttpRequest, HttpResponse};
 use crate::proto::Request;
 use crate::queue::{Admission, DrainReport, JobQueue};
+use crate::reactor::{Completion, Outcome, ReactorPool, Service};
 use cachekit_bench::json::Json;
 use cachekit_bench::metrics::metrics_to_json;
 use cachekit_obs::{bucket_bounds, bucket_index, HistBucket, Histogram};
-use std::io::{BufRead, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
-
-/// How long an idle keep-alive connection sleeps per poll of the
-/// shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(250);
-
-/// How long a client may take to deliver one complete request head +
-/// body once its first byte has arrived. Stalls shorter than this are
-/// retried (the parse state is kept); longer ones get `408` and the
-/// connection is closed.
-const REQUEST_READ_PATIENCE: Duration = Duration::from_secs(30);
 
 /// Capacity and behaviour knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -69,6 +65,8 @@ pub struct ServeConfig {
     pub deadline: Option<Duration>,
     /// Scale of the `429` retry hint (rough per-job milliseconds).
     pub retry_unit_ms: u64,
+    /// Reactor (event-loop) threads; 0 picks one per core, capped.
+    pub reactors: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +79,7 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             deadline: Some(Duration::from_secs(10)),
             retry_unit_ms: 50,
+            reactors: 0,
         }
     }
 }
@@ -137,22 +136,254 @@ impl EndpointLatency {
     }
 }
 
+/// One parked requester of an in-flight query: where to deliver the
+/// response and when its request started (for latency accounting).
+struct Waiter {
+    completion: Completion,
+    started: Instant,
+}
+
+/// The single-flight registry entry for one `cache_key`: the leader
+/// whose job is executing plus every follower that arrived while it
+/// ran.
+struct Flight {
+    kind: &'static str,
+    leader: Waiter,
+    followers: Vec<Waiter>,
+}
+
 struct ServerState {
     executor: Arc<dyn Executor>,
     cache: ResultCache,
     queue: RwLock<Option<JobQueue>>,
+    inflight: Mutex<HashMap<u64, Flight>>,
     deadline: Option<Duration>,
     shutting_down: AtomicBool,
-    shutdown_requested: AtomicBool,
-    active_requests: AtomicUsize,
+    shutdown_requested: Mutex<bool>,
+    shutdown_signal: Condvar,
+    coalesced: AtomicU64,
     query_latency: EndpointLatency,
     healthz_latency: EndpointLatency,
     metrics_latency: EndpointLatency,
 }
 
-enum JobOutcome {
-    Done(String),
-    Shed,
+impl ServerState {
+    /// Record latency, stamp `X-Service-Us`, and deliver.
+    fn finish_query(&self, waiter: Waiter, response: HttpResponse) {
+        let micros = waiter.started.elapsed().as_micros() as u64;
+        self.query_latency.record(micros);
+        waiter
+            .completion
+            .send(response.with_header("X-Service-Us", micros.to_string()));
+    }
+}
+
+/// Resolves an in-flight query exactly once — **including by panic**.
+/// The executing job stores its outcome here; if it unwinds first the
+/// drop handler still removes the registry entry and answers every
+/// parked requester with `500`, so followers of a panicking leader
+/// never hang and later identical queries never coalesce onto a dead
+/// flight.
+struct FlightGuard {
+    state: Arc<ServerState>,
+    key: u64,
+    body: Option<String>,
+    shed: bool,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        let flight = self
+            .state
+            .inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(&self.key);
+        let Some(flight) = flight else { return };
+        let response_for = |mark: &str| match (&self.body, self.shed) {
+            (Some(body), _) => HttpResponse::json(200, body.clone())
+                .with_header("X-Cache", mark)
+                .with_header("X-Request-Kind", flight.kind),
+            (None, true) => shed_response(),
+            // The job unwound: the worker pool contained the panic and
+            // counted it; the requesters get an honest 500.
+            (None, false) => HttpResponse::json(500, r#"{"error":"job failed"}"#),
+        };
+        let leader_response = response_for("miss");
+        self.state.finish_query(flight.leader, leader_response);
+        for follower in flight.followers {
+            let response = response_for("coalesced");
+            self.state.finish_query(follower, response);
+        }
+    }
+}
+
+/// The [`Service`] implementation the reactors drive.
+struct QueryService {
+    state: Arc<ServerState>,
+}
+
+impl QueryService {
+    /// A `Ready` outcome with latency recorded against `latency`.
+    fn ready(
+        &self,
+        response: HttpResponse,
+        latency: Option<&EndpointLatency>,
+        started: Instant,
+    ) -> Outcome {
+        let micros = started.elapsed().as_micros() as u64;
+        if let Some(latency) = latency {
+            latency.record(micros);
+        }
+        Outcome::Ready(response.with_header("X-Service-Us", micros.to_string()))
+    }
+
+    fn handle_query(
+        &self,
+        http: &HttpRequest,
+        completion: Completion,
+        started: Instant,
+    ) -> Outcome {
+        let state = &self.state;
+        let latency = Some(&state.query_latency);
+        // Strict UTF-8: a lossy repair (U+FFFD substitution) could turn
+        // an invalid body into a *different* valid request.
+        let Ok(body) = std::str::from_utf8(&http.body) else {
+            return self.ready(
+                HttpResponse::json(400, r#"{"error":"body is not valid UTF-8"}"#),
+                latency,
+                started,
+            );
+        };
+        let request = match Request::parse(body) {
+            Ok(r) => r,
+            Err(e) => {
+                let body = Json::object(vec![("error", Json::from(e.to_string()))]).to_compact();
+                return self.ready(HttpResponse::json(400, body), latency, started);
+            }
+        };
+        let key = request.cache_key();
+        if let Some(stored) = state.cache.get(key) {
+            let response = HttpResponse::json(200, stored)
+                .with_header("X-Cache", "hit")
+                .with_header("X-Request-Kind", request.kind());
+            return self.ready(response, latency, started);
+        }
+        if state.shutting_down.load(Ordering::Acquire) {
+            return self.ready(draining_response(), latency, started);
+        }
+
+        let queue_guard = state.queue.read().expect("queue lock poisoned");
+        let Some(queue) = queue_guard.as_ref() else {
+            return self.ready(draining_response(), latency, started);
+        };
+        // The registry lock is held across admission on purpose: a job
+        // finishing on a worker blocks in its FlightGuard until we are
+        // done, so a flight can neither resolve before its entry exists
+        // nor accept a follower after it resolved. `admit` never
+        // blocks, so the critical section stays short.
+        let mut inflight = state.inflight.lock().expect("inflight lock poisoned");
+        if let Some(flight) = inflight.get_mut(&key) {
+            flight.followers.push(Waiter {
+                completion,
+                started,
+            });
+            state.coalesced.fetch_add(1, Ordering::Relaxed);
+            cachekit_obs::add("serve.coalesced", 1);
+            return Outcome::Pending;
+        }
+
+        let job_state = Arc::clone(state);
+        let job_request = request.clone();
+        let enqueued = Instant::now();
+        let deadline = state.deadline;
+        let admission = queue.admit(key, move || {
+            let mut guard = FlightGuard {
+                state: job_state,
+                key,
+                body: None,
+                shed: false,
+            };
+            if deadline.is_some_and(|d| enqueued.elapsed() > d) {
+                cachekit_obs::add("serve.shed", 1);
+                guard.shed = true;
+                return;
+            }
+            let result = guard.state.executor.execute(&job_request);
+            let body = result.to_compact();
+            guard.state.cache.insert(key, body.clone());
+            guard.body = Some(body);
+        });
+        match admission {
+            Admission::Accepted => {
+                inflight.insert(
+                    key,
+                    Flight {
+                        kind: request.kind(),
+                        leader: Waiter {
+                            completion,
+                            started,
+                        },
+                        followers: Vec::new(),
+                    },
+                );
+                Outcome::Pending
+            }
+            Admission::Saturated { retry_after_ms } => {
+                let retry_secs = retry_after_ms.div_ceil(1000).max(1);
+                let body = Json::object(vec![
+                    ("error", Json::from("saturated")),
+                    ("retry_after_ms", Json::from(retry_after_ms)),
+                ])
+                .to_compact();
+                let response = HttpResponse::json(429, body)
+                    .with_header("Retry-After", retry_secs.to_string());
+                self.ready(response, latency, started)
+            }
+            Admission::Closed => self.ready(draining_response(), latency, started),
+        }
+    }
+}
+
+impl Service for QueryService {
+    fn handle(&self, request: &HttpRequest, completion: Completion) -> Outcome {
+        let _span = cachekit_obs::span("serve.request");
+        let started = Instant::now();
+        let state = &self.state;
+        // Resolve the path first so *any* wrong method on a known
+        // endpoint — PUT, DELETE, HEAD, … — is a 405 with an Allow
+        // header, and only unknown paths are 404.
+        let allowed = match request.path.as_str() {
+            "/v1/query" | "/shutdown" => "POST",
+            "/healthz" | "/metrics" => "GET",
+            _ => {
+                return self.ready(
+                    HttpResponse::json(404, r#"{"error":"no such endpoint"}"#),
+                    None,
+                    started,
+                )
+            }
+        };
+        if request.method != allowed {
+            return self.ready(
+                HttpResponse::json(405, r#"{"error":"method not allowed"}"#)
+                    .with_header("Allow", allowed),
+                None,
+                started,
+            );
+        }
+        match request.path.as_str() {
+            "/v1/query" => self.handle_query(request, completion, started),
+            "/healthz" => self.ready(handle_healthz(state), Some(&state.healthz_latency), started),
+            "/metrics" => self.ready(handle_metrics(state), Some(&state.metrics_latency), started),
+            "/shutdown" => self.ready(handle_shutdown(state), None, started),
+            _ => unreachable!("every path with an allowed method is dispatched above"),
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.state.shutting_down.load(Ordering::Acquire)
+    }
 }
 
 /// The running service. Start with [`Server::start`]; stop with
@@ -164,7 +395,7 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    acceptor: std::thread::JoinHandle<()>,
+    pool: ReactorPool,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -176,7 +407,7 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 impl Server {
-    /// Bind, spawn the acceptor and worker pools, and return the
+    /// Bind, spawn the reactors and worker pools, and return the
     /// control handle. Uses the production [`PipelineExecutor`].
     pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         Server::start_with_executor(config, Arc::new(PipelineExecutor))
@@ -199,36 +430,26 @@ impl Server {
                 config.queue_depth,
                 config.retry_unit_ms,
             ))),
+            inflight: Mutex::new(HashMap::new()),
             deadline: config.deadline,
             shutting_down: AtomicBool::new(false),
-            shutdown_requested: AtomicBool::new(false),
-            active_requests: AtomicUsize::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+            coalesced: AtomicU64::new(0),
             query_latency: EndpointLatency::new(),
             healthz_latency: EndpointLatency::new(),
             metrics_latency: EndpointLatency::new(),
         });
-
-        let acceptor_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
-            .name("serve-acceptor".to_owned())
-            .spawn(move || {
-                for incoming in listener.incoming() {
-                    if acceptor_state.shutting_down.load(Ordering::Acquire) {
-                        break; // the drain's wake-up connection lands here
-                    }
-                    let Ok(stream) = incoming else { continue };
-                    let connection_state = Arc::clone(&acceptor_state);
-                    let _ = std::thread::Builder::new()
-                        .name("serve-conn".to_owned())
-                        .spawn(move || handle_connection(&connection_state, stream));
-                }
-            })?;
-
-        Ok(ServerHandle {
-            addr,
-            state,
-            acceptor,
-        })
+        let reactors = if config.reactors == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        } else {
+            config.reactors
+        };
+        let service = Arc::new(QueryService {
+            state: Arc::clone(&state),
+        });
+        let pool = ReactorPool::start(listener, reactors, service)?;
+        Ok(ServerHandle { addr, state, pool })
     }
 }
 
@@ -238,30 +459,36 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Block until a client asked for shutdown via `POST /shutdown`
-    /// (the `cachekit serve` command sits here).
-    pub fn wait_until_shutdown_requested(&self) {
-        while !self.state.shutdown_requested.load(Ordering::Acquire) {
-            std::thread::sleep(Duration::from_millis(50));
-        }
+    /// How many reactor threads serve connections.
+    pub fn reactors(&self) -> usize {
+        self.pool.reactors()
     }
 
-    /// Graceful drain: stop admissions, let every in-flight and queued
-    /// job finish, join the worker pools, and report the final
-    /// counters. Admitted work is never dropped.
+    /// Block until a client asked for shutdown via `POST /shutdown`
+    /// (the `cachekit serve` command sits here). Wakes on the condvar
+    /// the shutdown handler signals — no polling.
+    pub fn wait_until_shutdown_requested(&self) {
+        let requested = self
+            .state
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock poisoned");
+        let _guard = self
+            .state
+            .shutdown_signal
+            .wait_while(requested, |requested| !*requested)
+            .expect("shutdown lock poisoned");
+    }
+
+    /// Graceful drain: stop admissions, answer late arrivals with
+    /// `503` until the listener closes, flush every in-flight job's
+    /// response, join the reactors and worker pools, and report the
+    /// final counters. Admitted work is never dropped.
     pub fn shutdown(self) -> DrainReport {
         self.state.shutting_down.store(true, Ordering::Release);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.acceptor.join();
-
-        // Let handlers finish writing responses for jobs in flight.
-        let wait_started = Instant::now();
-        while self.state.active_requests.load(Ordering::Acquire) > 0
-            && wait_started.elapsed() < Duration::from_secs(60)
-        {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // Reactors exit once every connection with a pending job has
+        // its completion flushed; join happens inside.
+        self.pool.shutdown();
 
         let queue = self
             .state
@@ -281,191 +508,20 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
-    // Bounded reads let idle keep-alive handlers poll the shutdown
-    // flag instead of blocking forever; nodelay because responses are
-    // written head-then-body and a Nagle stall dwarfs a cache hit.
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
-    loop {
-        // Idle phase: wait for the first byte of the next request,
-        // polling the shutdown flag every IDLE_POLL. Only here is a
-        // timeout "idle"; once a byte has arrived the parse below must
-        // keep its partial state across stalls.
-        match reader.fill_buf() {
-            Ok([]) => return, // peer closed cleanly between requests
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if state.shutting_down.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        }
-        let parsed = {
-            let mut patient = PatientReader::new(&mut reader, REQUEST_READ_PATIENCE);
-            read_request(&mut patient)
-        };
-        match parsed {
-            Ok(request) => {
-                let span = cachekit_obs::span("serve.request");
-                state.active_requests.fetch_add(1, Ordering::AcqRel);
-                let started = Instant::now();
-                let (response, latency) = route(state, &request);
-                let service_us = started.elapsed().as_micros() as u64;
-                if let Some(latency) = latency {
-                    latency.record(service_us);
-                }
-                let close = request.close
-                    || state.shutting_down.load(Ordering::Acquire)
-                    || request.path == "/shutdown";
-                let response = response.with_header("X-Service-Us", service_us.to_string());
-                let result = write_response(reader.get_mut(), &response, close);
-                state.active_requests.fetch_sub(1, Ordering::AcqRel);
-                drop(span);
-                if result.is_err() || close {
-                    return;
-                }
-            }
-            Err(HttpError::Closed) => return,
-            Err(HttpError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // The client stalled mid-request past the patience
-                // deadline; the stream position is unrecoverable.
-                let body = r#"{"error":"timed out reading request"}"#;
-                let _ = write_response(reader.get_mut(), &HttpResponse::json(408, body), true);
-                return;
-            }
-            Err(HttpError::Io(_)) => return,
-            Err(HttpError::Malformed { status, message }) => {
-                let body = Json::object(vec![("error", Json::from(message))]).to_compact();
-                let _ = write_response(reader.get_mut(), &HttpResponse::json(status, body), true);
-                return;
-            }
-        }
-    }
-}
-
-fn route<'a>(
-    state: &'a Arc<ServerState>,
-    request: &HttpRequest,
-) -> (HttpResponse, Option<&'a EndpointLatency>) {
-    // Resolve the path first so *any* wrong method on a known endpoint
-    // — PUT, DELETE, HEAD, … — is a 405 with an Allow header, and only
-    // unknown paths are 404.
-    let allowed = match request.path.as_str() {
-        "/v1/query" | "/shutdown" => "POST",
-        "/healthz" | "/metrics" => "GET",
-        _ => {
-            return (
-                HttpResponse::json(404, r#"{"error":"no such endpoint"}"#),
-                None,
-            )
-        }
-    };
-    if request.method != allowed {
-        return (
-            HttpResponse::json(405, r#"{"error":"method not allowed"}"#)
-                .with_header("Allow", allowed),
-            None,
-        );
-    }
-    match request.path.as_str() {
-        "/v1/query" => (handle_query(state, request), Some(&state.query_latency)),
-        "/healthz" => (handle_healthz(state), Some(&state.healthz_latency)),
-        "/metrics" => (handle_metrics(state), Some(&state.metrics_latency)),
-        "/shutdown" => (handle_shutdown(state), None),
-        _ => unreachable!("every path with an allowed method is dispatched above"),
-    }
-}
-
-fn handle_query(state: &Arc<ServerState>, http: &HttpRequest) -> HttpResponse {
-    let body = String::from_utf8_lossy(&http.body);
-    let request = match Request::parse(&body) {
-        Ok(r) => r,
-        Err(e) => {
-            let body = Json::object(vec![("error", Json::from(e.to_string()))]).to_compact();
-            return HttpResponse::json(400, body);
-        }
-    };
-    let key = request.cache_key();
-    if let Some(stored) = state.cache.get(key) {
-        return HttpResponse::json(200, stored)
-            .with_header("X-Cache", "hit")
-            .with_header("X-Request-Kind", request.kind());
-    }
-    if state.shutting_down.load(Ordering::Acquire) {
-        return draining_response();
-    }
-
-    let (tx, rx) = mpsc::channel::<JobOutcome>();
-    let admission = {
-        let guard = state.queue.read().expect("queue lock poisoned");
-        let Some(queue) = guard.as_ref() else {
-            return draining_response();
-        };
-        let job_state = Arc::clone(state);
-        let job_request = request.clone();
-        let enqueued = Instant::now();
-        let deadline = state.deadline;
-        queue.admit(key, move || {
-            if deadline.is_some_and(|d| enqueued.elapsed() > d) {
-                cachekit_obs::add("serve.shed", 1);
-                let _ = tx.send(JobOutcome::Shed);
-                return;
-            }
-            let result = job_state.executor.execute(&job_request);
-            let body = result.to_compact();
-            job_state.cache.insert(key, body.clone());
-            let _ = tx.send(JobOutcome::Done(body));
-        })
-    };
-
-    match admission {
-        Admission::Accepted => match rx.recv() {
-            Ok(JobOutcome::Done(body)) => HttpResponse::json(200, body)
-                .with_header("X-Cache", "miss")
-                .with_header("X-Request-Kind", request.kind()),
-            Ok(JobOutcome::Shed) => HttpResponse::json(
-                503,
-                r#"{"error":"shed: queue deadline exceeded","degraded":true}"#,
-            )
-            .with_header("Retry-After", "1")
-            .with_header("X-Shed", "deadline"),
-            // The worker pool contains job panics; the queue counts
-            // them (`panicked`) and releases the admission slot, and
-            // the dropped sender surfaces here as a 500.
-            Err(_) => HttpResponse::json(500, r#"{"error":"job failed"}"#),
-        },
-        Admission::Saturated { retry_after_ms } => {
-            let retry_secs = retry_after_ms.div_ceil(1000).max(1);
-            let body = Json::object(vec![
-                ("error", Json::from("saturated")),
-                ("retry_after_ms", Json::from(retry_after_ms)),
-            ])
-            .to_compact();
-            HttpResponse::json(429, body).with_header("Retry-After", retry_secs.to_string())
-        }
-        Admission::Closed => draining_response(),
-    }
-}
-
 fn draining_response() -> HttpResponse {
     HttpResponse::json(503, r#"{"error":"draining"}"#).with_header("Retry-After", "1")
 }
 
-fn handle_healthz(state: &Arc<ServerState>) -> HttpResponse {
+fn shed_response() -> HttpResponse {
+    HttpResponse::json(
+        503,
+        r#"{"error":"shed: queue deadline exceeded","degraded":true}"#,
+    )
+    .with_header("Retry-After", "1")
+    .with_header("X-Shed", "deadline")
+}
+
+fn handle_healthz(state: &ServerState) -> HttpResponse {
     let draining = state.shutting_down.load(Ordering::Acquire);
     let depth = state
         .queue
@@ -484,7 +540,7 @@ fn handle_healthz(state: &Arc<ServerState>) -> HttpResponse {
     HttpResponse::json(if draining { 503 } else { 200 }, body)
 }
 
-fn handle_metrics(state: &Arc<ServerState>) -> HttpResponse {
+fn handle_metrics(state: &ServerState) -> HttpResponse {
     let cache = state.cache.stats();
     let (queue_report, depth) = {
         let guard = state.queue.read().expect("queue lock poisoned");
@@ -499,6 +555,10 @@ fn handle_metrics(state: &Arc<ServerState>) -> HttpResponse {
             ("completed", Json::from(r.completed)),
             ("panicked", Json::from(r.panicked)),
             ("rejected", Json::from(r.rejected)),
+            (
+                "coalesced",
+                Json::from(state.coalesced.load(Ordering::Relaxed)),
+            ),
             ("depth", Json::from(depth)),
         ]),
         None => Json::Null,
@@ -527,9 +587,13 @@ fn handle_metrics(state: &Arc<ServerState>) -> HttpResponse {
     HttpResponse::json(200, body)
 }
 
-fn handle_shutdown(state: &Arc<ServerState>) -> HttpResponse {
+fn handle_shutdown(state: &ServerState) -> HttpResponse {
     state.shutting_down.store(true, Ordering::Release);
-    state.shutdown_requested.store(true, Ordering::Release);
+    *state
+        .shutdown_requested
+        .lock()
+        .expect("shutdown lock poisoned") = true;
+    state.shutdown_signal.notify_all();
     HttpResponse::json(200, r#"{"draining":true}"#)
 }
 
@@ -537,6 +601,7 @@ fn handle_shutdown(state: &Arc<ServerState>) -> HttpResponse {
 mod tests {
     use super::*;
     use crate::http::client::Connection;
+    use std::net::TcpStream;
 
     fn tiny_server() -> ServerHandle {
         Server::start(ServeConfig {
@@ -596,8 +661,9 @@ mod tests {
 
     #[test]
     fn slow_request_delivery_is_not_corrupted() {
-        // A client pausing longer than IDLE_POLL mid-head must not
-        // reset the parser; the request completes normally.
+        // A client pausing mid-head must not reset the parser; the
+        // decoder keeps partial state across readiness events and the
+        // request completes normally.
         let handle = tiny_server();
         let mut stream = TcpStream::connect(handle.addr()).unwrap();
         use std::io::{Read, Write};
@@ -605,7 +671,7 @@ mod tests {
         let (first, rest) = raw.split_at(10);
         stream.write_all(first).unwrap();
         stream.flush().unwrap();
-        std::thread::sleep(IDLE_POLL + Duration::from_millis(150));
+        std::thread::sleep(Duration::from_millis(400));
         stream.write_all(rest).unwrap();
         stream.flush().unwrap();
         stream
@@ -659,6 +725,7 @@ mod tests {
         assert!(text.contains("\"/healthz\""), "body: {text}");
         assert!(text.contains("\"p50_us\""), "body: {text}");
         assert!(text.contains("\"cache\""), "body: {text}");
+        assert!(text.contains("\"coalesced\""), "body: {text}");
         handle.shutdown();
     }
 

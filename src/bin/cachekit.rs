@@ -66,7 +66,7 @@ fn usage() {
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
          \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\
          \x20 serve     [--port 8459] [--host 127.0.0.1] [--workers N] [--shards N]\n\
-         \x20           [--queue-depth N] [--cache N] [--deadline-ms N]\n\
+         \x20           [--queue-depth N] [--cache N] [--deadline-ms N] [--reactors N]\n\
          \x20 bench     access-throughput [--smoke]\n\n\
          policies: LRU FIFO PLRU BitPLRU NRU CLOCK LIP BIP SRRIP BRRIP Random LazyLRU\n\
          cpus: atom_d525 core2_e6300 core2_e6750 core2_e8400 mystery_rand\n\
@@ -310,6 +310,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_capacity: parse_u64(&flags, "cache", Some(1024))? as usize,
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         retry_unit_ms: parse_u64(&flags, "retry-ms", Some(50))?,
+        reactors: parse_u64(&flags, "reactors", Some(0))? as usize,
     };
     let handle = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("cachekit-serve listening on http://{}", handle.addr());

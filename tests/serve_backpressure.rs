@@ -231,6 +231,217 @@ fn jobs_past_the_deadline_are_shed_not_executed() {
 }
 
 #[test]
+fn identical_racing_queries_execute_once_and_coalesce() {
+    // Six concurrent *identical* cold queries: single-flight must run
+    // the pipeline exactly once — one leader (X-Cache: miss), five
+    // followers (X-Cache: coalesced) — all with the same bytes.
+    // Capacity 16 ≫ 1 proves coalescing, not saturation, did the work.
+    let (handle, gate) = gated_server(16, None);
+    let addr = handle.addr().to_string();
+    let body = body_for(0);
+
+    let results = Mutex::new(Vec::new());
+    let puncher = std::thread::spawn({
+        let addr = addr.clone();
+        let body = body.clone();
+        move || {
+            std::thread::scope(|scope| {
+                for _ in 0..6 {
+                    let (results, addr, body) = (&results, &addr, &body);
+                    scope.spawn(move || {
+                        let mut conn = Connection::open(addr).expect("connect");
+                        let resp = conn.post_json("/v1/query", body).expect("request");
+                        results.lock().unwrap().push((
+                            resp.status,
+                            resp.header("x-cache").map(str::to_owned),
+                            resp.body_str(),
+                        ));
+                    });
+                }
+            });
+            results.into_inner().unwrap()
+        }
+    });
+    // Give all six time to reach the in-flight registry, then let the
+    // single gated execution proceed.
+    std::thread::sleep(Duration::from_millis(300));
+    gate.release();
+    let results = puncher.join().expect("client threads");
+
+    assert!(
+        results.iter().all(|(status, _, _)| *status == 200),
+        "results: {results:?}"
+    );
+    let marks = |wanted: &str| {
+        results
+            .iter()
+            .filter(|(_, mark, _)| mark.as_deref() == Some(wanted))
+            .count()
+    };
+    assert_eq!(marks("miss"), 1, "exactly one leader: {results:?}");
+    assert_eq!(marks("coalesced"), 5, "five followers: {results:?}");
+    let reference = &results[0].2;
+    assert!(
+        results.iter().all(|(_, _, body)| body == reference),
+        "coalesced bodies must be byte-identical: {results:?}"
+    );
+    assert_eq!(
+        gate.executions.load(Ordering::SeqCst),
+        1,
+        "single-flight must run the pipeline exactly once"
+    );
+
+    let mut conn = Connection::open(&addr).expect("connect");
+    let metrics = conn.get("/metrics").expect("metrics");
+    assert!(
+        metrics.body_str().contains("\"coalesced\":5"),
+        "metrics must expose the coalesced counter: {}",
+        metrics.body_str()
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, 1, "one admission for six requests");
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
+fn late_arrivals_during_drain_get_503_not_silence() {
+    // A client that connects after drain began (but before listener
+    // teardown) must receive the 503 draining body — not a silent
+    // close with zero bytes.
+    let (handle, gate) = gated_server(8, None);
+    gate.release(); // nothing gated in this test
+    let addr = handle.addr().to_string();
+
+    let mut conn = Connection::open(&addr).expect("connect");
+    let resp = conn.post_json("/shutdown", "").expect("shutdown");
+    assert_eq!(resp.status, 200);
+
+    // Fresh connections racing the drain: queries answer 503 draining,
+    // health reports draining — nobody is dropped without a response.
+    let mut late = Connection::open(&addr).expect("late arrival must still connect");
+    let refusal = late
+        .post_json("/v1/query", &body_for(1))
+        .expect("late arrival must get a response, not a silent close");
+    assert_eq!(refusal.status, 503, "body: {}", refusal.body_str());
+    assert!(
+        refusal.body_str().contains("draining"),
+        "body: {}",
+        refusal.body_str()
+    );
+    assert!(
+        refusal.header("retry-after").is_some(),
+        "draining refusals carry Retry-After"
+    );
+
+    let mut health_probe = Connection::open(&addr).expect("connect");
+    let health = health_probe.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 503);
+    assert!(health.body_str().contains("draining"));
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
+fn pipelined_requests_get_in_order_responses() {
+    // Three requests in one write, three in-order responses, mixed
+    // hit/miss — bodies byte-identical to serial issuance.
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let first = r#"{"type":"distances","policy":"LRU","assoc":4}"#;
+    let second = r#"{"type":"distances","policy":"FIFO","assoc":4}"#;
+    let third = r#"{"type":"distances","policy":"PLRU","assoc":8}"#;
+
+    // Warm the first two serially on one connection.
+    let mut serial = Connection::open(&addr).expect("connect");
+    let serial_first = serial.post_json("/v1/query", first).expect("warm first");
+    let serial_second = serial.post_json("/v1/query", second).expect("warm second");
+    assert_eq!(
+        serial_first.status,
+        200,
+        "body: {}",
+        serial_first.body_str()
+    );
+    assert_eq!(serial_second.status, 200);
+
+    // Pipeline hit, hit, miss in a single write on a second connection.
+    let mut piped = Connection::open(&addr).expect("connect");
+    let responses = piped
+        .post_json_pipelined("/v1/query", &[first, second, third])
+        .expect("pipelined burst");
+    assert_eq!(responses.len(), 3);
+    assert!(responses.iter().all(|r| r.status == 200));
+    assert_eq!(responses[0].header("x-cache"), Some("hit"));
+    assert_eq!(responses[1].header("x-cache"), Some("hit"));
+    assert_eq!(responses[2].header("x-cache"), Some("miss"));
+    assert_eq!(
+        responses[0].body, serial_first.body,
+        "pipelined responses must be byte-identical to serial issue"
+    );
+    assert_eq!(responses[1].body, serial_second.body);
+
+    // The pipelined miss populated the cache; a serial replay matches.
+    let serial_third = serial.post_json("/v1/query", third).expect("replay third");
+    assert_eq!(serial_third.header("x-cache"), Some("hit"));
+    assert_eq!(serial_third.body, responses[2].body);
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
+fn thousand_idle_connections_need_no_thousand_threads() {
+    // The c10k smoke, scaled for CI: a thousand idle keep-alive
+    // connections must be parked epoll registrations, not a thousand
+    // handler threads. Thread count is read from /proc/self/task
+    // (client connections live in this process and cost no threads
+    // either, so the delta isolates the server's behaviour).
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("/proc/self/task")
+            .count()
+    }
+
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 1,
+        reactors: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let before = thread_count();
+    let mut conns: Vec<Connection> = (0..1000)
+        .map(|i| Connection::open(&addr).unwrap_or_else(|e| panic!("connection {i}: {e}")))
+        .collect();
+    // Let the reactors adopt everything the backlog held.
+    std::thread::sleep(Duration::from_millis(300));
+    let after = thread_count();
+    assert!(
+        after <= before + 4,
+        "idle connections must not spawn threads: {before} -> {after} for 1000 conns"
+    );
+
+    // The parked connections are all live: spot-check both ends.
+    for index in [0usize, 499, 999] {
+        let health = conns[index].get("/healthz").expect("healthz");
+        assert_eq!(health.status, 200, "connection {index}");
+    }
+
+    drop(conns);
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
 fn cache_hits_replay_cold_bytes_identically() {
     // Real executor: a full pipeline inference, cold then cached.
     let handle = Server::start(ServeConfig {

@@ -122,6 +122,69 @@ fn no_collisions_across_the_differential_policy_set() {
     );
 }
 
+/// Invalid UTF-8 must be refused at the door, not lossily repaired:
+/// `from_utf8_lossy` rewrites bad sequences to U+FFFD, which can turn
+/// an invalid body into a *different* well-formed request — and a
+/// cache key for bytes the client never sent.
+#[test]
+fn invalid_utf8_bodies_are_rejected_not_mangled() {
+    use cachekit::serve::http::client::Connection;
+    use cachekit::serve::{ServeConfig, Server};
+
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut conn = Connection::open(&handle.addr().to_string()).expect("connect");
+
+    // A valid request with one stray continuation byte inside a string:
+    // bytewise invalid UTF-8, but lossy repair would yield well-formed
+    // JSON again ("LR\u{FFFD}U") instead of surfacing the corruption.
+    let valid = br#"{"type":"distances","policy":"LRU","assoc":4}"#;
+    let mut corrupted = valid.to_vec();
+    let inside_string = corrupted
+        .windows(3)
+        .position(|w| w == b"LRU")
+        .expect("marker")
+        + 2;
+    corrupted.insert(inside_string, 0xFF);
+
+    let refused = conn
+        .request(
+            "POST",
+            "/v1/query",
+            &[("Content-Type", "application/json")],
+            &corrupted,
+        )
+        .expect("request");
+    assert_eq!(refused.status, 400, "body: {}", refused.body_str());
+    assert!(
+        refused.body_str().contains("not valid UTF-8"),
+        "the refusal must name the encoding problem: {}",
+        refused.body_str()
+    );
+
+    // The byte-exact valid request still passes on the same connection.
+    let accepted = conn
+        .request(
+            "POST",
+            "/v1/query",
+            &[("Content-Type", "application/json")],
+            valid,
+        )
+        .expect("request");
+    assert_eq!(accepted.status, 200, "body: {}", accepted.body_str());
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+    assert_eq!(
+        report.submitted, 1,
+        "only the valid body may reach admission"
+    );
+}
+
 #[test]
 fn canonical_json_round_trips_to_the_same_request() {
     let bodies = [
