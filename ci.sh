@@ -38,6 +38,17 @@ run cargo run --release -q -p cachekit-bench --bin fig11_robustness -- --smoke
 # catalog-spec -> table round trip.
 run cargo test -q --release --test engine_differential
 
+# Inference-engine differential at release optimisation: permutation
+# vs automata verdict agreement over all 13 kinds (clean and faulted,
+# confident_wrong == 0), the closed-form state-count pins, and the
+# hidden-policy battery the automata backend exists for.
+run cargo test -q --release --test automata_differential
+
+# Cost-table smoke: runs both engines side by side at A in {2, 4} and
+# writes results/table3_cost_smoke.json (the committed full-run record
+# in results/table3_cost.json covers the full associativity ladder).
+run cargo run --release -q -p cachekit-bench --bin table3_cost -- --smoke
+
 # Engine-throughput smoke: exercises all three engines end-to-end and
 # writes results/bench_access_smoke.json (the recorded numbers in
 # results/bench_access.json come from the full run).

@@ -2,7 +2,10 @@
 //! policy) against a noise-free software oracle, per associativity.
 
 use cachekit_bench::microbench::{bench, report};
-use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
+use cachekit_core::infer::{
+    infer_geometry, InferenceConfig, InferenceEngine, InferenceRequest, PermutationEngine,
+    SimOracle,
+};
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
 use std::hint::black_box;
@@ -18,7 +21,10 @@ fn main() {
             );
             let mut oracle = SimOracle::new(cache);
             let g = infer_geometry(&mut oracle, &config).expect("geometry");
-            black_box(infer_policy(&mut oracle, &g, &config).expect("policy"))
+            black_box(
+                PermutationEngine::strict()
+                    .infer(&mut oracle, &InferenceRequest::new(g, config.clone())),
+            )
         });
         report(&sample);
     }

@@ -37,7 +37,7 @@ use crate::{jobj, Runner, Table};
 use cachekit_core::perm::{table_for_kind, TableCache};
 use cachekit_policies::rng::{mix64, Prng};
 use cachekit_policies::{
-    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, RandomPolicy,
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, Qlru, RandomPolicy,
     ReplacementPolicy, Slru, Srrip, TreePlru,
 };
 use cachekit_sim::CacheSet;
@@ -174,6 +174,7 @@ fn boxed_policy(kind: PolicyKind, assoc: usize, salt: u64) -> Box<dyn Replacemen
         PolicyKind::Slru { protected } => Box::new(Slru::new(assoc, protected)),
         PolicyKind::Bip { throttle } => Box::new(Bip::new(assoc, throttle, mix64(0xb1b0, salt))),
         PolicyKind::Srrip { bits } => Box::new(Srrip::new(assoc, bits)),
+        PolicyKind::Qlru { insert } => Box::new(Qlru::new(assoc, insert)),
         PolicyKind::Brrip { bits, throttle } => {
             Box::new(Brrip::new(assoc, bits, throttle, mix64(0xbbb1, salt)))
         }

@@ -8,8 +8,8 @@
 
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, ReadoutSearch,
-    SimOracle,
+    infer_geometry, CacheOracleExt, Counting, InferenceConfig, InferenceEngine, InferenceRequest,
+    PermutationEngine, ReadoutSearch, SimOracle,
 };
 use cachekit_policies::PolicyKind;
 use cachekit_sim::{Cache, CacheConfig};
@@ -27,9 +27,11 @@ fn cost(assoc: usize, search: ReadoutSearch) -> (u64, u64) {
         .expect("valid config");
     let geometry = infer_geometry(&mut oracle, &config).expect("geometry");
     let (gm, ga) = (oracle.measurements(), oracle.accesses());
-    let report = infer_policy(&mut oracle, &geometry, &config).expect("policy");
+    let report =
+        PermutationEngine::strict().infer(&mut oracle, &InferenceRequest::new(geometry, config));
     // PLRU(2) is literally LRU, so the 2-way row matches "LRU".
-    assert!(matches!(report.matched, Some("PLRU") | Some("LRU")));
+    let matched = report.finding().and_then(|f| f.matched());
+    assert!(matches!(matched, Some("PLRU") | Some("LRU")));
     (oracle.measurements() - gm, oracle.accesses() - ga)
 }
 

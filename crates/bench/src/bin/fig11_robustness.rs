@@ -1,6 +1,6 @@
 //! **Fig. 11** — inference robustness vs fault rate: accuracy,
-//! degradation and measurement cost of the *budgeted* robust pipeline
-//! ([`infer_policy_robust`]) as a deterministic fault schedule
+//! degradation and measurement cost of the *budgeted* permutation
+//! engine ([`PermutationEngine::budgeted`]) as a deterministic fault schedule
 //! ([`Faults`]) corrupts the oracle with flipped readouts, dropped
 //! readings, transient timeouts, prefetcher bursts and migration
 //! latency shifts.
@@ -18,8 +18,8 @@
 
 use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
 use cachekit_core::infer::{
-    infer_policy_robust, CacheOracleExt, Geometry, InferenceConfig, InferenceError,
-    InferenceResult, SimOracle,
+    CacheOracleExt, Geometry, InferenceConfig, InferenceEngine, InferenceError, InferenceReport,
+    InferenceRequest, PermutationEngine, SimOracle,
 };
 use cachekit_hw::Faults;
 use cachekit_policies::PolicyKind;
@@ -46,7 +46,7 @@ fn fault_plan(rate: f64, seed: u64) -> Faults {
         .migrations(rate / 8.0, 4)
 }
 
-fn campaign(kind: PolicyKind, rate: f64, seed: u64) -> InferenceResult {
+fn campaign(kind: PolicyKind, rate: f64, seed: u64) -> InferenceReport {
     let cache = Cache::new(CacheConfig::new(4096, 4, 64).expect("valid"), kind);
     let mut oracle = SimOracle::new(cache).layer(fault_plan(rate, seed));
     let geometry = Geometry {
@@ -62,13 +62,13 @@ fn campaign(kind: PolicyKind, rate: f64, seed: u64) -> InferenceResult {
         .seed(seed)
         .build()
         .expect("valid config");
-    infer_policy_robust(&mut oracle, &geometry, &config)
+    PermutationEngine::budgeted().infer(&mut oracle, &InferenceRequest::new(geometry, config))
 }
 
 /// Collapse a result into the outcome class compared across fault rates.
-fn outcome_class(result: &InferenceResult) -> String {
+fn outcome_class(result: &InferenceReport) -> String {
     match &result.outcome {
-        Ok(report) => match report.matched {
+        Ok(finding) => match finding.matched() {
             Some(name) => name.to_owned(),
             None => "undocumented".to_owned(),
         },

@@ -7,7 +7,9 @@
 //! Run with: `cargo run --release -p cachekit-bench --bin fig2_noise`
 
 use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
-use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig};
+use cachekit_core::infer::{
+    infer_geometry, InferenceConfig, InferenceEngine, InferenceRequest, PermutationEngine,
+};
 use cachekit_hw::{CacheLevel, LevelOracle, NoiseModel, VirtualCpu};
 use cachekit_policies::PolicyKind;
 use cachekit_sim::CacheConfig;
@@ -44,10 +46,9 @@ fn attempt(noise: NoiseModel, repetitions: usize, seed: u64) -> bool {
     if (geometry.capacity, geometry.associativity) != (8 * 1024, 8) {
         return false;
     }
-    matches!(
-        infer_policy(&mut oracle, &geometry, &config),
-        Ok(report) if report.matched == Some("PLRU")
-    )
+    let report =
+        PermutationEngine::strict().infer(&mut oracle, &InferenceRequest::new(geometry, config));
+    report.finding().and_then(|f| f.matched()) == Some("PLRU")
 }
 
 fn main() {

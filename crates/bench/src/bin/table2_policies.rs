@@ -7,7 +7,8 @@
 
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, InferenceError,
+    infer_geometry, CacheOracleExt, Counting, InferenceConfig, InferenceEngine, InferenceError,
+    InferenceRequest, PermutationEngine,
 };
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use std::sync::Mutex;
@@ -46,33 +47,38 @@ fn main() {
                 };
                 let mut undocumented = None;
                 let mut oracle = LevelOracle::new(&mut cpu, level).layer(Counting);
-                let (identified, validation) = match infer_geometry(&mut oracle, &config)
-                    .and_then(|g| infer_policy(&mut oracle, &g, &config))
-                {
-                    Ok(report) => {
-                        let id = match report.matched {
-                            Some(n) => n.to_owned(),
-                            None => {
-                                undocumented =
-                                    Some((format!("{name}/{level:?}"), report.spec.render()));
-                                "UNDOCUMENTED".to_owned()
-                            }
-                        };
-                        (
-                            id,
-                            format!(
-                                "{}/{}",
-                                report.validation_rounds - report.validation_mismatches,
-                                report.validation_rounds
-                            ),
-                        )
-                    }
-                    Err(InferenceError::NotAPermutationPolicy { mismatches, rounds }) => (
-                        "rejected (not a permutation policy)".to_owned(),
-                        format!("{}/{rounds}", rounds - mismatches),
-                    ),
-                    Err(e) => (format!("rejected ({e})"), "-".to_owned()),
-                };
+                let engine = PermutationEngine::strict();
+                let (identified, validation) =
+                    match infer_geometry(&mut oracle, &config).and_then(|g| {
+                        engine
+                            .infer(&mut oracle, &InferenceRequest::new(g, config.clone()))
+                            .outcome
+                    }) {
+                        Ok(finding) => {
+                            let report = finding.permutation().expect("permutation engine");
+                            let id = match report.matched {
+                                Some(n) => n.to_owned(),
+                                None => {
+                                    undocumented =
+                                        Some((format!("{name}/{level:?}"), report.spec.render()));
+                                    "UNDOCUMENTED".to_owned()
+                                }
+                            };
+                            (
+                                id,
+                                format!(
+                                    "{}/{}",
+                                    report.validation_rounds - report.validation_mismatches,
+                                    report.validation_rounds
+                                ),
+                            )
+                        }
+                        Err(InferenceError::NotAPermutationPolicy { mismatches, rounds }) => (
+                            "rejected (not a permutation policy)".to_owned(),
+                            format!("{}/{rounds}", rounds - mismatches),
+                        ),
+                        Err(e) => (format!("rejected ({e})"), "-".to_owned()),
+                    };
                 // Blind verdict: correct if the catalog name equals the hidden
                 // label; an UNDOCUMENTED finding is correct when the truth is
                 // outside the catalog (LazyLRU); a rejection is correct when

@@ -7,7 +7,10 @@
 //! Run with: `cargo run --release -p cachekit-bench --bin table4_l3`
 
 use cachekit_bench::{human_bytes, json::Json, Runner, Table};
-use cachekit_core::infer::{infer_geometry, infer_policy, mapping, Geometry, InferenceConfig};
+use cachekit_core::infer::{
+    infer_geometry, mapping, Geometry, InferenceConfig, InferenceEngine, InferenceRequest,
+    PermutationEngine,
+};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 
 fn main() {
@@ -45,9 +48,11 @@ fn main() {
                 Ok(g) => {
                     let geom_ok = g.capacity == truth_geom.capacity()
                         && g.associativity == truth_geom.associativity();
-                    match infer_policy(&mut oracle, &g, &config) {
-                        Ok(r) => {
-                            let name = r.matched.unwrap_or("UNDOCUMENTED");
+                    let report = PermutationEngine::strict()
+                        .infer(&mut oracle, &InferenceRequest::new(g, config.clone()));
+                    match report.outcome {
+                        Ok(finding) => {
+                            let name = finding.matched().unwrap_or("UNDOCUMENTED").to_owned();
                             let ok = geom_ok && name == truth_policy;
                             (
                                 format!("{} / {}-way", human_bytes(g.capacity), g.associativity),

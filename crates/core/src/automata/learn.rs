@@ -1,0 +1,541 @@
+//! Active learning of the cache's hit/miss Mealy machine through the
+//! black-box oracle: budgeted membership queries, a determinism battery,
+//! an L*-style observation table, and bounded random-walk equivalence
+//! testing.
+
+use super::machine::Mealy;
+use crate::infer::{CacheOracle, Geometry, InferenceError, MeasurementBudget, VotePlan};
+use cachekit_policies::rng::Prng;
+use std::collections::HashMap;
+
+/// Base index of the scratch lines used by the homing preamble. Scratch,
+/// tracked and fresh lines must never collide, so each family gets its
+/// own disjoint index range within set 0.
+const SCRATCH_BASE: u64 = 500;
+
+/// Base index of the always-fresh lines (one per word position).
+const FRESH_BASE: u64 = 1000;
+
+/// Cost and fault accounting of one learning campaign — the automata
+/// analogue of the permutation pipeline's Table 3 counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearnStats {
+    /// Distinct membership words measured on the channel.
+    pub membership_queries: u64,
+    /// Membership look-ups served from the query cache.
+    pub cached_queries: u64,
+    /// Successful raw readings taken (votes).
+    pub readings: u64,
+    /// Transient timeouts absorbed by the voting layer.
+    pub timeouts: u64,
+    /// Dropped readings absorbed by the voting layer.
+    pub dropped: u64,
+    /// Words spent on random-walk equivalence testing.
+    pub equivalence_words: u64,
+    /// Determinism-battery words whose repeated readings disagreed.
+    pub battery_flagged: usize,
+    /// Learning rounds (hypotheses refuted plus the accepted one).
+    pub rounds: u64,
+}
+
+/// A membership source the learner can drive: the live measurement
+/// channel ([`Membership`]), or a noise-free reference simulator (the
+/// template fallback in [`super::templates`]). `query` answers "does the
+/// last access of this abstract word hit?".
+pub(crate) trait QuerySource {
+    /// Size of the input alphabet (tracked lines plus the fresh symbol).
+    fn alphabet(&self) -> usize;
+    /// Whether the last access of `word` hits.
+    fn query(&mut self, word: &[u8]) -> Result<bool, InferenceError>;
+    /// Whether the last access of `word` hits, measured fresh — bypassing
+    /// any answer cache. A source that cannot re-measure (the reference
+    /// simulator is deterministic by construction) just answers `query`.
+    fn requery(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        self.query(word)
+    }
+    /// Mutable cost accounting for this source.
+    fn stats(&mut self) -> &mut LearnStats;
+}
+
+/// The membership oracle: answers "does the last access of this abstract
+/// word hit?" by translating the word to set-0 addresses, prefixing the
+/// homing preamble, and taking a budgeted vote on the channel.
+///
+/// Every query starts from the oracle's flush, but a flush only
+/// invalidates lines — replacement state survives it (`wbinvd`
+/// semantics). The preamble of `assoc` distinct scratch accesses drives
+/// any deterministic catalog policy into a canonical full-set state, so
+/// repeated queries of the same word are reproducible and the learned
+/// machine has a well-defined initial state.
+pub(crate) struct Membership<'a> {
+    oracle: &'a mut dyn CacheOracle,
+    assoc: usize,
+    stride: u64,
+    tracked: usize,
+    plan: VotePlan,
+    budget: MeasurementBudget,
+    cache: HashMap<Vec<u8>, bool>,
+    pub(crate) stats: LearnStats,
+}
+
+impl<'a> Membership<'a> {
+    pub(crate) fn new(
+        oracle: &'a mut dyn CacheOracle,
+        geometry: &Geometry,
+        tracked: usize,
+        plan: VotePlan,
+        budget: MeasurementBudget,
+    ) -> Self {
+        assert!(tracked >= 1, "need at least one tracked line");
+        assert!(
+            (tracked as u64) < SCRATCH_BASE,
+            "tracked lines would collide with the scratch range"
+        );
+        Self {
+            oracle,
+            assoc: geometry.associativity,
+            stride: geometry.way_size(),
+            tracked,
+            plan,
+            budget,
+            cache: HashMap::new(),
+            stats: LearnStats::default(),
+        }
+    }
+
+    /// Size of the input alphabet: the tracked lines plus the fresh
+    /// symbol.
+    pub(crate) fn alphabet(&self) -> usize {
+        self.tracked + 1
+    }
+
+    /// The set-0 address of `sym` at word position `pos`. Tracked
+    /// symbols always name the same line; the fresh symbol names a new
+    /// line per position, so it can never hit.
+    fn addr(&self, sym: u8, pos: usize) -> u64 {
+        if (sym as usize) < self.tracked {
+            sym as u64 * self.stride
+        } else {
+            (FRESH_BASE + pos as u64) * self.stride
+        }
+    }
+
+    /// The homing preamble plus the word's first `len - 1` accesses.
+    fn warmup_of(&self, word: &[u8]) -> Vec<u64> {
+        let mut warmup = Vec::with_capacity(self.assoc + word.len());
+        for i in 0..self.assoc as u64 {
+            warmup.push((SCRATCH_BASE + i) * self.stride);
+        }
+        for (pos, &sym) in word[..word.len() - 1].iter().enumerate() {
+            warmup.push(self.addr(sym, pos));
+        }
+        warmup
+    }
+
+    fn check_budget(&self, exhausted: bool) -> Result<(), InferenceError> {
+        if exhausted {
+            Err(InferenceError::BudgetExhausted {
+                used: self.budget.used(),
+                budget: self.budget.limit().unwrap_or(self.budget.used()),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether the last access of `word` hits, by budgeted vote.
+    /// Cached: repeated queries of the same word are free.
+    pub(crate) fn query(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        assert!(!word.is_empty(), "membership is defined for nonempty words");
+        if let Some(&hit) = self.cache.get(word) {
+            self.stats.cached_queries += 1;
+            return Ok(hit);
+        }
+        let warmup = self.warmup_of(word);
+        let probe = [self.addr(word[word.len() - 1], word.len() - 1)];
+        let out = self
+            .plan
+            .measure_budgeted(&mut self.oracle, &warmup, &probe, &mut self.budget);
+        self.stats.membership_queries += 1;
+        self.stats.readings += out.readings;
+        self.stats.timeouts += out.timeouts;
+        self.stats.dropped += out.dropped;
+        self.check_budget(out.exhausted)?;
+        let hit = out.value == 0;
+        self.cache.insert(word.to_vec(), hit);
+        Ok(hit)
+    }
+
+    /// A fresh vote on `word`, bypassing the query cache (which keeps its
+    /// original answer — a disagreement is the caller's signal, not a
+    /// reason to rewrite history).
+    fn fresh_vote(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        let warmup = self.warmup_of(word);
+        let probe = [self.addr(word[word.len() - 1], word.len() - 1)];
+        let out = self
+            .plan
+            .measure_budgeted(&mut self.oracle, &warmup, &probe, &mut self.budget);
+        self.stats.membership_queries += 1;
+        self.stats.readings += out.readings;
+        self.stats.timeouts += out.timeouts;
+        self.stats.dropped += out.dropped;
+        self.check_budget(out.exhausted)?;
+        Ok(out.value == 0)
+    }
+
+    /// One unvoted reading of `word` — the determinism battery wants raw
+    /// channel behaviour, not the vote's consensus. Not cached.
+    fn raw_reading(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        let warmup = self.warmup_of(word);
+        let probe = [self.addr(word[word.len() - 1], word.len() - 1)];
+        let out = VotePlan::single().measure_budgeted(
+            &mut self.oracle,
+            &warmup,
+            &probe,
+            &mut self.budget,
+        );
+        self.stats.readings += out.readings;
+        self.stats.timeouts += out.timeouts;
+        self.stats.dropped += out.dropped;
+        self.check_budget(out.exhausted)?;
+        Ok(out.value == 0)
+    }
+}
+
+impl QuerySource for Membership<'_> {
+    fn alphabet(&self) -> usize {
+        Membership::alphabet(self)
+    }
+
+    fn query(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        Membership::query(self, word)
+    }
+
+    fn requery(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        Membership::fresh_vote(self, word)
+    }
+
+    fn stats(&mut self) -> &mut LearnStats {
+        &mut self.stats
+    }
+}
+
+/// Probe the channel with repeated identical random words before paying
+/// for learning: a deterministic policy answers each word the same way
+/// every time (transient channel faults are absorbed as retries by the
+/// voting layer below, so they do not reach this count), while random
+/// replacement flips answers constantly.
+///
+/// A word is *flagged* when at least a third of its readings disagree
+/// with the majority; the battery rejects when at least a quarter of the
+/// words are flagged. Both thresholds are far above what channel fault
+/// rates up to ~10% can reach, and far below what random replacement
+/// produces.
+pub(crate) fn determinism_battery(
+    mem: &mut Membership<'_>,
+    words: usize,
+    repeats: usize,
+    rng: &mut Prng,
+) -> Result<(), InferenceError> {
+    assert!(
+        words >= 1 && repeats >= 2,
+        "battery needs words and repeats"
+    );
+    let len = 2 * mem.assoc + 4;
+    let alphabet = mem.alphabet();
+    let mut flagged = 0usize;
+    for _ in 0..words {
+        let word: Vec<u8> = (0..len)
+            .map(|_| rng.gen_range(0..alphabet as u64) as u8)
+            .collect();
+        let mut hits = 0usize;
+        for _ in 0..repeats {
+            if mem.raw_reading(&word)? {
+                hits += 1;
+            }
+        }
+        let minority = hits.min(repeats - hits);
+        if minority * 3 >= repeats {
+            flagged += 1;
+        }
+    }
+    mem.stats.battery_flagged = flagged;
+    if flagged * 4 >= words {
+        return Err(InferenceError::NotDeterministic {
+            disagreeing: flagged,
+            battery: words,
+        });
+    }
+    Ok(())
+}
+
+/// The L*-style observation table (Mealy variant): prefixes `S` with
+/// pairwise-distinct rows, suffix-closed experiments `E` seeded with all
+/// single-symbol words, cells filled by membership queries.
+struct ObservationTable {
+    alphabet: usize,
+    max_states: usize,
+    prefixes: Vec<Vec<u8>>,
+    suffixes: Vec<Vec<u8>>,
+}
+
+impl ObservationTable {
+    fn new(alphabet: usize, max_states: usize) -> Self {
+        Self {
+            alphabet,
+            max_states,
+            prefixes: vec![Vec::new()],
+            suffixes: (0..alphabet as u8).map(|a| vec![a]).collect(),
+        }
+    }
+
+    /// The row of `prefix`: membership of `prefix · e` for every
+    /// experiment `e`.
+    fn row(&self, src: &mut dyn QuerySource, prefix: &[u8]) -> Result<Vec<bool>, InferenceError> {
+        let mut row = Vec::with_capacity(self.suffixes.len());
+        for e in &self.suffixes {
+            let mut word = prefix.to_vec();
+            word.extend_from_slice(e);
+            row.push(src.query(&word)?);
+        }
+        Ok(row)
+    }
+
+    /// Grow `S` until every one-symbol extension's row already appears
+    /// in `S` (closedness). Returns the rows of `S`, in order. Bails out
+    /// when `S` exceeds the state cap — the hypothesis would be larger
+    /// than the caller is willing to represent.
+    fn close(&mut self, src: &mut dyn QuerySource) -> Result<Vec<Vec<bool>>, InferenceError> {
+        let mut rows: Vec<Vec<bool>> = Vec::new();
+        for p in &self.prefixes {
+            rows.push(self.row(src, p)?);
+        }
+        'sweep: loop {
+            for i in 0..self.prefixes.len() {
+                for a in 0..self.alphabet as u8 {
+                    let mut ext = self.prefixes[i].clone();
+                    ext.push(a);
+                    let ext_row = self.row(src, &ext)?;
+                    if !rows.contains(&ext_row) {
+                        if self.prefixes.len() >= self.max_states {
+                            return Err(InferenceError::InconsistentReadout(format!(
+                                "the learned machine exceeds the {}-state cap",
+                                self.max_states
+                            )));
+                        }
+                        self.prefixes.push(ext);
+                        rows.push(ext_row);
+                        continue 'sweep;
+                    }
+                }
+            }
+            return Ok(rows);
+        }
+    }
+
+    /// Add every nonempty suffix of a counterexample to `E`, keeping `E`
+    /// suffix-closed (the Maler–Pnueli counterexample rule).
+    fn absorb_counterexample(&mut self, ce: &[u8]) {
+        for start in 0..ce.len() {
+            let suffix = ce[start..].to_vec();
+            if !self.suffixes.contains(&suffix) {
+                self.suffixes.push(suffix);
+            }
+        }
+    }
+
+    /// Build the hypothesis machine from a closed table. Row identity is
+    /// state identity; outputs come from the single-symbol experiments
+    /// (always the first `alphabet` columns of each row).
+    fn hypothesis(
+        &self,
+        src: &mut dyn QuerySource,
+        rows: &[Vec<bool>],
+    ) -> Result<Mealy, InferenceError> {
+        let states = self.prefixes.len();
+        let mut trans = vec![0u32; states * self.alphabet];
+        let mut out = vec![false; states * self.alphabet];
+        for (i, prefix) in self.prefixes.iter().enumerate() {
+            for a in 0..self.alphabet {
+                let mut ext = prefix.clone();
+                ext.push(a as u8);
+                let ext_row = self.row(src, &ext)?;
+                let target = rows
+                    .iter()
+                    .position(|r| r == &ext_row)
+                    .expect("table is closed");
+                trans[i * self.alphabet + a] = target as u32;
+                out[i * self.alphabet + a] = rows[i][a];
+            }
+        }
+        Ok(Mealy::new(self.alphabet, trans, out))
+    }
+}
+
+/// Search for a word on which the hypothesis and the channel disagree:
+/// an exhaustive sweep of all short words, then seeded random walks.
+/// Each walk starts from a random state-cover prefix (an access word of
+/// the observation table) so deep hypothesis states are exercised
+/// directly instead of waiting for a blind walk to stumble into them —
+/// the state-cover trick of randomized conformance testing. Returns the
+/// first counterexample found.
+fn find_counterexample(
+    src: &mut dyn QuerySource,
+    hypothesis: &Mealy,
+    table: &ObservationTable,
+    queries: usize,
+    max_len: usize,
+    rng: &mut Prng,
+) -> Result<Option<Vec<u8>>, InferenceError> {
+    let alphabet = src.alphabet();
+    let prefixes = &table.prefixes;
+    // W-method layer for one extra state: access word × two middle
+    // symbols × characterization suffix. The observation table already
+    // agrees with the hypothesis on `s·a·e` by construction; `s·a·b·e`
+    // is the first layer that can expose an over-merged state, and
+    // sweeping it deterministically catches every single-state merge
+    // error (the query cache makes the repeats across rounds cheap).
+    for prefix in prefixes {
+        for a in 0..alphabet as u8 {
+            for b in 0..alphabet as u8 {
+                for e in &table.suffixes {
+                    let mut word = prefix.clone();
+                    word.push(a);
+                    word.push(b);
+                    word.extend_from_slice(e);
+                    src.stats().equivalence_words += 1;
+                    if src.query(&word)? != hypothesis.run(&word).expect("nonempty") {
+                        return Ok(Some(word));
+                    }
+                }
+            }
+        }
+    }
+    // Depth sweep: touch a tracked line, bury it under a run of fresh
+    // fills, and probe a tracked line. Replacement state is dominated by
+    // per-line ages/positions, so the states a hypothesis wrongly merges
+    // almost always differ in how deep a line sits — a structured probe
+    // random walks only stumble into with probability ~2^-depth (burst
+    // trick) per walk. The sweep is deterministic, so a merge of two
+    // depth levels within `max_len - 2` of the surface is a certain
+    // find, independent of the walk seed.
+    for prefix in prefixes {
+        for touch in 0..alphabet as u8 - 1 {
+            for run in 1..max_len.saturating_sub(2) {
+                for probe in 0..alphabet as u8 - 1 {
+                    let mut word = prefix.clone();
+                    word.push(touch);
+                    word.extend(std::iter::repeat_n(alphabet as u8 - 1, run));
+                    word.push(probe);
+                    src.stats().equivalence_words += 1;
+                    if src.query(&word)? != hypothesis.run(&word).expect("nonempty") {
+                        return Ok(Some(word));
+                    }
+                }
+            }
+        }
+    }
+    // Exhaustive over words of length <= 4: cheap (the cache absorbs the
+    // overlap with the table) and makes short divergences certain finds.
+    let mut word: Vec<u8> = Vec::new();
+    let exhaustive_len = 4usize.min(max_len);
+    let mut stack = vec![0u8];
+    while let Some(next) = stack.pop() {
+        if (next as usize) < alphabet {
+            stack.push(next + 1);
+            word.push(next);
+            src.stats().equivalence_words += 1;
+            if src.query(&word)? != hypothesis.run(&word).expect("nonempty") {
+                return Ok(Some(word));
+            }
+            if word.len() < exhaustive_len {
+                stack.push(0);
+            } else {
+                word.pop();
+            }
+        } else {
+            word.pop();
+        }
+    }
+    for _ in 0..queries {
+        let prefix = &prefixes[rng.gen_range(0..prefixes.len() as u64) as usize];
+        let len = 1 + rng.gen_range(0..max_len as u64) as usize;
+        let mut word = prefix.clone();
+        // Bursty suffix: each symbol repeats the previous one with
+        // probability 1/2. Distinguishing deep recency states needs long
+        // same-symbol runs (k fresh accesses in a row push a tracked
+        // line k positions down), and uniform walks produce a k-run with
+        // probability ~alphabet^-k — bursts make that 2^-k instead.
+        let mut sym = rng.gen_range(0..alphabet as u64) as u8;
+        for _ in 0..len {
+            if rng.gen_range(0..2) == 1 {
+                sym = rng.gen_range(0..alphabet as u64) as u8;
+            }
+            word.push(sym);
+        }
+        src.stats().equivalence_words += 1;
+        if src.query(&word)? != hypothesis.run(&word).expect("nonempty") {
+            return Ok(Some(word));
+        }
+    }
+    Ok(None)
+}
+
+/// Learn the source's Mealy machine: close the table, hypothesize, test
+/// for counterexamples, refine; stop when a hypothesis survives the
+/// equivalence budget. The returned machine is minimized and canonical.
+/// A hypothesis growing past `max_states` aborts with
+/// [`InconsistentReadout`](InferenceError::InconsistentReadout) instead
+/// of building a machine the caller cannot afford.
+///
+/// Every counterexample is *verified* before the table absorbs it: the
+/// word is re-voted twice, and any disagreement with the cached answer
+/// is a strike. A policy with sparse randomness (BIP's occasional front
+/// insertion, say) can slip through the up-front determinism battery,
+/// and without this check it drags the learner through an endless chain
+/// of phantom counterexamples — each one a vote that happened to catch
+/// the rare event — growing the table without bound. Two strikes abort
+/// with [`NotDeterministic`](InferenceError::NotDeterministic): a
+/// channel that contradicts its own recorded answers has no machine to
+/// learn. Deterministic policies never strike on a clean channel, and
+/// on a faulty one a strike needs the majority of a whole vote to flip
+/// — rare enough that two of them reliably mean policy randomness, not
+/// channel noise.
+pub(crate) fn learn_machine(
+    src: &mut dyn QuerySource,
+    queries: usize,
+    max_len: usize,
+    max_rounds: usize,
+    max_states: usize,
+    rng: &mut Prng,
+) -> Result<Mealy, InferenceError> {
+    let mut table = ObservationTable::new(src.alphabet(), max_states);
+    let mut strikes = 0usize;
+    for round in 0..max_rounds {
+        src.stats().rounds = round as u64 + 1;
+        let rows = table.close(src)?;
+        let hypothesis = table.hypothesis(src, &rows)?;
+        match find_counterexample(src, &hypothesis, &table, queries, max_len, rng)? {
+            None => return Ok(hypothesis.minimized()),
+            Some(ce) => {
+                let recorded = src.query(&ce)?;
+                for _ in 0..2 {
+                    if src.requery(&ce)? != recorded {
+                        strikes += 1;
+                    }
+                }
+                if strikes >= 2 {
+                    return Err(InferenceError::NotDeterministic {
+                        disagreeing: strikes,
+                        battery: 2 * (round + 1),
+                    });
+                }
+                table.absorb_counterexample(&ce);
+            }
+        }
+    }
+    Err(InferenceError::InconsistentReadout(format!(
+        "automata learning did not converge within {max_rounds} rounds \
+         (the channel keeps refuting every hypothesis)"
+    )))
+}

@@ -1,0 +1,348 @@
+//! Reference Mealy machines for the catalog policies.
+//!
+//! A template is the exact hit/miss behaviour of one
+//! [`PolicyKind`](cachekit_policies::PolicyKind) under the learner's
+//! abstract alphabet (a handful of tracked lines plus an always-fresh
+//! symbol), obtained by simulating the policy directly with the same
+//! set-fill semantics as `cachekit-sim` and quotienting away the
+//! identities of untracked lines. Matching a learned machine against
+//! the library is plain equality of minimized canonical forms.
+
+use super::learn::{learn_machine, LearnStats, QuerySource};
+use super::machine::Mealy;
+use crate::infer::InferenceError;
+use cachekit_policies::rng::Prng;
+use cachekit_policies::{PolicyKind, PolicyState, ReplacementPolicy};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Way-content marker for a line the alphabet can never re-reference
+/// (the homing preamble's scratch lines and every fresh fill).
+const JUNK: u8 = u8::MAX;
+
+/// Apply one input symbol to an abstract set state, returning whether
+/// the access hit.
+///
+/// Mirrors `cachekit-sim`'s steady-state access path exactly: the set is
+/// full (the homing preamble filled every way), so a hit updates the
+/// policy via `on_hit` and a miss asks the policy for a victim before
+/// `on_fill`.
+pub(crate) fn step(tags: &mut [u8], policy: &mut PolicyState, sym: u8, tracked: usize) -> bool {
+    if (sym as usize) < tracked {
+        if let Some(way) = tags.iter().position(|&t| t == sym) {
+            policy.on_hit(way);
+            return true;
+        }
+    }
+    let way = policy.victim();
+    tags[way] = if (sym as usize) < tracked { sym } else { JUNK };
+    policy.on_fill(way);
+    false
+}
+
+/// The post-preamble start state of `kind` at `assoc` ways: power-on
+/// policy state driven through the homing fill sweep (one fill per way,
+/// in way order — exactly what `assoc` distinct scratch accesses do to a
+/// freshly flushed set).
+pub(crate) fn homed_policy(kind: PolicyKind, assoc: usize) -> PolicyState {
+    let mut policy = kind.build_state(assoc, 0);
+    for way in 0..assoc {
+        policy.on_fill(way);
+    }
+    policy
+}
+
+/// Fixed seed of the learned-template fallback's equivalence walks —
+/// templates must be reproducible across processes.
+const FALLBACK_SEED: u64 = 0x7E_4F_1A_75;
+
+/// Hypothesis-size bail-out of the learned-template fallback: a policy
+/// whose *behaviour* (not just its raw representation) needs more states
+/// than this is not worth learning as a template.
+const FALLBACK_STATE_CAP: usize = 4096;
+
+/// A noise-free [`QuerySource`] over the reference simulator: membership
+/// by direct replay of [`step`] from the homed state. Lets the template
+/// builder reuse the live learner when exhaustive closure is infeasible.
+struct SimSource {
+    assoc: usize,
+    tracked: usize,
+    homed: PolicyState,
+    cache: HashMap<Vec<u8>, bool>,
+    stats: LearnStats,
+}
+
+impl SimSource {
+    fn new(kind: PolicyKind, assoc: usize, tracked: usize) -> Self {
+        Self {
+            assoc,
+            tracked,
+            homed: homed_policy(kind, assoc),
+            cache: HashMap::new(),
+            stats: LearnStats::default(),
+        }
+    }
+}
+
+impl QuerySource for SimSource {
+    fn alphabet(&self) -> usize {
+        self.tracked + 1
+    }
+
+    fn query(&mut self, word: &[u8]) -> Result<bool, InferenceError> {
+        assert!(!word.is_empty(), "membership is defined for nonempty words");
+        if let Some(&hit) = self.cache.get(word) {
+            return Ok(hit);
+        }
+        let mut tags = vec![JUNK; self.assoc];
+        let mut policy = self.homed.clone();
+        let mut last = false;
+        for &sym in word {
+            last = step(&mut tags, &mut policy, sym, self.tracked);
+        }
+        self.cache.insert(word.to_vec(), last);
+        Ok(last)
+    }
+
+    fn stats(&mut self) -> &mut LearnStats {
+        &mut self.stats
+    }
+}
+
+/// The learned-template fallback: when the raw product space of tags and
+/// policy state is too large to close exhaustively (LRU at high
+/// associativity reaches millions of raw states that minimize to a few
+/// dozen), run the L* learner against the noise-free simulator instead.
+/// Cost is polynomial in the *minimized* machine, independent of the raw
+/// space. Exact only up to the learner's conformance bound (exhaustive
+/// short words, a one-extra-state W-method layer, and seeded random
+/// walks) — the same honesty caveat as live learning.
+fn learned_template(
+    kind: PolicyKind,
+    assoc: usize,
+    tracked: usize,
+    max_states: usize,
+) -> Option<Mealy> {
+    let mut src = SimSource::new(kind, assoc, tracked);
+    let mut rng = Prng::seed_from_u64(FALLBACK_SEED);
+    learn_machine(
+        &mut src,
+        10_000,
+        3 * assoc + 4,
+        64,
+        max_states.min(FALLBACK_STATE_CAP),
+        &mut rng,
+    )
+    .ok()
+}
+
+/// Build the template machine for `kind` at `assoc` ways over
+/// `tracked` tracked lines (alphabet size `tracked + 1`).
+///
+/// The raw product space of way tags and policy state is closed
+/// exhaustively and minimized; if it exceeds `max_states` before
+/// minimization, the template is instead *learned* from the reference
+/// simulator (`learned_template`), which costs polynomial in the
+/// minimized machine. Returns `None` when no faithful finite template
+/// exists at all: stochastic kinds, parameters invalid for the
+/// associativity, or behaviour too large for even the learned route
+/// (reported honestly instead of silently truncated).
+pub fn template_machine(
+    kind: PolicyKind,
+    assoc: usize,
+    tracked: usize,
+    max_states: usize,
+) -> Option<Mealy> {
+    if !kind.is_deterministic() || kind.validate_for_assoc(assoc).is_err() {
+        return None;
+    }
+    let alphabet = tracked + 1;
+    let initial_tags = vec![JUNK; assoc];
+    let initial_policy = homed_policy(kind, assoc);
+
+    let key_of = |tags: &[u8], policy: &PolicyState| -> Vec<u8> {
+        let mut key = Vec::with_capacity(assoc + 8);
+        key.extend_from_slice(tags);
+        policy.write_state_key(&mut key);
+        key
+    };
+
+    let mut ids: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut frontier: Vec<(Vec<u8>, PolicyState)> =
+        vec![(initial_tags.clone(), initial_policy.clone())];
+    ids.insert(key_of(&initial_tags, &initial_policy), 0);
+    let mut trans: Vec<u32> = Vec::new();
+    let mut out: Vec<bool> = Vec::new();
+    let mut head = 0usize;
+    while head < frontier.len() {
+        let (tags, policy) = frontier[head].clone();
+        head += 1;
+        for sym in 0..alphabet as u8 {
+            let mut next_tags = tags.clone();
+            let mut next_policy = policy.clone();
+            let hit = step(&mut next_tags, &mut next_policy, sym, tracked);
+            let key = key_of(&next_tags, &next_policy);
+            let next_len = ids.len();
+            let id = *ids.entry(key).or_insert_with(|| {
+                frontier.push((next_tags, next_policy));
+                next_len as u32
+            });
+            trans.push(id);
+            out.push(hit);
+        }
+        if ids.len() > max_states {
+            return learned_template(kind, assoc, tracked, max_states);
+        }
+    }
+    Some(Mealy::new(alphabet, trans, out).minimized())
+}
+
+/// The kinds the template library covers: every deterministic catalog
+/// kind plus QLRU-1, the insertion-age variant the permutation
+/// formalism cannot express. The other QLRU members are omitted as
+/// behavioural duplicates of existing templates: QLRU-0 degenerates to
+/// NRU (with hits and fills both rejuvenating to age 0, ages only ever
+/// take the values {0, 3} — a one-bit policy), QLRU-2's update rules
+/// coincide with SRRIP-2, and QLRU-3 (insert at the saturated age) is
+/// hit/miss-indistinguishable from LIP.
+pub fn template_kinds() -> Vec<PolicyKind> {
+    let mut kinds = PolicyKind::deterministic_kinds();
+    kinds.push(PolicyKind::Slru { protected: 2 });
+    kinds.push(PolicyKind::Qlru { insert: 1 });
+    kinds
+}
+
+/// Build the full template library for one geometry: label → minimized
+/// canonical machine. Kinds without a representable template at this
+/// associativity are skipped. Libraries are deterministic in their
+/// parameters, so they are memoized process-wide — repeated campaigns
+/// against the same geometry (a serve process, a differential sweep) pay
+/// the construction cost once.
+pub fn template_library(
+    assoc: usize,
+    tracked: usize,
+    max_states: usize,
+) -> Arc<Vec<(String, Mealy)>> {
+    type LibraryCache = HashMap<(usize, usize, usize), Arc<Vec<(String, Mealy)>>>;
+    static CACHE: OnceLock<Mutex<LibraryCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(library) = cache.lock().unwrap().get(&(assoc, tracked, max_states)) {
+        return Arc::clone(library);
+    }
+    // Built outside the lock: construction can take seconds and other
+    // geometries' lookups should not wait on it. A racing duplicate
+    // build produces an identical library, so last-write-wins is fine.
+    let library: Arc<Vec<(String, Mealy)>> = Arc::new(
+        template_kinds()
+            .into_iter()
+            .filter_map(|kind| {
+                template_machine(kind, assoc, tracked, max_states).map(|m| (kind.label(), m))
+            })
+            .collect(),
+    );
+    cache
+        .lock()
+        .unwrap()
+        .insert((assoc, tracked, max_states), Arc::clone(&library));
+    library
+}
+
+/// Find the library entry a minimized machine matches, if any.
+pub fn match_template(machine: &Mealy, library: &[(String, Mealy)]) -> Option<String> {
+    let canonical = machine.minimized();
+    library
+        .iter()
+        .find(|(_, template)| *template == canonical)
+        .map(|(label, _)| label.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_template_counts_tracked_positions() {
+        // With 2 tracked lines in an assoc-4 LRU set, a state is exactly
+        // the pair of recency depths of t0 and t1 (or their absence):
+        // both absent (1), one present (2 * 4), both present (4 * 3).
+        let m = template_machine(PolicyKind::Lru, 4, 2, 1 << 20).unwrap();
+        assert_eq!(m.states(), 1 + 2 * 4 + 4 * 3);
+    }
+
+    #[test]
+    fn fresh_symbol_always_misses() {
+        for kind in template_kinds() {
+            let Some(m) = template_machine(kind, 4, 2, 1 << 20) else {
+                continue;
+            };
+            let fresh = m.alphabet() - 1;
+            for s in 0..m.states() {
+                assert!(!m.output(s, fresh), "{kind:?}: fresh hit in state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn learned_fallback_recovers_lru_at_assoc_8() {
+        // LRU-8's raw product space (full recency order times tag
+        // placement) blows past any reasonable exhaustive cap, but its
+        // behaviour is just the pair of tracked recency depths:
+        // 1 + 2 * 8 + 8 * 7 states. The fallback must find exactly that.
+        let m = template_machine(PolicyKind::Lru, 8, 2, 1 << 20).unwrap();
+        assert_eq!(m.states(), 1 + 2 * 8 + 8 * 7);
+    }
+
+    #[test]
+    fn templates_are_pairwise_distinct_at_assoc_4_and_8() {
+        for assoc in [4usize, 8] {
+            let library = template_library(assoc, 2, 1 << 20);
+            assert_eq!(
+                library.len(),
+                template_kinds().len(),
+                "assoc {assoc}: thin library"
+            );
+            for i in 0..library.len() {
+                for j in i + 1..library.len() {
+                    assert_ne!(
+                        library[i].1, library[j].1,
+                        "assoc {assoc}: {} and {} share a machine",
+                        library[i].0, library[j].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_kinds_have_no_template() {
+        assert!(template_machine(PolicyKind::Random { seed: 1 }, 4, 2, 1 << 20).is_none());
+        assert!(template_machine(PolicyKind::Bip { throttle: 32 }, 4, 2, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn state_cap_is_honest() {
+        assert!(template_machine(PolicyKind::Lru, 8, 2, 4).is_none());
+    }
+
+    #[test]
+    fn qlru_one_differs_from_srrip() {
+        let srrip = template_machine(PolicyKind::Srrip { bits: 2 }, 4, 2, 1 << 20).unwrap();
+        let qlru = template_machine(PolicyKind::Qlru { insert: 1 }, 4, 2, 1 << 20).unwrap();
+        assert_ne!(qlru, srrip, "QLRU-1 collided with SRRIP-2");
+    }
+
+    #[test]
+    fn qlru_duplicate_members_match_their_aliases() {
+        // The documented coincidences the library relies on: QLRU-0 is
+        // NRU and QLRU-2 is SRRIP-2, machine-for-machine.
+        let nru = template_machine(PolicyKind::Nru, 4, 2, 1 << 20).unwrap();
+        let q0 = template_machine(PolicyKind::Qlru { insert: 0 }, 4, 2, 1 << 20).unwrap();
+        assert_eq!(q0, nru);
+        let srrip = template_machine(PolicyKind::Srrip { bits: 2 }, 4, 2, 1 << 20).unwrap();
+        let q2 = template_machine(PolicyKind::Qlru { insert: 2 }, 4, 2, 1 << 20).unwrap();
+        assert_eq!(q2, srrip);
+        let lip = template_machine(PolicyKind::Lip, 4, 2, 1 << 20).unwrap();
+        let q3 = template_machine(PolicyKind::Qlru { insert: 3 }, 4, 2, 1 << 20).unwrap();
+        assert_eq!(q3, lip);
+    }
+}

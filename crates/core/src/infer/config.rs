@@ -391,6 +391,17 @@ pub enum InferenceError {
         /// Total validation scripts.
         rounds: usize,
     },
+    /// The determinism battery found the channel's responses to repeated
+    /// identical words unstable — the policy (or the channel) is
+    /// stochastic, so no deterministic Mealy machine can model it. Like
+    /// [`NotAPermutationPolicy`](Self::NotAPermutationPolicy) this is a
+    /// *finding*, not a bug: random replacement is supposed to land here.
+    NotDeterministic {
+        /// Battery words whose repeated readings disagreed.
+        disagreeing: usize,
+        /// Total battery words probed.
+        battery: usize,
+    },
     /// The campaign's measurement budget ran dry before the pipeline
     /// finished; the accompanying
     /// [`InferenceResult`](crate::infer::InferenceResult) carries
@@ -424,6 +435,14 @@ impl fmt::Display for InferenceError {
                 f,
                 "validation rejected the permutation-policy hypothesis \
                  ({mismatches}/{rounds} scripts diverged)"
+            ),
+            InferenceError::NotDeterministic {
+                disagreeing,
+                battery,
+            } => write!(
+                f,
+                "determinism battery rejected the deterministic-policy hypothesis \
+                 ({disagreeing}/{battery} words gave unstable readings)"
             ),
             InferenceError::BudgetExhausted { used, budget } => write!(
                 f,

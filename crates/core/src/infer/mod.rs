@@ -9,8 +9,15 @@
 //! `cachekit-hw`, and (with an `rdtsc`/perf-counter backend) real
 //! hardware.
 //!
+//! Inference runs through the [`InferenceEngine`] trait: pick the
+//! permutation pipeline, the automata learner, or the auto fallback
+//! chain, and get one uniform [`InferenceReport`] shape back.
+//!
 //! ```
-//! use cachekit_core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
+//! use cachekit_core::infer::{
+//!     infer_geometry, InferenceConfig, InferenceEngine, InferenceRequest, PermutationEngine,
+//!     SimOracle,
+//! };
 //! use cachekit_policies::PolicyKind;
 //! use cachekit_sim::{Cache, CacheConfig};
 //!
@@ -19,14 +26,16 @@
 //! let mut oracle = SimOracle::new(cache);
 //! let config = InferenceConfig::default();
 //! let geometry = infer_geometry(&mut oracle, &config)?;
-//! let report = infer_policy(&mut oracle, &geometry, &config)?;
-//! assert_eq!(report.matched, Some("PLRU"));
+//! let engine = PermutationEngine::budgeted();
+//! let report = engine.infer(&mut oracle, &InferenceRequest::new(geometry, config));
+//! assert_eq!(report.finding().and_then(|f| f.matched()), Some("PLRU"));
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod campaign;
 mod config;
+mod engine;
 mod geometry;
 pub mod mapping;
 mod oracle;
@@ -39,6 +48,10 @@ pub use campaign::{measure_campaign, run_campaign, Measurement};
 pub use config::{
     ConfigError, InferenceConfig, InferenceConfigBuilder, InferenceError, ReadoutSearch,
 };
+pub use engine::{
+    engine_by_name, engine_names, AutoEngine, AutomataEngine, Finding, InferenceEngine,
+    InferenceReport, InferenceRequest, PermutationEngine,
+};
 pub use geometry::{
     infer_associativity, infer_capacity, infer_geometry, infer_line_size, Geometry,
 };
@@ -49,6 +62,10 @@ pub use oracle::{
 };
 #[allow(deprecated)]
 pub use oracle::{CountingOracle, RecordingOracle};
-pub use policy::{infer_insertion_position, infer_policy, infer_policy_parallel, PolicyReport};
-pub use robust::{infer_policy_robust, InferenceResult};
+pub use policy::{infer_insertion_position, PolicyReport};
+#[allow(deprecated)]
+pub use policy::{infer_policy, infer_policy_parallel};
+#[allow(deprecated)]
+pub use robust::infer_policy_robust;
+pub use robust::InferenceResult;
 pub use vote::{MeasurementBudget, VoteOutcome, VotePlan};

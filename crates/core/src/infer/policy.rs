@@ -219,6 +219,11 @@ pub fn infer_insertion_position<O: CacheOracle>(
 /// caches whose policy is outside the class (e.g. random replacement) and
 /// [`NotFrontInsertion`](InferenceError::NotFrontInsertion) for LIP-style
 /// insertion.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive inference through the InferenceEngine trait \
+            (`PermutationEngine::strict()` has identical semantics)"
+)]
 pub fn infer_policy<O: CacheOracle>(
     oracle: &mut O,
     geometry: &Geometry,
@@ -306,6 +311,12 @@ pub fn infer_policy<O: CacheOracle>(
 /// # Errors
 ///
 /// Exactly the failure modes of [`infer_policy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "drive inference through the InferenceEngine trait; the parallel \
+            fan-out remains available through this wrapper until the worker \
+            pool moves behind an engine"
+)]
 pub fn infer_policy_parallel<O>(
     oracle: &O,
     geometry: &Geometry,
@@ -513,6 +524,8 @@ pub(crate) fn prediction_diverges(predicted: usize, measured: usize, n: usize, n
 }
 
 #[cfg(test)]
+// The deprecated free functions stay covered until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::infer::oracle::SimOracle;

@@ -275,6 +275,11 @@ impl<'a, O: CacheOracle> Engine<'a, O> {
 /// match — but every measurement flows through the adaptive retry
 /// engine, and the function *never panics*: structural failures and
 /// budget exhaustion both come back inside the [`InferenceResult`].
+#[deprecated(
+    since = "0.2.0",
+    note = "drive inference through the InferenceEngine trait \
+            (`PermutationEngine::budgeted()` has identical semantics)"
+)]
 pub fn infer_policy_robust<O: CacheOracle>(
     oracle: &mut O,
     geometry: &Geometry,
@@ -421,6 +426,8 @@ pub fn infer_policy_robust<O: CacheOracle>(
 }
 
 #[cfg(test)]
+// The deprecated free functions stay covered until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::infer::{infer_geometry, InferenceConfig, SimOracle};

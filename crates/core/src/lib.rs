@@ -20,6 +20,13 @@
 //!   voting to survive measurement noise, and a validation phase that
 //!   accepts or rejects the inferred model.
 //!
+//! * [`automata`] — the **automata-learning backend**: learn the policy
+//!   as an explicit Mealy machine with no permutation assumption (active
+//!   L*-style learning over the same black-box oracle), minimize it, and
+//!   match it against reference machines simulated from the catalog —
+//!   the fallback that still identifies NRU, CLOCK, bit-PLRU or QLRU
+//!   when the permutation pipeline rightly rejects them.
+//!
 //! * [`analysis`] — evaluation metrics over policies: reachable-state
 //!   enumeration and the predictability measures (*evict* and *minimal
 //!   life span*) used to compare the discovered policies.
@@ -39,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod automata;
 pub mod infer;
 pub mod perm;
 pub mod query;

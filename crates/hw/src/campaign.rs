@@ -4,12 +4,14 @@
 //! every cache level of a virtual CPU and gathers the per-level results
 //! into one report — the programmatic form of the paper's per-processor
 //! table rows. The example binaries and the CLI are thin wrappers over
-//! this.
+//! this. The policy step goes through the [`InferenceEngine`] trait, so
+//! a survey can run the permutation pipeline, the automata learner, or
+//! the auto fallback chain without touching this module.
 
 use crate::{CacheLevel, LevelOracle, MeasureMode, VirtualCpu};
 use cachekit_core::infer::{
-    infer_geometry, infer_policy, CacheOracleExt, Counting, Geometry, InferenceConfig,
-    InferenceError, PolicyReport,
+    infer_geometry, CacheOracleExt, Counting, Geometry, InferenceConfig, InferenceEngine,
+    InferenceError, InferenceReport, InferenceRequest, PermutationEngine,
 };
 use std::fmt;
 
@@ -20,8 +22,9 @@ pub struct LevelSurvey {
     pub level: CacheLevel,
     /// The inferred geometry, or why none was found.
     pub geometry: Result<Geometry, InferenceError>,
-    /// The inferred policy (only attempted when the geometry succeeded).
-    pub policy: Option<Result<PolicyReport, InferenceError>>,
+    /// The engine's report (only attempted when the geometry
+    /// succeeded).
+    pub policy: Option<InferenceReport>,
     /// Measurements spent on this level.
     pub measurements: u64,
     /// Memory accesses spent on this level.
@@ -34,11 +37,13 @@ impl LevelSurvey {
     pub fn verdict(&self) -> String {
         match (&self.geometry, &self.policy) {
             (Err(e), _) => format!("geometry failed: {e}"),
-            (Ok(_), Some(Ok(report))) => report
-                .matched
-                .map(str::to_owned)
-                .unwrap_or_else(|| "UNDOCUMENTED".to_owned()),
-            (Ok(_), Some(Err(e))) => format!("rejected: {e}"),
+            (Ok(_), Some(report)) => match &report.outcome {
+                Ok(finding) => finding
+                    .matched()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| "UNDOCUMENTED".to_owned()),
+                Err(e) => format!("rejected: {e}"),
+            },
             (Ok(_), None) => "geometry only".to_owned(),
         }
     }
@@ -72,12 +77,23 @@ impl fmt::Display for MachineSurvey {
     }
 }
 
-/// Reverse engineer every cache level of `cpu`.
+/// Reverse engineer every cache level of `cpu` with the classic strict
+/// permutation engine — the paper's original campaign shape.
+pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode) -> MachineSurvey {
+    survey_with_engine(cpu, config, mode, &PermutationEngine::strict())
+}
+
+/// Reverse engineer every cache level of `cpu` through `engine`.
 ///
 /// Levels are measured independently (each gets a fresh oracle); a
 /// failing level does not stop the survey — rejections are results, not
 /// errors (see [`InferenceError`]).
-pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode) -> MachineSurvey {
+pub fn survey_with_engine(
+    cpu: &mut VirtualCpu,
+    config: &InferenceConfig,
+    mode: MeasureMode,
+    engine: &dyn InferenceEngine,
+) -> MachineSurvey {
     let mut levels = vec![CacheLevel::L1, CacheLevel::L2];
     if cpu.l3_config().is_some() {
         levels.push(CacheLevel::L3);
@@ -92,7 +108,7 @@ pub fn survey(cpu: &mut VirtualCpu, config: &InferenceConfig, mode: MeasureMode)
             let policy = geometry
                 .as_ref()
                 .ok()
-                .map(|g| infer_policy(&mut oracle, g, config));
+                .map(|g| engine.infer(&mut oracle, &InferenceRequest::new(*g, config.clone())));
             LevelSurvey {
                 level,
                 geometry,
@@ -122,12 +138,24 @@ pub fn survey_fleet(
     mode: MeasureMode,
     jobs: Option<usize>,
 ) -> Vec<MachineSurvey> {
+    survey_fleet_with_engine(cpus, config, mode, jobs, &PermutationEngine::strict())
+}
+
+/// [`survey_fleet`] through an explicit engine (shared read-only across
+/// the workers).
+pub fn survey_fleet_with_engine(
+    cpus: Vec<VirtualCpu>,
+    config: &InferenceConfig,
+    mode: MeasureMode,
+    jobs: Option<usize>,
+    engine: &(dyn InferenceEngine + Sync),
+) -> Vec<MachineSurvey> {
     let jobs = cachekit_sim::parallel::effective_jobs(jobs);
     let cells: Vec<std::sync::Mutex<VirtualCpu>> =
         cpus.into_iter().map(std::sync::Mutex::new).collect();
     cachekit_sim::parallel::par_map(&cells, jobs, |cell| {
         let mut cpu = cell.lock().expect("exactly one worker per machine");
-        survey(&mut cpu, config, mode)
+        survey_with_engine(&mut cpu, config, mode, engine)
     })
 }
 

@@ -68,6 +68,18 @@ pub fn mystery_rand() -> VirtualCpu {
         .build()
 }
 
+/// Intel Quark X1000 stand-in: 16 KiB 4-way L1, 128 KiB 8-way L2.
+/// Hidden policies: **NRU** (L1) and **SRRIP-2** (L2) — both outside
+/// the permutation class, so only the automata engine can name them
+/// (the permutation pipeline correctly rejects both levels).
+pub fn quark_x1000() -> VirtualCpu {
+    VirtualCpu::builder("quark_x1000")
+        .l1(cfg(16 * 1024, 4), PolicyKind::Nru)
+        .l2(cfg(128 * 1024, 8), PolicyKind::Srrip { bits: 2 })
+        .seed(0x1000)
+        .build()
+}
+
 /// A Nehalem-era three-level machine: 32 KiB 8-way L1, 256 KiB 8-way L2,
 /// 8 MiB 16-way L3, all tree-PLRU. Exercises the chained L1+L2 defeat of
 /// the L3 oracle ("Table 4" of the reproduction).
@@ -115,6 +127,7 @@ pub fn names() -> &'static [&'static str] {
         "core2_e6750",
         "core2_e8400",
         "mystery_rand",
+        "quark_x1000",
         "nehalem_3level",
         "sliced_llc",
     ]
@@ -128,6 +141,7 @@ pub fn by_name(name: &str) -> Option<VirtualCpu> {
         "core2_e6750" => Some(core2_e6750()),
         "core2_e8400" => Some(core2_e8400()),
         "mystery_rand" => Some(mystery_rand()),
+        "quark_x1000" => Some(quark_x1000()),
         "nehalem_3level" => Some(nehalem_3level()),
         "sliced_llc" => Some(sliced_llc()),
         _ => None,
@@ -156,15 +170,14 @@ pub fn with_noise(name: &str, noise: NoiseModel, seed: u64) -> Option<VirtualCpu
     Some(builder.build())
 }
 
-/// Map a policy label back to its kind (fleet policies only).
+/// Map a policy label back to its kind. Labels round-trip through
+/// [`PolicyKind::parse_label`] uniformly, so new fleet policies need no
+/// edit here; the one exception is `Random`, whose label drops the seed
+/// (the fleet's negative control keeps its documented one).
 fn hidden_kind(label: &str) -> Option<PolicyKind> {
     match label {
-        "LRU" => Some(PolicyKind::Lru),
-        "FIFO" => Some(PolicyKind::Fifo),
-        "PLRU" => Some(PolicyKind::TreePlru),
-        "LazyLRU" => Some(PolicyKind::LazyLru),
         "Random" => Some(PolicyKind::Random { seed: 0x777 }),
-        _ => None,
+        _ => PolicyKind::parse_label(label),
     }
 }
 

@@ -51,7 +51,9 @@ mod prefetch;
 mod tlb;
 mod vcpu;
 
-pub use campaign::{survey, survey_fleet, LevelSurvey, MachineSurvey};
+pub use campaign::{
+    survey, survey_fleet, survey_fleet_with_engine, survey_with_engine, LevelSurvey, MachineSurvey,
+};
 pub use fault::{FaultInjected, FaultKind, FaultRates, Faults};
 pub use latency::LatencyModel;
 pub use noise::NoiseModel;

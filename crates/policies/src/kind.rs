@@ -2,7 +2,7 @@
 
 use crate::rng::mix64;
 use crate::{
-    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyState, RandomPolicy,
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyState, Qlru, RandomPolicy,
     ReplacementPolicy, Slru, Srrip, TreePlru,
 };
 
@@ -61,6 +61,11 @@ pub enum PolicyKind {
         /// Reciprocal of the long-insertion probability.
         throttle: u32,
     },
+    /// Quad-age LRU with the given insertion age.
+    Qlru {
+        /// Age a fresh line is installed at (0..=3).
+        insert: u8,
+    },
     /// Uniform random replacement.
     Random {
         /// Base RNG seed (mixed with the per-set salt).
@@ -96,6 +101,7 @@ impl PolicyKind {
                 PolicyState::Bip(Box::new(Bip::new(assoc, throttle, mix64(0xb1b0, salt))))
             }
             PolicyKind::Srrip { bits } => PolicyState::Srrip(Srrip::new(assoc, bits)),
+            PolicyKind::Qlru { insert } => PolicyState::Qlru(Qlru::new(assoc, insert)),
             PolicyKind::Brrip { bits, throttle } => PolicyState::Brrip(Box::new(Brrip::new(
                 assoc,
                 bits,
@@ -142,6 +148,9 @@ impl PolicyKind {
                 "SLRU protected segment {protected} must be below the associativity {assoc} \
                  (at least one probationary position is required)"
             )),
+            PolicyKind::Qlru { insert } if insert > 3 => Err(format!(
+                "QLRU insertion age {insert} outside 0..=3 (the ages are 2-bit counters)"
+            )),
             _ => Ok(()),
         }
     }
@@ -160,6 +169,7 @@ impl PolicyKind {
             PolicyKind::Slru { protected } => format!("SLRU-{protected}"),
             PolicyKind::Bip { throttle } => format!("BIP-1/{throttle}"),
             PolicyKind::Srrip { bits } => format!("SRRIP-{bits}"),
+            PolicyKind::Qlru { insert } => format!("QLRU-{insert}"),
             PolicyKind::Brrip { bits, throttle } => format!("BRRIP-{bits}-1/{throttle}"),
             PolicyKind::Random { .. } => "Random".into(),
             PolicyKind::LazyLru => "LazyLRU".into(),
@@ -214,18 +224,32 @@ impl PolicyKind {
         kinds
     }
 
+    /// Deterministic kinds the permutation-vector formalism cannot
+    /// express (their hit updates depend on more than the relative
+    /// access order) — the hidden-policy battery only the automata
+    /// inference engine can name.
+    pub fn non_permutation_kinds() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::BitPlru,
+            PolicyKind::Nru,
+            PolicyKind::Clock,
+            PolicyKind::Srrip { bits: 2 },
+            PolicyKind::Qlru { insert: 1 },
+        ]
+    }
+
     /// Parse a policy name back into a kind — the inverse of
     /// [`label`](Self::label), shared by the CLI and the serving
     /// protocol so both accept the same spellings.
     ///
     /// Accepts the canonical labels (`"SLRU-2"`, `"BIP-1/32"`,
-    /// `"SRRIP-2"`, `"BRRIP-2-1/32"`), case-insensitively, plus the
-    /// plain aliases `PLRU`/`TREEPLRU`, `BITPLRU`/`MRU`, and bare
-    /// `BIP`/`BRRIP`/`SRRIP` (default parameters: throttle 32, 2 RRPV
-    /// bits). `"Random"` carries no seed in its label, so it parses to
-    /// the evaluation seed `0x5eed`; every kind in
-    /// [`differential_kinds`](Self::differential_kinds) round-trips
-    /// through `label` → `parse_label` exactly.
+    /// `"SRRIP-2"`, `"QLRU-1"`, `"BRRIP-2-1/32"`), case-insensitively,
+    /// plus the plain aliases `PLRU`/`TREEPLRU`, `BITPLRU`/`MRU`, and
+    /// bare `BIP`/`BRRIP`/`SRRIP`/`QLRU` (default parameters: throttle
+    /// 32, 2 RRPV bits, insertion age 1). `"Random"` carries no seed in
+    /// its label, so it parses to the evaluation seed `0x5eed`; every
+    /// kind in [`differential_kinds`](Self::differential_kinds)
+    /// round-trips through `label` → `parse_label` exactly.
     pub fn parse_label(name: &str) -> Option<PolicyKind> {
         let upper = name.trim().to_ascii_uppercase();
         let parsed = match upper.as_str() {
@@ -238,6 +262,7 @@ impl PolicyKind {
             "LIP" => PolicyKind::Lip,
             "BIP" => PolicyKind::Bip { throttle: 32 },
             "SRRIP" => PolicyKind::Srrip { bits: 2 },
+            "QLRU" => PolicyKind::Qlru { insert: 1 },
             "BRRIP" => PolicyKind::Brrip {
                 bits: 2,
                 throttle: 32,
@@ -256,6 +281,9 @@ impl PolicyKind {
                     (1..=7)
                         .contains(&bits)
                         .then_some(PolicyKind::Srrip { bits })?
+                } else if let Some(rest) = upper.strip_prefix("QLRU-") {
+                    let insert: u8 = rest.parse().ok()?;
+                    (insert <= 3).then_some(PolicyKind::Qlru { insert })?
                 } else if let Some(rest) = upper.strip_prefix("BRRIP-") {
                     let (bits, throttle) = rest.split_once("-1/")?;
                     let bits: u8 = bits.parse().ok()?;
@@ -349,6 +377,19 @@ mod tests {
             Some(PolicyKind::Slru { protected: 3 })
         );
         assert_eq!(
+            PolicyKind::parse_label("qlru"),
+            Some(PolicyKind::Qlru { insert: 1 })
+        );
+        assert_eq!(
+            PolicyKind::parse_label("QLRU-0"),
+            Some(PolicyKind::Qlru { insert: 0 })
+        );
+        assert_eq!(
+            PolicyKind::parse_label("QLRU-4"),
+            None,
+            "insertion age out of range"
+        );
+        assert_eq!(
             PolicyKind::parse_label("SRRIP-9"),
             None,
             "bits out of range"
@@ -380,6 +421,15 @@ mod tests {
         let eval = PolicyKind::evaluation_kinds();
         for k in PolicyKind::deterministic_kinds() {
             assert!(eval.contains(&k));
+        }
+    }
+
+    #[test]
+    fn non_permutation_kinds_are_deterministic_and_round_trip() {
+        for kind in PolicyKind::non_permutation_kinds() {
+            assert!(kind.is_deterministic(), "kind {kind:?}");
+            assert_eq!(PolicyKind::parse_label(&kind.label()), Some(kind));
+            assert!(kind.validate_for_assoc(4).is_ok());
         }
     }
 }

@@ -45,6 +45,7 @@ mod lazy_lru;
 mod lip;
 mod lru;
 mod nru;
+mod qlru;
 mod random;
 mod slru;
 mod srrip;
@@ -61,6 +62,7 @@ pub use lazy_lru::LazyLru;
 pub use lip::Lip;
 pub use lru::Lru;
 pub use nru::Nru;
+pub use qlru::Qlru;
 pub use random::RandomPolicy;
 pub use slru::Slru;
 pub use srrip::{Brrip, Srrip};

@@ -14,7 +14,7 @@
 //! object with identical behaviour.
 
 use crate::{
-    Bip, BitPlru, Clock, Fifo, LazyLru, Lip, Lru, Nru, RandomPolicy, ReplacementPolicy, Slru,
+    Bip, BitPlru, Clock, Fifo, LazyLru, Lip, Lru, Nru, Qlru, RandomPolicy, ReplacementPolicy, Slru,
     TreePlru,
 };
 use crate::{Brrip, Srrip};
@@ -54,6 +54,8 @@ pub enum PolicyState {
     Bip(Box<Bip>),
     /// Static RRIP.
     Srrip(Srrip),
+    /// Quad-age LRU.
+    Qlru(Qlru),
     /// Bimodal RRIP (boxed, like [`PolicyState::Bip`]).
     Brrip(Box<Brrip>),
     /// Uniform random replacement (boxed, like [`PolicyState::Bip`]).
@@ -80,6 +82,7 @@ macro_rules! dispatch {
             PolicyState::Slru($p) => $e,
             PolicyState::Bip($p) => $e,
             PolicyState::Srrip($p) => $e,
+            PolicyState::Qlru($p) => $e,
             PolicyState::Brrip($p) => $e,
             PolicyState::Random($p) => $e,
             PolicyState::LazyLru($p) => $e,
@@ -114,6 +117,7 @@ impl PolicyState {
             PolicyState::Slru(_) => "SLRU",
             PolicyState::Bip(_) => "BIP",
             PolicyState::Srrip(_) => "SRRIP",
+            PolicyState::Qlru(_) => "QLRU",
             PolicyState::Brrip(_) => "BRRIP",
             PolicyState::Random(_) => "Random",
             PolicyState::LazyLru(_) => "LazyLRU",
@@ -142,6 +146,7 @@ impl PolicyState {
             PolicyState::Slru(p) => visitor.visit(p),
             PolicyState::Bip(p) => visitor.visit(&mut **p),
             PolicyState::Srrip(p) => visitor.visit(p),
+            PolicyState::Qlru(p) => visitor.visit(p),
             PolicyState::Brrip(p) => visitor.visit(&mut **p),
             PolicyState::Random(p) => visitor.visit(&mut **p),
             PolicyState::LazyLru(p) => visitor.visit(p),
@@ -222,7 +227,7 @@ macro_rules! from_concrete {
     };
 }
 
-from_concrete!(Lru, Fifo, TreePlru, BitPlru, Nru, Clock, Lip, Slru, Srrip, LazyLru,);
+from_concrete!(Lru, Fifo, TreePlru, BitPlru, Nru, Clock, Lip, Slru, Srrip, Qlru, LazyLru,);
 
 impl From<Bip> for PolicyState {
     fn from(p: Bip) -> Self {

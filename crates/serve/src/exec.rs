@@ -18,7 +18,7 @@
 use crate::proto::{DistancesRequest, InferRequest, Request, SimulateRequest, WorkloadsRequest};
 use cachekit_bench::json::Json;
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
-use cachekit_core::infer::{infer_geometry, infer_policy_robust};
+use cachekit_core::infer::{engine_by_name, infer_geometry, Finding, InferenceRequest};
 use cachekit_core::perm::{derive_permutation_spec, table_for_kind, TablePolicy};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use cachekit_sim::{Cache, CacheConfig};
@@ -84,17 +84,24 @@ fn run_infer(req: &InferRequest) -> Json {
     if matches!(level, CacheLevel::L3) && cpu.l3_config().is_none() {
         return error_body("infer", format!("{} has no L3", req.cpu));
     }
+    let engine =
+        engine_by_name(&req.engine).expect("proto validation admits only known engine names");
     let mut oracle = LevelOracle::new(&mut cpu, level);
     let geometry = match infer_geometry(&mut oracle, &config) {
         Ok(g) => g,
         Err(e) => return error_body("infer", format!("geometry inference failed: {e}")),
     };
-    let result = infer_policy_robust(&mut oracle, &geometry, &config);
+    let report = engine.infer(&mut oracle, &InferenceRequest::new(geometry, config));
 
     let mut fields = vec![
         ("type", Json::from("infer")),
-        ("ok", Json::from(result.outcome.is_ok())),
-        ("degraded", Json::from(result.degraded)),
+        ("ok", Json::from(report.outcome.is_ok())),
+        ("degraded", Json::from(report.degraded)),
+        // `engine` echoes the request's (canonicalized) choice;
+        // `backend` is the engine that produced the verdict — they
+        // differ only under `auto` fallback.
+        ("engine", Json::from(req.engine.as_str())),
+        ("backend", Json::from(report.engine)),
         (
             "geometry",
             Json::object(vec![
@@ -104,34 +111,58 @@ fn run_infer(req: &InferRequest) -> Json {
                 ("num_sets", Json::from(geometry.num_sets)),
             ]),
         ),
-        ("confidence", Json::Num(result.confidence)),
+        ("confidence", Json::Num(report.confidence)),
         (
             "position_confidences",
-            Json::from(result.position_confidences.clone()),
+            Json::from(report.position_confidences.clone()),
         ),
-        ("measurements_used", Json::from(result.measurements_used)),
-        ("measurement_budget", Json::from(result.measurement_budget)),
-        ("timeouts", Json::from(result.timeouts)),
-        ("dropped", Json::from(result.dropped)),
+        ("measurements_used", Json::from(report.measurements_used)),
+        ("measurement_budget", Json::from(report.measurement_budget)),
+        ("timeouts", Json::from(report.timeouts)),
+        ("dropped", Json::from(report.dropped)),
     ];
-    match &result.outcome {
-        Ok(report) => {
+    match &report.outcome {
+        Ok(Finding::Permutation(found)) => {
             fields.push((
                 "policy",
-                match report.matched {
+                match found.matched {
                     Some(name) => Json::from(name),
                     None => Json::Null,
                 },
             ));
-            fields.push(("insertion_position", Json::from(report.insertion_position)));
+            fields.push(("insertion_position", Json::from(found.insertion_position)));
             fields.push((
                 "validation",
                 Json::object(vec![
-                    ("rounds", Json::from(report.validation_rounds)),
-                    ("mismatches", Json::from(report.validation_mismatches)),
+                    ("rounds", Json::from(found.validation_rounds)),
+                    ("mismatches", Json::from(found.validation_mismatches)),
                 ]),
             ));
-            fields.push(("spec", Json::from(report.spec.render())));
+            fields.push(("spec", Json::from(found.spec.render())));
+        }
+        Ok(Finding::Automaton(found)) => {
+            fields.push((
+                "policy",
+                match &found.matched {
+                    Some(name) => Json::from(name.as_str()),
+                    None => Json::Null,
+                },
+            ));
+            fields.push(("states", Json::from(found.states())));
+            fields.push((
+                "learning",
+                Json::object(vec![
+                    (
+                        "membership_queries",
+                        Json::from(found.stats.membership_queries),
+                    ),
+                    (
+                        "equivalence_words",
+                        Json::from(found.stats.equivalence_words),
+                    ),
+                    ("rounds", Json::from(found.stats.rounds)),
+                ]),
+            ));
         }
         Err(e) => fields.push(("error", Json::from(e.to_string()))),
     }
@@ -257,6 +288,28 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"ok\":true"), "body: {a}");
         assert!(a.contains("\"policy\":"), "body: {a}");
+    }
+
+    #[test]
+    fn infer_serves_the_automata_engine_for_hidden_nru() {
+        // quark_x1000's L1 hides NRU — outside the permutation class,
+        // so only the automata engine can name it.
+        let req = parse(r#"{"type":"infer","cpu":"quark_x1000","level":"l1","engine":"automata"}"#);
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"ok\":true"), "body: {body}");
+        assert!(body.contains("\"engine\":\"automata\""), "body: {body}");
+        assert!(body.contains("\"backend\":\"automata\""), "body: {body}");
+        assert!(body.contains("\"policy\":\"NRU\""), "body: {body}");
+        assert!(body.contains("\"states\":"), "body: {body}");
+        assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+    }
+
+    #[test]
+    fn infer_echoes_the_permutation_engine_and_backend() {
+        let req = parse(r#"{"type":"infer","cpu":"atom_d525","level":"l1"}"#);
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"engine\":\"permutation\""), "body: {body}");
+        assert!(body.contains("\"backend\":\"permutation\""), "body: {body}");
     }
 
     #[test]

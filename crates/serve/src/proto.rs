@@ -16,7 +16,7 @@
 //! changes the canonical bytes and therefore the key.
 
 use cachekit_bench::json::Json;
-use cachekit_core::infer::{ConfigError, InferenceConfig, ReadoutSearch};
+use cachekit_core::infer::{engine_names, ConfigError, InferenceConfig, ReadoutSearch};
 use cachekit_policies::PolicyKind;
 
 /// Largest capacity (bytes) a `simulate` request may ask for; keeps one
@@ -62,6 +62,9 @@ pub struct InferRequest {
     pub seed: u64,
     /// Read-out search strategy.
     pub readout: ReadoutSearch,
+    /// Inference engine: `"permutation"` (default), `"automata"`, or
+    /// `"auto"`.
+    pub engine: String,
 }
 
 /// Parameters of a `simulate` request.
@@ -257,6 +260,17 @@ impl InferRequest {
             None => ReadoutSearch::default(),
             Some(s) => s.parse::<ReadoutSearch>().map_err(bad)?,
         };
+        // Elided engine canonicalizes to "permutation": pre-engine
+        // request bodies keep their exact canonical form and cache key.
+        let engine = field_str(obj, "engine")?
+            .unwrap_or("permutation")
+            .to_ascii_lowercase();
+        if !engine_names().contains(&engine.as_str()) {
+            return Err(bad(format!(
+                "unknown engine {engine:?} (expected {})",
+                engine_names().join(", ")
+            )));
+        }
         let parsed = Self {
             cpu,
             level,
@@ -266,6 +280,7 @@ impl InferRequest {
             min_confidence,
             seed,
             readout,
+            engine,
         };
         parsed.inference_config()?; // builder-validate the tuning knobs
         Ok(parsed)
@@ -296,6 +311,7 @@ impl InferRequest {
             ("min_confidence", Json::Num(self.min_confidence)),
             ("seed", Json::from(self.seed)),
             ("readout", Json::from(self.readout.to_string())),
+            ("engine", Json::from(self.engine.as_str())),
         ])
     }
 }
@@ -458,10 +474,46 @@ mod tests {
             r#"{"type":"infer","cpu":"atom_d525","seed":1}"#,
             r#"{"type":"infer","cpu":"atom_d525","budget":1000}"#,
             r#"{"type":"infer","cpu":"atom_d525","readout":"linear"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","engine":"automata"}"#,
+            r#"{"type":"infer","cpu":"atom_d525","engine":"auto"}"#,
         ] {
             let other = Request::parse(variant).unwrap();
             assert_ne!(base.cache_key(), other.cache_key(), "variant {variant}");
         }
+    }
+
+    #[test]
+    fn legacy_bodies_canonicalize_to_the_explicit_permutation_engine() {
+        // Requests written before the engine field existed must keep
+        // their cache identity: an elided engine and an explicit
+        // "permutation" are the same request, byte for byte.
+        let legacy = Request::parse(r#"{"type":"infer","cpu":"atom_d525","level":"l2"}"#).unwrap();
+        let explicit = Request::parse(
+            r#"{"type":"infer","cpu":"atom_d525","level":"l2","engine":"permutation"}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy, explicit);
+        assert_eq!(legacy.canonical_json(), explicit.canonical_json());
+        assert_eq!(legacy.cache_key(), explicit.cache_key());
+        assert!(
+            legacy
+                .canonical_json()
+                .contains(r#""engine":"permutation""#),
+            "canonical form spells the default out: {}",
+            legacy.canonical_json()
+        );
+    }
+
+    #[test]
+    fn engine_names_are_case_insensitive_and_unknown_ones_are_rejected() {
+        let upper =
+            Request::parse(r#"{"type":"infer","cpu":"atom_d525","engine":"AUTOMATA"}"#).unwrap();
+        let lower =
+            Request::parse(r#"{"type":"infer","cpu":"atom_d525","engine":"automata"}"#).unwrap();
+        assert_eq!(upper.cache_key(), lower.cache_key());
+        let err =
+            Request::parse(r#"{"type":"infer","cpu":"atom_d525","engine":"quantum"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! (set `CACHEKIT_TRACE=1` to watch the span tree live on stderr)
 
 use cachekit::core::infer::{
-    infer_geometry, infer_policy, CacheOracleExt, Counting, InferenceConfig, SimOracle,
+    infer_geometry, CacheOracleExt, Counting, InferenceConfig, InferenceEngine, InferenceRequest,
+    PermutationEngine, SimOracle,
 };
 use cachekit::policies::PolicyKind;
 use cachekit::sim::{Cache, CacheConfig};
@@ -25,8 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut oracle = SimOracle::new(cache).layer(Counting);
 
     let geometry = infer_geometry(&mut oracle, &config)?;
-    let report = infer_policy(&mut oracle, &geometry, &config)?;
-    println!("inferred: {}", report.summary());
+    let report =
+        PermutationEngine::strict().infer(&mut oracle, &InferenceRequest::new(geometry, config));
+    println!("inferred: {}", report.outcome?.summary());
     println!(
         "local layer counters: {} measurements, {} accesses\n",
         oracle.measurements(),

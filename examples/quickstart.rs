@@ -3,7 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig, SimOracle};
+use cachekit::core::infer::{
+    infer_geometry, InferenceConfig, InferenceEngine, InferenceRequest, PermutationEngine,
+    SimOracle,
+};
 use cachekit::policies::PolicyKind;
 use cachekit::sim::{Cache, CacheConfig};
 use cachekit::trace::gen;
@@ -29,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut oracle = SimOracle::new(Cache::new(config, PolicyKind::TreePlru));
     let infer_config = InferenceConfig::default();
     let geometry = infer_geometry(&mut oracle, &infer_config)?;
-    let report = infer_policy(&mut oracle, &geometry, &infer_config)?;
-    println!("\nReverse engineered: {}", report.summary());
+    let report = PermutationEngine::strict()
+        .infer(&mut oracle, &InferenceRequest::new(geometry, infer_config));
+    let finding = report.outcome?;
+    println!("\nReverse engineered: {}", finding.summary());
     Ok(())
 }

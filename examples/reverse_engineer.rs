@@ -1,13 +1,17 @@
 //! Reverse engineer a virtual CPU end to end, exactly as the paper does
 //! with the physical machines: geometry first, then the replacement
-//! policy of each cache level, printing the permutation vectors.
+//! policy of each cache level through the auto engine — the permutation
+//! pipeline answers what it can, and policies outside the permutation
+//! class fall back to the automata learner.
 //!
 //! Run with: `cargo run --release --example reverse_engineer [cpu]`
 //! where `[cpu]` is one of `atom_d525`, `core2_e6300`, `core2_e6750`,
-//! `core2_e8400`, `mystery_rand`, `nehalem_3level`, `sliced_llc`
-//! (default: `atom_d525`).
+//! `core2_e8400`, `mystery_rand`, `quark_x1000`, `nehalem_3level`,
+//! `sliced_llc` (default: `atom_d525`).
 
-use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
+use cachekit::core::infer::{
+    infer_geometry, AutoEngine, InferenceConfig, InferenceEngine, InferenceRequest,
+};
 use cachekit::hw::{fleet, CacheLevel, LevelOracle};
 
 fn main() {
@@ -17,7 +21,7 @@ fn main() {
     let Some(mut cpu) = fleet::by_name(&name) else {
         eprintln!(
             "unknown CPU {name:?}; try atom_d525 / core2_e6300 / core2_e6750 / \
-core2_e8400 / mystery_rand / nehalem_3level / sliced_llc"
+core2_e8400 / mystery_rand / quark_x1000 / nehalem_3level / sliced_llc"
         );
         std::process::exit(1);
     };
@@ -28,15 +32,18 @@ core2_e8400 / mystery_rand / nehalem_3level / sliced_llc"
     if cpu.l3_config().is_some() {
         levels.push(CacheLevel::L3);
     }
+    let engine = AutoEngine::default();
     for level in levels {
         println!("\n--- {level:?} ---");
         let mut oracle = LevelOracle::new(&mut cpu, level);
         match infer_geometry(&mut oracle, &config) {
             Ok(geometry) => {
                 println!("geometry: {geometry}");
-                match infer_policy(&mut oracle, &geometry, &config) {
-                    Ok(report) => println!("{}", report.summary()),
-                    Err(e) => println!("policy inference rejected: {e}"),
+                let request = InferenceRequest::new(geometry, config.clone());
+                let report = engine.infer(&mut oracle, &request);
+                match &report.outcome {
+                    Ok(finding) => println!("[{}] {}", report.engine, finding.summary()),
+                    Err(e) => println!("[{}] policy inference rejected: {e}", report.engine),
                 }
             }
             Err(e) => println!("geometry inference failed: {e}"),

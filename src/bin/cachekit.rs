@@ -5,7 +5,7 @@
 //! ```text
 //! cachekit simulate  --policy PLRU --capacity 262144 --assoc 8 --workload zipf_hot
 //! cachekit simulate  --policy LRU  --capacity 65536  --assoc 8 --trace t.txt --writes 0.2
-//! cachekit infer     --cpu atom_d525 [--level l2] [--reps 3] [--timing]
+//! cachekit infer     --cpu atom_d525 [--level l2] [--engine automata] [--reps 3] [--timing]
 //! cachekit query     "A B C A? B?" --policy FIFO --assoc 4
 //! cachekit distances --policy PLRU --assoc 8
 //! cachekit workloads --capacity 262144 --out traces/
@@ -13,7 +13,9 @@
 //! ```
 
 use cachekit::core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
-use cachekit::core::infer::{infer_geometry, infer_policy, mapping, InferenceConfig};
+use cachekit::core::infer::{
+    engine_by_name, engine_names, infer_geometry, mapping, InferenceConfig, InferenceRequest,
+};
 use cachekit::core::perm::derive_permutation_spec;
 use cachekit::core::query::Query;
 use cachekit::hw::{fleet, CacheLevel, LevelOracle, MeasureMode};
@@ -60,7 +62,8 @@ fn usage() {
          commands:\n\
          \x20 simulate  --policy NAME --capacity BYTES --assoc N [--line 64]\n\
          \x20           (--workload NAME | --trace FILE) [--writes FRACTION] [--seed N]\n\
-         \x20 infer     --cpu NAME [--level l1|l2|l3] [--reps N] [--timing]\n\
+         \x20 infer     --cpu NAME [--level l1|l2|l3] [--engine permutation|automata|auto]\n\
+         \x20           [--reps N] [--timing]\n\
          \x20 query     \"A B C A?\" (--policy NAME --assoc N | --cpu NAME [--level lX])\n\
          \x20 distances --policy NAME --assoc N\n\
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
@@ -70,7 +73,7 @@ fn usage() {
          \x20 bench     access-throughput [--smoke]\n\n\
          policies: LRU FIFO PLRU BitPLRU NRU CLOCK LIP BIP SRRIP BRRIP Random LazyLRU\n\
          cpus: atom_d525 core2_e6300 core2_e6750 core2_e8400 mystery_rand\n\
-         \x20     nehalem_3level sliced_llc"
+         \x20     quark_x1000 nehalem_3level sliced_llc"
     );
 }
 
@@ -177,6 +180,13 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         return Err(format!("{name} has no L3"));
     }
     let reps = parse_u64(&flags, "reps", Some(3))? as usize;
+    let engine_name = flags.get("engine").map_or("permutation", String::as_str);
+    let engine = engine_by_name(engine_name).ok_or_else(|| {
+        format!(
+            "unknown engine {engine_name:?} (expected {})",
+            engine_names().join(", ")
+        )
+    })?;
     let config = InferenceConfig::builder()
         .repetitions(reps)
         .build()
@@ -187,9 +197,10 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     }
     let geometry = infer_geometry(&mut oracle, &config).map_err(|e| e.to_string())?;
     println!("geometry: {geometry}");
-    match infer_policy(&mut oracle, &geometry, &config) {
-        Ok(report) => println!("{}", report.summary()),
-        Err(e) => println!("policy inference rejected: {e}"),
+    let report = engine.infer(&mut oracle, &InferenceRequest::new(geometry, config));
+    match &report.outcome {
+        Ok(finding) => println!("[{}] {}", report.engine, finding.summary()),
+        Err(e) => println!("[{}] policy inference rejected: {e}", report.engine),
     }
     Ok(())
 }

@@ -32,14 +32,18 @@
 //!
 //! ```
 //! use cachekit::hw::{fleet, CacheLevel, LevelOracle};
-//! use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
+//! use cachekit::core::infer::{
+//!     infer_geometry, AutoEngine, InferenceConfig, InferenceEngine, InferenceRequest,
+//! };
 //!
 //! let mut cpu = fleet::core2_e6300();
 //! let mut oracle = LevelOracle::new(&mut cpu, CacheLevel::L2);
 //! let cfg = InferenceConfig::default();
 //! let geometry = infer_geometry(&mut oracle, &cfg)?;
-//! let report = infer_policy(&mut oracle, &geometry, &cfg)?;
-//! println!("{}", report.summary());
+//! // The auto engine runs the paper's permutation pipeline and falls
+//! // back to the automata learner for policies outside its class.
+//! let report = AutoEngine::default().infer(&mut oracle, &InferenceRequest::new(geometry, cfg));
+//! println!("{}", report.outcome?.summary());
 //! # Ok::<(), cachekit::core::infer::InferenceError>(())
 //! ```
 

@@ -75,6 +75,31 @@ fn infer_identifies_the_atom_l1() {
 }
 
 #[test]
+fn infer_engine_flag_picks_the_backend() {
+    // `auto` answers permutation-class policies with the cheap engine
+    // and reports which backend produced the verdict.
+    let (ok, out, err) = run(&[
+        "infer",
+        "--cpu",
+        "atom_d525",
+        "--level",
+        "l1",
+        "--engine",
+        "auto",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("[permutation]"), "out: {out}");
+    assert!(out.contains("policy = LRU"), "out: {out}");
+}
+
+#[test]
+fn infer_rejects_unknown_engines() {
+    let (ok, _, err) = run(&["infer", "--cpu", "atom_d525", "--engine", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown engine"), "stderr: {err}");
+}
+
+#[test]
 fn query_runs_against_a_policy() {
     let (ok, out, _) = run(&["query", "A B C A? B?", "--policy", "LRU", "--assoc", "2"]);
     assert!(ok);

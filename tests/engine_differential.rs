@@ -12,7 +12,7 @@ use cachekit::core::perm::{catalog_for, table_for_kind, PermTable, PermutationPo
 use cachekit::policies::conformance::{assert_conformance, assert_state_key_soundness};
 use cachekit::policies::rng::{mix64, Prng};
 use cachekit::policies::{
-    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, PolicyState,
+    Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, PolicyState, Qlru,
     RandomPolicy, ReplacementPolicy, Slru, Srrip, TreePlru,
 };
 use cachekit::sim::{AccessOutcome, CacheSet};
@@ -75,6 +75,7 @@ fn boxed_policy(kind: PolicyKind, assoc: usize, salt: u64) -> Box<dyn Replacemen
         }
         PolicyKind::Random { seed } => Box::new(RandomPolicy::new(assoc, mix64(seed, salt))),
         PolicyKind::LazyLru => Box::new(LazyLru::new(assoc)),
+        PolicyKind::Qlru { insert } => Box::new(Qlru::new(assoc, insert)),
     }
 }
 

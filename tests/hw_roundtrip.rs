@@ -3,6 +3,13 @@
 //! flusher machinery in play) and check that the blind inference recovers
 //! exactly the hidden spec.
 
+// The deprecated free-function entry points (`infer_policy` & friends)
+// stay in-tree until the next breaking release; this suite deliberately
+// keeps calling them so their exact semantics — which the engine
+// wrappers must preserve — stay pinned. New code goes through
+// `InferenceEngine` (see `docs/automata.md`).
+#![allow(deprecated)]
+
 use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig};
 use cachekit::core::perm::{Permutation, PermutationPolicy, PermutationSpec};
 use cachekit::hw::{CacheLevel, LevelOracle, VirtualCpu};

@@ -1,6 +1,13 @@
 //! End-to-end reverse engineering against the virtual hardware: from a
 //! black-box oracle to geometry and policy, exactly the paper's pipeline.
 
+// The deprecated free-function entry points (`infer_policy` & friends)
+// stay in-tree until the next breaking release; this suite deliberately
+// keeps calling them so their exact semantics — which the engine
+// wrappers must preserve — stay pinned. New code goes through
+// `InferenceEngine` (see `docs/automata.md`).
+#![allow(deprecated)]
+
 use cachekit::core::infer::{infer_geometry, infer_policy, InferenceConfig, InferenceError};
 use cachekit::hw::{fleet, CacheLevel, LevelOracle, MeasureMode, VirtualCpu};
 use cachekit::policies::PolicyKind;

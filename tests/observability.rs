@@ -3,6 +3,13 @@
 //! balanced even when pool workers panic, and the log2 histograms land
 //! every value in exactly the documented bucket.
 
+// The deprecated free-function entry points (`infer_policy` & friends)
+// stay in-tree until the next breaking release; this suite deliberately
+// keeps calling them so their exact semantics — which the engine
+// wrappers must preserve — stay pinned. New code goes through
+// `InferenceEngine` (see `docs/automata.md`).
+#![allow(deprecated)]
+
 use cachekit::core::infer::{infer_policy, Geometry, InferenceConfig, SimOracle};
 use cachekit::policies::PolicyKind;
 use cachekit::sim::{par_map, Cache, CacheConfig};

@@ -41,7 +41,7 @@ fn elided_defaults_equal_explicit_defaults() {
             r#"{"type":"infer","cpu":"atom_d525"}"#,
             r#"{"type":"infer","cpu":"atom_d525","level":"l1","repetitions":3,
                 "max_repetitions":12,"budget":null,"min_confidence":0.6666666666666666,
-                "seed":3390155550,"readout":"binary"}"#,
+                "seed":3390155550,"readout":"binary","engine":"permutation"}"#,
         ),
         (
             r#"{"type":"workloads","capacity":262144}"#,
@@ -51,6 +51,29 @@ fn elided_defaults_equal_explicit_defaults() {
     for (elided, explicit) in pairs {
         assert_eq!(key(elided), key(explicit), "pair {elided:?}");
     }
+}
+
+/// Request bodies written before the `engine` field existed must keep
+/// their cache identity: elided engine and explicit `"permutation"`
+/// canonicalize to the same bytes, hence the same key, so a server
+/// upgrade never invalidates a client's cached results.
+#[test]
+fn pre_engine_bodies_hash_identically_to_the_canonicalized_new_form() {
+    let legacy = r#"{"type":"infer","cpu":"core2_e6300","level":"l2","seed":11}"#;
+    let explicit =
+        r#"{"type":"infer","cpu":"core2_e6300","level":"l2","seed":11,"engine":"permutation"}"#;
+    assert_eq!(key(legacy), key(explicit));
+    let canonical = Request::parse(legacy).unwrap().canonical_json();
+    assert_eq!(
+        canonical,
+        Request::parse(explicit).unwrap().canonical_json()
+    );
+    assert!(
+        canonical.contains(r#""engine":"permutation""#),
+        "{canonical}"
+    );
+    // Unknown engines are a 400 at the protocol door, not a worker job.
+    assert!(Request::parse(r#"{"type":"infer","cpu":"atom_d525","engine":"oracle"}"#).is_err());
 }
 
 #[test]
@@ -113,6 +136,11 @@ fn no_collisions_across_the_differential_policy_set() {
         ));
         check(format!(
             r#"{{"type":"workloads","capacity":65536,"seed":{seed}}}"#
+        ));
+    }
+    for engine in ["automata", "auto"] {
+        check(format!(
+            r#"{{"type":"infer","cpu":"quark_x1000","engine":"{engine}"}}"#
         ));
     }
     assert!(
