@@ -44,6 +44,25 @@ run cargo test -q --release --test engine_differential
 # hidden-policy battery the automata backend exists for.
 run cargo test -q --release --test automata_differential
 
+# The adversarial scenario suites at release optimisation: eviction-set
+# soundness *and* minimality against simulator ground truth, and the
+# red-team matrix (adaptive adversaries, confident_wrong == 0, honest
+# budget-drain degradation, layer-composition commutativity).
+run cargo test -q --release --test eviction_sets --test adversarial_inference
+
+# Attack-figure smoke: per-policy eviction sets, stealth scores at 8
+# rounds, and one red-team cell per strategy; the binary itself asserts
+# confident_wrong == 0 and that every met flag holds.
+run cargo run --release -q -p cachekit-bench --bin fig12_attack -- --smoke
+
+# The committed full-run artifact must not record an unmet attack
+# target either.
+echo "==> grep -c '\"met\": false' results/fig12_attack.json"
+if grep -q '"met": false' results/fig12_attack.json; then
+    echo "ci: results/fig12_attack.json records an unmet target" >&2
+    exit 1
+fi
+
 # Cost-table smoke: runs both engines side by side at A in {2, 4} and
 # writes results/table3_cost_smoke.json (the committed full-run record
 # in results/table3_cost.json covers the full associativity ladder).

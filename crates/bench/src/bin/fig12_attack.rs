@@ -1,0 +1,374 @@
+//! **Fig. 12** — the attacker's view of the inferred models: minimal
+//! policy-aware eviction sets, stealth-feasibility scores, and the
+//! red-team verdict that an *adaptive* adversary cannot make either
+//! inference engine confidently wrong.
+//!
+//! Three panels, one artifact:
+//!
+//! * **eviction** — for every deterministic differential kind, the
+//!   minimal eviction sequence constructed from the kind's own model
+//!   (permutation spec or reference machine), verified *sound* (the
+//!   simulator confirms the target is evicted) and *minimal* (dropping
+//!   any access leaves it resident); stochastic kinds must refuse.
+//! * **stealth** — per kind × scenario (hold a victim line resident /
+//!   evicted), the per-round miss cost and hold rate of the cheapest
+//!   interference schedule, `guaranteed` exactly when the policy is
+//!   deterministic (proof-backed plans or an impossibility proof).
+//! * **red team** — engines × adversary strategies: `confident_wrong`
+//!   must be 0 everywhere, and budget-draining timeouts must surface
+//!   as an explicit degraded result.
+//!
+//! Every series row carries a `met` flag; the run aborts (and CI greps
+//! the committed artifact) if any expectation is unmet.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin fig12_attack [-- --smoke]`
+
+use cachekit_bench::{jobj, json::Json, Runner, Table};
+use cachekit_core::attack::{eviction_set_for_kind, stealth_score, AttackError, StealthScenario};
+use cachekit_core::infer::{
+    AutomataEngine, CacheOracle, CacheOracleExt, Geometry, InferenceConfig, InferenceEngine,
+    InferenceError, InferenceReport, InferenceRequest, PermutationEngine, SimOracle,
+};
+use cachekit_hw::{Adversary, AdversaryStrategy};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{Cache, CacheConfig};
+
+const SEED: u64 = 0xF12;
+/// Confidence bar a result must clear to count as a confident answer.
+const CONFIDENCE_BAR: f64 = 0.75;
+/// The stealth scorer's per-round miss budget used for the headline
+/// `feasible` flag — a victim noticing more than this many self-misses
+/// per observation round would spot the attack.
+const MISS_BUDGET: f64 = 4.0;
+/// 4-way, 16-set target throughout: the geometry every differential
+/// suite pins.
+const ASSOC: usize = 4;
+const STRIDE: u64 = 16 * 64;
+
+fn oracle_for(kind: PolicyKind) -> SimOracle {
+    SimOracle::new(Cache::new(
+        CacheConfig::new((ASSOC * 16 * 64) as u64, ASSOC, 64).expect("valid"),
+        kind,
+    ))
+}
+
+fn geometry() -> Geometry {
+    Geometry {
+        line_size: 64,
+        capacity: (ASSOC * 16 * 64) as u64,
+        associativity: ASSOC,
+        num_sets: 16,
+    }
+}
+
+fn request_for(seed: u64, budget: u64) -> InferenceRequest {
+    let config = InferenceConfig::builder()
+        .repetitions(3)
+        .max_repetitions(24)
+        .measurement_budget(budget)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    InferenceRequest::new(geometry(), config)
+}
+
+/// Collapse a result into the outcome class compared across channels.
+fn outcome_class(result: &InferenceReport) -> String {
+    match &result.outcome {
+        Ok(finding) => finding
+            .matched()
+            .map_or("undocumented".to_owned(), str::to_owned),
+        Err(InferenceError::NotFrontInsertion { position }) => {
+            format!("not-front-insertion@{position}")
+        }
+        Err(InferenceError::NotAPermutationPolicy { .. })
+        | Err(InferenceError::NotDeterministic { .. })
+        | Err(InferenceError::InconsistentReadout(_)) => "rejected".to_owned(),
+        Err(InferenceError::BudgetExhausted { .. }) => "degraded".to_owned(),
+        Err(_) => "inconsistent".to_owned(),
+    }
+}
+
+fn parse_smoke() -> bool {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("usage: fig12_attack [--smoke]");
+                println!("  --smoke   fewer kinds and rounds, trimmed red-team matrix");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    smoke
+}
+
+fn main() {
+    let smoke = parse_smoke();
+    // Smoke runs (the CI gate) write a separate artifact so they never
+    // clobber the committed full-run figure.
+    let name = if smoke {
+        "fig12_attack_smoke"
+    } else {
+        "fig12_attack"
+    };
+    let mut run = Runner::new(name).with_seed(SEED);
+    let mut table = Table::new(
+        "Fig. 12: attacker-side evaluation (4-way, 16-set target)",
+        &["panel", "policy", "case", "result", "met"],
+    );
+    let mut unmet: Vec<String> = Vec::new();
+
+    let kinds: Vec<PolicyKind> = if smoke {
+        vec![
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::TreePlru,
+            PolicyKind::Bip { throttle: 32 },
+        ]
+    } else {
+        PolicyKind::differential_kinds()
+    };
+    let rounds: usize = if smoke { 8 } else { 32 };
+
+    // ---- Panel 1: eviction sets -------------------------------------
+    let mut eviction_series = Vec::new();
+    for &kind in &kinds {
+        if kind.validate_for_assoc(ASSOC).is_err() {
+            continue;
+        }
+        match eviction_set_for_kind(kind, ASSOC, STRIDE) {
+            Ok(set) => {
+                let mut oracle = oracle_for(kind);
+                let sound = set.confirms_on(&mut oracle);
+                let minimal = (0..set.accesses.len()).all(|drop| {
+                    let mut warmup = set.preparation.clone();
+                    warmup.extend(
+                        set.accesses
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != drop)
+                            .map(|(_, &a)| a),
+                    );
+                    oracle.measure(&warmup, &[set.target]) == 0
+                });
+                let met = sound && minimal;
+                if !met {
+                    unmet.push(format!("eviction/{}", kind.label()));
+                }
+                table.row(vec![
+                    "eviction".to_owned(),
+                    kind.label(),
+                    format!("A={ASSOC}"),
+                    format!("len={} sound={sound} minimal={minimal}", set.len()),
+                    met.to_string(),
+                ]);
+                eviction_series.push(jobj! {
+                    "policy": kind.label(),
+                    "assoc": ASSOC as u64,
+                    "constructed": true,
+                    "length": set.len() as u64,
+                    "sound": sound,
+                    "minimal": minimal,
+                    "met": met
+                });
+            }
+            Err(AttackError::NotDeterministic { .. }) => {
+                // Honest refusal is exactly what a stochastic kind must do.
+                let met = !kind.is_deterministic();
+                if !met {
+                    unmet.push(format!("eviction/{}", kind.label()));
+                }
+                table.row(vec![
+                    "eviction".to_owned(),
+                    kind.label(),
+                    format!("A={ASSOC}"),
+                    "refused (stochastic)".to_owned(),
+                    met.to_string(),
+                ]);
+                eviction_series.push(jobj! {
+                    "policy": kind.label(),
+                    "assoc": ASSOC as u64,
+                    "constructed": false,
+                    "length": 0u64,
+                    "sound": false,
+                    "minimal": false,
+                    "met": met
+                });
+            }
+            Err(e) => panic!("{}: eviction construction failed: {e}", kind.label()),
+        }
+    }
+
+    // ---- Panel 2: stealth feasibility -------------------------------
+    let stealth_grid: Vec<(PolicyKind, StealthScenario)> = kinds
+        .iter()
+        .filter(|k| k.validate_for_assoc(ASSOC).is_ok())
+        .flat_map(|&k| StealthScenario::all().into_iter().map(move |s| (k, s)))
+        .collect();
+    let scores = cachekit_sim::par_map(&stealth_grid, run.jobs(), |&(kind, scenario)| {
+        stealth_score(kind, ASSOC, scenario, rounds, SEED)
+    });
+    let mut stealth_series = Vec::new();
+    for (&(kind, scenario), score) in stealth_grid.iter().zip(&scores) {
+        // A deterministic policy gets a proof-backed verdict (cheapest
+        // plans or an impossibility proof); a stochastic one must
+        // never claim a guarantee.
+        let met = kind.is_deterministic() == score.guaranteed;
+        if !met {
+            unmet.push(format!("stealth/{}/{}", kind.label(), scenario.label()));
+        }
+        table.row(vec![
+            "stealth".to_owned(),
+            kind.label(),
+            scenario.label().to_owned(),
+            format!(
+                "guaranteed={} miss/rd={:.2} hold={:.3}",
+                score.guaranteed, score.misses_per_round, score.hold_rate
+            ),
+            met.to_string(),
+        ]);
+        stealth_series.push(jobj! {
+            "policy": kind.label(),
+            "scenario": scenario.label(),
+            "assoc": ASSOC as u64,
+            "rounds": rounds as u64,
+            "deterministic": kind.is_deterministic(),
+            "guaranteed": score.guaranteed,
+            "hold_rate": score.hold_rate,
+            "misses_per_round": score.misses_per_round,
+            "accesses_per_round": score.accesses_per_round,
+            "feasible": score.feasible_within(MISS_BUDGET),
+            "met": met
+        });
+    }
+
+    // ---- Panel 3: red team ------------------------------------------
+    struct RedCell {
+        engine: &'static str,
+        strategy: AdversaryStrategy,
+        policy: PolicyKind,
+        confident_wrong: u64,
+        degraded: u64,
+        trials: u64,
+    }
+    let mut red_grid: Vec<(&'static str, AdversaryStrategy, PolicyKind)> = Vec::new();
+    let perm_kinds = [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Fifo];
+    let auto_kinds: &[PolicyKind] = if smoke {
+        &[PolicyKind::Lru]
+    } else {
+        &[PolicyKind::Lru, PolicyKind::Nru]
+    };
+    for strategy in AdversaryStrategy::all() {
+        for &kind in &perm_kinds {
+            red_grid.push(("permutation", strategy, kind));
+        }
+        for &kind in auto_kinds {
+            red_grid.push(("automata", strategy, kind));
+        }
+    }
+    let trials: u64 = if smoke { 1 } else { 2 };
+    let red_cells: Vec<RedCell> =
+        cachekit_sim::par_map(&red_grid, run.jobs(), |&(engine_name, strategy, kind)| {
+            let engine: Box<dyn InferenceEngine> = match engine_name {
+                "permutation" => Box::new(PermutationEngine::budgeted()),
+                _ => Box::new(AutomataEngine::default()),
+            };
+            let budget = if engine_name == "permutation" {
+                5_000
+            } else {
+                500_000
+            };
+            let mut clean_oracle = oracle_for(kind);
+            let clean = engine.infer(&mut clean_oracle, &request_for(SEED, budget));
+            let expected = outcome_class(&clean);
+            let mut cell = RedCell {
+                engine: engine_name,
+                strategy,
+                policy: kind,
+                confident_wrong: 0,
+                degraded: 0,
+                trials,
+            };
+            for t in 0..trials {
+                let seed = SEED ^ (t.wrapping_mul(0x9E37_79B9) + 1);
+                let plan = Adversary::new(strategy);
+                let mut oracle = oracle_for(kind).layer(plan);
+                let report = engine.infer(&mut oracle, &request_for(seed, budget));
+                if report.is_confident(CONFIDENCE_BAR) && outcome_class(&report) != expected {
+                    cell.confident_wrong += 1;
+                }
+                if report.degraded {
+                    cell.degraded += 1;
+                }
+            }
+            cell
+        });
+    let mut red_series = Vec::new();
+    let mut total_confident_wrong = 0u64;
+    for cell in &red_cells {
+        // The invariant of the whole kit: no strategy makes an engine
+        // confidently wrong; and a drained budget must be *reported*.
+        let met = cell.confident_wrong == 0
+            && (cell.strategy != AdversaryStrategy::BudgetDrain || cell.degraded == cell.trials);
+        if !met {
+            unmet.push(format!(
+                "red_team/{}/{}/{}",
+                cell.engine,
+                cell.strategy.label(),
+                cell.policy.label()
+            ));
+        }
+        total_confident_wrong += cell.confident_wrong;
+        table.row(vec![
+            "red_team".to_owned(),
+            cell.policy.label(),
+            format!("{}×{}", cell.engine, cell.strategy.label()),
+            format!(
+                "wrong={}/{} degraded={}/{}",
+                cell.confident_wrong, cell.trials, cell.degraded, cell.trials
+            ),
+            met.to_string(),
+        ]);
+        red_series.push(jobj! {
+            "engine": cell.engine,
+            "strategy": cell.strategy.label(),
+            "policy": cell.policy.label(),
+            "trials": cell.trials,
+            "confident_wrong": cell.confident_wrong,
+            "degraded": cell.degraded,
+            "met": met
+        });
+    }
+
+    run.add_cells((eviction_series.len() + stealth_series.len() + red_series.len()) as u64);
+    run.count("confident_wrong", total_confident_wrong);
+    run.count("unmet", unmet.len() as u64);
+
+    run.finish(
+        &table,
+        jobj! {
+            "confidence_bar": CONFIDENCE_BAR,
+            "miss_budget": MISS_BUDGET,
+            "assoc": ASSOC as u64,
+            "rounds": rounds as u64,
+            "smoke": smoke,
+            "eviction": Json::from(eviction_series),
+            "stealth": Json::from(stealth_series),
+            "red_team": Json::from(red_series)
+        },
+    );
+    println!("met: eviction rows must be sound+minimal (stochastic kinds refuse),");
+    println!("stealth guarantees must track determinism, and no adversary strategy");
+    println!("may make an engine confidently wrong (confident_wrong must stay 0).");
+    assert_eq!(
+        total_confident_wrong, 0,
+        "an adversary made an engine confidently wrong"
+    );
+    assert!(unmet.is_empty(), "unmet expectations: {unmet:?}");
+}

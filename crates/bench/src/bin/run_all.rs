@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig9_promotion",
     "fig10_competitive",
     "fig11_robustness",
+    "fig12_attack",
     "ablation_readout",
     "ablation_interference",
     "bench_access",

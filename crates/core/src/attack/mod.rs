@@ -1,0 +1,28 @@
+//! Attacker-side evaluation of inferred replacement policies.
+//!
+//! The paper's reverse-engineering pipeline tells you *what* policy a
+//! cache runs; this module answers *so what*: how cheaply that knowledge
+//! converts into control over a victim line. It has two halves —
+//!
+//! * Eviction-side construction: [`eviction_set_for_spec`] /
+//!   [`eviction_set_for_machine`] plan the provably *minimal* access
+//!   sequence that evicts a target, from either form of engine evidence
+//!   ([`eviction_set_for_finding`]), and [`reduce_candidates`] shrinks a
+//!   black-box candidate superset by group testing.
+//! * Stealth-side scoring: [`stealth_score`] sweeps whether an
+//!   attacker can hold a line resident or evicted round after round with
+//!   bounded self-induced misses — the feasibility number behind
+//!   RELOAD+REFRESH-style low-noise attacks.
+//!
+//! Everything here is simulator-facing and defensive: the numbers feed
+//! `fig12_attack` and `docs/attacks.md` so a defender can rank policies
+//! by how much stealth they concede.
+
+mod evict;
+mod stealth;
+
+pub use evict::{
+    eviction_set_for_finding, eviction_set_for_kind, eviction_set_for_machine,
+    eviction_set_for_spec, reduce_candidates, AttackError, EvictionSet,
+};
+pub use stealth::{stealth_score, StealthScenario, StealthScore};

@@ -310,27 +310,33 @@ impl ObservationTable {
         for p in &self.prefixes {
             rows.push(self.row(src, p)?);
         }
-        'sweep: loop {
-            for i in 0..self.prefixes.len() {
-                for a in 0..self.alphabet as u8 {
-                    let mut ext = self.prefixes[i].clone();
-                    ext.push(a);
-                    let ext_row = self.row(src, &ext)?;
-                    if !rows.contains(&ext_row) {
-                        if self.prefixes.len() >= self.max_states {
-                            return Err(InferenceError::InconsistentReadout(format!(
-                                "the learned machine exceeds the {}-state cap",
-                                self.max_states
-                            )));
-                        }
-                        self.prefixes.push(ext);
-                        rows.push(ext_row);
-                        continue 'sweep;
+        // `rows` only ever grows, so an extension once found closed
+        // stays closed — the sweep resumes past it instead of
+        // restarting from the first prefix (which costs an extra factor
+        // of `S` in row scans on large tables). The membership cache
+        // makes the two traversals issue identical oracle queries in
+        // identical order.
+        let mut i = 0;
+        while i < self.prefixes.len() {
+            let prefix = self.prefixes[i].clone();
+            for a in 0..self.alphabet as u8 {
+                let mut ext = prefix.clone();
+                ext.push(a);
+                let ext_row = self.row(src, &ext)?;
+                if !rows.contains(&ext_row) {
+                    if self.prefixes.len() >= self.max_states {
+                        return Err(InferenceError::InconsistentReadout(format!(
+                            "the learned machine exceeds the {}-state cap",
+                            self.max_states
+                        )));
                     }
+                    self.prefixes.push(ext);
+                    rows.push(ext_row);
                 }
             }
-            return Ok(rows);
+            i += 1;
         }
+        Ok(rows)
     }
 
     /// Add every nonempty suffix of a counterexample to `E`, keeping `E`

@@ -134,7 +134,12 @@ impl AutomatonReport {
 /// battery finds unstable answers (random replacement lands here),
 /// [`BudgetExhausted`](InferenceError::BudgetExhausted) on a dry budget,
 /// and [`InconsistentReadout`](InferenceError::InconsistentReadout) when
-/// no hypothesis survives within the round limit.
+/// no hypothesis survives within the round limit — or when the
+/// observation table outgrows every template of the geometry's library
+/// (twice the largest template's states): no catalog policy minimizes
+/// that large, so unbounded growth means channel randomness slipped
+/// past the battery, and the learner aborts instead of grinding the
+/// budget into a quadratically growing table.
 pub fn infer_automaton<O: CacheOracle>(
     oracle: &mut O,
     geometry: &Geometry,
@@ -170,6 +175,24 @@ pub fn infer_automaton_metered<O: CacheOracle>(
     } else {
         auto.equivalence_max_len
     };
+    // Matching needs the library anyway (memoized process-wide), and
+    // building it first yields the live state cap: no catalog policy at
+    // this geometry minimizes past its largest template, so a table
+    // growing to twice that size is a random channel that slipped the
+    // determinism battery, not a policy — abort early instead of
+    // grinding the whole budget into a quadratically growing table.
+    let library = template_library(
+        geometry.associativity,
+        auto.tracked,
+        auto.max_template_states,
+    );
+    let state_cap = library
+        .iter()
+        .map(|(_, m)| m.states())
+        .max()
+        .unwrap_or(0)
+        .saturating_mul(2)
+        .max(1024);
     let outcome = (|| {
         learn::determinism_battery(&mut mem, auto.battery_words, auto.battery_repeats, &mut rng)?;
         learn::learn_machine(
@@ -177,17 +200,12 @@ pub fn infer_automaton_metered<O: CacheOracle>(
             auto.equivalence_queries,
             max_len,
             auto.max_rounds,
-            usize::MAX,
+            state_cap,
             &mut rng,
         )
     })();
     let stats = mem.stats;
     let result = outcome.map(|machine| {
-        let library = template_library(
-            geometry.associativity,
-            auto.tracked,
-            auto.max_template_states,
-        );
         let matched = match_template(&machine, &library);
         AutomatonReport {
             geometry: *geometry,

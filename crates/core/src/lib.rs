@@ -31,6 +31,12 @@
 //!   enumeration and the predictability measures (*evict* and *minimal
 //!   life span*) used to compare the discovered policies.
 //!
+//! * [`attack`] — attacker-side evaluation of the inferred models:
+//!   minimal policy-aware eviction-set construction (from permutation
+//!   specs or learned machines, plus a group-testing reduction for
+//!   black-box candidate sets) and stealth-feasibility scoring — how
+//!   cheaply an attacker can hold a victim line resident or evicted.
+//!
 //! ## Example: derive PLRU's permutation vectors
 //!
 //! ```
@@ -46,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod attack;
 pub mod automata;
 pub mod infer;
 pub mod perm;

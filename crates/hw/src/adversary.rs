@@ -1,0 +1,425 @@
+//! An adaptive red-team adversary for the oracle path.
+//!
+//! Where [`Faults`](crate::Faults) replays a *blind* seeded schedule,
+//! [`Adversary`] is an [`OracleLayer`] that **watches the query stream**
+//! and chooses its interference to hurt: it fingerprints every
+//! measurement (warmup + probe), counts repeats per fingerprint, and
+//! targets exactly the queries the inference pipeline leans on. Three
+//! strategies cover the ways a co-resident attacker could try to make
+//! inference *confidently wrong* rather than merely noisy:
+//!
+//! * [`AdversaryStrategy::MirrorPattern`] — mirror the pattern under
+//!   test: inject spurious misses into repeats of the currently
+//!   hottest query signature, so the corruption lands precisely where
+//!   the pipeline is concentrating its repetitions;
+//! * [`AdversaryStrategy::FlipPivotal`] — flip the pivotal readout:
+//!   corrupt the *first* repeats of every signature by exactly one
+//!   miss, attacking the initial vote before escalation widens it;
+//! * [`AdversaryStrategy::BudgetDrain`] — let a warm window of
+//!   attempts through, then time out every one, forcing a budgeted
+//!   campaign to exhaust and report an honest degraded result.
+//!
+//! The decisions are adaptive but **deterministic**: they are a pure
+//! function of the observed attempt stream, so the same campaign
+//! replays the same interference, clones replay from index 0, and
+//! [`Adversary::restricted_to`] suppresses *action* (never
+//! observation) outside a chosen index subset — the handle delta
+//! debugging shrinks over, exactly like
+//! [`Faults::restricted_to`](crate::Faults::restricted_to).
+//!
+//! Every attempt is forwarded to the inner oracle before the reading
+//! is corrupted or discarded, so per-index layers stacked in either
+//! order see identical attempt streams (see the commutativity test).
+
+use std::collections::HashMap;
+
+use cachekit_core::infer::{CacheOracle, MeasureFault, OracleLayer};
+
+/// How the adversary spends its interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversaryStrategy {
+    /// Inject a spurious extra miss into repeats of the hottest query
+    /// signature — corruption concentrated where the pipeline is
+    /// looking hardest.
+    MirrorPattern,
+    /// Corrupt the first repeats of every signature by exactly one
+    /// miss, so the initial majority vote starts out wrong and only
+    /// escalation can recover the truth.
+    FlipPivotal,
+    /// After a warm window of clean attempts, time out everything:
+    /// the campaign must degrade honestly instead of guessing.
+    BudgetDrain,
+}
+
+impl AdversaryStrategy {
+    /// Every strategy, in red-team matrix order.
+    pub const fn all() -> [Self; 3] {
+        [Self::MirrorPattern, Self::FlipPivotal, Self::BudgetDrain]
+    }
+
+    /// Stable snake_case name (artifact and log keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::MirrorPattern => "mirror_pattern",
+            Self::FlipPivotal => "flip_pivotal",
+            Self::BudgetDrain => "budget_drain",
+        }
+    }
+}
+
+impl std::fmt::Display for AdversaryStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Layer marker describing an adaptive interference plan; applying it
+/// via [`CacheOracleExt::layer`](cachekit_core::infer::CacheOracleExt)
+/// produces an [`AdaptiveAdversary`] oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adversary {
+    strategy: AdversaryStrategy,
+    warm_window: u64,
+    /// When set, the adversary *acts* only at these attempt indices
+    /// (sorted); it still observes everywhere — the shrinking
+    /// harness's handle.
+    only: Option<Vec<u64>>,
+}
+
+impl Adversary {
+    /// Default number of attempts [`AdversaryStrategy::BudgetDrain`]
+    /// lets through before the timeout wall.
+    pub const DEFAULT_WARM_WINDOW: u64 = 32;
+
+    /// An adversary running `strategy` with the default warm window.
+    pub fn new(strategy: AdversaryStrategy) -> Self {
+        Self {
+            strategy,
+            warm_window: Self::DEFAULT_WARM_WINDOW,
+            only: None,
+        }
+    }
+
+    /// Set the number of attempts let through before
+    /// [`AdversaryStrategy::BudgetDrain`] starts timing out.
+    pub fn warm_window(mut self, attempts: u64) -> Self {
+        self.warm_window = attempts;
+        self
+    }
+
+    /// Restrict *action* to `indices` (attempt indices, 0-based):
+    /// everywhere else the adversary observes but stays silent. The
+    /// actions that remain are decided from the same observation
+    /// stream — the subset operation delta debugging shrinks over.
+    pub fn restricted_to(mut self, mut indices: Vec<u64>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        self.only = Some(indices);
+        self
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> AdversaryStrategy {
+        self.strategy
+    }
+
+    fn allowed(&self, index: u64) -> bool {
+        self.only
+            .as_ref()
+            .is_none_or(|only| only.binary_search(&index).is_ok())
+    }
+}
+
+impl<O: CacheOracle> OracleLayer<O> for Adversary {
+    type Output = AdaptiveAdversary<O>;
+    fn layer(self, inner: O) -> AdaptiveAdversary<O> {
+        AdaptiveAdversary::new(inner, self)
+    }
+}
+
+/// FNV-1a over the measurement operands: the adversary's query
+/// fingerprint. Collisions only make the adversary slightly less
+/// targeted, never unsound.
+fn signature(warmup: &[u64], probe: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(warmup.len() as u64);
+    warmup.iter().for_each(|&a| mix(a));
+    probe.iter().for_each(|&a| mix(a));
+    h
+}
+
+/// Decorator applying an [`Adversary`] plan to an inner oracle.
+///
+/// Clones replay the interference from index 0 with fresh observation
+/// state, like [`FaultInjected`](crate::FaultInjected) clones.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAdversary<O> {
+    inner: O,
+    plan: Adversary,
+    index: u64,
+    /// Repeats seen per query fingerprint.
+    counts: HashMap<u64, u64>,
+    /// The highest repeat count of any fingerprint so far.
+    hot_count: u64,
+    /// Attempt indices where the adversary actually interfered.
+    acted: Vec<u64>,
+}
+
+impl<O: CacheOracle> AdaptiveAdversary<O> {
+    /// Wrap `inner` under `plan`, starting at index 0 with no
+    /// observations.
+    pub fn new(inner: O, plan: Adversary) -> Self {
+        Self {
+            inner,
+            plan,
+            index: 0,
+            counts: HashMap::new(),
+            hot_count: 0,
+            acted: Vec::new(),
+        }
+    }
+
+    /// The plan.
+    pub fn plan(&self) -> &Adversary {
+        &self.plan
+    }
+
+    /// The next attempt index (== attempts observed so far).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Attempt indices where interference was applied — the initial
+    /// search space for delta debugging a violation.
+    pub fn acted(&self) -> &[u64] {
+        &self.acted
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: CacheOracle> CacheOracle for AdaptiveAdversary<O> {
+    fn measure(&mut self, warmup: &[u64], probe: &[u64]) -> usize {
+        // Legacy single-shot path: lost readings flatten to 0 misses,
+        // the same misbehaviour `FaultInjected` pins.
+        self.try_measure(warmup, probe).unwrap_or(0)
+    }
+
+    fn try_measure(&mut self, warmup: &[u64], probe: &[u64]) -> Result<usize, MeasureFault> {
+        let index = self.index;
+        self.index += 1;
+        // Observe unconditionally: restriction silences the hand, not
+        // the eyes, so a restricted replay decides from the same
+        // per-signature history as the unrestricted run.
+        let sig = signature(warmup, probe);
+        let seen = *self.counts.entry(sig).and_modify(|c| *c += 1).or_insert(1) - 1;
+        self.hot_count = self.hot_count.max(seen + 1);
+        let hottest = seen + 1 == self.hot_count;
+        // Always forward: the experiment runs and the inner oracle's
+        // per-attempt state advances whatever happens to the reading,
+        // so per-index layers compose in either stacking order.
+        let reading = self.inner.try_measure(warmup, probe);
+        if !self.plan.allowed(index) {
+            return reading;
+        }
+        match self.plan.strategy {
+            AdversaryStrategy::BudgetDrain => {
+                if index >= self.plan.warm_window {
+                    cachekit_obs::add("adversary.timeouts", 1);
+                    self.acted.push(index);
+                    return Err(MeasureFault::Timeout);
+                }
+                reading
+            }
+            AdversaryStrategy::MirrorPattern => {
+                // A quarter of the repeats of the hottest signature
+                // pick up one spurious miss.
+                if let Ok(count) = reading {
+                    if hottest && seen % 4 == 3 && count < probe.len() {
+                        cachekit_obs::add("adversary.mirrored", 1);
+                        self.acted.push(index);
+                        return Ok(count + 1);
+                    }
+                }
+                reading
+            }
+            AdversaryStrategy::FlipPivotal => {
+                // The first two of every five repeats of a signature
+                // are off by one: the opening vote reads 2-1 wrong.
+                if let Ok(count) = reading {
+                    if seen % 5 < 2 {
+                        cachekit_obs::add("adversary.flips", 1);
+                        self.acted.push(index);
+                        return Ok(if count < probe.len() {
+                            count + 1
+                        } else {
+                            count.saturating_sub(1)
+                        });
+                    }
+                }
+                reading
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Faults;
+    use cachekit_core::infer::{CacheOracleExt, SimOracle};
+    use cachekit_policies::PolicyKind;
+    use cachekit_sim::{Cache, CacheConfig};
+
+    fn oracle() -> SimOracle {
+        SimOracle::new(Cache::new(
+            CacheConfig::new(4096, 4, 64).unwrap(),
+            PolicyKind::Lru,
+        ))
+    }
+
+    /// A drive stream with repeated signatures (every 4th attempt
+    /// reuses query 0) so the adaptive strategies have a hot pattern
+    /// to latch onto.
+    fn drive<O: CacheOracle>(o: &mut O, n: u64) -> Vec<Result<usize, MeasureFault>> {
+        (0..n)
+            .map(|i| {
+                let q = i % 4;
+                o.try_measure(&[q * 1024], &[q * 1024, (q + 1) * 1024])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_drain_times_out_after_the_warm_window() {
+        let plan = Adversary::new(AdversaryStrategy::BudgetDrain).warm_window(8);
+        let mut o = oracle().layer(plan);
+        let stream = drive(&mut o, 20);
+        assert!(
+            stream[..8].iter().all(Result::is_ok),
+            "warm window is clean"
+        );
+        assert!(
+            stream[8..].iter().all(|r| *r == Err(MeasureFault::Timeout)),
+            "everything after the window times out"
+        );
+        assert_eq!(o.acted(), (8..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn flip_pivotal_corrupts_the_first_repeats_by_exactly_one() {
+        let mut plain = oracle();
+        let mut adv = oracle().layer(Adversary::new(AdversaryStrategy::FlipPivotal));
+        let truth = drive(&mut plain, 40);
+        let seen = drive(&mut adv, 40);
+        for (i, (t, s)) in truth.iter().zip(&seen).enumerate() {
+            let (t, s) = (t.unwrap(), s.unwrap());
+            let corrupted = adv.acted().contains(&(i as u64));
+            if corrupted {
+                assert_eq!((t as i64 - s as i64).abs(), 1, "attempt {i}: off by one");
+            } else {
+                assert_eq!(t, s, "attempt {i}: untouched");
+            }
+        }
+        // Each of the 4 signatures repeats 10 times; 2 of every 5
+        // repeats are hit.
+        assert_eq!(adv.acted().len(), 16);
+    }
+
+    #[test]
+    fn mirror_pattern_targets_only_the_hottest_signature() {
+        let mut adv = oracle().layer(Adversary::new(AdversaryStrategy::MirrorPattern));
+        // Queries 0..4 round-robin: they stay tied for hottest, and a
+        // quarter of the repeats of whichever is at the front of the
+        // tie pick up one spurious miss.
+        let stream = drive(&mut adv, 64);
+        assert!(stream.iter().all(Result::is_ok));
+        assert!(!adv.acted().is_empty(), "a hot pattern must draw fire");
+        let mut plain = oracle();
+        let truth = drive(&mut plain, 64);
+        for (i, (t, s)) in truth.iter().zip(&stream).enumerate() {
+            let delta = s.unwrap() as i64 - t.unwrap() as i64;
+            if adv.acted().contains(&(i as u64)) {
+                assert_eq!(delta, 1, "attempt {i}: one spurious miss");
+            } else {
+                assert_eq!(delta, 0, "attempt {i}: untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_clones_replay_from_zero() {
+        for strategy in AdversaryStrategy::all() {
+            let mut a = oracle().layer(Adversary::new(strategy));
+            let b = a.clone();
+            let first = drive(&mut a, 100);
+            let mut b = b;
+            assert_eq!(first, drive(&mut b, 100), "{strategy}: clone diverged");
+            assert_eq!(a.acted(), b.acted(), "{strategy}: action log diverged");
+        }
+    }
+
+    #[test]
+    fn restriction_silences_action_but_not_observation() {
+        let mut full = oracle().layer(Adversary::new(AdversaryStrategy::FlipPivotal));
+        let _ = drive(&mut full, 60);
+        let keep: Vec<u64> = full.acted().iter().copied().take(3).collect();
+        assert!(!keep.is_empty());
+        let mut restricted = oracle()
+            .layer(Adversary::new(AdversaryStrategy::FlipPivotal).restricted_to(keep.clone()));
+        let _ = drive(&mut restricted, 60);
+        // The surviving actions are the chosen subset, unchanged: the
+        // observation stream (and hence every decision) is identical.
+        assert_eq!(restricted.acted(), keep);
+    }
+
+    /// The regression the always-forward discipline exists for:
+    /// stacking a restricted fault schedule and the adversary in
+    /// either order yields bit-identical attempt streams, because
+    /// every layer forwards every attempt to its inner oracle before
+    /// discarding the reading.
+    #[test]
+    fn fault_and_adversary_layers_commute_with_restriction() {
+        let faults = Faults::from_seed(0xC0)
+            .timeouts(0.15)
+            .drops(0.1)
+            .restricted_to((0..120).step_by(3).collect());
+        let adversary = Adversary::new(AdversaryStrategy::BudgetDrain).warm_window(10);
+        let mut fault_outer = oracle().layer(adversary.clone()).layer(faults.clone());
+        let mut adversary_outer = oracle().layer(faults).layer(adversary);
+        let a = drive(&mut fault_outer, 120);
+        let b = drive(&mut adversary_outer, 120);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            // Both layers fault at some indices; whichever is outer
+            // wins the error report, but a *successful* reading — the
+            // only thing inference consumes — must be identical, and
+            // success/failure must agree.
+            assert_eq!(x.is_ok(), y.is_ok(), "attempt {i}: success diverged");
+            if x.is_ok() {
+                assert_eq!(x, y, "attempt {i}: reading diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        let labels: Vec<&str> = AdversaryStrategy::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["mirror_pattern", "flip_pivotal", "budget_drain"]);
+    }
+}

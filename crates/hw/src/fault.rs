@@ -405,12 +405,19 @@ impl<O: CacheOracle> CacheOracle for FaultInjected<O> {
         self.index += 1;
         match self.plan.fault_at(index) {
             None => self.inner.try_measure(warmup, probe),
+            // A timed-out or dropped *readout* still ran the experiment:
+            // the attempt must reach the inner oracle (and burn its
+            // per-attempt state) before the reading is discarded, or
+            // stacked per-index layers would see different attempt
+            // streams depending on stacking order.
             Some(FaultKind::Timeout) => {
                 cachekit_obs::add("fault.timeouts", 1);
+                let _ = self.inner.try_measure(warmup, probe);
                 Err(MeasureFault::Timeout)
             }
             Some(FaultKind::Dropped) => {
                 cachekit_obs::add("fault.drops", 1);
+                let _ = self.inner.try_measure(warmup, probe);
                 Err(MeasureFault::Dropped)
             }
             Some(kind) => {

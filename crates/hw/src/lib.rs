@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 pub mod campaign;
 mod fault;
 pub mod fleet;
@@ -51,6 +52,7 @@ mod prefetch;
 mod tlb;
 mod vcpu;
 
+pub use adversary::{AdaptiveAdversary, Adversary, AdversaryStrategy};
 pub use campaign::{
     survey, survey_fleet, survey_fleet_with_engine, survey_with_engine, LevelSurvey, MachineSurvey,
 };

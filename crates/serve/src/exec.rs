@@ -15,9 +15,13 @@
 //! return stored bytes and still be indistinguishable from a cold
 //! execution (asserted by the backpressure test suite).
 
-use crate::proto::{DistancesRequest, InferRequest, Request, SimulateRequest, WorkloadsRequest};
+use crate::proto::{
+    AttackScoreRequest, DistancesRequest, EvictionSetRequest, InferRequest, Request,
+    SimulateRequest, WorkloadsRequest,
+};
 use cachekit_bench::json::Json;
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
+use cachekit_core::attack::{eviction_set_for_kind, stealth_score};
 use cachekit_core::infer::{engine_by_name, infer_geometry, Finding, InferenceRequest};
 use cachekit_core::perm::{derive_permutation_spec, table_for_kind, TablePolicy};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
@@ -52,6 +56,8 @@ impl Executor for PipelineExecutor {
             Request::Simulate(r) => run_simulate(r),
             Request::Distances(r) => run_distances(r),
             Request::Workloads(r) => run_workloads(r),
+            Request::EvictionSet(r) => run_eviction_set(r),
+            Request::AttackScore(r) => run_attack_score(r),
         }
     }
 }
@@ -269,6 +275,60 @@ fn run_workloads(req: &WorkloadsRequest) -> Json {
         ("capacity", Json::from(req.capacity)),
         ("line", Json::from(req.line)),
         ("workloads", Json::Arr(entries)),
+    ])
+}
+
+/// Congruence stride the eviction-set bodies are rendered with: the
+/// way size of the 16-set, 64-byte-line reference geometry every
+/// attack suite pins. The construction is stride-generic (addresses
+/// only need to be set-congruent); the body states the stride so a
+/// client can re-target it.
+const ATTACK_STRIDE: u64 = 16 * 64;
+
+fn run_eviction_set(req: &EvictionSetRequest) -> Json {
+    let set = match eviction_set_for_kind(req.policy, req.assoc, ATTACK_STRIDE) {
+        Ok(set) => set,
+        // A stochastic policy (or one with no derivable model) refuses
+        // honestly; the refusal is a valid, cacheable answer.
+        Err(e) => return error_body("eviction_set", e.to_string()),
+    };
+    // Confirm against the reference simulator before serving: the body
+    // never claims a sequence the ground truth does not certify.
+    let config = CacheConfig::new((req.assoc * 16 * 64) as u64, req.assoc, 64)
+        .expect("reference geometry is valid");
+    let mut oracle = cachekit_core::infer::SimOracle::new(Cache::new(config, req.policy));
+    let confirmed = set.confirms_on(&mut oracle);
+    Json::object(vec![
+        ("type", Json::from("eviction_set")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("policy", Json::from(req.policy.label())),
+        ("assoc", Json::from(req.assoc)),
+        ("stride", Json::from(ATTACK_STRIDE)),
+        ("target", Json::from(set.target)),
+        ("preparation", Json::from(set.preparation.clone())),
+        ("accesses", Json::from(set.accesses.clone())),
+        ("length", Json::from(set.len())),
+        ("attacker_misses", Json::from(set.attacker_misses)),
+        ("attacker_hits", Json::from(set.attacker_hits)),
+        ("confirmed", Json::from(confirmed)),
+    ])
+}
+
+fn run_attack_score(req: &AttackScoreRequest) -> Json {
+    let score = stealth_score(req.policy, req.assoc, req.scenario, req.rounds, req.seed);
+    Json::object(vec![
+        ("type", Json::from("attack_score")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("policy", Json::from(req.policy.label())),
+        ("assoc", Json::from(req.assoc)),
+        ("scenario", Json::from(req.scenario.label())),
+        ("rounds", Json::from(score.rounds)),
+        ("guaranteed", Json::from(score.guaranteed)),
+        ("hold_rate", Json::Num(score.hold_rate)),
+        ("misses_per_round", Json::Num(score.misses_per_round)),
+        ("accesses_per_round", Json::Num(score.accesses_per_round)),
     ])
 }
 

@@ -16,6 +16,7 @@
 //! changes the canonical bytes and therefore the key.
 
 use cachekit_bench::json::Json;
+use cachekit_core::attack::StealthScenario;
 use cachekit_core::infer::{engine_names, ConfigError, InferenceConfig, ReadoutSearch};
 use cachekit_policies::PolicyKind;
 
@@ -26,6 +27,16 @@ pub const MAX_SIMULATE_CAPACITY: u64 = 16 * 1024 * 1024;
 /// Largest associativity a `distances` request may ask for; the
 /// reachable-state search grows quickly with the way count.
 pub const MAX_DISTANCE_ASSOC: usize = 24;
+
+/// Largest associativity an `eviction_set` request may ask for —
+/// the same ceiling as `distances` (the machine-backed constructors
+/// search a reachable-state space of the same shape).
+pub const MAX_ATTACK_ASSOC: usize = 24;
+
+/// Largest round count an `attack_score` request may ask for; each
+/// round is a bounded cheapest-turn search, so this caps one request's
+/// compute.
+pub const MAX_ATTACK_ROUNDS: usize = 256;
 
 /// A validated query, ready for execution and canonicalization.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +51,12 @@ pub enum Request {
     Distances(DistancesRequest),
     /// List the synthetic workload suite for a geometry.
     Workloads(WorkloadsRequest),
+    /// Construct a minimal policy-aware eviction set from the policy's
+    /// own model (permutation spec or reference machine).
+    EvictionSet(EvictionSetRequest),
+    /// Score the stealth feasibility of holding a victim line resident
+    /// or evicted under the policy.
+    AttackScore(AttackScoreRequest),
 }
 
 /// Parameters of an `infer` request (defaults match
@@ -103,6 +120,33 @@ pub struct WorkloadsRequest {
     /// Line size in bytes.
     pub line: u64,
     /// Generator seed.
+    pub seed: u64,
+}
+
+/// Parameters of an `eviction_set` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictionSetRequest {
+    /// Replacement policy (canonical label). Stochastic kinds parse —
+    /// the *refusal* (no bounded sequence is guaranteed to evict) is a
+    /// pipeline outcome, rendered as a cacheable error body.
+    pub policy: PolicyKind,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+/// Parameters of an `attack_score` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackScoreRequest {
+    /// Replacement policy (canonical label); stochastic kinds score
+    /// empirically (`guaranteed: false`).
+    pub policy: PolicyKind,
+    /// Associativity.
+    pub assoc: usize,
+    /// Scenario: hold the victim line resident or evicted.
+    pub scenario: StealthScenario,
+    /// Observation rounds scored.
+    pub rounds: usize,
+    /// Seed for the empirical (stochastic-policy) rounds.
     pub seed: u64,
 }
 
@@ -185,9 +229,11 @@ impl Request {
             "simulate" => Ok(Request::Simulate(SimulateRequest::from_json(json)?)),
             "distances" => Ok(Request::Distances(DistancesRequest::from_json(json)?)),
             "workloads" => Ok(Request::Workloads(WorkloadsRequest::from_json(json)?)),
+            "eviction_set" => Ok(Request::EvictionSet(EvictionSetRequest::from_json(json)?)),
+            "attack_score" => Ok(Request::AttackScore(AttackScoreRequest::from_json(json)?)),
             other => Err(bad(format!(
-                "unknown request type {other:?} \
-                 (expected infer, simulate, distances, or workloads)"
+                "unknown request type {other:?} (expected infer, simulate, \
+                 distances, workloads, eviction_set, or attack_score)"
             ))),
         }
     }
@@ -206,6 +252,8 @@ impl Request {
             Request::Simulate(r) => r.to_json(),
             Request::Distances(r) => r.to_json(),
             Request::Workloads(r) => r.to_json(),
+            Request::EvictionSet(r) => r.to_json(),
+            Request::AttackScore(r) => r.to_json(),
         }
     }
 
@@ -222,6 +270,8 @@ impl Request {
             Request::Simulate(_) => "simulate",
             Request::Distances(_) => "distances",
             Request::Workloads(_) => "workloads",
+            Request::EvictionSet(_) => "eviction_set",
+            Request::AttackScore(_) => "attack_score",
         }
     }
 }
@@ -430,6 +480,83 @@ impl WorkloadsRequest {
             ("type", Json::from("workloads")),
             ("capacity", Json::from(self.capacity)),
             ("line", Json::from(self.line)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+impl EvictionSetRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let policy = parse_policy(obj)?;
+        let assoc = field_usize(obj, "assoc", 0)?;
+        if assoc == 0 {
+            return Err(bad("missing or zero field \"assoc\""));
+        }
+        if assoc > MAX_ATTACK_ASSOC {
+            return Err(bad(format!(
+                "assoc {assoc} exceeds the serving cap of {MAX_ATTACK_ASSOC}"
+            )));
+        }
+        policy.validate_for_assoc(assoc).map_err(bad)?;
+        Ok(Self { policy, assoc })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("eviction_set")),
+            ("policy", Json::from(self.policy.label())),
+            ("assoc", Json::from(self.assoc)),
+        ])
+    }
+}
+
+impl AttackScoreRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let policy = parse_policy(obj)?;
+        let assoc = field_usize(obj, "assoc", 0)?;
+        if assoc == 0 {
+            return Err(bad("missing or zero field \"assoc\""));
+        }
+        if assoc > MAX_ATTACK_ASSOC {
+            return Err(bad(format!(
+                "assoc {assoc} exceeds the serving cap of {MAX_ATTACK_ASSOC}"
+            )));
+        }
+        policy.validate_for_assoc(assoc).map_err(bad)?;
+        // Aliases ("resident"/"evicted") canonicalize to the full
+        // label, so they share a cache entry with the spelled-out form.
+        let scenario = match field_str(obj, "scenario")? {
+            None => return Err(bad("missing field \"scenario\"")),
+            Some(s) => {
+                StealthScenario::parse(s).ok_or_else(|| bad(format!("unknown scenario {s:?}")))?
+            }
+        };
+        let rounds = field_usize(obj, "rounds", 32)?;
+        if rounds == 0 {
+            return Err(bad("field \"rounds\" must be at least 1"));
+        }
+        if rounds > MAX_ATTACK_ROUNDS {
+            return Err(bad(format!(
+                "rounds {rounds} exceeds the serving cap of {MAX_ATTACK_ROUNDS}"
+            )));
+        }
+        let seed = field_u64(obj, "seed", 7)?;
+        Ok(Self {
+            policy,
+            assoc,
+            scenario,
+            rounds,
+            seed,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("type", Json::from("attack_score")),
+            ("policy", Json::from(self.policy.label())),
+            ("assoc", Json::from(self.assoc)),
+            ("scenario", Json::from(self.scenario.label())),
+            ("rounds", Json::from(self.rounds)),
             ("seed", Json::from(self.seed)),
         ])
     }

@@ -8,6 +8,7 @@
 //! cachekit infer     --cpu atom_d525 [--level l2] [--engine automata] [--reps 3] [--timing]
 //! cachekit query     "A B C A? B?" --policy FIFO --assoc 4
 //! cachekit distances --policy PLRU --assoc 8
+//! cachekit attack    --policy PLRU --assoc 8 [--rounds 32] [--seed 7]
 //! cachekit workloads --capacity 262144 --out traces/
 //! cachekit serve     --port 8459 --workers 2 --shards 2
 //! ```
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "infer" => cmd_infer(rest),
         "query" => cmd_query(rest),
         "distances" => cmd_distances(rest),
+        "attack" => cmd_attack(rest),
         "mapping" => cmd_mapping(rest),
         "workloads" => cmd_workloads(rest),
         "serve" => cmd_serve(rest),
@@ -66,6 +68,7 @@ fn usage() {
          \x20           [--reps N] [--timing]\n\
          \x20 query     \"A B C A?\" (--policy NAME --assoc N | --cpu NAME [--level lX])\n\
          \x20 distances --policy NAME --assoc N\n\
+         \x20 attack    --policy NAME --assoc N [--rounds 32] [--seed 7]\n\
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
          \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\
          \x20 serve     [--port 8459] [--host 127.0.0.1] [--workers N] [--shards N]\n\
@@ -258,6 +261,54 @@ fn cmd_distances(args: &[String]) -> Result<(), String> {
         show(evict_distance_spec(&spec, budget)),
         show(minimal_lifespan_spec(&spec, budget)),
     );
+    Ok(())
+}
+
+fn cmd_attack(args: &[String]) -> Result<(), String> {
+    use cachekit::attack::{eviction_set_for_kind, stealth_score, StealthScenario};
+    let (_, flags) = parse(args)?;
+    let kind = parse_policy(flag(&flags, "policy")?)?;
+    let assoc = parse_u64(&flags, "assoc", None)? as usize;
+    kind.validate_for_assoc(assoc)?;
+    let rounds = parse_u64(&flags, "rounds", Some(32))? as usize;
+    let seed = parse_u64(&flags, "seed", Some(7))?;
+    let stride = parse_u64(&flags, "stride", Some(16 * 64))?;
+
+    println!("policy {} at {assoc} ways:", kind.label());
+    match eviction_set_for_kind(kind, assoc, stride) {
+        Ok(set) => {
+            println!(
+                "  eviction set: {} access(es) evict the target \
+                 ({} attacker miss(es), {} hit(s))",
+                set.len(),
+                set.attacker_misses,
+                set.attacker_hits
+            );
+            let fmt = |addrs: &[u64]| {
+                addrs
+                    .iter()
+                    .map(|a| format!("{a:#x}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            println!("  target:      {:#x}", set.target);
+            println!("  preparation: {}", fmt(&set.preparation));
+            println!("  accesses:    {}", fmt(&set.accesses));
+        }
+        Err(e) => println!("  eviction set: refused — {e}"),
+    }
+    for scenario in StealthScenario::all() {
+        let score = stealth_score(kind, assoc, scenario, rounds, seed);
+        println!(
+            "  stealth {}: guaranteed={}, hold_rate={:.3}, \
+             {:.2} miss(es)/round, {:.1} access(es)/round over {rounds} rounds",
+            scenario.label(),
+            score.guaranteed,
+            score.hold_rate,
+            score.misses_per_round,
+            score.accesses_per_round,
+        );
+    }
     Ok(())
 }
 

@@ -24,7 +24,10 @@
 //!   `docs/serving.md`;
 //! * [`mod@bench`] — the experiment harness (result tables, run provenance,
 //!   the engine-throughput benchmark); see `docs/engine.md` for the
-//!   execution-engine architecture it measures.
+//!   execution-engine architecture it measures;
+//! * [`attack`] — the adversarial scenario suite (policy-aware eviction
+//!   sets, stealth-feasibility scoring), re-exported from
+//!   [`core::attack`]; see `docs/attacks.md`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 
 pub use cachekit_bench as bench;
 pub use cachekit_core as core;
+pub use cachekit_core::attack;
 pub use cachekit_hw as hw;
 pub use cachekit_obs as obs;
 pub use cachekit_policies as policies;

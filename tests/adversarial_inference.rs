@@ -1,0 +1,285 @@
+//! Red-team matrix: an *adaptive* adversary — one that watches the
+//! query stream and aims its interference — must never make either
+//! inference engine **confidently wrong**. Corruption may cost budget,
+//! force rejections, or degrade the campaign, but a report that claims
+//! confidence has to agree with the clean channel, and a drained
+//! budget has to surface as an explicit degraded result. On violation
+//! the adversary's action log is delta-debugged to a minimal failing
+//! subset and reported as one replayable line.
+
+mod common;
+
+use cachekit::core::infer::Geometry;
+use cachekit::core::infer::{
+    AutomataEngine, CacheOracle, CacheOracleExt, InferenceConfig, InferenceEngine, InferenceError,
+    InferenceReport, InferenceRequest, PermutationEngine, SimOracle,
+};
+use cachekit::hw::{Adversary, AdversaryStrategy, Faults};
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{Cache, CacheConfig};
+use common::shrink::{replay_line, shrink_indices};
+
+/// Confidence bar above which a result claims a trustworthy answer.
+const CONFIDENCE_BAR: f64 = 0.75;
+
+/// Release builds run the full matrix; debug builds (the tier-1
+/// `cargo test -q` gate) trim seeds and the slower automata kinds —
+/// scaled down, not silently thinned: every engine × strategy cell
+/// still runs. `ci.sh` re-runs the suite at release optimisation.
+const FULL: bool = !cfg!(debug_assertions);
+
+fn oracle_for(kind: PolicyKind, assoc: usize) -> SimOracle {
+    let capacity = (assoc * 16 * 64) as u64; // 16 sets of `assoc` ways
+    SimOracle::new(Cache::new(
+        CacheConfig::new(capacity, assoc, 64).expect("valid"),
+        kind,
+    ))
+}
+
+fn geometry_for(assoc: usize) -> Geometry {
+    Geometry {
+        line_size: 64,
+        capacity: (assoc * 16 * 64) as u64,
+        associativity: assoc,
+        num_sets: 16,
+    }
+}
+
+fn request_for(assoc: usize, seed: u64, budget: Option<u64>) -> InferenceRequest {
+    let mut builder = InferenceConfig::builder()
+        .repetitions(3)
+        .max_repetitions(24)
+        .seed(seed);
+    if let Some(b) = budget {
+        builder = builder.measurement_budget(b);
+    }
+    InferenceRequest::new(geometry_for(assoc), builder.build().expect("valid config"))
+}
+
+/// Same collapse as the fault and automata differential suites: the
+/// label for an identified policy, a structural class otherwise.
+fn outcome_class(report: &InferenceReport) -> String {
+    match &report.outcome {
+        Ok(finding) => finding
+            .matched()
+            .map_or("undocumented".to_owned(), str::to_owned),
+        Err(InferenceError::NotFrontInsertion { .. })
+        | Err(InferenceError::NotAPermutationPolicy { .. })
+        | Err(InferenceError::NotDeterministic { .. })
+        | Err(InferenceError::InconsistentReadout(_)) => "rejected".to_owned(),
+        Err(InferenceError::BudgetExhausted { .. }) => "degraded".to_owned(),
+        Err(_) => "inconsistent".to_owned(),
+    }
+}
+
+/// Run `engine` against `kind` behind `adversary`; returns the report
+/// and the indices where the adversary actually interfered.
+fn run_adversarial(
+    engine: &dyn InferenceEngine,
+    kind: PolicyKind,
+    assoc: usize,
+    adversary: Adversary,
+    seed: u64,
+) -> (InferenceReport, Vec<u64>) {
+    let mut oracle = oracle_for(kind, assoc).layer(adversary);
+    let report = engine.infer(&mut oracle, &request_for(assoc, seed, Some(500_000)));
+    let acted = oracle.acted().to_vec();
+    (report, acted)
+}
+
+/// The engines of the red-team matrix and the kinds each is probed
+/// with: a permutation-class identification, a structural rejection,
+/// and (for the learner) a machine-only kind — the three verdict paths
+/// the adversary could try to swap.
+fn matrix() -> Vec<(&'static str, Box<dyn InferenceEngine>, Vec<PolicyKind>)> {
+    let perm_kinds = vec![
+        PolicyKind::Lru,
+        PolicyKind::TreePlru,
+        PolicyKind::Fifo,
+        PolicyKind::Lip,
+    ];
+    let auto_kinds = if FULL {
+        vec![PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Nru]
+    } else {
+        vec![PolicyKind::Lru, PolicyKind::Nru]
+    };
+    vec![
+        (
+            "permutation",
+            Box::new(PermutationEngine::budgeted()) as Box<dyn InferenceEngine>,
+            perm_kinds,
+        ),
+        ("automata", Box::new(AutomataEngine::default()), auto_kinds),
+    ]
+}
+
+/// The core red-team invariant: across engines × corruption strategies
+/// × seeds, `confident_wrong == 0`. A violation is shrunk over the
+/// adversary's own action log and reported as a replay line.
+#[test]
+fn adaptive_adversaries_never_make_inference_confidently_wrong() {
+    let seeds: &[u64] = if FULL { &[0x5EED, 0xA11CE] } else { &[0x5EED] };
+    for (name, engine, kinds) in matrix() {
+        for kind in kinds {
+            let assoc = 4;
+            // Clean-channel truth for this cell.
+            let mut clean_oracle = oracle_for(kind, assoc);
+            let clean = engine.infer(
+                &mut clean_oracle,
+                &request_for(assoc, 0x5EED, Some(500_000)),
+            );
+            assert!(
+                !clean.degraded,
+                "{name}/{kind:?}: clean run ran the budget dry"
+            );
+            let expected = outcome_class(&clean);
+            for strategy in [
+                AdversaryStrategy::MirrorPattern,
+                AdversaryStrategy::FlipPivotal,
+            ] {
+                for &seed in seeds {
+                    let plan = Adversary::new(strategy);
+                    let (report, acted) =
+                        run_adversarial(engine.as_ref(), kind, assoc, plan.clone(), seed);
+                    let wrong =
+                        report.is_confident(CONFIDENCE_BAR) && outcome_class(&report) != expected;
+                    if wrong {
+                        // Shrink over the interference that actually
+                        // happened; restriction replays deterministically.
+                        let minimal = shrink_indices(&acted, |subset| {
+                            let (r, _) = run_adversarial(
+                                engine.as_ref(),
+                                kind,
+                                assoc,
+                                plan.clone().restricted_to(subset.to_vec()),
+                                seed,
+                            );
+                            r.is_confident(CONFIDENCE_BAR) && outcome_class(&r) != expected
+                        });
+                        panic!(
+                            "{name}/{kind:?} under {strategy}: confident result \
+                             contradicts the clean channel ({} interferences suffice)\n{}",
+                            minimal.len(),
+                            replay_line(seed, &minimal),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Budget-draining timeouts force an *honest* degraded report — never
+/// a panic, never a confident answer conjured from the warm window
+/// alone — on both engines.
+#[test]
+fn budget_drain_degrades_both_engines_honestly() {
+    for (name, engine, kinds) in matrix() {
+        let kind = kinds[0];
+        let plan = Adversary::new(AdversaryStrategy::BudgetDrain).warm_window(32);
+        let mut oracle = oracle_for(kind, 4).layer(plan);
+        let report = engine.infer(&mut oracle, &request_for(4, 0x5EED, Some(5_000)));
+        assert!(!oracle.acted().is_empty(), "{name}: the drain never fired");
+        assert!(report.degraded, "{name}: drained campaign must degrade");
+        assert!(
+            !report.is_confident(CONFIDENCE_BAR),
+            "{name}: a drained campaign cannot claim confidence"
+        );
+        match &report.outcome {
+            Err(InferenceError::BudgetExhausted { used, budget }) => {
+                assert_eq!(*budget, 5_000, "{name}: budget accounting");
+                assert!(used <= budget, "{name}: used {used} > budget {budget}");
+            }
+            other => panic!("{name}: degraded without BudgetExhausted: {other:?}"),
+        }
+    }
+}
+
+/// With the adversary restricted to an empty index set it observes but
+/// never acts: both engines must reproduce their clean verdict exactly
+/// — the layered channel is transparent.
+#[test]
+fn silenced_adversary_is_a_transparent_layer() {
+    for (name, engine, kinds) in matrix() {
+        let kind = kinds[0];
+        let mut clean_oracle = oracle_for(kind, 4);
+        let clean = engine.infer(&mut clean_oracle, &request_for(4, 7, Some(500_000)));
+        for strategy in AdversaryStrategy::all() {
+            let plan = Adversary::new(strategy).restricted_to(Vec::new());
+            let (report, acted) = run_adversarial(engine.as_ref(), kind, 4, plan, 7);
+            assert!(acted.is_empty(), "{name}/{strategy}: silenced but acted");
+            assert_eq!(
+                outcome_class(&report),
+                outcome_class(&clean),
+                "{name}/{strategy}: silenced adversary changed the verdict"
+            );
+            assert_eq!(
+                report.confidence, clean.confidence,
+                "{name}/{strategy}: silenced adversary changed the confidence"
+            );
+        }
+    }
+}
+
+/// The ddmin harness isolates adversarial interference exactly as it
+/// does scheduled faults: over a fixed drive stream (observation
+/// independent of the readings) the action log restricts cleanly, and
+/// the replay line reproduces the failing subset.
+#[test]
+fn shrinker_isolates_adversarial_interference_to_the_guilty_indices() {
+    let drive = |o: &mut dyn CacheOracle| {
+        for i in 0..200u64 {
+            let q = i % 4;
+            let _ = o.try_measure(&[q * 1024], &[q * 1024, (q + 1) * 1024]);
+        }
+    };
+    let mut full =
+        oracle_for(PolicyKind::Lru, 4).layer(Adversary::new(AdversaryStrategy::FlipPivotal));
+    drive(&mut full);
+    let acted = full.acted().to_vec();
+    assert!(acted.len() > 10, "need a dense action log to shrink");
+    let guilty = [acted[2], acted[9]];
+    let fails = |subset: &[u64]| {
+        let mut o = oracle_for(PolicyKind::Lru, 4)
+            .layer(Adversary::new(AdversaryStrategy::FlipPivotal).restricted_to(subset.to_vec()));
+        drive(&mut o);
+        guilty.iter().all(|g| o.acted().contains(g))
+    };
+    let minimal = shrink_indices(&acted, fails);
+    assert_eq!(minimal, guilty.to_vec());
+    let line = replay_line(0xADE5, &minimal);
+    let (seed, replayed) = common::shrink::parse_replay(&line).expect("well-formed line");
+    assert_eq!(seed, 0xADE5);
+    assert!(fails(&replayed), "replay line must reproduce the failure");
+}
+
+/// Regression for the layer-composition contract: a restricted fault
+/// schedule and the adversary stacked in either order see identical
+/// attempt streams end to end — through a real inference campaign, not
+/// just a synthetic drive. (The unit test in `cachekit-hw` pins the
+/// per-attempt streams; this pins the campaign-level verdict.)
+#[test]
+fn fault_restriction_and_adversary_compose_in_either_order() {
+    let engine = PermutationEngine::budgeted();
+    let faults = || {
+        Faults::from_seed(0xC0)
+            .timeouts(0.05)
+            .drops(0.05)
+            .restricted_to((0..4_000).step_by(7).collect())
+    };
+    let adversary = || Adversary::new(AdversaryStrategy::MirrorPattern);
+    let mut fault_outer = oracle_for(PolicyKind::Lru, 4)
+        .layer(adversary())
+        .layer(faults());
+    let mut adversary_outer = oracle_for(PolicyKind::Lru, 4)
+        .layer(faults())
+        .layer(adversary());
+    let a = engine.infer(&mut fault_outer, &request_for(4, 11, Some(500_000)));
+    let b = engine.infer(&mut adversary_outer, &request_for(4, 11, Some(500_000)));
+    assert_eq!(outcome_class(&a), outcome_class(&b), "verdict diverged");
+    assert_eq!(a.confidence, b.confidence, "confidence diverged");
+    assert_eq!(
+        a.measurements_used, b.measurements_used,
+        "attempt accounting diverged"
+    );
+}

@@ -442,6 +442,115 @@ fn thousand_idle_connections_need_no_thousand_threads() {
 }
 
 #[test]
+fn gated_attack_score_jobs_coalesce_like_every_other_type() {
+    // The attack_score job type rides the same admission, gating, and
+    // single-flight machinery as the rest of the protocol: six
+    // identical gated queries, one execution, five coalesced replays.
+    let (handle, gate) = gated_server(16, None);
+    let addr = handle.addr().to_string();
+    let body =
+        r#"{"type":"attack_score","policy":"FIFO","assoc":4,"scenario":"resident","rounds":8}"#;
+
+    let results = Mutex::new(Vec::new());
+    let puncher = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            std::thread::scope(|scope| {
+                for _ in 0..6 {
+                    let (results, addr) = (&results, &addr);
+                    scope.spawn(move || {
+                        let mut conn = Connection::open(addr).expect("connect");
+                        let resp = conn.post_json("/v1/query", body).expect("request");
+                        results.lock().unwrap().push((
+                            resp.status,
+                            resp.header("x-cache").map(str::to_owned),
+                            resp.body_str(),
+                        ));
+                    });
+                }
+            });
+            results.into_inner().unwrap()
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    gate.release();
+    let results = puncher.join().expect("client threads");
+
+    assert!(
+        results.iter().all(|(status, _, _)| *status == 200),
+        "results: {results:?}"
+    );
+    let leaders = results
+        .iter()
+        .filter(|(_, mark, _)| mark.as_deref() == Some("miss"))
+        .count();
+    assert_eq!(leaders, 1, "exactly one leader: {results:?}");
+    assert_eq!(
+        gate.executions.load(Ordering::SeqCst),
+        1,
+        "single-flight must run the attack_score pipeline exactly once"
+    );
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, 1, "one admission for six requests");
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
+fn attack_jobs_execute_end_to_end_and_cache_honest_refusals() {
+    // Real executor: an attack_score runs the stealth scorer, a
+    // scenario alias replays from cache, and an eviction_set against a
+    // stochastic policy is a *cacheable* honest refusal (ok:false
+    // body), not a transport error.
+    let handle = Server::start(ServeConfig {
+        queue_shards: 1,
+        workers_per_shard: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut conn = Connection::open(&handle.addr().to_string()).expect("connect");
+
+    let score = r#"{"type":"attack_score","policy":"FIFO","assoc":4,
+                    "scenario":"hold_resident","rounds":8}"#;
+    let cold = conn.post_json("/v1/query", score).expect("cold score");
+    assert_eq!(cold.status, 200, "body: {}", cold.body_str());
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert!(cold.body_str().contains("\"ok\":true"));
+    assert!(
+        cold.body_str().contains("\"guaranteed\":true"),
+        "FIFO stealth is deterministic: {}",
+        cold.body_str()
+    );
+
+    // The "resident" shorthand canonicalizes to the same cache key.
+    let alias = r#"{"type":"attack_score","policy":"FIFO","assoc":4,
+                    "scenario":"resident","rounds":8}"#;
+    let warm = conn.post_json("/v1/query", alias).expect("warm score");
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "alias must replay the cold bytes");
+
+    let evset = r#"{"type":"eviction_set","policy":"LRU","assoc":4}"#;
+    let built = conn.post_json("/v1/query", evset).expect("eviction set");
+    assert_eq!(built.status, 200, "body: {}", built.body_str());
+    assert!(built.body_str().contains("\"confirmed\":true"));
+    assert!(
+        built.body_str().contains("\"length\":4"),
+        "LRU needs assoc misses: {}",
+        built.body_str()
+    );
+
+    let refusal_body = r#"{"type":"eviction_set","policy":"BIP","assoc":4}"#;
+    let refusal = conn.post_json("/v1/query", refusal_body).expect("refusal");
+    assert_eq!(refusal.status, 200, "a refusal is an answer, not a fault");
+    assert!(refusal.body_str().contains("\"ok\":false"));
+    let replay = conn.post_json("/v1/query", refusal_body).expect("replay");
+    assert_eq!(replay.header("x-cache"), Some("hit"));
+    assert_eq!(refusal.body, replay.body);
+
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
 fn cache_hits_replay_cold_bytes_identically() {
     // Real executor: a full pipeline inference, cold then cached.
     let handle = Server::start(ServeConfig {

@@ -47,6 +47,11 @@ fn elided_defaults_equal_explicit_defaults() {
             r#"{"type":"workloads","capacity":262144}"#,
             r#"{"type":"workloads","capacity":262144,"line":64,"seed":7}"#,
         ),
+        (
+            r#"{"type":"attack_score","policy":"FIFO","assoc":4,"scenario":"hold_resident"}"#,
+            r#"{"type":"attack_score","policy":"FIFO","assoc":4,"scenario":"hold_resident",
+                "rounds":32,"seed":7}"#,
+        ),
     ];
     for (elided, explicit) in pairs {
         assert_eq!(key(elided), key(explicit), "pair {elided:?}");
@@ -90,6 +95,84 @@ fn policy_aliases_normalize_before_hashing() {
     );
 }
 
+/// The attack requests canonicalize like every other type: scenario
+/// shorthand ("resident"/"evicted", any case) and policy aliases
+/// normalize before hashing, so a client's spelling never fragments
+/// the result cache.
+#[test]
+fn attack_scenario_aliases_normalize_before_hashing() {
+    let canonical =
+        key(r#"{"type":"attack_score","policy":"PLRU","assoc":4,"scenario":"hold_resident"}"#);
+    for (policy, scenario) in [
+        ("plru", "hold_resident"),
+        ("TreePLRU", "resident"),
+        ("PLRU", "RESIDENT"),
+        ("treeplru", "Hold_Resident"),
+    ] {
+        let body = format!(
+            r#"{{"type":"attack_score","policy":"{policy}","assoc":4,"scenario":"{scenario}"}}"#
+        );
+        assert_eq!(key(&body), canonical, "alias {policy:?}/{scenario:?}");
+    }
+    // ...but the two scenarios themselves must never collide.
+    assert_ne!(
+        canonical,
+        key(r#"{"type":"attack_score","policy":"PLRU","assoc":4,"scenario":"evicted"}"#),
+    );
+    let evset = key(r#"{"type":"eviction_set","policy":"MRU","assoc":8}"#);
+    assert_eq!(
+        evset,
+        key(r#"{"assoc":8,"policy":"BitPLRU","type":"eviction_set"}"#),
+        "field order and policy alias must not change an eviction_set key"
+    );
+}
+
+/// Attack requests are validated at the protocol door: a zero or
+/// oversized associativity, a zero or oversized round count, and an
+/// unknown or missing scenario are all 400s — never worker jobs.
+/// Stochastic policies *parse* (their refusal is an honest pipeline
+/// outcome, not a malformed request), but still obey the assoc caps.
+#[test]
+fn attack_requests_reject_out_of_range_parameters_at_parse_time() {
+    use cachekit::serve::{MAX_ATTACK_ASSOC, MAX_ATTACK_ROUNDS};
+    let over_assoc = MAX_ATTACK_ASSOC + 1;
+    let over_rounds = MAX_ATTACK_ROUNDS + 1;
+    let rejected = [
+        r#"{"type":"eviction_set","policy":"LRU","assoc":0}"#.to_owned(),
+        format!(r#"{{"type":"eviction_set","policy":"LRU","assoc":{over_assoc}}}"#),
+        r#"{"type":"attack_score","policy":"LRU","assoc":0,"scenario":"resident"}"#.to_owned(),
+        format!(
+            r#"{{"type":"attack_score","policy":"LRU","assoc":{over_assoc},"scenario":"resident"}}"#
+        ),
+        r#"{"type":"attack_score","policy":"LRU","assoc":4,"scenario":"resident","rounds":0}"#
+            .to_owned(),
+        format!(
+            r#"{{"type":"attack_score","policy":"LRU","assoc":4,"scenario":"resident",
+                "rounds":{over_rounds}}}"#
+        ),
+        r#"{"type":"attack_score","policy":"LRU","assoc":4,"scenario":"flush_reload"}"#.to_owned(),
+        r#"{"type":"attack_score","policy":"LRU","assoc":4}"#.to_owned(),
+        // SLRU-2 at assoc 2 has no probationary position: structural
+        // rejection, same as the distances/simulate paths.
+        r#"{"type":"eviction_set","policy":"SLRU-2","assoc":2}"#.to_owned(),
+    ];
+    for body in &rejected {
+        assert!(Request::parse(body).is_err(), "body {body:?} must fail");
+    }
+    // The boundary values themselves are fine, as is a stochastic kind.
+    let accepted = [
+        format!(r#"{{"type":"eviction_set","policy":"LRU","assoc":{MAX_ATTACK_ASSOC}}}"#),
+        format!(
+            r#"{{"type":"attack_score","policy":"LRU","assoc":4,"scenario":"resident",
+                "rounds":{MAX_ATTACK_ROUNDS}}}"#
+        ),
+        r#"{"type":"eviction_set","policy":"BIP","assoc":4}"#.to_owned(),
+    ];
+    for body in &accepted {
+        assert!(Request::parse(body).is_ok(), "body {body:?} must parse");
+    }
+}
+
 /// Semantically different requests must produce distinct keys across
 /// the entire 13-policy differential set and several geometries — a
 /// collision would silently serve one policy's results for another.
@@ -128,6 +211,24 @@ fn no_collisions_across_the_differential_policy_set() {
                         "assoc":{assoc},"workload":"{workload}"}}"#
                 ));
             }
+            check(format!(
+                r#"{{"type":"eviction_set","policy":"{label}","assoc":{assoc}}}"#
+            ));
+            for scenario in ["hold_resident", "hold_evicted"] {
+                check(format!(
+                    r#"{{"type":"attack_score","policy":"{label}","assoc":{assoc},
+                        "scenario":"{scenario}"}}"#
+                ));
+            }
+        }
+    }
+    // Rounds and seed are part of an attack_score's identity.
+    for rounds in [1, 8, 64] {
+        for seed in [0u64, 42] {
+            check(format!(
+                r#"{{"type":"attack_score","policy":"LRU","assoc":4,
+                    "scenario":"evicted","rounds":{rounds},"seed":{seed}}}"#
+            ));
         }
     }
     for seed in 0..50u64 {
@@ -143,8 +244,11 @@ fn no_collisions_across_the_differential_policy_set() {
             r#"{{"type":"infer","cpu":"quark_x1000","engine":"{engine}"}}"#
         ));
     }
+    // Seven bodies per valid (kind, assoc) cell — distances, three
+    // simulates, eviction_set, two attack_scores — plus the seeded
+    // infer/workloads sweep and the rounds/seed grid.
     assert!(
-        seen.len() > 13 * 3 * 4 + 90,
+        seen.len() > 37 * 7 + 100,
         "expected full corpus, saw {} keys",
         seen.len()
     );
@@ -221,6 +325,9 @@ fn canonical_json_round_trips_to_the_same_request() {
             "workload":"ptr_chase","writes":0.5,"seed":3}"#,
         r#"{"type":"distances","policy":"BIP","assoc":8}"#,
         r#"{"type":"workloads","capacity":32768,"line":32,"seed":1}"#,
+        r#"{"type":"eviction_set","policy":"CLOCK","assoc":8}"#,
+        r#"{"type":"attack_score","policy":"SLRU-2","assoc":4,"scenario":"evicted",
+            "rounds":16,"seed":5}"#,
     ];
     for body in bodies {
         let request = Request::parse(body).unwrap();
