@@ -55,13 +55,28 @@ run cargo test -q --release --test eviction_sets --test adversarial_inference
 # confident_wrong == 0 and that every met flag holds.
 run cargo run --release -q -p cachekit-bench --bin fig12_attack -- --smoke
 
-# The committed full-run artifact must not record an unmet attack
-# target either.
-echo "==> grep -c '\"met\": false' results/fig12_attack.json"
-if grep -q '"met": false' results/fig12_attack.json; then
-    echo "ci: results/fig12_attack.json records an unmet target" >&2
-    exit 1
-fi
+# The hierarchy engine at release optimisation: the inclusive-subset
+# and exclusive-disjointness invariants after every operation, the
+# single-level NINE == bare-Cache bit-identity across all differential
+# kinds, and the binary trace format's bit-exact round trips plus the
+# corruption matrix (typed errors, never panics).
+run cargo test -q --release --test hierarchy_containment --test trace_roundtrip
+
+# Hierarchy-figure smoke: 3 containments x 3 LLC policies x 4
+# workloads through the three-level engine; the binary asserts its
+# per-cell sanity and mechanism targets (back-invalidations, victim
+# fills, containment spread) and exits nonzero on any unmet flag.
+run cargo run --release -q -p cachekit-bench --bin fig13_hierarchy -- --smoke
+
+# The committed full-run artifacts must not record an unmet target
+# either (fig12's attack flags, fig13's ranking-flip witness).
+for artifact in results/fig12_attack.json results/fig13_hierarchy.json; do
+    echo "==> grep -c '\"met\": false' $artifact"
+    if grep -q '"met": false' "$artifact"; then
+        echo "ci: $artifact records an unmet target" >&2
+        exit 1
+    fi
+done
 
 # Cost-table smoke: runs both engines side by side at A in {2, 4} and
 # writes results/table3_cost_smoke.json (the committed full-run record

@@ -1,0 +1,379 @@
+//! **Fig. 13** — the hierarchy figure: containment × per-level-policy
+//! mixes over the workload zoo, reported as per-level miss ratios plus
+//! end-to-end AMAT, against the single-level miss ratio of the same LLC
+//! policy on the same trace.
+//!
+//! The point of the figure (and the reason the hierarchy engine exists):
+//! an L1/L2 in front of the LLC filters the reuse distances the LLC
+//! policy actually sees, so ranking LLC policies by their single-level
+//! miss ratio picks a different winner than ranking them by hierarchy
+//! AMAT — the `amat_ranking_flip` target demands at least one concrete
+//! (workload, policy pair) witness of that disagreement under the mixed
+//! L1 PLRU / L2 QLRU-1 / L3-under-test configuration.
+//!
+//! Every series row carries a `met` flag; the run aborts (and CI greps
+//! the committed artifact) if any expectation is unmet.
+//!
+//! Run with: `cargo run --release -p cachekit-bench --bin fig13_hierarchy [-- --smoke]`
+
+use cachekit_bench::{jobj, json::Json, pct, Runner, Table};
+use cachekit_policies::PolicyKind;
+use cachekit_sim::{sweep, CacheConfig, Containment, Hierarchy, LevelSpec};
+use cachekit_trace::io::{with_writes, MemOp};
+use cachekit_trace::workloads;
+
+/// Fixed inner levels of the mixed configuration (echoing table4_l3's
+/// L1 PLRU / L2 QLRU finding for the client parts).
+const L1_POLICY: PolicyKind = PolicyKind::TreePlru;
+const L2_POLICY: PolicyKind = PolicyKind::Qlru { insert: 1 };
+
+/// Latency model: classic 3-cycle L1 / 15-cycle L2 / 60-cycle L3 /
+/// 200-cycle memory (the fig8 model extended by an L3).
+const LATENCIES: [u64; 3] = [3, 15, 60];
+const MEMORY_LATENCY: u64 = 200;
+
+/// Fraction of accesses marked as writes (seeded): write-backs are part
+/// of what distinguishes the containment disciplines.
+const WRITE_FRACTION: f64 = 0.2;
+
+/// A flip needs the single-level ordering and the AMAT ordering to
+/// disagree by clear margins, not ties jittering around equality.
+const EPS_MISS: f64 = 0.005;
+const EPS_AMAT: f64 = 0.5;
+
+struct Cell {
+    level_accesses: Vec<u64>,
+    level_miss_ratios: Vec<f64>,
+    amat: f64,
+    back_invalidations: u64,
+    victim_fills: u64,
+    memory_writebacks: u64,
+    accesses: u64,
+}
+
+fn run_cell(
+    configs: &[CacheConfig; 3],
+    l3_policy: PolicyKind,
+    containment: Containment,
+    ops: &[MemOp],
+) -> Cell {
+    let mut h = Hierarchy::new(vec![
+        LevelSpec::new(configs[0], L1_POLICY),
+        LevelSpec::new(configs[1], L2_POLICY),
+        LevelSpec::new(configs[2], l3_policy),
+    ])
+    .with_containment(containment)
+    .with_latencies(LATENCIES.to_vec(), MEMORY_LATENCY);
+    for op in ops {
+        h.access_op(op.addr, op.write);
+    }
+    let stats = h.stats();
+    let hs = h.hierarchy_stats();
+    Cell {
+        level_accesses: stats.iter().map(|s| s.accesses).collect(),
+        level_miss_ratios: stats
+            .iter()
+            .map(|s| if s.accesses == 0 { 0.0 } else { s.miss_ratio() })
+            .collect(),
+        amat: h.amat(),
+        back_invalidations: hs.back_invalidations,
+        victim_fills: hs.victim_fills,
+        memory_writebacks: hs.memory_writebacks,
+        accesses: hs.accesses,
+    }
+}
+
+fn parse_smoke() -> bool {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                println!("usage: fig13_hierarchy [--smoke]");
+                println!("  --smoke   smaller geometry, fewer policies and workloads");
+                if other == "--help" || other == "-h" {
+                    std::process::exit(0);
+                }
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    smoke
+}
+
+fn main() {
+    let smoke = parse_smoke();
+    let seed = 7;
+    let name = if smoke {
+        "fig13_hierarchy_smoke"
+    } else {
+        "fig13_hierarchy"
+    };
+    let mut run = Runner::new(name).with_seed(seed);
+
+    let (configs, l3_policies): ([CacheConfig; 3], Vec<PolicyKind>) = if smoke {
+        (
+            [
+                CacheConfig::new(4 * 1024, 4, 64).expect("valid"),
+                CacheConfig::new(16 * 1024, 8, 64).expect("valid"),
+                CacheConfig::new(64 * 1024, 16, 64).expect("valid"),
+            ],
+            vec![
+                PolicyKind::Lru,
+                PolicyKind::TreePlru,
+                PolicyKind::Srrip { bits: 2 },
+            ],
+        )
+    } else {
+        (
+            [
+                CacheConfig::new(16 * 1024, 8, 64).expect("valid"),
+                CacheConfig::new(128 * 1024, 8, 64).expect("valid"),
+                CacheConfig::new(512 * 1024, 16, 64).expect("valid"),
+            ],
+            vec![
+                PolicyKind::Lru,
+                PolicyKind::Fifo,
+                PolicyKind::TreePlru,
+                PolicyKind::Srrip { bits: 2 },
+                PolicyKind::Qlru { insert: 1 },
+                PolicyKind::Lip,
+            ],
+        )
+    };
+    let l3_config = configs[2];
+
+    // The zoo is sized to the LLC so the interesting fits/thrashes
+    // regimes hit regardless of geometry; smoke keeps the cheap traces.
+    let mut suite = workloads::suite(l3_config.capacity(), 64, seed);
+    if smoke {
+        suite.retain(|w| {
+            matches!(
+                w.name,
+                "seq_stream" | "fit_loop" | "thrash_loop" | "gc_trace"
+            )
+        });
+    }
+    let ops: Vec<Vec<MemOp>> = suite
+        .iter()
+        .enumerate()
+        .map(|(i, w)| with_writes(&w.trace, WRITE_FRACTION, seed ^ (i as u64)))
+        .collect();
+
+    let n_pol = l3_policies.len();
+    let n_wl = suite.len();
+
+    // Single-level baseline: each candidate LLC policy on the raw trace
+    // at the LLC geometry — the number a single-level study would rank by.
+    let base_grid: Vec<(usize, usize)> = (0..n_pol)
+        .flat_map(|pi| (0..n_wl).map(move |wi| (pi, wi)))
+        .collect();
+    let single_span = cachekit_obs::span("fig13.single_level");
+    let base: Vec<f64> = cachekit_sim::par_map(&base_grid, run.jobs(), |&(pi, wi)| {
+        sweep::simulate(l3_config, l3_policies[pi], &suite[wi].trace).miss_ratio()
+    });
+    drop(single_span);
+    let base_at = |pi: usize, wi: usize| base[pi * n_wl + wi];
+
+    // The hierarchy grid: containment × LLC policy × workload.
+    let grid: Vec<(usize, usize, usize)> = (0..Containment::ALL.len())
+        .flat_map(|ci| (0..n_pol).flat_map(move |pi| (0..n_wl).map(move |wi| (ci, pi, wi))))
+        .collect();
+    let hier_span = cachekit_obs::span("fig13.hierarchy");
+    let cells: Vec<Cell> = cachekit_sim::par_map(&grid, run.jobs(), |&(ci, pi, wi)| {
+        run_cell(&configs, l3_policies[pi], Containment::ALL[ci], &ops[wi])
+    });
+    drop(hier_span);
+    let cell_at = |ci: usize, pi: usize, wi: usize| &cells[(ci * n_pol + pi) * n_wl + wi];
+
+    let mut headers: Vec<String> = vec!["containment".into(), "L3 policy".into()];
+    headers.extend(suite.iter().map(|w| w.name.to_owned()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 13: hierarchy AMAT in cycles (L1 {} {}, L2 {} {}, L3 policy under test, {})",
+            configs[0],
+            L1_POLICY.label(),
+            configs[1],
+            L2_POLICY.label(),
+            l3_config
+        ),
+        &headers_ref,
+    );
+    let mut miss_table = Table::new(
+        "Fig. 13b: LLC local miss ratio in the hierarchy vs single-level (hier/single)",
+        &headers_ref,
+    );
+
+    let mut unmet: Vec<String> = Vec::new();
+    let mut series = Vec::new();
+    for (ci, &containment) in Containment::ALL.iter().enumerate() {
+        for (pi, &policy) in l3_policies.iter().enumerate() {
+            let mut amat_cells = vec![containment.label().to_owned(), policy.label()];
+            let mut miss_cells = amat_cells.clone();
+            for (wi, w) in suite.iter().enumerate() {
+                let cell = cell_at(ci, pi, wi);
+                // Sanity expectations every cell must meet: the trace was
+                // fully consumed, ratios are ratios, AMAT is at least an
+                // L1 hit and at most a full miss.
+                let met = cell.accesses == ops[wi].len() as u64
+                    && cell
+                        .level_miss_ratios
+                        .iter()
+                        .all(|r| (0.0..=1.0).contains(r))
+                    && cell.amat >= LATENCIES[0] as f64
+                    && cell.amat <= (LATENCIES.iter().sum::<u64>() + MEMORY_LATENCY) as f64;
+                if !met {
+                    unmet.push(format!(
+                        "cell/{}/{}/{}",
+                        containment,
+                        policy.label(),
+                        w.name
+                    ));
+                }
+                amat_cells.push(format!("{:.1}", cell.amat));
+                miss_cells.push(format!(
+                    "{}/{}",
+                    pct(cell.level_miss_ratios[2]),
+                    pct(base_at(pi, wi))
+                ));
+                series.push(jobj! {
+                    "containment": containment.label(),
+                    "l3_policy": policy.label(),
+                    "workload": w.name,
+                    "level_accesses": cell.level_accesses.clone(),
+                    "level_miss_ratios": cell.level_miss_ratios.clone(),
+                    "amat_cycles": cell.amat,
+                    "single_level_l3_miss_ratio": base_at(pi, wi),
+                    "back_invalidations": cell.back_invalidations,
+                    "victim_fills": cell.victim_fills,
+                    "memory_writebacks": cell.memory_writebacks,
+                    "met": met
+                });
+            }
+            table.row(amat_cells);
+            miss_table.row(miss_cells);
+        }
+    }
+
+    // Target 1: the reason this figure exists. Somewhere in the sweep the
+    // single-level miss-ratio ranking of two LLC policies must disagree
+    // with their hierarchy-AMAT ranking, by clear margins on both sides.
+    let mut flip: Option<Json> = None;
+    'flip: for (ci, &containment) in Containment::ALL.iter().enumerate() {
+        for (wi, wl) in suite.iter().enumerate() {
+            for a in 0..l3_policies.len() {
+                for b in 0..l3_policies.len() {
+                    if base_at(a, wi) + EPS_MISS < base_at(b, wi)
+                        && cell_at(ci, a, wi).amat > cell_at(ci, b, wi).amat + EPS_AMAT
+                    {
+                        flip = Some(jobj! {
+                            "containment": containment.label(),
+                            "workload": wl.name,
+                            "better_single_level": l3_policies[a].label(),
+                            "better_amat": l3_policies[b].label(),
+                            "single_level_miss_ratios": vec![base_at(a, wi), base_at(b, wi)],
+                            "amat_cycles": vec![cell_at(ci, a, wi).amat, cell_at(ci, b, wi).amat]
+                        });
+                        break 'flip;
+                    }
+                }
+            }
+        }
+    }
+    let mut targets = Vec::new();
+    if !smoke {
+        // At smoke scale (tiny geometry, trimmed zoo) a flip is not
+        // guaranteed; the committed full run must witness one.
+        let met = flip.is_some();
+        if !met {
+            unmet.push("amat_ranking_flip".to_owned());
+        }
+        targets.push(jobj! {
+            "target": "amat_ranking_flip",
+            "met": met,
+            "witness": flip.unwrap_or(Json::Null)
+        });
+    }
+
+    // Target 2/3: the containment machinery actually engaged.
+    let back_invalidations: u64 = grid
+        .iter()
+        .zip(&cells)
+        .filter(|((ci, _, _), _)| Containment::ALL[*ci] == Containment::Inclusive)
+        .map(|(_, c)| c.back_invalidations)
+        .sum();
+    let victim_fills: u64 = grid
+        .iter()
+        .zip(&cells)
+        .filter(|((ci, _, _), _)| Containment::ALL[*ci] == Containment::Exclusive)
+        .map(|(_, c)| c.victim_fills)
+        .sum();
+    for (target, value) in [
+        ("inclusive_back_invalidations", back_invalidations),
+        ("exclusive_victim_fills", victim_fills),
+    ] {
+        let met = value > 0;
+        if !met {
+            unmet.push(target.to_owned());
+        }
+        targets.push(jobj! {"target": target, "met": met, "count": value});
+    }
+
+    // Target 4: containment is not a no-op — some cell's AMAT moves by
+    // more than 2% relative between disciplines.
+    let spread = (0..l3_policies.len())
+        .flat_map(|pi| (0..suite.len()).map(move |wi| (pi, wi)))
+        .map(|(pi, wi)| {
+            let amats: Vec<f64> = (0..Containment::ALL.len())
+                .map(|ci| cell_at(ci, pi, wi).amat)
+                .collect();
+            let lo = amats.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = amats.iter().copied().fold(0.0, f64::max);
+            (hi - lo) / lo
+        })
+        .fold(0.0, f64::max);
+    let spread_met = spread > 0.02;
+    if !spread_met {
+        unmet.push("containment_spread".to_owned());
+    }
+    targets.push(
+        jobj! {"target": "containment_spread", "met": spread_met, "max_relative_spread": spread},
+    );
+
+    // Target 5: the GC tracing-loop workload rides in the zoo.
+    let gc_met = suite.iter().any(|w| w.name == "gc_trace");
+    if !gc_met {
+        unmet.push("gc_trace_in_zoo".to_owned());
+    }
+    targets.push(jobj! {"target": "gc_trace_in_zoo", "met": gc_met});
+
+    run.add_cells((cells.len() + base.len()) as u64);
+    run.count(
+        "accesses",
+        grid.iter().map(|&(_, _, wi)| ops[wi].len() as u64).sum(),
+    );
+    run.count("unmet", unmet.len() as u64);
+
+    run.finish(
+        &table,
+        jobj! {
+            "smoke": smoke,
+            "l1": jobj! {"capacity": configs[0].capacity(), "assoc": configs[0].associativity() as u64, "policy": L1_POLICY.label()},
+            "l2": jobj! {"capacity": configs[1].capacity(), "assoc": configs[1].associativity() as u64, "policy": L2_POLICY.label()},
+            "l3": jobj! {"capacity": configs[2].capacity(), "assoc": configs[2].associativity() as u64},
+            "latencies": LATENCIES.to_vec(),
+            "memory_latency": MEMORY_LATENCY,
+            "write_fraction": WRITE_FRACTION,
+            "targets": Json::from(targets),
+            "cells": Json::from(series)
+        },
+    );
+    println!("{}", miss_table.to_markdown());
+    println!("met: every cell sane; inclusive back-invalidates; exclusive spills");
+    println!("victims; containment moves AMAT; and somewhere the single-level");
+    println!("miss-ratio ranking of two LLC policies disagrees with their AMAT");
+    println!("ranking — the disagreement this figure exists to demonstrate.");
+    assert!(unmet.is_empty(), "unmet expectations: {unmet:?}");
+}

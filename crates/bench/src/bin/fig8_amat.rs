@@ -9,7 +9,7 @@
 use cachekit_bench::{jobj, json::Json, Runner, Table};
 use cachekit_hw::VirtualCpu;
 use cachekit_policies::PolicyKind;
-use cachekit_sim::CacheConfig;
+use cachekit_sim::{CacheConfig, Containment, Hierarchy, LevelSpec};
 use cachekit_trace::workloads;
 
 fn amat(l2_policy: PolicyKind, trace: &[u64]) -> f64 {
@@ -25,6 +25,27 @@ fn amat(l2_policy: PolicyKind, trace: &[u64]) -> f64 {
         .build();
     let total: u64 = trace.iter().map(|&a| cpu.access(a).latency).sum();
     total as f64 / trace.len() as f64
+}
+
+/// The same two-level geometry through the hierarchy engine under an
+/// explicit containment discipline (the `VirtualCpu` column is NINE).
+fn hier_amat(l2_policy: PolicyKind, containment: Containment, trace: &[u64]) -> f64 {
+    let mut h = Hierarchy::new(vec![
+        LevelSpec::new(
+            CacheConfig::new(8 * 1024, 4, 64).expect("valid"),
+            PolicyKind::TreePlru,
+        ),
+        LevelSpec::new(
+            CacheConfig::new(256 * 1024, 8, 64).expect("valid"),
+            l2_policy,
+        ),
+    ])
+    .with_containment(containment)
+    .with_latencies(vec![3, 15], 200);
+    for &a in trace {
+        h.access(a);
+    }
+    h.amat()
 }
 
 fn main() {
@@ -63,15 +84,54 @@ fn main() {
     };
     run.add_cells(grid.len() as u64);
 
+    // Fig. 8b: the containment discipline is a latency knob of its own —
+    // the same policy pair under inclusive vs exclusive containment.
+    let hier_grid: Vec<(usize, PolicyKind, Containment)> = (0..suite.len())
+        .flat_map(|wi| {
+            kinds.iter().flat_map(move |&k| {
+                [Containment::Inclusive, Containment::Exclusive]
+                    .into_iter()
+                    .map(move |c| (wi, k, c))
+            })
+        })
+        .collect();
+    let hier_values: Vec<f64> = {
+        let _span = cachekit_obs::span("simulate_amat_hierarchy");
+        cachekit_sim::par_map(&hier_grid, run.jobs(), |&(wi, kind, c)| {
+            hier_amat(kind, c, &suite[wi].trace)
+        })
+    };
+    run.add_cells(hier_grid.len() as u64);
+    let mut hier_table = Table::new(
+        "Fig. 8b: AMAT in cycles under inclusive/exclusive containment (hierarchy engine)",
+        &headers_ref,
+    );
+
     for (wi, w) in suite.iter().enumerate() {
-        run.count("accesses", (w.trace.len() * kinds.len()) as u64);
+        run.count("accesses", (w.trace.len() * kinds.len() * 3) as u64);
         let row = &values[wi * kinds.len()..(wi + 1) * kinds.len()];
+        let hier_row = &hier_values[wi * kinds.len() * 2..(wi + 1) * kinds.len() * 2];
+        let incl: Vec<f64> = hier_row.iter().copied().step_by(2).collect();
+        let excl: Vec<f64> = hier_row.iter().copied().skip(1).step_by(2).collect();
         let mut cells = vec![w.name.to_owned()];
         cells.extend(row.iter().map(|v| format!("{v:.1}")));
-        series.push(jobj! {"workload": w.name, "amat_cycles": row.to_vec()});
+        let mut hier_cells = vec![w.name.to_owned()];
+        hier_cells.extend(
+            incl.iter()
+                .zip(&excl)
+                .map(|(i, e)| format!("{i:.1}/{e:.1}")),
+        );
+        series.push(jobj! {
+            "workload": w.name,
+            "amat_cycles": row.to_vec(),
+            "hier_amat_inclusive": incl,
+            "hier_amat_exclusive": excl,
+        });
         table.row(cells);
+        hier_table.row(hier_cells);
     }
     run.finish(&table, Json::from(series));
+    println!("{}", hier_table.to_markdown());
     println!(
         "3-cycle L1 hits, 15-cycle L2 hits, 200-cycle memory: on the\n\
          thrash loop an L2 policy choice is worth >100 cycles per access."

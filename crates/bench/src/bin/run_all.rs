@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig10_competitive",
     "fig11_robustness",
     "fig12_attack",
+    "fig13_hierarchy",
     "ablation_readout",
     "ablation_interference",
     "bench_access",

@@ -17,7 +17,7 @@
 
 use crate::proto::{
     AttackScoreRequest, DistancesRequest, EvictionSetRequest, InferRequest, Request,
-    SimulateRequest, WorkloadsRequest,
+    SimulateHierarchyRequest, SimulateRequest, WorkloadsRequest,
 };
 use cachekit_bench::json::Json;
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
@@ -25,7 +25,7 @@ use cachekit_core::attack::{eviction_set_for_kind, stealth_score};
 use cachekit_core::infer::{engine_by_name, infer_geometry, Finding, InferenceRequest};
 use cachekit_core::perm::{derive_permutation_spec, table_for_kind, TablePolicy};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
-use cachekit_sim::{Cache, CacheConfig};
+use cachekit_sim::{Cache, CacheConfig, Containment, Hierarchy};
 use cachekit_trace::{io, workloads};
 
 /// Search budget (oracle steps) for the distance analyses — matches the
@@ -54,6 +54,7 @@ impl Executor for PipelineExecutor {
         match request {
             Request::Infer(r) => run_infer(r),
             Request::Simulate(r) => run_simulate(r),
+            Request::SimulateHierarchy(r) => run_simulate_hierarchy(r),
             Request::Distances(r) => run_distances(r),
             Request::Workloads(r) => run_workloads(r),
             Request::EvictionSet(r) => run_eviction_set(r),
@@ -218,6 +219,104 @@ fn run_simulate(req: &SimulateRequest) -> Json {
         ("writes", Json::from(stats.writes)),
         ("writebacks", Json::from(stats.writebacks)),
         ("miss_ratio", Json::Num(stats.miss_ratio())),
+    ])
+}
+
+fn run_simulate_hierarchy(req: &SimulateHierarchyRequest) -> Json {
+    let mut caches = Vec::with_capacity(req.levels.len());
+    let mut engines = Vec::with_capacity(req.levels.len());
+    for level in &req.levels {
+        let config = match CacheConfig::new(level.capacity, level.assoc, req.line) {
+            Ok(c) => c,
+            Err(e) => return error_body("simulate_hierarchy", format!("invalid geometry: {e}")),
+        };
+        // The compiled-table engine cannot serve back-invalidation or
+        // victim extraction (`TablePolicy` has no invalidate
+        // transition), so levels run on it only under NINE containment,
+        // where lines are never pulled out from under a level.
+        let table = if req.containment == Containment::Nine {
+            table_for_kind(level.policy, config.associativity())
+        } else {
+            None
+        };
+        match table {
+            Some(table) => {
+                caches.push(Cache::with_policy_factory(
+                    config,
+                    level.policy.label(),
+                    |_| Box::new(TablePolicy::new(table.clone())),
+                ));
+                engines.push("table");
+            }
+            None => {
+                caches.push(Cache::new(config, level.policy));
+                engines.push("enum");
+            }
+        }
+    }
+    let outer_capacity = req
+        .levels
+        .last()
+        .expect("levels validated non-empty")
+        .capacity;
+    let suite = workloads::suite(outer_capacity, req.line, req.seed);
+    let Some(workload) = suite.iter().find(|w| w.name == req.workload) else {
+        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        return error_body(
+            "simulate_hierarchy",
+            format!("unknown workload {:?}; available: {names:?}", req.workload),
+        );
+    };
+    let ops = io::with_writes(&workload.trace, req.writes, req.seed);
+    let mut hierarchy = Hierarchy::from_caches(caches)
+        .with_containment(req.containment)
+        .with_latencies(req.latencies.clone(), req.memory_latency);
+    for op in &ops {
+        hierarchy.access_op(op.addr, op.write);
+    }
+    let hstats = hierarchy.hierarchy_stats();
+    let levels: Vec<Json> = req
+        .levels
+        .iter()
+        .zip(hierarchy.stats())
+        .zip(&engines)
+        .map(|((level, stats), engine)| {
+            Json::object(vec![
+                ("policy", Json::from(level.policy.label())),
+                ("capacity", Json::from(level.capacity)),
+                ("assoc", Json::from(level.assoc)),
+                ("engine", Json::from(*engine)),
+                ("accesses", Json::from(stats.accesses)),
+                ("hits", Json::from(stats.hits)),
+                ("misses", Json::from(stats.misses)),
+                ("evictions", Json::from(stats.evictions)),
+                ("writebacks", Json::from(stats.writebacks)),
+                (
+                    "miss_ratio",
+                    Json::Num(if stats.accesses == 0 {
+                        0.0
+                    } else {
+                        stats.miss_ratio()
+                    }),
+                ),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("type", Json::from("simulate_hierarchy")),
+        ("ok", Json::from(true)),
+        ("degraded", Json::from(false)),
+        ("containment", Json::from(req.containment.label())),
+        ("workload", Json::from(workload.name)),
+        ("levels", Json::Arr(levels)),
+        ("accesses", Json::from(hstats.accesses)),
+        ("amat_cycles", Json::Num(hierarchy.amat())),
+        ("memory_fetches", Json::from(hstats.memory_fetches)),
+        ("back_invalidations", Json::from(hstats.back_invalidations)),
+        ("victim_fills", Json::from(hstats.victim_fills)),
+        ("memory_writebacks", Json::from(hstats.memory_writebacks)),
+        ("latencies", Json::from(req.latencies.clone())),
+        ("memory_latency", Json::from(req.memory_latency)),
     ])
 }
 
@@ -421,6 +520,94 @@ mod tests {
             }
             assert_eq!(tabled.occupancy(), enumed.occupancy(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn simulate_hierarchy_reports_per_level_stats_and_amat() {
+        let req = parse(
+            r#"{"type":"simulate_hierarchy","workload":"thrash_loop","containment":"inclusive",
+                "levels":[{"policy":"PLRU","capacity":8192,"assoc":4},
+                          {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"ok\":true"), "body: {body}");
+        assert!(
+            body.contains("\"containment\":\"inclusive\""),
+            "body: {body}"
+        );
+        assert!(body.contains("\"amat_cycles\":"), "body: {body}");
+        assert!(body.contains("\"back_invalidations\":"), "body: {body}");
+        assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+    }
+
+    #[test]
+    fn simulate_hierarchy_uses_the_table_engine_only_under_nine() {
+        // PLRU at 4 ways compiles to a table, but the table policy has
+        // no invalidate transition — only NINE containment (where no
+        // line is ever pulled out from under a level) may use it.
+        let nine = parse(
+            r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"nine",
+                "levels":[{"policy":"PLRU","capacity":8192,"assoc":4},
+                          {"policy":"PLRU","capacity":65536,"assoc":4}]}"#,
+        );
+        let body = PipelineExecutor.execute(&nine).to_compact();
+        assert!(body.contains("\"engine\":\"table\""), "body: {body}");
+        for containment in ["inclusive", "exclusive"] {
+            let req = parse(&format!(
+                r#"{{"type":"simulate_hierarchy","workload":"fit_loop",
+                    "containment":"{containment}","levels":[
+                    {{"policy":"PLRU","capacity":8192,"assoc":4}},
+                    {{"policy":"PLRU","capacity":65536,"assoc":4}}]}}"#
+            ));
+            let body = PipelineExecutor.execute(&req).to_compact();
+            assert!(!body.contains("\"engine\":\"table\""), "body: {body}");
+            assert!(body.contains("\"ok\":true"), "body: {body}");
+        }
+    }
+
+    #[test]
+    fn simulate_hierarchy_single_level_nine_matches_flat_simulate() {
+        // A depth-1 NINE hierarchy is definitionally a flat cache; the
+        // two request types must agree on every shared statistic.
+        let hier = parse(
+            r#"{"type":"simulate_hierarchy","workload":"zipf_hot","writes":0.25,
+                "levels":[{"policy":"SRRIP","capacity":65536,"assoc":8}]}"#,
+        );
+        let flat = parse(
+            r#"{"type":"simulate","policy":"SRRIP","capacity":65536,"assoc":8,
+                "workload":"zipf_hot","writes":0.25}"#,
+        );
+        let hier_body = PipelineExecutor.execute(&hier);
+        let flat_body = PipelineExecutor.execute(&flat);
+        let level = match hier_body.get("levels") {
+            Some(Json::Arr(levels)) => &levels[0],
+            other => panic!("levels must be an array, got {other:?}"),
+        };
+        for field in [
+            "accesses",
+            "hits",
+            "misses",
+            "evictions",
+            "writebacks",
+            "miss_ratio",
+        ] {
+            assert_eq!(
+                level.get(field).and_then(Json::as_f64),
+                flat_body.get(field).and_then(Json::as_f64),
+                "field {field:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_hierarchy_unknown_workload_is_a_cacheable_error_body() {
+        let req = parse(
+            r#"{"type":"simulate_hierarchy","workload":"nope","levels":[
+                {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"ok\":false"), "body: {body}");
+        assert!(body.contains("unknown workload"), "body: {body}");
     }
 
     #[test]

@@ -19,10 +19,14 @@ use cachekit_bench::json::Json;
 use cachekit_core::attack::StealthScenario;
 use cachekit_core::infer::{engine_names, ConfigError, InferenceConfig, ReadoutSearch};
 use cachekit_policies::PolicyKind;
+use cachekit_sim::Containment;
 
 /// Largest capacity (bytes) a `simulate` request may ask for; keeps one
 /// request's trace generation and simulation time bounded.
 pub const MAX_SIMULATE_CAPACITY: u64 = 16 * 1024 * 1024;
+
+/// Deepest cache hierarchy a `simulate_hierarchy` request may describe.
+pub const MAX_HIERARCHY_LEVELS: usize = 4;
 
 /// Largest associativity a `distances` request may ask for; the
 /// reachable-state search grows quickly with the way count.
@@ -47,6 +51,9 @@ pub enum Request {
     /// Simulate one (policy, geometry) cell on a named synthetic
     /// workload.
     Simulate(SimulateRequest),
+    /// Simulate a multi-level hierarchy under a containment discipline
+    /// on a named synthetic workload.
+    SimulateHierarchy(SimulateHierarchyRequest),
     /// Eviction distance and minimal lifespan of a permutation policy.
     Distances(DistancesRequest),
     /// List the synthetic workload suite for a geometry.
@@ -101,6 +108,39 @@ pub struct SimulateRequest {
     pub writes: f64,
     /// Workload generator seed.
     pub seed: u64,
+}
+
+/// One level of a `simulate_hierarchy` request, innermost first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyLevel {
+    /// Replacement policy of this level (canonical label).
+    pub policy: PolicyKind,
+    /// Capacity of this level in bytes.
+    pub capacity: u64,
+    /// Associativity of this level.
+    pub assoc: usize,
+}
+
+/// Parameters of a `simulate_hierarchy` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateHierarchyRequest {
+    /// Levels, innermost (L1) first; 1..=[`MAX_HIERARCHY_LEVELS`].
+    pub levels: Vec<HierarchyLevel>,
+    /// Containment discipline (canonical label; aliases normalize).
+    pub containment: Containment,
+    /// Line size in bytes, shared by every level.
+    pub line: u64,
+    /// Workload name from the synthetic suite (sized to the outermost
+    /// level's capacity).
+    pub workload: String,
+    /// Fraction of accesses turned into writes, `[0, 1]`.
+    pub writes: f64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Per-level hit latencies in cycles, innermost first.
+    pub latencies: Vec<u64>,
+    /// Memory latency in cycles charged on a full miss.
+    pub memory_latency: u64,
 }
 
 /// Parameters of a `distances` request.
@@ -227,13 +267,17 @@ impl Request {
         match kind {
             "infer" => Ok(Request::Infer(InferRequest::from_json(json)?)),
             "simulate" => Ok(Request::Simulate(SimulateRequest::from_json(json)?)),
+            "simulate_hierarchy" => Ok(Request::SimulateHierarchy(
+                SimulateHierarchyRequest::from_json(json)?,
+            )),
             "distances" => Ok(Request::Distances(DistancesRequest::from_json(json)?)),
             "workloads" => Ok(Request::Workloads(WorkloadsRequest::from_json(json)?)),
             "eviction_set" => Ok(Request::EvictionSet(EvictionSetRequest::from_json(json)?)),
             "attack_score" => Ok(Request::AttackScore(AttackScoreRequest::from_json(json)?)),
             other => Err(bad(format!(
                 "unknown request type {other:?} (expected infer, simulate, \
-                 distances, workloads, eviction_set, or attack_score)"
+                 simulate_hierarchy, distances, workloads, eviction_set, \
+                 or attack_score)"
             ))),
         }
     }
@@ -250,6 +294,7 @@ impl Request {
         match self {
             Request::Infer(r) => r.to_json(),
             Request::Simulate(r) => r.to_json(),
+            Request::SimulateHierarchy(r) => r.to_json(),
             Request::Distances(r) => r.to_json(),
             Request::Workloads(r) => r.to_json(),
             Request::EvictionSet(r) => r.to_json(),
@@ -268,6 +313,7 @@ impl Request {
         match self {
             Request::Infer(_) => "infer",
             Request::Simulate(_) => "simulate",
+            Request::SimulateHierarchy(_) => "simulate_hierarchy",
             Request::Distances(_) => "distances",
             Request::Workloads(_) => "workloads",
             Request::EvictionSet(_) => "eviction_set",
@@ -420,6 +466,149 @@ impl SimulateRequest {
             ("workload", Json::from(self.workload.as_str())),
             ("writes", Json::Num(self.writes)),
             ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+impl SimulateHierarchyRequest {
+    fn from_json(obj: &Json) -> Result<Self, RequestError> {
+        let line = field_u64(obj, "line", 64)?;
+        let Some(Json::Arr(level_objs)) = obj.get("levels") else {
+            return Err(bad("missing field \"levels\" (array of level objects)"));
+        };
+        if level_objs.is_empty() {
+            return Err(bad("field \"levels\" must name at least one level"));
+        }
+        if level_objs.len() > MAX_HIERARCHY_LEVELS {
+            return Err(bad(format!(
+                "{} levels exceed the serving cap of {MAX_HIERARCHY_LEVELS}",
+                level_objs.len()
+            )));
+        }
+        let mut levels = Vec::with_capacity(level_objs.len());
+        for (i, level) in level_objs.iter().enumerate() {
+            if !matches!(level, Json::Obj(_)) {
+                return Err(bad(format!("level {i} must be a JSON object")));
+            }
+            let policy = parse_policy(level).map_err(|e| bad(format!("level {i}: {e}")))?;
+            let capacity = field_u64(level, "capacity", 0)?;
+            if capacity == 0 {
+                return Err(bad(format!(
+                    "level {i}: missing or zero field \"capacity\""
+                )));
+            }
+            let assoc = field_usize(level, "assoc", 0)?;
+            // Geometry validity per level; the shared line size rules out
+            // mismatched-line hierarchies by construction.
+            cachekit_sim::CacheConfig::new(capacity, assoc, line)
+                .map_err(|e| bad(format!("level {i}: invalid geometry: {e}")))?;
+            policy
+                .validate_for_assoc(assoc)
+                .map_err(|e| bad(format!("level {i}: {e}")))?;
+            levels.push(HierarchyLevel {
+                policy,
+                capacity,
+                assoc,
+            });
+        }
+        let outer = levels.last().expect("levels is non-empty");
+        if outer.capacity > MAX_SIMULATE_CAPACITY {
+            return Err(bad(format!(
+                "outermost capacity {} exceeds the serving cap of {MAX_SIMULATE_CAPACITY} bytes",
+                outer.capacity
+            )));
+        }
+        if outer.capacity / line < 16 {
+            return Err(bad("outermost capacity must hold at least 16 lines"));
+        }
+        let containment = match field_str(obj, "containment")? {
+            None => Containment::Nine,
+            Some(s) => {
+                Containment::parse(s).ok_or_else(|| bad(format!("unknown containment {s:?}")))?
+            }
+        };
+        // Inclusion with an inner level at least as large as its outer
+        // neighbour cannot hold the subset invariant; reject up front.
+        if containment == Containment::Inclusive {
+            for pair in levels.windows(2) {
+                if pair[0].capacity >= pair[1].capacity {
+                    return Err(bad(format!(
+                        "inclusive containment needs strictly growing capacities \
+                         ({} then {})",
+                        pair[0].capacity, pair[1].capacity
+                    )));
+                }
+            }
+        }
+        let workload = field_str(obj, "workload")?
+            .ok_or_else(|| bad("missing field \"workload\""))?
+            .to_owned();
+        let writes = field_f64(obj, "writes", 0.0)?;
+        if !(0.0..=1.0).contains(&writes) {
+            return Err(bad(format!("writes fraction {writes} outside [0, 1]")));
+        }
+        let seed = field_u64(obj, "seed", 7)?;
+        let latencies = match obj.get("latencies") {
+            None | Some(Json::Null) => cachekit_sim::default_latencies(levels.len()),
+            Some(Json::Arr(items)) => {
+                let mut v = Vec::with_capacity(items.len());
+                for item in items {
+                    v.push(item.as_u64().ok_or_else(|| {
+                        bad("field \"latencies\" must be an array of positive integers")
+                    })?);
+                }
+                v
+            }
+            Some(_) => return Err(bad("field \"latencies\" must be an array")),
+        };
+        if latencies.len() != levels.len() {
+            return Err(bad(format!(
+                "{} latencies for {} levels",
+                latencies.len(),
+                levels.len()
+            )));
+        }
+        if latencies.contains(&0) {
+            return Err(bad("latencies must be at least 1 cycle"));
+        }
+        let memory_latency = field_u64(obj, "memory_latency", 200)?;
+        if memory_latency == 0 {
+            return Err(bad("field \"memory_latency\" must be at least 1 cycle"));
+        }
+        Ok(Self {
+            levels,
+            containment,
+            line,
+            workload,
+            writes,
+            seed,
+            latencies,
+            memory_latency,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let levels: Vec<Json> = self
+            .levels
+            .iter()
+            .map(|l| {
+                Json::object(vec![
+                    ("policy", Json::from(l.policy.label())),
+                    ("capacity", Json::from(l.capacity)),
+                    ("assoc", Json::from(l.assoc)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("type", Json::from("simulate_hierarchy")),
+            ("levels", Json::Arr(levels)),
+            ("containment", Json::from(self.containment.label())),
+            ("line", Json::from(self.line)),
+            ("workload", Json::from(self.workload.as_str())),
+            ("writes", Json::Num(self.writes)),
+            ("seed", Json::from(self.seed)),
+            ("latencies", Json::from(self.latencies.clone())),
+            ("memory_latency", Json::from(self.memory_latency)),
         ])
     }
 }

@@ -28,6 +28,17 @@ impl AccessOutcome {
     }
 }
 
+/// A line displaced from a cache together with its dirtiness — what a
+/// multi-level hierarchy needs to decide between a write-back and a
+/// silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned address of the displaced line.
+    pub addr: u64,
+    /// Whether the line was dirty when displaced.
+    pub dirty: bool,
+}
+
 /// A set-associative cache with a replacement policy per set.
 ///
 /// # Example
@@ -167,6 +178,79 @@ impl Cache {
                 )
             }
         }
+    }
+
+    /// Probe for `addr` without allocating on a miss. Counts the access
+    /// (and the write) plus the hit or miss in the statistics; a hit
+    /// touches the replacement state exactly like
+    /// [`access_op`](Self::access_op), a miss changes nothing.
+    ///
+    /// Together with [`install`](Self::install) this splits `access_op`
+    /// into its two halves, letting a hierarchy decide *where* a missed
+    /// line gets filled (or whether it gets filled at all).
+    pub fn probe_op(&mut self, addr: u64, write: bool) -> bool {
+        let set = self.config.set_index(addr);
+        let tag = self.config.tag(addr);
+        if write {
+            self.stats.writes += 1;
+        }
+        if self.sets[set].probe_rw(tag, write) {
+            self.stats.record_hit();
+            true
+        } else {
+            self.stats.record_miss(false);
+            false
+        }
+    }
+
+    /// Fill the line containing `addr` (invalid way first, otherwise the
+    /// policy's victim), optionally already dirty, and return the line it
+    /// displaced. Counts the eviction (and the write-back for a dirty
+    /// victim) but no access — the demand lookup was already counted by
+    /// the probe that preceded it.
+    ///
+    /// The caller must ensure the line is not already resident.
+    pub fn install(&mut self, addr: u64, dirty: bool) -> Option<EvictedLine> {
+        let set = self.config.set_index(addr);
+        let tag = self.config.tag(addr);
+        self.sets[set].install_tag(tag, dirty).map(|(t, d)| {
+            self.stats.evictions += 1;
+            if d {
+                self.stats.writebacks += 1;
+            }
+            EvictedLine {
+                addr: self.config.addr_of(t, set),
+                dirty: d,
+            }
+        })
+    }
+
+    /// Remove the line containing `addr`, reporting whether it was dirty
+    /// (`None` if it was not resident). No statistics are recorded: the
+    /// hierarchy accounts the consequence — a write-back or a silent
+    /// drop — itself.
+    pub fn extract(&mut self, addr: u64) -> Option<bool> {
+        let set = self.config.set_index(addr);
+        self.sets[set].extract(self.config.tag(addr))
+    }
+
+    /// Whether the line containing `addr` is resident and dirty
+    /// (non-perturbing).
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.sets[self.config.set_index(addr)].is_dirty(self.config.tag(addr))
+    }
+
+    /// Line-aligned addresses of every resident line, in set order (way
+    /// order within a set). For containment-invariant checks; not a hot
+    /// path.
+    pub fn resident_lines(&self) -> Vec<u64> {
+        let mut lines = Vec::with_capacity(self.occupancy());
+        for (i, set) in self.sets.iter().enumerate() {
+            for tag in set.resident_tags() {
+                lines.push(self.config.addr_of(tag, i));
+            }
+        }
+        lines
     }
 
     /// Whether the line containing `addr` is resident (non-perturbing,

@@ -41,9 +41,12 @@ mod set;
 mod stats;
 pub mod sweep;
 
-pub use cache::{AccessOutcome, Cache};
+pub use cache::{AccessOutcome, Cache, EvictedLine};
 pub use config::{CacheConfig, ConfigError, IndexFunction};
-pub use hierarchy::{Hierarchy, HierarchyOutcome, LevelSpec};
+pub use hierarchy::{
+    default_latencies, Containment, Hierarchy, HierarchyOutcome, HierarchyStats, LevelSpec,
+    DEFAULT_LEVEL_LATENCIES, DEFAULT_MEMORY_LATENCY,
+};
 pub use parallel::{
     effective_jobs, par_map, sweep_parallel, sweep_parallel_jobs, PoolClosed, WorkerPool,
 };

@@ -264,6 +264,64 @@ impl CacheSet {
         (SetOutcome::Miss { way, evicted }, writeback)
     }
 
+    /// Look up `tag` without allocating on a miss. A hit touches the
+    /// replacement state (and marks the line dirty on a write) exactly
+    /// like the crate-internal `access_rw`; a miss leaves the set
+    /// untouched. Returns whether the tag was resident.
+    #[inline]
+    pub fn probe_rw(&mut self, tag: u64, write: bool) -> bool {
+        if let Some(way) = self.way_of(tag) {
+            self.policy.on_hit(way);
+            if write {
+                self.dirty |= 1u128 << way;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install `tag` without a preceding lookup (invalid way first,
+    /// otherwise the policy's victim), optionally already dirty. Returns
+    /// the displaced `(tag, was_dirty)` pair if a valid line was evicted.
+    ///
+    /// The caller must ensure `tag` is not already resident — a duplicate
+    /// install would leave the same tag in two ways.
+    pub fn install_tag(&mut self, tag: u64, dirty: bool) -> Option<(u64, bool)> {
+        let invalid = (!self.valid).trailing_zeros() as usize;
+        let way = if invalid < self.tags.len() {
+            invalid
+        } else {
+            self.policy.victim()
+        };
+        let bit = 1u128 << way;
+        let evicted = (self.valid & bit != 0).then(|| (self.tags[way], self.dirty & bit != 0));
+        self.tags[way] = tag;
+        self.valid |= bit;
+        if dirty {
+            self.dirty |= bit;
+        } else {
+            self.dirty &= !bit;
+        }
+        self.policy.on_fill(way);
+        evicted
+    }
+
+    /// Remove `tag`, reporting whether the dropped line was dirty
+    /// (`None` if it was not resident). Unlike
+    /// [`invalidate`](Self::invalidate), the dirtiness survives to the
+    /// caller — what a hierarchy's back-invalidation and exclusive
+    /// victim moves need to route the pending write-back.
+    pub fn extract(&mut self, tag: u64) -> Option<bool> {
+        let way = self.way_of(tag)?;
+        let bit = 1u128 << way;
+        let dirty = self.dirty & bit != 0;
+        self.valid &= !bit;
+        self.dirty &= !bit;
+        self.policy.on_invalidate(way);
+        Some(dirty)
+    }
+
     /// Run a stream of read accesses through the set in one call,
     /// returning `(hits, misses)`.
     ///

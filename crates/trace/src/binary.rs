@@ -1,0 +1,603 @@
+//! Compact, seekable binary trace format.
+//!
+//! The text format in [`io`](crate::io) is greppable but bulky — ~15
+//! bytes per operation. This module stores the same `(address, R/W)`
+//! stream in ~1–3 bytes per operation for the regular strides real
+//! traces are made of, while staying streamable in both directions with
+//! bounded memory.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [magic "CKTB"][version u8 = 1][flags u8 = 0][reserved u16 = 0]
+//! repeated blocks until EOF:
+//!     [payload_len u32 LE][op_count u32 LE][payload: op_count varints]
+//! ```
+//!
+//! Each operation is one LEB128-style varint encoding
+//! `zigzag(addr - prev_addr) << 1 | write_bit` — except that the first
+//! byte of the varint carries the write bit in bit 0, six payload bits,
+//! and the continuation flag in bit 7; subsequent bytes are plain 7-bit
+//! groups. Deltas use wrapping arithmetic (so any `u64` pair encodes)
+//! and **restart from address 0 at every block boundary**, which is what
+//! makes blocks independently decodable: a reader can skip a block it
+//! does not care about by its `payload_len` without touching the
+//! varints inside ([`BinaryTraceReader::skip_block`]).
+//!
+//! Truncations and mangled bytes surface as typed
+//! [`TraceIoError`] variants, never panics. One honest limit: a file cut
+//! *exactly* at a block boundary is indistinguishable from a complete
+//! file — the format trades a trailer for appendability.
+//!
+//! ## Example
+//!
+//! ```
+//! use cachekit_trace::binary::{read_trace_binary, write_trace_binary};
+//! use cachekit_trace::MemOp;
+//!
+//! let ops = vec![MemOp::read(0x40), MemOp::write(0x80), MemOp::read(0x40)];
+//! let mut buf = Vec::new();
+//! write_trace_binary(&ops, &mut buf).unwrap();
+//! assert_eq!(read_trace_binary(buf.as_slice()).unwrap(), ops);
+//! ```
+
+use crate::io::{MemOp, TraceIoError};
+use std::io::{Read, Write};
+
+/// Leading magic bytes of a binary trace ("CacheKit Trace Binary").
+pub const MAGIC: [u8; 4] = *b"CKTB";
+
+/// Current (and only) format version.
+pub const VERSION: u8 = 1;
+
+/// Operations per block the writer emits by default. 4096 ops cap a
+/// block payload at 40 KiB even for adversarial address jumps, and
+/// amortize the 8-byte block header to two bits per operation.
+pub const DEFAULT_BLOCK_OPS: usize = 4096;
+
+/// Hard upper bound on a block payload a reader will allocate. The
+/// writer never exceeds `10 * op_count` bytes; anything above this is a
+/// corrupt length field, and refusing it keeps a mangled file from
+/// requesting a multi-gigabyte buffer.
+pub const MAX_BLOCK_LEN: u32 = 1 << 24;
+
+const HEADER_LEN: usize = 8;
+
+fn zigzag(delta: i64) -> u64 {
+    ((delta << 1) ^ (delta >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append one operation's varint to `buf`: first byte = continuation
+/// bit, six value bits, write bit; rest = plain 7-bit LEB128 groups.
+fn encode_op(buf: &mut Vec<u8>, prev: u64, op: MemOp) {
+    let mut v = zigzag(op.addr.wrapping_sub(prev) as i64);
+    let mut first = ((v as u8 & 0x3f) << 1) | u8::from(op.write);
+    v >>= 6;
+    if v != 0 {
+        first |= 0x80;
+    }
+    buf.push(first);
+    while v != 0 {
+        let mut byte = v as u8 & 0x7f;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        buf.push(byte);
+    }
+}
+
+/// Decode one operation from `payload` at `*pos`, advancing it.
+fn decode_op(payload: &[u8], pos: &mut usize, prev: u64) -> Option<MemOp> {
+    let first = *payload.get(*pos)?;
+    *pos += 1;
+    let write = first & 1 != 0;
+    let mut v = u64::from((first >> 1) & 0x3f);
+    let mut shift = 6u32;
+    let mut cont = first & 0x80 != 0;
+    while cont {
+        let byte = *payload.get(*pos)?;
+        *pos += 1;
+        // 6 + 9*7 = 69 bits is the widest a u64 zigzag needs; a longer
+        // chain (or one overflowing the value) is corrupt.
+        if shift >= 69 || (shift + 7 > 64 && u64::from(byte & 0x7f) >> (64 - shift) != 0) {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        shift += 7;
+        cont = byte & 0x80 != 0;
+    }
+    Some(MemOp {
+        addr: prev.wrapping_add(unzigzag(v) as u64),
+        write,
+    })
+}
+
+/// Streaming writer: feed operations with [`push`](Self::push), close
+/// with [`finish`](Self::finish). Memory use is one block buffer.
+#[derive(Debug)]
+pub struct BinaryTraceWriter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    pending: u32,
+    prev: u64,
+    block_ops: usize,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Start a binary trace on `out` (writes the header immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn new(out: W) -> std::io::Result<Self> {
+        Self::with_block_ops(out, DEFAULT_BLOCK_OPS)
+    }
+
+    /// Like [`new`](Self::new) with an explicit block granularity
+    /// (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn with_block_ops(mut out: W, block_ops: usize) -> std::io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&[VERSION, 0, 0, 0])?;
+        Ok(Self {
+            out,
+            buf: Vec::new(),
+            pending: 0,
+            prev: 0,
+            block_ops: block_ops.max(1),
+        })
+    }
+
+    /// Append one operation, flushing a block when it fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push(&mut self, op: MemOp) -> std::io::Result<()> {
+        encode_op(&mut self.buf, self.prev, op);
+        self.prev = op.addr;
+        self.pending += 1;
+        if self.pending as usize >= self.block_ops {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.out.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.out.write_all(&self.pending.to_le_bytes())?;
+        self.out.write_all(&self.buf)?;
+        self.buf.clear();
+        self.pending = 0;
+        self.prev = 0; // deltas restart per block
+        Ok(())
+    }
+
+    /// Flush the final partial block and return the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_block()?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader: iterate operations, or hop over whole blocks with
+/// [`skip_block`](Self::skip_block). Memory use is one block buffer,
+/// capped at [`MAX_BLOCK_LEN`].
+#[derive(Debug)]
+pub struct BinaryTraceReader<R: Read> {
+    input: R,
+    block: Vec<u8>,
+    pos: usize,
+    remaining_ops: u32,
+    prev: u64,
+    block_index: usize,
+    fused: bool,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Open a binary trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::BadMagic`] / [`TraceIoError::BadVersion`] for a
+    /// foreign or newer file, [`TraceIoError::Truncated`] for one shorter
+    /// than its header, [`TraceIoError::Io`] for read failures.
+    pub fn new(mut input: R) -> Result<Self, TraceIoError> {
+        let mut header = [0u8; HEADER_LEN];
+        read_full(&mut input, &mut header, "header")?;
+        if header[..4] != MAGIC {
+            return Err(TraceIoError::BadMagic {
+                found: [header[0], header[1], header[2], header[3]],
+            });
+        }
+        if header[4] != VERSION {
+            return Err(TraceIoError::BadVersion { found: header[4] });
+        }
+        Ok(Self {
+            input,
+            block: Vec::new(),
+            pos: 0,
+            remaining_ops: 0,
+            prev: 0,
+            block_index: 0,
+            fused: false,
+        })
+    }
+
+    /// Read the next block header; `Ok(None)` at a clean end of stream.
+    fn next_block_header(&mut self) -> Result<Option<(u32, u32)>, TraceIoError> {
+        let mut head = [0u8; 8];
+        match read_full_or_eof(&mut self.input, &mut head, "block header")? {
+            false => Ok(None),
+            true => {
+                let payload_len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+                let op_count = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+                if payload_len > MAX_BLOCK_LEN {
+                    return Err(TraceIoError::Corrupt {
+                        block: self.block_index,
+                        detail: "block length exceeds the format maximum",
+                    });
+                }
+                if (op_count == 0) != (payload_len == 0) {
+                    return Err(TraceIoError::Corrupt {
+                        block: self.block_index,
+                        detail: "op count and payload length disagree about emptiness",
+                    });
+                }
+                Ok(Some((payload_len, op_count)))
+            }
+        }
+    }
+
+    /// Load the next block into the buffer; `Ok(false)` at end of stream.
+    fn load_block(&mut self) -> Result<bool, TraceIoError> {
+        let Some((payload_len, op_count)) = self.next_block_header()? else {
+            return Ok(false);
+        };
+        self.block.resize(payload_len as usize, 0);
+        read_full(&mut self.input, &mut self.block, "block payload")?;
+        self.pos = 0;
+        self.remaining_ops = op_count;
+        self.prev = 0;
+        Ok(true)
+    }
+
+    /// Skip the next whole block without decoding it, returning its
+    /// operation count (`None` at end of stream).
+    ///
+    /// Only meaningful at a block boundary; mid-block (after an odd
+    /// number of `next` calls) the current block is finished first by
+    /// discarding its remaining decoded state.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`TraceIoError`] variants as for iteration.
+    pub fn skip_block(&mut self) -> Result<Option<u32>, TraceIoError> {
+        // Drop whatever is left of a partially consumed block.
+        self.remaining_ops = 0;
+        self.pos = 0;
+        self.block.clear();
+        let Some((payload_len, op_count)) = self.next_block_header()? else {
+            return Ok(None);
+        };
+        discard(&mut self.input, u64::from(payload_len))?;
+        self.block_index += 1;
+        Ok(Some(op_count))
+    }
+
+    fn next_op(&mut self) -> Result<Option<MemOp>, TraceIoError> {
+        loop {
+            if self.remaining_ops == 0 {
+                if self.pos < self.block.len() {
+                    return Err(TraceIoError::Corrupt {
+                        block: self.block_index,
+                        detail: "trailing bytes after the last operation",
+                    });
+                }
+                if !self.load_block()? {
+                    return Ok(None);
+                }
+                self.block_index += 1;
+                continue;
+            }
+            let Some(op) = decode_op(&self.block, &mut self.pos, self.prev) else {
+                return Err(TraceIoError::Corrupt {
+                    block: self.block_index.saturating_sub(1),
+                    detail: "varint overruns the block or the u64 range",
+                });
+            };
+            self.remaining_ops -= 1;
+            self.prev = op.addr;
+            return Ok(Some(op));
+        }
+    }
+}
+
+impl<R: Read> Iterator for BinaryTraceReader<R> {
+    type Item = Result<MemOp, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        match self.next_op() {
+            Ok(Some(op)) => Some(Ok(op)),
+            Ok(None) => None,
+            Err(e) => {
+                self.fused = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Serialize `ops` in the binary format with the default block size.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace_binary<W: Write>(ops: &[MemOp], out: &mut W) -> std::io::Result<()> {
+    let mut w = BinaryTraceWriter::new(out)?;
+    for &op in ops {
+        w.push(op)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Parse a whole binary trace into memory.
+///
+/// # Errors
+///
+/// Any typed [`TraceIoError`] the streaming reader reports.
+pub fn read_trace_binary<R: Read>(input: R) -> Result<Vec<MemOp>, TraceIoError> {
+    BinaryTraceReader::new(input)?.collect()
+}
+
+fn read_full<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), TraceIoError> {
+    match read_full_or_eof(input, buf, context)? {
+        true => Ok(()),
+        false => Err(TraceIoError::Truncated { context }),
+    }
+}
+
+/// Fill `buf` entirely (`Ok(true)`), or report a clean EOF before the
+/// first byte (`Ok(false)`); EOF mid-buffer is [`TraceIoError::Truncated`].
+fn read_full_or_eof<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<bool, TraceIoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(TraceIoError::Truncated { context }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceIoError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn discard<R: Read>(input: &mut R, mut n: u64) -> Result<(), TraceIoError> {
+    let mut sink = [0u8; 4096];
+    while n > 0 {
+        let want = sink.len().min(n as usize);
+        match input.read(&mut sink[..want]) {
+            Ok(0) => {
+                return Err(TraceIoError::Truncated {
+                    context: "block payload",
+                })
+            }
+            Ok(got) => n -= got as u64,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceIoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ops: &[MemOp]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace_binary(ops, &mut buf).unwrap();
+        assert_eq!(read_trace_binary(buf.as_slice()).unwrap(), ops);
+        buf
+    }
+
+    #[test]
+    fn empty_trace_is_just_a_header() {
+        let buf = round_trip(&[]);
+        assert_eq!(buf.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn extreme_addresses_round_trip() {
+        round_trip(&[
+            MemOp::read(0),
+            MemOp::write(u64::MAX),
+            MemOp::read(0),
+            MemOp::read(1 << 63),
+            MemOp::write(u64::MAX - 1),
+        ]);
+    }
+
+    #[test]
+    fn small_strides_encode_in_one_byte_each() {
+        let ops: Vec<MemOp> = (0..1000u64).map(|i| MemOp::read(i * 16)).collect();
+        let buf = round_trip(&ops);
+        // delta 16 zigzags to 32 → 6 bits → exactly one byte per op.
+        assert_eq!(buf.len(), HEADER_LEN + 8 + 1000);
+    }
+
+    #[test]
+    fn multiple_blocks_round_trip() {
+        let ops: Vec<MemOp> = (0..10_000u64)
+            .map(|i| MemOp {
+                addr: (i * 2654435761) % (1 << 30),
+                write: i % 7 == 0,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::with_block_ops(&mut buf, 64).unwrap();
+        for &op in &ops {
+            w.push(op).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(read_trace_binary(buf.as_slice()).unwrap(), ops);
+    }
+
+    #[test]
+    fn skip_block_hops_without_decoding() {
+        let ops: Vec<MemOp> = (0..300u64).map(MemOp::read).collect();
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::with_block_ops(&mut buf, 100).unwrap();
+        for &op in &ops {
+            w.push(op).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.skip_block().unwrap(), Some(100));
+        // The next block decodes on its own: deltas restarted.
+        let rest: Vec<MemOp> = r.map(Result::unwrap).collect();
+        assert_eq!(rest, ops[100..]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut buf = Vec::new();
+        write_trace_binary(&[MemOp::read(1)], &mut buf).unwrap();
+        let mut mangled = buf.clone();
+        mangled[0] = b'X';
+        assert!(matches!(
+            read_trace_binary(mangled.as_slice()),
+            Err(TraceIoError::BadMagic { .. })
+        ));
+        let mut newer = buf.clone();
+        newer[4] = 99;
+        assert!(matches!(
+            read_trace_binary(newer.as_slice()),
+            Err(TraceIoError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncations_are_typed_never_panics() {
+        let ops: Vec<MemOp> = (0..50u64).map(|i| MemOp::read(i * 4096)).collect();
+        let mut buf = Vec::new();
+        write_trace_binary(&ops, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            match read_trace_binary(&buf[..cut]) {
+                Ok(ops) => assert!(
+                    ops.is_empty() && cut == HEADER_LEN,
+                    "only a header-only file may parse at cut {cut}"
+                ),
+                Err(
+                    TraceIoError::Truncated { .. }
+                    | TraceIoError::Corrupt { .. }
+                    | TraceIoError::BadMagic { .. }
+                    | TraceIoError::BadVersion { .. },
+                ) => {}
+                Err(other) => panic!("unexpected error at cut {cut}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_block_length_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        write_trace_binary(&[], &mut buf).unwrap();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            read_trace_binary(buf.as_slice()),
+            Err(TraceIoError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_varint_is_corrupt() {
+        let mut buf = Vec::new();
+        write_trace_binary(&[], &mut buf).unwrap();
+        // One block claiming a single op made of 11 continuation bytes.
+        let payload = [0x81u8; 11];
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_trace_binary(buf.as_slice()),
+            Err(TraceIoError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_in_block_are_corrupt() {
+        let mut buf = Vec::new();
+        write_trace_binary(&[], &mut buf).unwrap();
+        // Block: claims 1 op, carries 2 single-byte ops' worth of bytes.
+        let payload = [0x02u8, 0x02];
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_trace_binary(buf.as_slice()),
+            Err(TraceIoError::Corrupt {
+                detail: "trailing bytes after the last operation",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn op_count_payload_disagreement_is_corrupt() {
+        let mut buf = Vec::new();
+        write_trace_binary(&[], &mut buf).unwrap();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            read_trace_binary(buf.as_slice()),
+            Err(TraceIoError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_is_denser_than_text_on_real_patterns() {
+        let addrs = crate::gen::sequential_scan(1 << 16, 2, 64);
+        let ops = crate::io::with_writes(&addrs, 0.2, 7);
+        let mut text = Vec::new();
+        crate::io::write_trace(&ops, &mut text).unwrap();
+        let mut bin = Vec::new();
+        write_trace_binary(&ops, &mut bin).unwrap();
+        assert!(
+            bin.len() * 4 < text.len(),
+            "binary {} vs text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+}

@@ -163,6 +163,77 @@ pub fn concat<I: IntoIterator<Item = Vec<u64>>>(parts: I) -> Vec<u64> {
     out
 }
 
+/// The address stream of a garbage collector's mark phase: a
+/// transitive-closure traversal (explicit DFS worklist) over a seeded
+/// object graph whose objects were scattered across the heap by a
+/// shuffled bump allocator — the fragmented layout a few collection
+/// cycles leave behind.
+///
+/// Every object reached costs one mark-bitmap access (the test-and-set
+/// lives in a dense side table, so those accesses are the *friendly*
+/// part), a header-line read, and one read per field line; each of its
+/// references pushes a random far-away object onto the worklist. The
+/// result is the brutally cache-hostile dependent-pointer archetype of
+/// heap tracing: near-zero spatial locality between parent and child,
+/// with a trickle of bitmap reuse layered on top.
+///
+/// The graph is a random spanning tree over `num_objects` objects (so
+/// the whole heap is reachable from the single root) plus `avg_fields`
+/// extra edges per object on average. Pure function of its parameters.
+///
+/// # Panics
+///
+/// Panics if `num_objects` is 0 or `line` is 0.
+pub fn gc_mark(num_objects: usize, avg_fields: usize, line: u64, seed: u64) -> Vec<u64> {
+    assert!(num_objects > 0, "need at least one object");
+    assert!(line > 0, "line size must be nonzero");
+    let mut rng = Prng::seed_from_u64(seed);
+
+    // Out-edges: a spanning tree rooted at object 0, then random extras.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); num_objects];
+    for child in 1..num_objects {
+        let parent = rng.gen_range(0..child as u64) as usize;
+        edges[parent].push(child);
+    }
+    for to in edges.iter_mut() {
+        for _ in 0..rng.gen_range(0..=2 * avg_fields as u64) {
+            to.push(rng.gen_range(0..num_objects as u64) as usize);
+        }
+    }
+
+    // Fragmented placement: bump-allocate the objects in shuffled order.
+    // An object is a header line plus enough lines for its 8-byte refs.
+    let span = |fields: usize| 1 + (fields as u64 * 8).div_ceil(line);
+    let mut order: Vec<usize> = (0..num_objects).collect();
+    order.shuffle(&mut rng);
+    let mut addr = vec![0u64; num_objects];
+    let mut bump = 0u64;
+    for &obj in &order {
+        addr[obj] = bump;
+        bump += span(edges[obj].len()) * line;
+    }
+    // The mark bitmap sits above the heap, one bit per object.
+    let bitmap_base = bump;
+    let bitmap_line = |obj: usize| bitmap_base + (obj as u64 / (8 * line)) * line;
+
+    let mut trace = Vec::new();
+    let mut marked = vec![false; num_objects];
+    let mut worklist = vec![0usize];
+    while let Some(obj) = worklist.pop() {
+        // Mark test-and-set: one bitmap access either way.
+        trace.push(bitmap_line(obj));
+        if std::mem::replace(&mut marked[obj], true) {
+            continue;
+        }
+        // Scan the object: header, then its field lines.
+        for k in 0..span(edges[obj].len()) {
+            trace.push(addr[obj] + k * line);
+        }
+        worklist.extend(edges[obj].iter().rev());
+    }
+    trace
+}
+
 /// Uniform random accesses over `num_lines` blocks — the worst case for
 /// every policy, used as a control.
 pub fn uniform_random(num_lines: u64, accesses: usize, line: u64, seed: u64) -> Vec<u64> {
@@ -255,6 +326,30 @@ mod tests {
     fn concat_joins_in_order() {
         let t = concat([vec![1u64], vec![2, 3]]);
         assert_eq!(t, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gc_mark_is_reproducible_and_reaches_the_whole_heap() {
+        let a = gc_mark(500, 3, 64, 11);
+        assert_eq!(a, gc_mark(500, 3, 64, 11));
+        assert_ne!(a, gc_mark(500, 3, 64, 12));
+        // Every object is reachable via the spanning tree, so the trace
+        // must visit at least one line per object plus bitmap traffic.
+        let distinct: HashSet<u64> = a.iter().map(|x| x / 64).collect();
+        assert!(distinct.len() >= 500, "distinct lines = {}", distinct.len());
+    }
+
+    #[test]
+    fn gc_mark_is_pointer_hostile() {
+        // Consecutive accesses should mostly be far apart: the fraction
+        // of |delta| <= one line must stay well below a sequential scan.
+        let t = gc_mark(2000, 3, 64, 5);
+        let near = t.windows(2).filter(|w| w[0].abs_diff(w[1]) <= 64).count();
+        assert!(
+            (near as f64) < 0.5 * t.len() as f64,
+            "near fraction {near}/{}",
+            t.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Trace serialization: a plain-text interchange format.
 //!
-//! One operation per line: an `R` or `W` marker followed by a hex
-//! address, e.g.
+//! One operation per line: an `R` or `W` marker (case-insensitive: `r`
+//! and `w` are accepted too, though the writer always emits upper case)
+//! followed by a hex address, e.g.
 //!
 //! ```text
 //! R 0x7f3a00
@@ -10,7 +11,13 @@
 //! ```
 //!
 //! A bare address line is read as a read — so a file that is just a list
-//! of hex addresses (the classic "din-lite" dump) loads too.
+//! of hex addresses (the classic "din-lite" dump) loads too. Addresses
+//! that do not fit in a `u64` are rejected with the dedicated
+//! [`TraceIoError::AddrOverflow`] error rather than being truncated or
+//! lumped in with syntax errors.
+//!
+//! The compact binary sibling of this format lives in
+//! [`binary`](crate::binary).
 
 use std::error::Error;
 use std::fmt;
@@ -49,6 +56,39 @@ pub enum TraceIoError {
         /// The offending content.
         content: String,
     },
+    /// A syntactically valid address too large for a `u64`.
+    AddrOverflow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A binary trace whose leading magic bytes are wrong (not a binary
+    /// trace at all, or one mangled in transit).
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// A binary trace written by a format version this reader does not
+    /// understand.
+    BadVersion {
+        /// The version byte actually found.
+        found: u8,
+    },
+    /// A binary trace that ends mid-structure.
+    Truncated {
+        /// Which structure the input ran out in.
+        context: &'static str,
+    },
+    /// A binary trace block whose payload does not decode: a varint that
+    /// overruns the block or the `u64` range, or trailing garbage after
+    /// the last operation.
+    Corrupt {
+        /// 0-based index of the offending block.
+        block: usize,
+        /// What failed to decode.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -57,6 +97,21 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
             TraceIoError::BadLine { line, content } => {
                 write!(f, "bad trace line {line}: {content:?}")
+            }
+            TraceIoError::AddrOverflow { line, content } => {
+                write!(f, "address overflows u64 on trace line {line}: {content:?}")
+            }
+            TraceIoError::BadMagic { found } => {
+                write!(f, "not a binary trace (magic bytes {found:02x?})")
+            }
+            TraceIoError::BadVersion { found } => {
+                write!(f, "unsupported binary trace version {found}")
+            }
+            TraceIoError::Truncated { context } => {
+                write!(f, "binary trace truncated in {context}")
+            }
+            TraceIoError::Corrupt { block, detail } => {
+                write!(f, "corrupt binary trace block {block}: {detail}")
             }
         }
     }
@@ -82,12 +137,14 @@ pub fn write_trace<W: Write>(ops: &[MemOp], out: &mut W) -> std::io::Result<()> 
     Ok(())
 }
 
-/// Parse a trace in the text format.
+/// Parse a trace in the text format. Operation markers are matched
+/// case-insensitively (`R`/`r`, `W`/`w`).
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::BadLine`] for malformed lines and
-/// [`TraceIoError::Io`] for underlying read failures.
+/// Returns [`TraceIoError::BadLine`] for malformed lines,
+/// [`TraceIoError::AddrOverflow`] for addresses that do not fit in a
+/// `u64`, and [`TraceIoError::Io`] for underlying read failures.
 pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceIoError> {
     let mut ops = Vec::new();
     for (i, line) in input.lines().enumerate() {
@@ -108,18 +165,36 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemOp>, TraceIoError> {
             },
             None => (false, trimmed),
         };
-        let addr = parse_addr(addr_str).ok_or_else(bad)?;
+        let addr = match parse_addr(addr_str) {
+            Ok(addr) => addr,
+            Err(AddrParseIssue::Overflow) => {
+                return Err(TraceIoError::AddrOverflow {
+                    line: i + 1,
+                    content: trimmed.to_owned(),
+                })
+            }
+            Err(AddrParseIssue::Invalid) => return Err(bad()),
+        };
         ops.push(MemOp { addr, write });
     }
     Ok(ops)
 }
 
-fn parse_addr(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
+enum AddrParseIssue {
+    Overflow,
+    Invalid,
+}
+
+fn parse_addr(s: &str) -> Result<u64, AddrParseIssue> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
     } else {
-        s.parse::<u64>().ok()
-    }
+        s.parse::<u64>()
+    };
+    parsed.map_err(|e| match e.kind() {
+        std::num::IntErrorKind::PosOverflow => AddrParseIssue::Overflow,
+        _ => AddrParseIssue::Invalid,
+    })
 }
 
 /// Attach write markers to an address trace: each access becomes a write
@@ -171,6 +246,45 @@ mod tests {
                 assert_eq!(line, 2);
                 assert_eq!(content, "X 12");
             }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowercase_markers_are_accepted() {
+        let text = "r 0x40\nw 0x80\nR 0xc0\nW 0x100\n";
+        let ops = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                MemOp::read(0x40),
+                MemOp::write(0x80),
+                MemOp::read(0xc0),
+                MemOp::write(0x100),
+            ]
+        );
+    }
+
+    #[test]
+    fn overflowing_addresses_get_a_dedicated_error() {
+        // 17 hex digits: one past what u64 can hold.
+        for text in ["R 0x10000000000000000\n", "18446744073709551616\n"] {
+            match read_trace(text.as_bytes()) {
+                Err(TraceIoError::AddrOverflow { line: 1, content }) => {
+                    assert_eq!(content, text.trim());
+                }
+                other => panic!("expected AddrOverflow for {text:?}, got {other:?}"),
+            }
+        }
+        // The maximum address itself is fine.
+        let ops = read_trace("W 0xffffffffffffffff\n".as_bytes()).unwrap();
+        assert_eq!(ops, vec![MemOp::write(u64::MAX)]);
+    }
+
+    #[test]
+    fn non_numeric_addresses_stay_bad_lines() {
+        match read_trace("R zz\n".as_bytes()) {
+            Err(TraceIoError::BadLine { line: 1, .. }) => {}
             other => panic!("expected BadLine, got {other:?}"),
         }
     }

@@ -29,7 +29,7 @@ impl Workload {
     }
 }
 
-/// Build the eight-workload evaluation suite for a cache of
+/// Build the eleven-workload evaluation suite for a cache of
 /// `capacity` bytes with `line`-byte lines.
 ///
 /// The suite mirrors the archetypes a SPEC-style evaluation exercises:
@@ -46,6 +46,7 @@ impl Workload {
 /// | `scan_plus_hot` | hot loop at 1/4 capacity disturbed by a 4× scan    |
 /// | `phase_switch`  | Zipf hot set relocating to a disjoint region per phase |
 /// | `col_walk`      | column-major walk of a row-major matrix, twice     |
+/// | `gc_trace`      | GC mark phase over a fragmented heap, ~2× capacity |
 ///
 /// # Panics
 ///
@@ -106,6 +107,11 @@ pub fn suite(capacity: u64, line: u64, seed: u64) -> Vec<Workload> {
     let one_pass = gen::matrix_walk(rows.max(8), cols, 8, false, 0);
     let col_walk = gen::concat([one_pass.clone(), one_pass]);
 
+    // GC tracing loop: heap-dump transitive closure over a seeded object
+    // graph. ~cap_lines objects of ~2 lines each puts the live heap at
+    // roughly 2x capacity — the mark phase never fits.
+    let gc = gen::gc_mark(cap_lines as usize, 3, line, seed ^ 0x4);
+
     vec![
         Workload::new("seq_stream", "streaming scan, 4x capacity", seq),
         Workload::new("fit_loop", "cyclic working set at 1/2 capacity", fit),
@@ -133,6 +139,11 @@ pub fn suite(capacity: u64, line: u64, seed: u64) -> Vec<Workload> {
             "column-major walk of a row-major matrix, twice",
             col_walk,
         ),
+        Workload::new(
+            "gc_trace",
+            "GC mark phase over a fragmented heap, ~2x capacity",
+            gc,
+        ),
     ]
 }
 
@@ -141,9 +152,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_ten_nonempty_workloads() {
+    fn suite_has_eleven_nonempty_workloads() {
         let s = suite(64 * 1024, 64, 0);
-        assert_eq!(s.len(), 10);
+        assert_eq!(s.len(), 11);
         for w in &s {
             assert!(!w.trace.is_empty(), "{} is empty", w.name);
             assert!(!w.description.is_empty());
@@ -156,7 +167,24 @@ mod tests {
         let mut names: Vec<_> = s.iter().map(|w| w.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn gc_trace_overflows_capacity() {
+        let capacity = 64 * 1024u64;
+        let s = suite(capacity, 64, 0);
+        let gc = s.iter().find(|w| w.name == "gc_trace").unwrap();
+        let distinct = gc
+            .trace
+            .iter()
+            .map(|a| a / 64)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        assert!(
+            distinct > capacity / 64,
+            "the live heap must exceed capacity (distinct = {distinct})"
+        );
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! ```text
 //! cachekit simulate  --policy PLRU --capacity 262144 --assoc 8 --workload zipf_hot
 //! cachekit simulate  --policy LRU  --capacity 65536  --assoc 8 --trace t.txt --writes 0.2
+//! cachekit hierarchy --levels PLRU:16384:8,QLRU-1:131072:8,SRRIP:524288:16 \
+//!                    --containment inclusive --workload gc_trace
 //! cachekit infer     --cpu atom_d525 [--level l2] [--engine automata] [--reps 3] [--timing]
 //! cachekit query     "A B C A? B?" --policy FIFO --assoc 4
 //! cachekit distances --policy PLRU --assoc 8
 //! cachekit attack    --policy PLRU --assoc 8 [--rounds 32] [--seed 7]
 //! cachekit workloads --capacity 262144 --out traces/
+//! cachekit trace     gen --workload zipf_hot --capacity 65536 --out t.ctb
+//! cachekit trace     convert --in t.ctb --out t.txt --format text
+//! cachekit trace     stats --in t.ctb
 //! cachekit serve     --port 8459 --workers 2 --shards 2
 //! ```
 
@@ -35,12 +40,14 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "simulate" => cmd_simulate(rest),
+        "hierarchy" => cmd_hierarchy(rest),
         "infer" => cmd_infer(rest),
         "query" => cmd_query(rest),
         "distances" => cmd_distances(rest),
         "attack" => cmd_attack(rest),
         "mapping" => cmd_mapping(rest),
         "workloads" => cmd_workloads(rest),
+        "trace" => cmd_trace(rest),
         "serve" => cmd_serve(rest),
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
@@ -64,6 +71,10 @@ fn usage() {
          commands:\n\
          \x20 simulate  --policy NAME --capacity BYTES --assoc N [--line 64]\n\
          \x20           (--workload NAME | --trace FILE) [--writes FRACTION] [--seed N]\n\
+         \x20 hierarchy --levels POLICY:CAPACITY:ASSOC[,...] (innermost first)\n\
+         \x20           [--containment inclusive|exclusive|nine] [--line 64]\n\
+         \x20           (--workload NAME | --trace FILE) [--writes FRACTION] [--seed N]\n\
+         \x20           [--latencies C,C,...] [--memory-latency 200]\n\
          \x20 infer     --cpu NAME [--level l1|l2|l3] [--engine permutation|automata|auto]\n\
          \x20           [--reps N] [--timing]\n\
          \x20 query     \"A B C A?\" (--policy NAME --assoc N | --cpu NAME [--level lX])\n\
@@ -71,6 +82,10 @@ fn usage() {
          \x20 attack    --policy NAME --assoc N [--rounds 32] [--seed 7]\n\
          \x20 mapping   --cpu NAME [--level lX] [--bits 24]\n\
          \x20 workloads --capacity BYTES [--line 64] [--out DIR]\n\
+         \x20 trace     gen --workload NAME --capacity BYTES --out FILE\n\
+         \x20           [--format binary|text] [--writes FRACTION] [--seed N]\n\
+         \x20 trace     convert --in FILE --out FILE [--format binary|text]\n\
+         \x20 trace     stats --in FILE [--line 64]\n\
          \x20 serve     [--port 8459] [--host 127.0.0.1] [--workers N] [--shards N]\n\
          \x20           [--queue-depth N] [--cache N] [--deadline-ms N] [--reactors N]\n\
          \x20 bench     access-throughput [--smoke]\n\n\
@@ -136,18 +151,24 @@ fn parse_level(flags: &HashMap<String, String>) -> Result<CacheLevel, String> {
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let (_, flags) = parse(args)?;
-    let policy = parse_policy(flag(&flags, "policy")?)?;
-    let capacity = parse_u64(&flags, "capacity", None)?;
-    let assoc = parse_u64(&flags, "assoc", None)? as usize;
-    let line = parse_u64(&flags, "line", Some(64))?;
-    let seed = parse_u64(&flags, "seed", Some(7))?;
-    let config = CacheConfig::new(capacity, assoc, line).map_err(|e| e.to_string())?;
+/// Read a trace file in either format, sniffing the binary magic.
+fn read_trace_any(path: &str) -> Result<Vec<io::MemOp>, String> {
+    use cachekit::trace::binary;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(&binary::MAGIC) {
+        binary::read_trace_binary(&bytes[..]).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::read_trace(&bytes[..]).map_err(|e| format!("{path}: {e}"))
+    }
+}
 
-    let ops: Vec<io::MemOp> = if let Some(path) = flags.get("trace") {
-        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?
+/// Resolve `--workload`/`--trace` flags into an op stream (shared by
+/// `simulate` and `hierarchy`; `capacity` sizes the synthetic suite).
+fn resolve_ops(flags: &HashMap<String, String>, capacity: u64) -> Result<Vec<io::MemOp>, String> {
+    let line = parse_u64(flags, "line", Some(64))?;
+    let seed = parse_u64(flags, "seed", Some(7))?;
+    if let Some(path) = flags.get("trace") {
+        read_trace_any(path)
     } else if let Some(wname) = flags.get("workload") {
         let suite = workloads::suite(capacity, line, seed);
         let w = suite.iter().find(|w| w.name == wname).ok_or_else(|| {
@@ -159,10 +180,21 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             .map(|v| v.parse::<f64>().map_err(|_| "--writes: bad fraction"))
             .transpose()?
             .unwrap_or(0.0);
-        io::with_writes(&w.trace, fraction, seed)
+        Ok(io::with_writes(&w.trace, fraction, seed))
     } else {
-        return Err("need --workload NAME or --trace FILE".to_owned());
-    };
+        Err("need --workload NAME or --trace FILE".to_owned())
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let policy = parse_policy(flag(&flags, "policy")?)?;
+    let capacity = parse_u64(&flags, "capacity", None)?;
+    let assoc = parse_u64(&flags, "assoc", None)? as usize;
+    let line = parse_u64(&flags, "line", Some(64))?;
+    let config = CacheConfig::new(capacity, assoc, line).map_err(|e| e.to_string())?;
+
+    let ops = resolve_ops(&flags, capacity)?;
 
     let mut cache = Cache::new(config, policy);
     let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
@@ -171,6 +203,105 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if stats.writes > 0 {
         println!("writes: {}, writebacks: {}", stats.writes, stats.writebacks);
     }
+    Ok(())
+}
+
+fn cmd_hierarchy(args: &[String]) -> Result<(), String> {
+    use cachekit::sim::{default_latencies, Containment, Hierarchy, LevelSpec};
+    let (_, flags) = parse(args)?;
+    let line = parse_u64(&flags, "line", Some(64))?;
+
+    let spec_text = flag(&flags, "levels")?;
+    let mut specs = Vec::new();
+    for (i, part) in spec_text.split(',').enumerate() {
+        let fields: Vec<&str> = part.split(':').collect();
+        let [policy, capacity, assoc] = fields[..] else {
+            return Err(format!(
+                "level {i}: expected POLICY:CAPACITY:ASSOC, got {part:?}"
+            ));
+        };
+        let policy = parse_policy(policy)?;
+        let capacity: u64 = capacity
+            .parse()
+            .map_err(|_| format!("level {i}: bad capacity {capacity:?}"))?;
+        let assoc: usize = assoc
+            .parse()
+            .map_err(|_| format!("level {i}: bad associativity {assoc:?}"))?;
+        let config =
+            CacheConfig::new(capacity, assoc, line).map_err(|e| format!("level {i}: {e}"))?;
+        policy
+            .validate_for_assoc(assoc)
+            .map_err(|e| format!("level {i}: {e}"))?;
+        specs.push(LevelSpec::new(config, policy));
+    }
+    let containment = match flags.get("containment") {
+        None => Containment::Nine,
+        Some(s) => Containment::parse(s)
+            .ok_or_else(|| format!("unknown containment {s:?} (inclusive, exclusive, nine)"))?,
+    };
+    if containment == Containment::Inclusive {
+        for pair in specs.windows(2) {
+            if pair[0].config.capacity() >= pair[1].config.capacity() {
+                return Err(
+                    "inclusive containment needs strictly growing capacities, innermost first"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+    let latencies: Vec<u64> = match flags.get("latencies") {
+        None => default_latencies(specs.len()),
+        Some(s) => s
+            .split(',')
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--latencies: bad cycle count {v:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if latencies.len() != specs.len() {
+        return Err(format!(
+            "{} latencies for {} levels",
+            latencies.len(),
+            specs.len()
+        ));
+    }
+    if latencies.contains(&0) {
+        return Err("latencies must be at least 1 cycle".to_owned());
+    }
+    let memory_latency = parse_u64(&flags, "memory-latency", Some(200))?;
+    if memory_latency == 0 {
+        return Err("--memory-latency must be at least 1 cycle".to_owned());
+    }
+
+    let outer_capacity = specs.last().expect("levels is non-empty").config.capacity();
+    let ops = resolve_ops(&flags, outer_capacity)?;
+
+    let mut hierarchy = Hierarchy::new(specs)
+        .with_containment(containment)
+        .with_latencies(latencies.clone(), memory_latency);
+    for op in &ops {
+        hierarchy.access_op(op.addr, op.write);
+    }
+
+    println!(
+        "hierarchy: {} level(s), {} containment, latencies {latencies:?} + {memory_latency} memory",
+        hierarchy.depth(),
+        containment
+    );
+    for (i, stats) in hierarchy.stats().iter().enumerate() {
+        println!("L{}: {stats}", i + 1);
+    }
+    let h = hierarchy.hierarchy_stats();
+    println!(
+        "memory fetches: {}, back-invalidations: {}, victim fills: {}, memory writebacks: {}",
+        h.memory_fetches, h.back_invalidations, h.victim_fills, h.memory_writebacks
+    );
+    println!(
+        "AMAT: {:.2} cycles over {} accesses",
+        hierarchy.amat(),
+        h.accesses
+    );
     Ok(())
 }
 
@@ -402,6 +533,93 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "unknown benchmark {other:?}; available: access-throughput"
         )),
         None => Err("missing benchmark name, e.g. `cachekit bench access-throughput`".to_owned()),
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use cachekit::trace::{binary, stack_dist};
+    let (positional, flags) = parse(args)?;
+
+    let write_ops = |ops: &[io::MemOp], path: &str, format: &str| -> Result<(), String> {
+        let mut out = Vec::new();
+        match format {
+            "binary" => binary::write_trace_binary(ops, &mut out).map_err(|e| e.to_string())?,
+            "text" => io::write_trace(ops, &mut out).map_err(|e| e.to_string())?,
+            other => return Err(format!("unknown format {other:?} (binary, text)")),
+        }
+        std::fs::write(path, &out).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: {} op(s), {} byte(s), {format} format",
+            ops.len(),
+            out.len()
+        );
+        Ok(())
+    };
+
+    match positional.as_deref() {
+        Some("gen") => {
+            let capacity = parse_u64(&flags, "capacity", None)?;
+            let out = flag(&flags, "out")?;
+            let format = flags.get("format").map_or("binary", String::as_str);
+            let ops = resolve_ops(&flags, capacity)?;
+            write_ops(&ops, out, format)
+        }
+        Some("convert") => {
+            let input = flag(&flags, "in")?;
+            let out = flag(&flags, "out")?;
+            let format = flags.get("format").map_or("binary", String::as_str);
+            let ops = read_trace_any(input)?;
+            write_ops(&ops, out, format)
+        }
+        Some("stats") => {
+            let input = flag(&flags, "in")?;
+            let line = parse_u64(&flags, "line", Some(64))?;
+            let ops = read_trace_any(input)?;
+            if ops.is_empty() {
+                println!("{input}: empty trace");
+                return Ok(());
+            }
+            let writes = ops.iter().filter(|op| op.write).count();
+            let addrs: Vec<u64> = ops.iter().map(|op| op.addr).collect();
+            let (hist, cold) = stack_dist::measure(&addrs, line);
+            let reuses: u64 = hist.iter().sum();
+            // Distance below which half (resp. 90%) of the reuses fall:
+            // the knee a capacity of that many lines would capture.
+            let quantile = |q: f64| -> usize {
+                let target = (reuses as f64 * q).ceil() as u64;
+                let mut acc = 0u64;
+                for (d, &n) in hist.iter().enumerate() {
+                    acc += n;
+                    if acc >= target {
+                        return d;
+                    }
+                }
+                hist.len().saturating_sub(1)
+            };
+            println!("{input}: {} op(s) ({} write(s))", ops.len(), writes);
+            println!(
+                "distinct lines: {cold} ({} bytes at {line}-byte lines)",
+                cold * line
+            );
+            println!(
+                "stack distances: {} reuse(s), cold fraction {:.3}",
+                reuses,
+                cold as f64 / ops.len() as f64
+            );
+            if reuses > 0 {
+                println!(
+                    "reuse distance: median {}, p90 {}, max {}",
+                    quantile(0.5),
+                    quantile(0.9),
+                    hist.len() - 1
+                );
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown trace command {other:?} (gen, convert, stats)"
+        )),
+        None => Err("missing trace command, e.g. `cachekit trace stats --in t.ctb`".to_owned()),
     }
 }
 

@@ -152,6 +152,117 @@ fn workloads_dump_and_simulate_round_trip() {
 }
 
 #[test]
+fn hierarchy_reports_per_level_stats_and_amat() {
+    let (ok, out, err) = run(&[
+        "hierarchy",
+        "--levels",
+        "PLRU:8192:4,QLRU-1:65536:8",
+        "--containment",
+        "inclusive",
+        "--workload",
+        "thrash_loop",
+        "--writes",
+        "0.2",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("inclusive containment"), "out: {out}");
+    assert!(out.contains("L1:"), "out: {out}");
+    assert!(out.contains("L2:"), "out: {out}");
+    assert!(out.contains("back-invalidations:"), "out: {out}");
+    assert!(out.contains("AMAT:"), "out: {out}");
+}
+
+#[test]
+fn hierarchy_rejects_shrinking_inclusive_capacities() {
+    let (ok, _, err) = run(&[
+        "hierarchy",
+        "--levels",
+        "LRU:65536:8,LRU:8192:4",
+        "--containment",
+        "inclusive",
+        "--workload",
+        "fit_loop",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("strictly growing"), "stderr: {err}");
+}
+
+#[test]
+fn trace_gen_convert_stats_round_trip_both_formats() {
+    let dir = std::env::temp_dir().join("cachekit_cli_binary_traces");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ctb = dir.join("zipf.ctb").display().to_string();
+    let txt = dir.join("zipf.txt").display().to_string();
+    let back = dir.join("zipf_back.ctb").display().to_string();
+
+    let (ok, out, err) = run(&[
+        "trace",
+        "gen",
+        "--workload",
+        "zipf_hot",
+        "--capacity",
+        "65536",
+        "--writes",
+        "0.25",
+        "--out",
+        &ctb,
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("binary format"), "out: {out}");
+
+    // binary -> text -> binary must preserve every op bit-exactly.
+    let (ok, _, err) = run(&[
+        "trace", "convert", "--in", &ctb, "--out", &txt, "--format", "text",
+    ]);
+    assert!(ok, "stderr: {err}");
+    let (ok, _, err) = run(&["trace", "convert", "--in", &txt, "--out", &back]);
+    assert!(ok, "stderr: {err}");
+    assert_eq!(
+        std::fs::read(&ctb).expect("read original"),
+        std::fs::read(&back).expect("read round-trip"),
+        "binary -> text -> binary must be byte-identical"
+    );
+
+    // Both formats feed the simulator and the stats report.
+    for path in [&ctb, &txt] {
+        let (ok, out, err) = run(&[
+            "simulate",
+            "--policy",
+            "LRU",
+            "--capacity",
+            "65536",
+            "--assoc",
+            "8",
+            "--trace",
+            path,
+        ]);
+        assert!(ok, "stderr: {err}");
+        assert!(out.contains("miss ratio"), "out: {out}");
+    }
+    let (ok, out, err) = run(&["trace", "stats", "--in", &ctb]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("reuse distance"), "out: {out}");
+    assert!(out.contains("cold fraction"), "out: {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_stats_rejects_garbage_without_panicking() {
+    let dir = std::env::temp_dir().join("cachekit_cli_garbled_traces");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("garbled.ctb");
+    // A valid magic followed by a lying block header: typed error.
+    let mut bytes = b"CKTB\x01\x00\x00\x00".to_vec();
+    bytes.extend_from_slice(&[0xFF; 8]);
+    std::fs::write(&path, &bytes).expect("write garbled trace");
+    let (ok, _, err) = run(&["trace", "stats", "--in", &path.display().to_string()]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_policy_is_a_clean_error() {
     let (ok, _, err) = run(&[
         "simulate",

@@ -1,0 +1,292 @@
+//! Containment-invariant property tests for the hierarchy engine.
+//!
+//! Each discipline makes a structural promise that must hold after
+//! *every* operation, not just at the end of a trace:
+//!
+//! - **inclusive** — every line resident at level *k* is resident at
+//!   every level outside it (the subset invariant);
+//! - **exclusive** — a line is resident at *at most one* level
+//!   (pairwise disjointness);
+//! - **NINE** — levels are independent: a single-level NINE hierarchy
+//!   is bit-identical to a bare [`Cache`], stats and contents.
+//!
+//! The op streams mix seeded random reads and writes over a footprint
+//! chosen to overflow the inner levels, so fills, evictions,
+//! back-invalidations, victim spills, and writebacks all fire.
+
+use cachekit::policies::rng::Prng;
+use cachekit::policies::PolicyKind;
+use cachekit::sim::{Cache, CacheConfig, Containment, Hierarchy, HierarchyOutcome, LevelSpec};
+use std::collections::HashSet;
+
+/// Three-level geometry small enough to check invariants after every op.
+fn three_level_specs(policies: [PolicyKind; 3]) -> Vec<LevelSpec> {
+    let configs = [
+        CacheConfig::new(1024, 4, 64).expect("valid"),
+        CacheConfig::new(4096, 4, 64).expect("valid"),
+        CacheConfig::new(16384, 8, 64).expect("valid"),
+    ];
+    configs
+        .into_iter()
+        .zip(policies)
+        .map(|(c, p)| LevelSpec::new(c, p))
+        .collect()
+}
+
+/// A seeded read/write stream with a footprint at ~2x the outer level.
+fn op_stream(seed: u64, len: usize) -> Vec<(u64, bool)> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let lines = 2u64 * 16384 / 64;
+    (0..len)
+        .map(|_| {
+            let addr = rng.gen_range(0..lines) * 64;
+            (addr, rng.gen_bool(0.3))
+        })
+        .collect()
+}
+
+fn resident_sets(h: &Hierarchy) -> Vec<HashSet<u64>> {
+    (0..h.depth())
+        .map(|i| h.level(i).resident_lines().into_iter().collect())
+        .collect()
+}
+
+fn assert_inclusive_invariant(h: &Hierarchy, step: usize) {
+    let sets = resident_sets(h);
+    for pair in sets.windows(2) {
+        assert!(
+            pair[0].is_subset(&pair[1]),
+            "step {step}: inner level holds lines the outer level lost: {:?}",
+            pair[0].difference(&pair[1]).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn assert_exclusive_invariant(h: &Hierarchy, step: usize) {
+    let sets = resident_sets(h);
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            let shared: Vec<_> = sets[i].intersection(&sets[j]).collect();
+            assert!(
+                shared.is_empty(),
+                "step {step}: levels {i} and {j} both hold {shared:?}"
+            );
+        }
+    }
+}
+
+/// Policy mixes the differential suite cares about: uniform recency,
+/// the fig13 mixed configuration, and a stochastic mix.
+fn policy_mixes() -> Vec<[PolicyKind; 3]> {
+    vec![
+        [PolicyKind::Lru, PolicyKind::Lru, PolicyKind::Lru],
+        [
+            PolicyKind::TreePlru,
+            PolicyKind::Qlru { insert: 1 },
+            PolicyKind::Srrip { bits: 2 },
+        ],
+        [
+            PolicyKind::Fifo,
+            PolicyKind::Random { seed: 0x5eed },
+            PolicyKind::Lip,
+        ],
+    ]
+}
+
+#[test]
+fn inclusive_subset_invariant_holds_after_every_op() {
+    for (mix_idx, policies) in policy_mixes().into_iter().enumerate() {
+        let mut h =
+            Hierarchy::new(three_level_specs(policies)).with_containment(Containment::Inclusive);
+        for (step, &(addr, write)) in op_stream(11 + mix_idx as u64, 4000).iter().enumerate() {
+            h.access_op(addr, write);
+            assert_inclusive_invariant(&h, step);
+        }
+        // The stream must actually have exercised back-invalidation,
+        // otherwise the invariant was never at risk.
+        assert!(
+            h.hierarchy_stats().back_invalidations > 0,
+            "mix {mix_idx}: no back-invalidations fired"
+        );
+    }
+}
+
+#[test]
+fn exclusive_disjointness_holds_after_every_op() {
+    for (mix_idx, policies) in policy_mixes().into_iter().enumerate() {
+        let mut h =
+            Hierarchy::new(three_level_specs(policies)).with_containment(Containment::Exclusive);
+        for (step, &(addr, write)) in op_stream(23 + mix_idx as u64, 4000).iter().enumerate() {
+            h.access_op(addr, write);
+            assert_exclusive_invariant(&h, step);
+        }
+        assert!(
+            h.hierarchy_stats().victim_fills > 0,
+            "mix {mix_idx}: no victim fills fired"
+        );
+    }
+}
+
+/// A hit at an outer level of an exclusive hierarchy moves the line
+/// inward; the next access to it must hit L1 — checked across policies
+/// on the full stream.
+#[test]
+fn exclusive_rehit_after_outer_hit_lands_in_l1() {
+    let mut h = Hierarchy::new(three_level_specs([
+        PolicyKind::Lru,
+        PolicyKind::Lru,
+        PolicyKind::Lru,
+    ]))
+    .with_containment(Containment::Exclusive);
+    for &(addr, write) in &op_stream(31, 4000) {
+        let outcome = h.access_op(addr, write);
+        if matches!(outcome, HierarchyOutcome::Level(k) if k > 0) {
+            assert_eq!(
+                h.access_op(addr, false),
+                HierarchyOutcome::Level(0),
+                "line {addr:#x} must have moved inward"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_level_nine_chain_is_bit_identical_to_a_bare_cache() {
+    let config = CacheConfig::new(4096, 4, 64).expect("valid");
+    for kind in PolicyKind::differential_kinds() {
+        if kind.validate_for_assoc(4).is_err() {
+            continue;
+        }
+        let mut h = Hierarchy::new(vec![LevelSpec::new(config, kind)]);
+        let mut cache = Cache::new(config, kind);
+        for &(addr, write) in &op_stream(47, 6000) {
+            h.access_op(addr, write);
+            cache.access_op(addr, write);
+        }
+        assert_eq!(
+            h.stats()[0],
+            cache.stats(),
+            "{} stats diverged",
+            kind.label()
+        );
+        let mut hier_lines = h.level(0).resident_lines();
+        let mut flat_lines = cache.resident_lines();
+        hier_lines.sort_unstable();
+        flat_lines.sort_unstable();
+        assert_eq!(hier_lines, flat_lines, "{} contents diverged", kind.label());
+        for &line in &hier_lines {
+            assert_eq!(
+                h.level(0).is_dirty(line),
+                cache.is_dirty(line),
+                "{} dirtiness diverged on {line:#x}",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Writebacks must conserve dirtiness: under every containment, a dirty
+/// line either stays resident (dirty) somewhere or is counted as a
+/// memory writeback when it finally leaves the hierarchy.
+#[test]
+fn flush_after_writes_sends_every_remaining_dirty_line_somewhere() {
+    for containment in Containment::ALL {
+        let mut h = Hierarchy::new(three_level_specs([
+            PolicyKind::Lru,
+            PolicyKind::TreePlru,
+            PolicyKind::Lru,
+        ]))
+        .with_containment(containment);
+        for &(addr, write) in &op_stream(59, 4000) {
+            h.access_op(addr, write);
+        }
+        let stats = h.stats();
+        let writes: u64 = stats.iter().map(|s| s.writes).sum();
+        assert!(writes > 0, "{containment}: stream produced no writes");
+        // Every level's writeback counter is bounded by its evictions
+        // (a writeback only happens when a dirty line is displaced).
+        for (i, s) in stats.iter().enumerate() {
+            assert!(
+                s.writebacks <= s.evictions,
+                "{containment}: level {i} wrote back {} of {} evictions",
+                s.writebacks,
+                s.evictions
+            );
+        }
+    }
+}
+
+/// Accounting identities every containment must satisfy on any stream:
+/// L1 sees every demand access, outcomes partition into per-level hits
+/// plus memory fetches, and AMAT is bracketed by the latency model.
+#[test]
+fn per_level_accounting_identities_hold_for_every_containment() {
+    let ops = op_stream(67, 8000);
+    for containment in Containment::ALL {
+        for policies in policy_mixes() {
+            let mut h = Hierarchy::new(three_level_specs(policies)).with_containment(containment);
+            let mut level_hits = vec![0u64; h.depth()];
+            let mut memory = 0u64;
+            for &(addr, write) in &ops {
+                match h.access_op(addr, write) {
+                    HierarchyOutcome::Level(k) => level_hits[k] += 1,
+                    HierarchyOutcome::Memory => memory += 1,
+                }
+            }
+            let hstats = h.hierarchy_stats();
+            assert_eq!(hstats.accesses, ops.len() as u64, "{containment}");
+            assert_eq!(
+                level_hits.iter().sum::<u64>() + memory,
+                ops.len() as u64,
+                "{containment}: outcomes must partition the stream"
+            );
+            assert_eq!(hstats.memory_fetches, memory, "{containment}");
+            // Demand accesses all enter at L1 (writeback probes of outer
+            // levels are extra, so only L1 is exact).
+            assert_eq!(h.stats()[0].accesses, ops.len() as u64, "{containment}");
+            let amat = h.amat();
+            let floor = h.latencies()[0] as f64;
+            let ceiling = (h.latencies().iter().sum::<u64>() + h.memory_latency()) as f64;
+            assert!(
+                (floor..=ceiling).contains(&amat),
+                "{containment}: AMAT {amat} outside [{floor}, {ceiling}]"
+            );
+        }
+    }
+}
+
+/// The containment disciplines must agree on a stream that never
+/// overflows any level: with no evictions there is nothing for the
+/// disciplines to disagree about — except exclusivity's deliberate
+/// non-duplication, which still changes *where* lines live, so only
+/// outcomes (not contents) are compared.
+#[test]
+fn disciplines_agree_on_outcomes_below_capacity() {
+    let mut rng = Prng::seed_from_u64(71);
+    let ops: Vec<(u64, bool)> = (0..2000)
+        .map(|_| (rng.gen_range(0..12u64) * 64, rng.gen_bool(0.2)))
+        .collect();
+    let runs: Vec<Vec<HierarchyOutcome>> = Containment::ALL
+        .iter()
+        .map(|&containment| {
+            let mut h = Hierarchy::new(three_level_specs([
+                PolicyKind::Lru,
+                PolicyKind::Lru,
+                PolicyKind::Lru,
+            ]))
+            .with_containment(containment);
+            ops.iter().map(|&(a, w)| h.access_op(a, w)).collect()
+        })
+        .collect();
+    // Inclusive and NINE agree exactly (no evictions => identical fills).
+    assert_eq!(runs[0], runs[2], "inclusive vs NINE below capacity");
+    // Exclusive hits the same *accesses* but at inner levels after
+    // migration; cold misses must match exactly.
+    for (i, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        assert_eq!(
+            matches!(a, HierarchyOutcome::Memory),
+            matches!(b, HierarchyOutcome::Memory),
+            "op {i}: cold-miss sets must agree"
+        );
+    }
+}

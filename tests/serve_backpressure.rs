@@ -496,6 +496,69 @@ fn gated_attack_score_jobs_coalesce_like_every_other_type() {
 }
 
 #[test]
+fn duplicate_cold_hierarchy_queries_coalesce_into_one_execution() {
+    // simulate_hierarchy is the most expensive simulate-family job; six
+    // racing duplicates of a cold query must fund exactly one pipeline
+    // execution, with five coalesced byte-identical replays.
+    let (handle, gate) = gated_server(16, None);
+    let addr = handle.addr().to_string();
+    let body = r#"{"type":"simulate_hierarchy","workload":"thrash_loop",
+        "containment":"inclusive","levels":[
+        {"policy":"PLRU","capacity":8192,"assoc":4},
+        {"policy":"LRU","capacity":65536,"assoc":8}]}"#;
+
+    let results = Mutex::new(Vec::new());
+    let puncher = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            std::thread::scope(|scope| {
+                for _ in 0..6 {
+                    let (results, addr) = (&results, &addr);
+                    scope.spawn(move || {
+                        let mut conn = Connection::open(addr).expect("connect");
+                        let resp = conn.post_json("/v1/query", body).expect("request");
+                        results.lock().unwrap().push((
+                            resp.status,
+                            resp.header("x-cache").map(str::to_owned),
+                            resp.body_str(),
+                        ));
+                    });
+                }
+            });
+            results.into_inner().unwrap()
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    gate.release();
+    let results = puncher.join().expect("client threads");
+
+    assert!(
+        results.iter().all(|(status, _, _)| *status == 200),
+        "results: {results:?}"
+    );
+    let leaders = results
+        .iter()
+        .filter(|(_, mark, _)| mark.as_deref() == Some("miss"))
+        .count();
+    assert_eq!(leaders, 1, "exactly one leader: {results:?}");
+    let bodies: std::collections::HashSet<&str> =
+        results.iter().map(|(_, _, body)| body.as_str()).collect();
+    assert_eq!(
+        bodies.len(),
+        1,
+        "coalesced bodies must be byte-identical: {results:?}"
+    );
+    assert_eq!(
+        gate.executions.load(Ordering::SeqCst),
+        1,
+        "single-flight must run the hierarchy pipeline exactly once"
+    );
+    let report = handle.shutdown();
+    assert_eq!(report.submitted, 1, "one admission for six requests");
+    assert_eq!(report.submitted, report.completed);
+}
+
+#[test]
 fn attack_jobs_execute_end_to_end_and_cache_honest_refusals() {
     // Real executor: an attack_score runs the stealth scorer, a
     // scenario alias replays from cache, and an eviction_set against a

@@ -48,6 +48,16 @@ fn elided_defaults_equal_explicit_defaults() {
             r#"{"type":"workloads","capacity":262144,"line":64,"seed":7}"#,
         ),
         (
+            r#"{"type":"simulate_hierarchy","workload":"zipf_hot","levels":[
+                {"policy":"PLRU","capacity":8192,"assoc":4},
+                {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+            r#"{"type":"simulate_hierarchy","workload":"zipf_hot","levels":[
+                {"policy":"PLRU","capacity":8192,"assoc":4},
+                {"policy":"LRU","capacity":65536,"assoc":8}],
+                "containment":"nine","line":64,"writes":0.0,"seed":7,
+                "latencies":[3,15],"memory_latency":200}"#,
+        ),
+        (
             r#"{"type":"attack_score","policy":"FIFO","assoc":4,"scenario":"hold_resident"}"#,
             r#"{"type":"attack_score","policy":"FIFO","assoc":4,"scenario":"hold_resident",
                 "rounds":32,"seed":7}"#,
@@ -173,6 +183,109 @@ fn attack_requests_reject_out_of_range_parameters_at_parse_time() {
     }
 }
 
+/// Hierarchy requests canonicalize like the flat ones: containment
+/// aliases and policy spellings normalize, elided latencies fill in the
+/// documented defaults, and any semantic difference — swapping two
+/// levels, changing the discipline — changes the key.
+#[test]
+fn hierarchy_containment_aliases_normalize_before_hashing() {
+    let canonical = key(
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"nine","levels":[
+            {"policy":"PLRU","capacity":8192,"assoc":4},
+            {"policy":"QLRU-1","capacity":65536,"assoc":8}]}"#,
+    );
+    for alias in ["NINE", "non-inclusive", "non_inclusive", "NonInclusive"] {
+        let body = format!(
+            r#"{{"type":"simulate_hierarchy","workload":"fit_loop","containment":"{alias}",
+                "levels":[{{"policy":"treeplru","capacity":8192,"assoc":4}},
+                          {{"policy":"qlru-1","capacity":65536,"assoc":8}}]}}"#
+        );
+        assert_eq!(key(&body), canonical, "alias {alias:?}");
+    }
+    // Same levels, different discipline: a different key.
+    for containment in ["inclusive", "exclusive"] {
+        let body = format!(
+            r#"{{"type":"simulate_hierarchy","workload":"fit_loop","containment":"{containment}",
+                "levels":[{{"policy":"PLRU","capacity":8192,"assoc":4}},
+                          {{"policy":"QLRU-1","capacity":65536,"assoc":8}}]}}"#
+        );
+        assert_ne!(key(&body), canonical, "containment {containment:?}");
+    }
+    // Swapping the per-level policies is a different hierarchy.
+    assert_ne!(
+        key(
+            r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"nine","levels":[
+                {"policy":"QLRU-1","capacity":8192,"assoc":4},
+                {"policy":"PLRU","capacity":65536,"assoc":8}]}"#
+        ),
+        canonical
+    );
+}
+
+/// Hierarchy geometry and containment combinations that cannot execute
+/// are 400s at the protocol door, never worker jobs.
+#[test]
+fn hierarchy_requests_reject_invalid_combinations_at_parse_time() {
+    let rejected = [
+        // No levels at all, and more levels than the serving cap.
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[
+            {"policy":"LRU","capacity":4096,"assoc":4},
+            {"policy":"LRU","capacity":8192,"assoc":4},
+            {"policy":"LRU","capacity":16384,"assoc":4},
+            {"policy":"LRU","capacity":32768,"assoc":4},
+            {"policy":"LRU","capacity":65536,"assoc":4}]}"#,
+        // Inclusive with a non-growing capacity: the subset invariant
+        // cannot hold.
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"inclusive",
+            "levels":[{"policy":"LRU","capacity":65536,"assoc":8},
+                      {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"inclusive",
+            "levels":[{"policy":"LRU","capacity":131072,"assoc":8},
+                      {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        // Unknown containment, bad per-level geometry, bad policy.
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"mostly",
+            "levels":[{"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[
+            {"policy":"LRU","capacity":999,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[
+            {"policy":"NOPE","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[
+            {"policy":"SLRU-8","capacity":65536,"assoc":8}]}"#,
+        // Latency list must match the level count, cycle counts must be
+        // positive, and the writes fraction is a fraction.
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","latencies":[3],"levels":[
+            {"policy":"PLRU","capacity":8192,"assoc":4},
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","latencies":[0,15],"levels":[
+            {"policy":"PLRU","capacity":8192,"assoc":4},
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","memory_latency":0,"levels":[
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","writes":1.5,"levels":[
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+        // The outermost level obeys the simulate capacity cap and the
+        // 16-line suite minimum.
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","levels":[
+            {"policy":"LRU","capacity":33554432,"assoc":8}]}"#,
+        r#"{"type":"simulate_hierarchy","workload":"fit_loop","line":4096,"levels":[
+            {"policy":"LRU","capacity":32768,"assoc":8}]}"#,
+        // Missing the workload entirely.
+        r#"{"type":"simulate_hierarchy","levels":[
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#,
+    ];
+    for body in rejected {
+        assert!(Request::parse(body).is_err(), "body {body:?} must fail");
+    }
+    // An unknown *workload name* is NOT a parse error: the suite depends
+    // on the geometry, so it resolves at execution into an error body.
+    assert!(Request::parse(
+        r#"{"type":"simulate_hierarchy","workload":"nope","levels":[
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#
+    )
+    .is_ok());
+}
+
 /// Semantically different requests must produce distinct keys across
 /// the entire 13-policy differential set and several geometries — a
 /// collision would silently serve one policy's results for another.
@@ -244,6 +357,24 @@ fn no_collisions_across_the_differential_policy_set() {
             r#"{{"type":"infer","cpu":"quark_x1000","engine":"{engine}"}}"#
         ));
     }
+    // Hierarchy cells: every containment × a few LLC policies, plus the
+    // same levels flattened to one — none may collide with each other or
+    // with the flat simulate corpus above.
+    for containment in ["inclusive", "exclusive", "nine"] {
+        for llc in ["LRU", "PLRU", "SRRIP", "QLRU-1"] {
+            check(format!(
+                r#"{{"type":"simulate_hierarchy","workload":"zipf_hot",
+                    "containment":"{containment}","levels":[
+                    {{"policy":"PLRU","capacity":8192,"assoc":4}},
+                    {{"policy":"{llc}","capacity":65536,"assoc":8}}]}}"#
+            ));
+        }
+    }
+    check(
+        r#"{"type":"simulate_hierarchy","workload":"zipf_hot","levels":[
+            {"policy":"LRU","capacity":65536,"assoc":8}]}"#
+            .to_owned(),
+    );
     // Seven bodies per valid (kind, assoc) cell — distances, three
     // simulates, eviction_set, two attack_scores — plus the seeded
     // infer/workloads sweep and the rounds/seed grid.
@@ -328,6 +459,10 @@ fn canonical_json_round_trips_to_the_same_request() {
         r#"{"type":"eviction_set","policy":"CLOCK","assoc":8}"#,
         r#"{"type":"attack_score","policy":"SLRU-2","assoc":4,"scenario":"evicted",
             "rounds":16,"seed":5}"#,
+        r#"{"type":"simulate_hierarchy","workload":"gc_trace","containment":"exclusive",
+            "levels":[{"policy":"PLRU","capacity":8192,"assoc":4},
+                      {"policy":"SRRIP","capacity":131072,"assoc":16}],
+            "writes":0.3,"seed":11,"latencies":[4,40],"memory_latency":150}"#,
     ];
     for body in bodies {
         let request = Request::parse(body).unwrap();

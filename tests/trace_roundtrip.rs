@@ -1,0 +1,260 @@
+//! Binary trace format: bit-exact round-trips over the whole workload
+//! zoo, and a corruption matrix proving every malformed input surfaces
+//! as a typed [`TraceIoError`] — never a panic, never silent data.
+
+use cachekit::trace::binary::{
+    read_trace_binary, write_trace_binary, BinaryTraceReader, BinaryTraceWriter, MAGIC, VERSION,
+};
+use cachekit::trace::io::{with_writes, MemOp, TraceIoError};
+use cachekit::trace::workloads;
+
+fn encode(ops: &[MemOp]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_trace_binary(ops, &mut bytes).expect("in-memory write");
+    bytes
+}
+
+#[test]
+fn every_suite_workload_round_trips_bit_exactly() {
+    for wl in workloads::suite(64 * 1024, 64, 7) {
+        let ops: Vec<MemOp> = wl.trace.iter().map(|&a| MemOp::read(a)).collect();
+        let bytes = encode(&ops);
+        let back = read_trace_binary(&bytes[..]).expect("decode");
+        assert_eq!(ops, back, "{} corrupted by the round trip", wl.name);
+        // Re-encoding the decoded ops must reproduce the same bytes:
+        // the format has exactly one encoding per op sequence.
+        assert_eq!(
+            bytes,
+            encode(&back),
+            "{} encoding is not canonical",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn write_bits_survive_the_round_trip() {
+    for wl in workloads::suite(64 * 1024, 64, 7) {
+        let ops = with_writes(&wl.trace, 0.3, 0xC0FFEE);
+        assert!(
+            ops.iter().any(|o| o.write),
+            "{}: no writes generated",
+            wl.name
+        );
+        assert!(
+            ops.iter().any(|o| !o.write),
+            "{}: no reads generated",
+            wl.name
+        );
+        let back = read_trace_binary(&encode(&ops)[..]).expect("decode");
+        assert_eq!(ops, back, "{} write bits corrupted", wl.name);
+    }
+}
+
+#[test]
+fn extreme_addresses_and_deltas_round_trip() {
+    let ops = vec![
+        MemOp::read(0),
+        MemOp::write(u64::MAX),
+        MemOp::read(0),
+        MemOp::write(1),
+        MemOp::read(u64::MAX - 1),
+        MemOp::read(u64::MAX),
+        MemOp::write(0),
+        MemOp::read(1 << 63),
+        MemOp::read((1 << 63) - 1),
+    ];
+    let back = read_trace_binary(&encode(&ops)[..]).expect("decode");
+    assert_eq!(ops, back);
+}
+
+#[test]
+fn empty_trace_is_a_bare_header() {
+    let bytes = encode(&[]);
+    assert_eq!(bytes.len(), 8, "empty trace must be header-only");
+    assert_eq!(read_trace_binary(&bytes[..]).expect("decode"), vec![]);
+}
+
+#[test]
+fn deltas_reset_at_block_boundaries() {
+    // Two adjacent addresses separated by a block boundary must not
+    // lean on cross-block delta state.
+    let ops: Vec<MemOp> = (0..10_000u64).map(|i| MemOp::read(i * 64)).collect();
+    let mut bytes = Vec::new();
+    let mut w = BinaryTraceWriter::with_block_ops(&mut bytes, 16).expect("writer");
+    for &op in &ops {
+        w.push(op).expect("push");
+    }
+    w.finish().expect("finish");
+    let back = read_trace_binary(&bytes[..]).expect("decode");
+    assert_eq!(ops, back);
+}
+
+#[test]
+fn streaming_reader_skips_blocks_without_decoding() {
+    let ops: Vec<MemOp> = (0..1000u64).map(|i| MemOp::read(i * 64)).collect();
+    let mut bytes = Vec::new();
+    let mut w = BinaryTraceWriter::with_block_ops(&mut bytes, 100).expect("writer");
+    for &op in &ops {
+        w.push(op).expect("push");
+    }
+    w.finish().expect("finish");
+    let mut r = BinaryTraceReader::new(&bytes[..]).expect("open");
+    assert_eq!(r.skip_block().expect("skip"), Some(100));
+    let rest: Result<Vec<MemOp>, _> = r.collect();
+    assert_eq!(rest.expect("decode rest"), ops[100..].to_vec());
+}
+
+#[test]
+fn bad_magic_and_bad_version_are_typed_errors() {
+    let good = encode(&[MemOp::read(64)]);
+
+    let mut foreign = good.clone();
+    foreign[..4].copy_from_slice(b"GIF8");
+    assert!(matches!(
+        read_trace_binary(&foreign[..]),
+        Err(TraceIoError::BadMagic { found }) if &found == b"GIF8"
+    ));
+
+    let mut future = good;
+    future[4] = VERSION + 1;
+    assert!(matches!(
+        read_trace_binary(&future[..]),
+        Err(TraceIoError::BadVersion { found }) if found == VERSION + 1
+    ));
+}
+
+#[test]
+fn every_truncation_point_is_a_typed_error_or_a_block_boundary() {
+    let ops = with_writes(&(0..500u64).map(|i| i * 64).collect::<Vec<_>>(), 0.25, 42);
+    let mut bytes = Vec::new();
+    let mut w = BinaryTraceWriter::with_block_ops(&mut bytes, 64).expect("writer");
+    for &op in &ops {
+        w.push(op).expect("push");
+    }
+    w.finish().expect("finish");
+
+    for cut in 0..bytes.len() {
+        match read_trace_binary(&bytes[..cut]) {
+            // A cut at a block boundary is indistinguishable from a
+            // shorter trace: it must decode a clean prefix of the ops.
+            Ok(prefix) => assert_eq!(
+                prefix,
+                ops[..prefix.len()],
+                "cut at {cut}: decoded ops are not a prefix"
+            ),
+            Err(TraceIoError::Truncated { .. }) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error kind {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupt_block_payloads_are_typed_errors() {
+    // Block header promising more payload than the format allows.
+    let mut oversized = MAGIC.to_vec();
+    oversized.extend_from_slice(&[VERSION, 0, 0, 0]);
+    oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+    oversized.extend_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        read_trace_binary(&oversized[..]),
+        Err(TraceIoError::Corrupt { block: 0, .. })
+    ));
+
+    // Op count and payload length disagreeing about emptiness.
+    let mut disagreeing = MAGIC.to_vec();
+    disagreeing.extend_from_slice(&[VERSION, 0, 0, 0]);
+    disagreeing.extend_from_slice(&0u32.to_le_bytes());
+    disagreeing.extend_from_slice(&5u32.to_le_bytes());
+    assert!(matches!(
+        read_trace_binary(&disagreeing[..]),
+        Err(TraceIoError::Corrupt { block: 0, .. })
+    ));
+
+    // A varint whose continuation bits never terminate within the block.
+    let mut runaway = MAGIC.to_vec();
+    runaway.extend_from_slice(&[VERSION, 0, 0, 0]);
+    runaway.extend_from_slice(&4u32.to_le_bytes());
+    runaway.extend_from_slice(&1u32.to_le_bytes());
+    runaway.extend_from_slice(&[0x80, 0x80, 0x80, 0x80]);
+    assert!(matches!(
+        read_trace_binary(&runaway[..]),
+        Err(TraceIoError::Corrupt { .. })
+    ));
+
+    // A varint overflowing the u64 range (11 bytes of continuation).
+    let mut overflow = MAGIC.to_vec();
+    overflow.extend_from_slice(&[VERSION, 0, 0, 0]);
+    overflow.extend_from_slice(&11u32.to_le_bytes());
+    overflow.extend_from_slice(&1u32.to_le_bytes());
+    overflow.extend_from_slice(&[0xFF; 10]);
+    overflow.push(0x7F);
+    assert!(matches!(
+        read_trace_binary(&overflow[..]),
+        Err(TraceIoError::Corrupt { .. })
+    ));
+
+    // Trailing garbage after the promised op count.
+    let mut trailing = MAGIC.to_vec();
+    trailing.extend_from_slice(&[VERSION, 0, 0, 0]);
+    trailing.extend_from_slice(&3u32.to_le_bytes());
+    trailing.extend_from_slice(&1u32.to_le_bytes());
+    trailing.extend_from_slice(&[0x04, 0x00, 0x00]); // one op + 2 spare bytes
+    assert!(matches!(
+        read_trace_binary(&trailing[..]),
+        Err(TraceIoError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn reader_fuses_after_the_first_error() {
+    let mut bytes = MAGIC.to_vec();
+    bytes.extend_from_slice(&[VERSION, 0, 0, 0]);
+    bytes.extend_from_slice(&4u32.to_le_bytes());
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.extend_from_slice(&[0x04, 0x80, 0x80, 0x80]); // op, then runaway varint
+    let mut r = BinaryTraceReader::new(&bytes[..]).expect("open");
+    assert!(matches!(r.next(), Some(Ok(op)) if op.addr == 1 && !op.write));
+    assert!(matches!(r.next(), Some(Err(TraceIoError::Corrupt { .. }))));
+    assert!(r.next().is_none(), "reader must fuse after an error");
+    assert!(r.next().is_none());
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    use cachekit::policies::rng::Prng;
+    let ops = with_writes(
+        &(0..200u64)
+            .map(|i| (i * 4093) % 8192 * 64)
+            .collect::<Vec<_>>(),
+        0.2,
+        9,
+    );
+    let clean = encode(&ops);
+    let mut rng = Prng::seed_from_u64(0xBADC0DE);
+    for _ in 0..500 {
+        let mut mangled = clean.clone();
+        let at = rng.gen_range(0..mangled.len());
+        mangled[at] ^= 1 << rng.gen_range(0..8u32);
+        // Any outcome — a typed error or a different decode — is
+        // acceptable; only a panic is a bug.
+        let _ = read_trace_binary(&mangled[..]);
+    }
+}
+
+#[test]
+fn binary_is_smaller_than_text_for_every_suite_workload() {
+    for wl in workloads::suite(64 * 1024, 64, 7) {
+        let ops: Vec<MemOp> = wl.trace.iter().map(|&a| MemOp::read(a)).collect();
+        let binary = encode(&ops).len();
+        let mut text = Vec::new();
+        cachekit::trace::io::write_trace(&ops, &mut text).expect("text write");
+        assert!(
+            binary < text.len(),
+            "{}: binary {} B >= text {} B",
+            wl.name,
+            binary,
+            text.len()
+        );
+    }
+}
