@@ -83,10 +83,27 @@ done
 # in results/table3_cost.json covers the full associativity ladder).
 run cargo run --release -q -p cachekit-bench --bin table3_cost -- --smoke
 
-# Engine-throughput smoke: exercises all three engines end-to-end and
-# writes results/bench_access_smoke.json (the recorded numbers in
-# results/bench_access.json come from the full run).
+# Engine-throughput smoke: exercises all five engines (boxed, enum,
+# eager table, lazy table, batch kernel) end-to-end and writes
+# results/bench_access_smoke.json (the recorded numbers in
+# results/bench_access.json come from the full run). The binary itself
+# exits nonzero if any target row is missing from the sweep — e.g. a
+# (policy, assoc) kernel that stopped compiling.
 run cargo run --release -q -p cachekit-bench --bin bench_access -- --smoke
+
+# The committed full-run engine record must have closed every gap: no
+# bare "n/a" cells (skips are typed: stochastic / table_blowup /
+# no_kernel), and no target recorded as unmet.
+echo "==> grep -c 'n/a' results/bench_access.json"
+if grep -q 'n/a' results/bench_access.json; then
+    echo "ci: results/bench_access.json contains untyped n/a cells" >&2
+    exit 1
+fi
+echo "==> grep -c '\"met\": false' results/bench_access.json"
+if grep -q '"met": false' results/bench_access.json; then
+    echo "ci: results/bench_access.json records an unmet target" >&2
+    exit 1
+fi
 
 # Serving-layer smoke: bench-client hosts a server on an ephemeral
 # port and runs the cold/warm/pipelined/load/c10k/saturation phases

@@ -25,6 +25,7 @@
 mod catalog;
 mod derive;
 mod equivalence;
+mod lazy;
 mod permutation;
 mod policy;
 mod table;
@@ -32,6 +33,10 @@ mod table;
 pub use catalog::{catalog_for, match_spec, CatalogEntry};
 pub use derive::{derive_permutation_spec, detect_insertion_position, DeriveError};
 pub use equivalence::{equivalent, Counterexample, EquivalenceResult};
+pub use lazy::{
+    lazy_table_for_kind, LazyPermTable, LazyTableCache, LazyTablePolicy, DEFAULT_LAZY_STATE_BUDGET,
+    MAX_LAZY_STATE_BUDGET,
+};
 pub use permutation::{Permutation, PermutationError};
 pub use policy::{PermutationPolicy, PermutationSpec, SpecError};
 pub use table::{

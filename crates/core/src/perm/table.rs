@@ -259,7 +259,7 @@ impl PermTable {
 /// `cachekit-sim`, duplicated because neither crate depends on the
 /// other in that direction).
 #[inline]
-fn find_way_full(tags: &[u64], tag: u64) -> Option<usize> {
+pub(crate) fn find_way_full(tags: &[u64], tag: u64) -> Option<usize> {
     #[inline]
     fn fixed<const A: usize>(tags: &[u64; A], tag: u64) -> Option<usize> {
         let mut mask = 0u32;
@@ -605,7 +605,10 @@ impl ReplacementPolicy for TablePolicy {
     }
 
     fn on_invalidate(&mut self, _way: usize) {
-        panic!("the compiled-table engine does not support invalidation; use the enum engine");
+        panic!(
+            "the eagerly-compiled table engine does not support invalidation; \
+             use LazyTablePolicy (generalized event alphabet) or the enum engine"
+        );
     }
 
     fn reset(&mut self) {

@@ -37,6 +37,16 @@ impl Fifo {
             stack: RecencyStack::new(assoc),
         }
     }
+
+    /// The raw insertion-order stack, for the batch kernels in
+    /// [`crate::kernel`].
+    pub(crate) fn stack(&self) -> &RecencyStack {
+        &self.stack
+    }
+
+    pub(crate) fn stack_mut(&mut self) -> &mut RecencyStack {
+        &mut self.stack
+    }
 }
 
 impl ReplacementPolicy for Fifo {

@@ -70,6 +70,7 @@ pub use state::{PolicyState, StateVisitor};
 pub use tree_plru::TreePlru;
 
 pub mod conformance;
+pub mod kernel;
 pub mod rng;
 
 /// Replacement state machine for a single cache set.

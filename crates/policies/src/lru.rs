@@ -51,7 +51,7 @@ impl RecencyStack {
     }
 
     #[inline]
-    fn as_mut_slice(&mut self) -> &mut [u8] {
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u8] {
         match &mut self.repr {
             Repr::Inline { len, buf } => &mut buf[..*len as usize],
             Repr::Heap(v) => v,
@@ -182,6 +182,16 @@ impl Lru {
     /// The current recency order, most recently used first.
     pub fn recency_order(&self) -> Vec<usize> {
         self.stack.as_slice().iter().map(|&w| w as usize).collect()
+    }
+
+    /// The raw recency stack, for the batch kernels in [`crate::kernel`]
+    /// (which pack it into one SWAR word and unpack it back).
+    pub(crate) fn stack(&self) -> &RecencyStack {
+        &self.stack
+    }
+
+    pub(crate) fn stack_mut(&mut self) -> &mut RecencyStack {
+        &mut self.stack
     }
 }
 

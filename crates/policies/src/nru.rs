@@ -45,6 +45,21 @@ impl Nru {
     pub fn reference_bits(&self) -> &[bool] {
         &self.bits
     }
+
+    /// The reference bits packed into one word (bit `w` = way `w`), for
+    /// the batch kernels in [`crate::kernel`].
+    pub(crate) fn ref_mask(&self) -> u128 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u128, |m, (w, &b)| m | ((b as u128) << w))
+    }
+
+    pub(crate) fn set_ref_mask(&mut self, mask: u128) {
+        for (w, b) in self.bits.iter_mut().enumerate() {
+            *b = (mask >> w) & 1 != 0;
+        }
+    }
 }
 
 impl ReplacementPolicy for Nru {

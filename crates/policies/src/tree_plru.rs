@@ -63,19 +63,19 @@ pub struct TreePlru {
 /// the bit word does — so thousands of sets running the same policy keep
 /// one hot copy in cache instead of a private one each.
 #[derive(Debug)]
-struct TreeShape {
+pub(crate) struct TreeShape {
     /// Children of each internal node.
-    children: Vec<(NodeRefRepr, NodeRefRepr)>,
+    pub(crate) children: Vec<(NodeRefRepr, NodeRefRepr)>,
     /// Every internal node on the way's root-to-leaf path.
-    path: Vec<u128>,
+    pub(crate) path: Vec<u128>,
     /// The path nodes whose bit a touch sets (way in the left subtree,
     /// so the victim search must go right).
-    away: Vec<u128>,
-    root: NodeRefRepr,
+    pub(crate) away: Vec<u128>,
+    pub(crate) root: NodeRefRepr,
 }
 
 /// Build (or fetch the memoized) tree shape for `assoc` ways.
-fn shape_for(assoc: usize) -> Arc<TreeShape> {
+pub(crate) fn shape_for(assoc: usize) -> Arc<TreeShape> {
     type Memo = Mutex<HashMap<usize, Arc<TreeShape>>>;
     static MEMO: OnceLock<Memo> = OnceLock::new();
     let memo = MEMO.get_or_init(Default::default);
@@ -127,7 +127,7 @@ impl std::hash::Hash for TreePlru {
 }
 
 // A compact, hashable representation of NodeRef (usize with tag bit).
-type NodeRefRepr = isize;
+pub(crate) type NodeRefRepr = isize;
 
 fn encode(n: NodeRef) -> NodeRefRepr {
     match n {
@@ -201,6 +201,15 @@ impl TreePlru {
     fn touch(&mut self, way: usize) {
         check_way(way, self.assoc);
         self.bits = (self.bits & !self.shape.path[way]) | self.shape.away[way];
+    }
+
+    /// The raw bit word, for the batch kernels in [`crate::kernel`].
+    pub(crate) fn bits_word(&self) -> u128 {
+        self.bits
+    }
+
+    pub(crate) fn set_bits_word(&mut self, bits: u128) {
+        self.bits = bits;
     }
 
     /// The current PLRU bits (for inspection and tests), in node order.

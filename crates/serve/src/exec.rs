@@ -23,7 +23,9 @@ use cachekit_bench::json::Json;
 use cachekit_core::analysis::{evict_distance_spec, minimal_lifespan_spec, DistanceError};
 use cachekit_core::attack::{eviction_set_for_kind, stealth_score};
 use cachekit_core::infer::{engine_by_name, infer_geometry, Finding, InferenceRequest};
-use cachekit_core::perm::{derive_permutation_spec, table_for_kind, TablePolicy};
+use cachekit_core::perm::{
+    derive_permutation_spec, lazy_table_for_kind, table_for_kind, LazyTablePolicy, TablePolicy,
+};
 use cachekit_hw::{fleet, CacheLevel, LevelOracle};
 use cachekit_sim::{Cache, CacheConfig, Containment, Hierarchy};
 use cachekit_trace::{io, workloads};
@@ -190,27 +192,57 @@ fn run_simulate(req: &SimulateRequest) -> Json {
         );
     };
     let ops = io::with_writes(&workload.trace, req.writes, req.seed);
-    // Engine auto-pick: deterministic kinds whose reachable state space
-    // fits the table budget run on the compiled-table engine (one lookup
-    // per access); everything else runs on the inline enum engine. Both
-    // are bit-identical, and the choice is a pure function of
-    // (policy, assoc), so bodies stay cacheable.
-    let (mut cache, engine) = match table_for_kind(req.policy, config.associativity()) {
-        Some(table) => (
-            Cache::with_policy_factory(config, req.policy.label(), |_| {
-                Box::new(TablePolicy::new(table.clone()))
-            }),
-            "table",
-        ),
-        None => (Cache::new(config, req.policy), "enum"),
+    // Engine auto-pick, most specialized first. Pure-read workloads on a
+    // (policy, assoc) pair with a monomorphized batch kernel run through
+    // `Cache::access_many` (SoA slab + SWAR probe). Otherwise deterministic
+    // kinds whose reachable state space fits the eager table budget run on
+    // the compiled-table engine (one lookup per access); kinds that blow
+    // the eager budget but are still deterministic run on the lazy table
+    // (states interned on demand); everything else runs on the inline enum
+    // engine. All four are bit-identical, and the choice is a pure function
+    // of (policy, assoc, writes == 0), so bodies stay cacheable.
+    let use_kernel = req.writes == 0.0
+        && cachekit_policies::kernel::kernel_available(req.policy, config.associativity());
+    let (engine, kernel, stats) = if use_kernel {
+        let mut cache = Cache::new(config, req.policy);
+        let name = cache.batch_kernel();
+        let addrs: Vec<u64> = ops.iter().map(|op| op.addr).collect();
+        cache.access_many(&addrs);
+        ("kernel", name, cache.stats())
+    } else {
+        let (mut cache, engine) = match table_for_kind(req.policy, config.associativity()) {
+            Some(table) => (
+                Cache::with_policy_factory(config, req.policy.label(), |_| {
+                    Box::new(TablePolicy::new(table.clone()))
+                }),
+                "table",
+            ),
+            None => match lazy_table_for_kind(req.policy, config.associativity()) {
+                Some(table) => (
+                    Cache::with_policy_factory(config, req.policy.label(), |_| {
+                        Box::new(LazyTablePolicy::new(table.clone()))
+                    }),
+                    "lazy_table",
+                ),
+                None => (Cache::new(config, req.policy), "enum"),
+            },
+        };
+        let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
+        (engine, None, stats)
     };
-    let stats = cache.run_ops(ops.iter().map(|op| (op.addr, op.write)));
     Json::object(vec![
         ("type", Json::from("simulate")),
         ("ok", Json::from(true)),
         ("degraded", Json::from(false)),
         ("policy", Json::from(req.policy.label())),
         ("engine", Json::from(engine)),
+        (
+            "kernel",
+            match kernel {
+                Some(name) => Json::from(name),
+                None => Json::Null,
+            },
+        ),
         ("workload", Json::from(workload.name)),
         ("accesses", Json::from(stats.accesses)),
         ("hits", Json::from(stats.hits)),
@@ -230,27 +262,46 @@ fn run_simulate_hierarchy(req: &SimulateHierarchyRequest) -> Json {
             Ok(c) => c,
             Err(e) => return error_body("simulate_hierarchy", format!("invalid geometry: {e}")),
         };
-        // The compiled-table engine cannot serve back-invalidation or
-        // victim extraction (`TablePolicy` has no invalidate
+        // The eagerly-compiled table engine cannot serve back-invalidation
+        // or victim extraction (`TablePolicy` has no invalidate
         // transition), so levels run on it only under NINE containment,
-        // where lines are never pulled out from under a level.
-        let table = if req.containment == Containment::Nine {
-            table_for_kind(level.policy, config.associativity())
-        } else {
-            None
-        };
-        match table {
-            Some(table) => {
-                caches.push(Cache::with_policy_factory(
-                    config,
-                    level.policy.label(),
-                    |_| Box::new(TablePolicy::new(table.clone())),
-                ));
-                engines.push("table");
+        // where lines are never pulled out from under a level. Under
+        // Inclusive/Exclusive the lazy table steps in: its generalized
+        // event alphabet includes `invalidate(w)` and fills at arbitrary
+        // ways, so table-family execution is legal under every containment
+        // policy. We gate the lazy pick on eager compilability — a proxy
+        // for "the reachable state space is small", so the memo warms once
+        // and stays resident — and fall back to the enum engine otherwise.
+        let eager = table_for_kind(level.policy, config.associativity());
+        if req.containment == Containment::Nine {
+            match eager {
+                Some(table) => {
+                    caches.push(Cache::with_policy_factory(
+                        config,
+                        level.policy.label(),
+                        |_| Box::new(TablePolicy::new(table.clone())),
+                    ));
+                    engines.push("table");
+                }
+                None => {
+                    caches.push(Cache::new(config, level.policy));
+                    engines.push("enum");
+                }
             }
-            None => {
-                caches.push(Cache::new(config, level.policy));
-                engines.push("enum");
+        } else {
+            match eager.and_then(|_| lazy_table_for_kind(level.policy, config.associativity())) {
+                Some(table) => {
+                    caches.push(Cache::with_policy_factory(
+                        config,
+                        level.policy.label(),
+                        |_| Box::new(LazyTablePolicy::new(table.clone())),
+                    ));
+                    engines.push("lazy_table");
+                }
+                None => {
+                    caches.push(Cache::new(config, level.policy));
+                    engines.push("enum");
+                }
             }
         }
     }
@@ -485,7 +536,8 @@ mod tests {
 
     #[test]
     fn simulate_picks_the_table_engine_for_compilable_kinds() {
-        // PLRU at 8 ways has a small reachable space: table engine.
+        // PLRU at 8 ways has a small reachable space, and the write
+        // fraction disqualifies the read-only batch kernel: table engine.
         let req = parse(
             r#"{"type":"simulate","policy":"PLRU","capacity":65536,"assoc":8,
                 "workload":"zipf_hot","writes":0.2}"#,
@@ -499,6 +551,71 @@ mod tests {
         );
         let body = PipelineExecutor.execute(&req).to_compact();
         assert!(body.contains("\"engine\":\"enum\""), "body: {body}");
+    }
+
+    #[test]
+    fn simulate_picks_the_batch_kernel_for_pure_read_compiled_pairs() {
+        // Pure-read LRU at 16 ways: the monomorphized batch kernel runs,
+        // and the response names which kernel was dispatched.
+        let req = parse(
+            r#"{"type":"simulate","policy":"LRU","capacity":131072,"assoc":16,
+                "workload":"zipf_hot"}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"engine\":\"kernel\""), "body: {body}");
+        assert!(
+            body.contains("\"kernel\":\"lru16/swar128\""),
+            "body: {body}"
+        );
+        assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+        // Any write traffic falls back to the per-access table path.
+        let req = parse(
+            r#"{"type":"simulate","policy":"LRU","capacity":131072,"assoc":16,
+                "workload":"zipf_hot","writes":0.1}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(!body.contains("\"engine\":\"kernel\""), "body: {body}");
+        assert!(body.contains("\"kernel\":null"), "body: {body}");
+    }
+
+    #[test]
+    fn simulate_lazy_table_serves_kinds_that_blow_the_eager_budget() {
+        // LRU at 16 ways with writes: 16! permutations blow the eager
+        // table budget, but the lazy table interns only reached states.
+        let req = parse(
+            r#"{"type":"simulate","policy":"LRU","capacity":131072,"assoc":16,
+                "workload":"zipf_hot","writes":0.2}"#,
+        );
+        let body = PipelineExecutor.execute(&req).to_compact();
+        assert!(body.contains("\"engine\":\"lazy_table\""), "body: {body}");
+        assert!(body.contains("\"ok\":true"), "body: {body}");
+        assert_eq!(body, PipelineExecutor.execute(&req).to_compact());
+    }
+
+    #[test]
+    fn kernel_engine_stats_are_bit_identical_to_the_enum_engine() {
+        // The same pure-read request forced down the enum path (via a
+        // direct Cache) must agree with the kernel path on every stat.
+        let config = CacheConfig::new(131072, 16, 64).unwrap();
+        let suite = workloads::suite(131072, 64, 7);
+        for w in &suite {
+            let addrs: Vec<u64> = io::with_writes(&w.trace, 0.0, 7)
+                .iter()
+                .map(|op| op.addr)
+                .collect();
+            let mut kerneled = Cache::new(config, cachekit_policies::PolicyKind::Lru);
+            assert!(kerneled.batch_kernel().is_some());
+            kerneled.access_many(&addrs);
+            let mut enumed = Cache::new(config, cachekit_policies::PolicyKind::Lru);
+            enumed.run_ops(addrs.iter().map(|&a| (a, false)));
+            assert_eq!(kerneled.stats(), enumed.stats(), "workload {}", w.name);
+            assert_eq!(
+                kerneled.occupancy(),
+                enumed.occupancy(),
+                "workload {}",
+                w.name
+            );
+        }
     }
 
     #[test]
@@ -541,10 +658,12 @@ mod tests {
     }
 
     #[test]
-    fn simulate_hierarchy_uses_the_table_engine_only_under_nine() {
-        // PLRU at 4 ways compiles to a table, but the table policy has
-        // no invalidate transition — only NINE containment (where no
-        // line is ever pulled out from under a level) may use it.
+    fn simulate_hierarchy_engine_pick_depends_on_containment() {
+        // PLRU at 4 ways compiles to an eager table, but `TablePolicy`
+        // has no invalidate transition — only NINE containment (where no
+        // line is ever pulled out from under a level) may use it. Under
+        // Inclusive/Exclusive the lazy table, whose event alphabet
+        // includes invalidation, takes over.
         let nine = parse(
             r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"nine",
                 "levels":[{"policy":"PLRU","capacity":8192,"assoc":4},
@@ -552,6 +671,7 @@ mod tests {
         );
         let body = PipelineExecutor.execute(&nine).to_compact();
         assert!(body.contains("\"engine\":\"table\""), "body: {body}");
+        assert!(!body.contains("\"engine\":\"lazy_table\""), "body: {body}");
         for containment in ["inclusive", "exclusive"] {
             let req = parse(&format!(
                 r#"{{"type":"simulate_hierarchy","workload":"fit_loop",
@@ -561,7 +681,65 @@ mod tests {
             ));
             let body = PipelineExecutor.execute(&req).to_compact();
             assert!(!body.contains("\"engine\":\"table\""), "body: {body}");
+            assert!(body.contains("\"engine\":\"lazy_table\""), "body: {body}");
             assert!(body.contains("\"ok\":true"), "body: {body}");
+        }
+        // A kind outside the eager budget (LRU at 16) stays on the enum
+        // engine under invalidating containments: the smallness gate
+        // keeps the lazy memo from growing without bound in a server.
+        let big = parse(
+            r#"{"type":"simulate_hierarchy","workload":"fit_loop","containment":"inclusive",
+                "levels":[{"policy":"LRU","capacity":16384,"assoc":16},
+                          {"policy":"LRU","capacity":131072,"assoc":16}]}"#,
+        );
+        let body = PipelineExecutor.execute(&big).to_compact();
+        assert!(body.contains("\"engine\":\"enum\""), "body: {body}");
+        assert!(!body.contains("\"engine\":\"lazy_table\""), "body: {body}");
+    }
+
+    #[test]
+    fn lazy_table_hierarchy_stats_are_bit_identical_to_the_enum_engine() {
+        use cachekit_policies::PolicyKind;
+        for containment in [Containment::Inclusive, Containment::Exclusive] {
+            for kind in [PolicyKind::TreePlru, PolicyKind::Fifo] {
+                let build = |lazy: bool| {
+                    let caches: Vec<Cache> = [(8192u64, 4usize), (65536, 4)]
+                        .iter()
+                        .map(|&(capacity, assoc)| {
+                            let config = CacheConfig::new(capacity, assoc, 64).unwrap();
+                            if lazy {
+                                let table =
+                                    lazy_table_for_kind(kind, assoc).expect("deterministic kind");
+                                Cache::with_policy_factory(config, kind.label(), |_| {
+                                    Box::new(LazyTablePolicy::new(table.clone()))
+                                })
+                            } else {
+                                Cache::new(config, kind)
+                            }
+                        })
+                        .collect();
+                    Hierarchy::from_caches(caches).with_containment(containment)
+                };
+                let mut lazy = build(true);
+                let mut enumed = build(false);
+                let suite = workloads::suite(65536, 64, 11);
+                for w in &suite {
+                    for op in io::with_writes(&w.trace, 0.3, 11) {
+                        lazy.access_op(op.addr, op.write);
+                        enumed.access_op(op.addr, op.write);
+                    }
+                }
+                assert_eq!(
+                    lazy.stats(),
+                    enumed.stats(),
+                    "{kind:?} diverged under {containment:?}"
+                );
+                assert_eq!(
+                    lazy.hierarchy_stats(),
+                    enumed.hierarchy_stats(),
+                    "{kind:?} under {containment:?}"
+                );
+            }
         }
     }
 

@@ -317,6 +317,50 @@ impl Cache {
         delta
     }
 
+    /// The batch kernel `access_many` will use, if the cache's policy
+    /// and associativity have one compiled (e.g. `"lru16/swar128"`) —
+    /// `None` means the batch path runs the generic enum loop. Recorded
+    /// by the serving layer and the benchmarks as engine metadata.
+    pub fn batch_kernel(&self) -> Option<&'static str> {
+        let kind = PolicyKind::parse_label(&self.policy_label)?;
+        cachekit_policies::kernel::KernelCache::kernel_name(kind, self.config.associativity())
+    }
+
+    /// Run a stream of read accesses in one call, returning
+    /// `(hits, misses)` for the stream and updating the statistics.
+    ///
+    /// Behaviour (contents, replacement state, hit/miss/eviction counts)
+    /// is identical to calling [`access`](Self::access) per element:
+    /// sets are independent, so the stream is bucketed per set — which
+    /// preserves program order within each set — and each set replays
+    /// its run through [`CacheSet::access_many`], hitting the compiled
+    /// batch kernel when the policy has one (see
+    /// [`batch_kernel`](Self::batch_kernel)).
+    pub fn access_many(&mut self, addrs: &[u64]) -> (u64, u64) {
+        let mut runs: Vec<Vec<u64>> = vec![Vec::new(); self.sets.len()];
+        for &addr in addrs {
+            runs[self.config.set_index(addr)].push(self.config.tag(addr));
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (set, run) in self.sets.iter_mut().zip(&runs) {
+            if run.is_empty() {
+                continue;
+            }
+            let occ_before = set.occupancy() as u64;
+            let (h, m) = set.access_many(run);
+            hits += h;
+            misses += m;
+            // A miss that displaced a valid line is an eviction; fills
+            // into invalid ways grow the occupancy instead.
+            self.stats.evictions += m - (set.occupancy() as u64 - occ_before);
+        }
+        self.stats.accesses += hits + misses;
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+        (hits, misses)
+    }
+
     /// Run a whole address trace, returning the stats delta for the run.
     pub fn run_trace<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> CacheStats {
         let before = self.stats;
@@ -452,6 +496,52 @@ mod tests {
         let (_, wb) = c.access_op(2 * ws, false);
         assert_eq!(wb, None);
         assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn access_many_matches_per_access_calls_and_stats() {
+        // LRU@2 has no batch kernel; LRU@4 and PLRU@8 do. All must agree
+        // with the per-access path, including the eviction count.
+        for (kind, assoc) in [
+            (PolicyKind::Lru, 2usize),
+            (PolicyKind::Lru, 4),
+            (PolicyKind::TreePlru, 8),
+        ] {
+            let cfg = CacheConfig::new(64 * assoc as u64 * 8, assoc, 64).unwrap();
+            let mut batched = Cache::new(cfg, kind);
+            let mut serial = Cache::new(cfg, kind);
+            let addrs: Vec<u64> = (0..4000u64)
+                .map(|i| (i * 2654435761 % (3 * 64 * assoc as u64 * 8)) & !63)
+                .collect();
+            let (hits, misses) = batched.access_many(&addrs);
+            let mut serial_hits = 0u64;
+            for &a in &addrs {
+                if serial.access(a).is_hit() {
+                    serial_hits += 1;
+                }
+            }
+            assert_eq!(hits, serial_hits, "{kind:?}@{assoc}");
+            assert_eq!(hits + misses, addrs.len() as u64);
+            let (b, s) = (batched.stats(), serial.stats());
+            assert_eq!(b.accesses, s.accesses, "{kind:?}@{assoc}");
+            assert_eq!(b.hits, s.hits, "{kind:?}@{assoc}");
+            assert_eq!(b.evictions, s.evictions, "{kind:?}@{assoc}");
+            for a in &addrs {
+                assert_eq!(
+                    batched.contains(*a),
+                    serial.contains(*a),
+                    "{kind:?}@{assoc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_is_reported_for_compiled_pairs() {
+        let kernels = Cache::new(CacheConfig::new(4096, 16, 64).unwrap(), PolicyKind::Lru);
+        assert_eq!(kernels.batch_kernel(), Some("lru16/swar128"));
+        let none = Cache::new(CacheConfig::new(4096, 2, 64).unwrap(), PolicyKind::Lru);
+        assert_eq!(none.batch_kernel(), None);
     }
 
     #[test]

@@ -326,10 +326,13 @@ impl CacheSet {
     /// returning `(hits, misses)`.
     ///
     /// Behaviour is access-for-access identical to calling
-    /// [`access_tag`](Self::access_tag) per element, but the loop is
-    /// monomorphized against the concrete policy variant, so the policy
-    /// update inlines instead of being re-dispatched per access. This is
-    /// the engine the throughput benchmarks drive.
+    /// [`access_tag`](Self::access_tag) per element. Dispatch is tiered:
+    /// policies with a compiled batch kernel (LRU/FIFO/PLRU/NRU at
+    /// associativity 4/8/16, see `cachekit_policies::kernel`) run the
+    /// monomorphized SWAR loop over the raw tag array; everything else
+    /// takes the per-policy monomorphized loop via
+    /// [`PolicyState::visit_concrete`]. This is the engine the
+    /// throughput benchmarks drive.
     pub fn access_many(&mut self, stream: &[u64]) -> (u64, u64) {
         let CacheSet {
             tags,
@@ -337,6 +340,11 @@ impl CacheSet {
             dirty,
             policy,
         } = self;
+        if let Some(counts) =
+            cachekit_policies::kernel::run_set_stream(policy, &mut *tags, valid, dirty, stream)
+        {
+            return counts;
+        }
         policy.visit_concrete(BatchAccess {
             tags: &mut *tags,
             valid,

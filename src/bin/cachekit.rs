@@ -525,9 +525,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
     match positional.as_deref() {
         Some("access-throughput") => {
-            let path = cachekit::bench::access::run_and_report(flags.contains_key("smoke"));
-            println!("record: {}", path.display());
-            Ok(())
+            let outcome = cachekit::bench::access::run_and_report(flags.contains_key("smoke"));
+            println!("record: {}", outcome.path.display());
+            if outcome.missing.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("missing target rows: {:?}", outcome.missing))
+            }
         }
         Some(other) => Err(format!(
             "unknown benchmark {other:?}; available: access-throughput"

@@ -8,8 +8,12 @@
 //! policies behind `Box<dyn ReplacementPolicy>`), so the suite pins the
 //! refactor's semantics to the original substrate, not to itself.
 
-use cachekit::core::perm::{catalog_for, table_for_kind, PermTable, PermutationPolicy, TableSet};
+use cachekit::core::perm::{
+    catalog_for, lazy_table_for_kind, table_for_kind, LazyPermTable, LazyTableCache,
+    LazyTablePolicy, PermTable, PermutationPolicy, TableSet,
+};
 use cachekit::policies::conformance::{assert_conformance, assert_state_key_soundness};
+use cachekit::policies::kernel::KernelCache;
 use cachekit::policies::rng::{mix64, Prng};
 use cachekit::policies::{
     Bip, BitPlru, Brrip, Clock, Fifo, LazyLru, Lip, Lru, Nru, PolicyKind, PolicyState, Qlru,
@@ -162,6 +166,237 @@ fn table_engine_is_bit_identical_where_it_compiles() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn lazy_table_engine_is_bit_identical_for_every_deterministic_kind() {
+    // The lazy table's coverage is exactly the deterministic kinds — at
+    // *every* associativity, including the assoc-16 spaces the eager
+    // compiler cannot afford (LRU at 16 ways is 16! states).
+    for kind in PolicyKind::differential_kinds() {
+        for assoc in ASSOCS {
+            let lazy = lazy_table_for_kind(kind, assoc);
+            assert_eq!(
+                lazy.is_some(),
+                kind.is_deterministic(),
+                "{kind:?} at {assoc} ways: lazy availability must track determinism"
+            );
+            let Some(table) = lazy else { continue };
+            let mut lazed = CacheSet::from_state(PolicyState::from_boxed(Box::new(
+                LazyTablePolicy::new(table),
+            )));
+            let mut enumed = CacheSet::from_state(kind.build_state(assoc, 0));
+            for (i, &tag) in stream(assoc, 4000, 0x1A2 ^ assoc as u64).iter().enumerate() {
+                let a = lazed.access_tag(tag);
+                let b = enumed.access_tag(tag);
+                assert_eq!(a, b, "{kind:?} A={assoc} diverged at access {i}");
+            }
+            for w in 0..assoc {
+                assert_eq!(
+                    lazed.tag_in_way(w),
+                    enumed.tag_in_way(w),
+                    "{kind:?} A={assoc} final contents differ in way {w}"
+                );
+            }
+            assert_eq!(
+                lazed.policy().state_key(),
+                enumed.policy().state_key(),
+                "{kind:?} A={assoc} final replacement state differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_table_engine_is_bit_identical_under_invalidation() {
+    // The eager table has no invalidate transition; the lazy alphabet
+    // does. Interleave accesses with invalidations of random resident
+    // tags and require lock-step agreement with the enum engine.
+    for kind in PolicyKind::differential_kinds() {
+        if !kind.is_deterministic() {
+            continue;
+        }
+        for assoc in [4usize, 8, 16] {
+            let table = lazy_table_for_kind(kind, assoc).expect("deterministic kind");
+            let mut lazed = CacheSet::from_state(PolicyState::from_boxed(Box::new(
+                LazyTablePolicy::new(table),
+            )));
+            let mut enumed = CacheSet::from_state(kind.build_state(assoc, 0));
+            let mut rng = Prng::seed_from_u64(0x1BAD ^ assoc as u64);
+            for i in 0..4000 {
+                if rng.gen_bool(0.15) {
+                    let tag = rng.gen_range(0..6 * assoc as u64);
+                    assert_eq!(
+                        lazed.invalidate(tag),
+                        enumed.invalidate(tag),
+                        "{kind:?} A={assoc} invalidate diverged at step {i}"
+                    );
+                } else {
+                    let tag = if rng.gen_bool(0.5) {
+                        rng.gen_range(0..assoc as u64)
+                    } else {
+                        rng.gen_range(0..6 * assoc as u64)
+                    };
+                    assert_eq!(
+                        lazed.access_tag(tag),
+                        enumed.access_tag(tag),
+                        "{kind:?} A={assoc} diverged at step {i}"
+                    );
+                }
+            }
+            assert_eq!(
+                lazed.policy().state_key(),
+                enumed.policy().state_key(),
+                "{kind:?} A={assoc} final replacement state differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_lazy_memo_stays_bit_identical_via_direct_fallback() {
+    // With an absurdly small state budget the memo saturates almost
+    // immediately; overflowing sets must degrade to concrete (direct)
+    // execution, never to divergence.
+    for kind in [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Nru] {
+        let assoc = 8;
+        let template = kind.build_state(assoc, 0);
+        let table = Arc::new(LazyPermTable::new(&template, 4).expect("deterministic template"));
+        let mut lazed = LazyTableCache::new(table.clone(), 8);
+        let mut enumed: Vec<CacheSet> = (0..8)
+            .map(|s| CacheSet::from_state(kind.build_state(assoc, s)))
+            .collect();
+        let mut rng = Prng::seed_from_u64(0x5A7);
+        for i in 0..20_000 {
+            let set = rng.gen_range(0..8) as usize;
+            let tag = rng.gen_range(0..6 * assoc as u64);
+            assert_eq!(
+                lazed.access(set, tag).is_hit(),
+                enumed[set].access_tag(tag).is_hit(),
+                "{kind:?} diverged at step {i}"
+            );
+        }
+        assert!(table.saturated(), "budget 4 must saturate {kind:?}");
+        assert!(
+            lazed.direct_sets() > 0,
+            "{kind:?}: saturation must push sets into direct mode"
+        );
+        for (set, en) in enumed.iter().enumerate().take(8) {
+            for w in 0..assoc {
+                assert_eq!(
+                    lazed.tag_in_way(set, w),
+                    en.tag_in_way(w),
+                    "{kind:?} set {set} way {w} differs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_kernels_are_bit_identical_across_the_whole_grid() {
+    // Every monomorphized (policy, assoc) kernel — LRU/FIFO/PLRU/NRU at
+    // 4/8/16 ways — replayed at cache scale against per-access enum
+    // sets, on an interleaved multi-set stream.
+    let sets = 64usize;
+    let mut compiled = 0;
+    for kind in PolicyKind::differential_kinds() {
+        for assoc in ASSOCS {
+            let Some(mut kernel) = KernelCache::for_kind(kind, assoc, sets) else {
+                continue;
+            };
+            compiled += 1;
+            let mut enumed: Vec<CacheSet> = (0..sets)
+                .map(|s| CacheSet::from_state(kind.build_state(assoc, s as u64)))
+                .collect();
+            let mut rng = Prng::seed_from_u64(0xBA7C4 ^ assoc as u64);
+            let interleaved: Vec<(u32, u64)> = (0..40_000)
+                .map(|_| {
+                    let set = rng.gen_range(0..sets as u64) as u32;
+                    let tag = if rng.gen_bool(0.5) {
+                        rng.gen_range(0..assoc as u64)
+                    } else {
+                        rng.gen_range(0..6 * assoc as u64)
+                    };
+                    (set, tag)
+                })
+                .collect();
+            let (hits, misses) = kernel.access_many(&interleaved);
+            let mut want_hits = 0u64;
+            for &(set, tag) in &interleaved {
+                want_hits += u64::from(enumed[set as usize].access_tag(tag).is_hit());
+            }
+            assert_eq!(
+                hits, want_hits,
+                "{kind:?} A={assoc} kernel hit count diverged"
+            );
+            assert_eq!(hits + misses, interleaved.len() as u64);
+            for (set, enum_set) in enumed.iter().enumerate() {
+                for w in 0..assoc {
+                    assert_eq!(
+                        kernel.tag(set, w),
+                        enum_set.tag_in_way(w),
+                        "{kind:?} A={assoc} set {set} way {w} differs"
+                    );
+                }
+            }
+        }
+    }
+    // LRU, FIFO, PLRU and NRU at 4, 8 and 16 ways.
+    assert_eq!(compiled, 12, "kernel grid shrank");
+}
+
+#[test]
+fn concurrent_lazy_memo_is_bit_identical_across_eight_threads() {
+    // Eight threads hammer ONE shared lock-free memo (CAS-published
+    // rows), each driving its own sets over its own stream. Every
+    // thread must end bit-identical to a single-threaded enum replay of
+    // the same stream — regardless of interleaving, lost CAS races, or
+    // which thread interned which state first.
+    use std::thread;
+    let assoc = 16usize;
+    let kind = PolicyKind::Lru; // 16! states: the memo actually grows.
+    let template = kind.build_state(assoc, 0);
+    let table = Arc::new(LazyPermTable::new(&template, 1 << 14).expect("deterministic"));
+    let streams: Vec<Vec<(u32, u64)>> = (0..8)
+        .map(|t| {
+            let mut rng = Prng::seed_from_u64(0xC0CC ^ t);
+            (0..30_000)
+                .map(|_| {
+                    let set = rng.gen_range(0..16) as u32;
+                    let tag = if rng.gen_bool(0.5) {
+                        rng.gen_range(0..assoc as u64)
+                    } else {
+                        rng.gen_range(0..6 * assoc as u64)
+                    };
+                    (set, tag)
+                })
+                .collect()
+        })
+        .collect();
+    let got: Vec<u64> = thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let table = table.clone();
+                scope.spawn(move || {
+                    let mut cache = LazyTableCache::new(table, 16);
+                    cache.access_many(stream).0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, (stream, &hits)) in streams.iter().zip(&got).enumerate() {
+        let mut enumed: Vec<CacheSet> = (0..16)
+            .map(|_| CacheSet::from_state(kind.build_state(assoc, 0)))
+            .collect();
+        let mut want = 0u64;
+        for &(set, tag) in stream {
+            want += u64::from(enumed[set as usize].access_tag(tag).is_hit());
+        }
+        assert_eq!(hits, want, "thread {t} diverged from the enum replay");
     }
 }
 
